@@ -1,0 +1,125 @@
+"""Ablation benches: the design-choice studies behind the paper's knobs."""
+
+import pytest
+
+from repro.eval.ablations import (
+    ablation_breakpoints,
+    ablation_fit_strategy,
+    ablation_fixed_point,
+    ablation_hop_length,
+    ablation_table_reload,
+    ablation_topology,
+    ablation_utilization,
+    related_softmax_comparison,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_breakpoints(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_breakpoints, rounds=1, iterations=1)
+    record_experiment(result, "ablation_breakpoints.txt")
+    segments = result.column("Segments")
+    exp_err = result.column("exp max err")
+    # error falls steeply through the paper's operating point (the MLP's
+    # non-convex training makes the >=32-segment tail noisy, so the
+    # monotonicity claim is asserted up to 16)
+    assert exp_err[0] > exp_err[1] > exp_err[2]
+    # 16 segments is already in the "negligible" regime the paper claims
+    # (Table I note), and bigger tables stay there
+    err16 = exp_err[segments.index(16)]
+    assert err16 < 0.01
+    assert all(e < 0.01 for e in exp_err[2:])
+    # beyond 16, the NoC clock multiplier doubles per step
+    mults = result.column("NoC clock mult")
+    assert mults == [1, 1, 2, 4, 8]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fit_strategy(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_fit_strategy, rounds=1, iterations=1)
+    record_experiment(result, "ablation_fit_strategy.txt")
+    for row in result.rows:
+        name, mlp, curvature, uniform, lstsq = row
+        # the MLP flow is competitive with the curvature fit ...
+        assert mlp < 3 * curvature + 1e-4, name
+        # ... and the curvature fit beats naive uniform placement on the
+        # curvature-concentrated functions
+        if name == "exp":
+            assert curvature < uniform
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fixed_point(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_fixed_point, rounds=1, iterations=1)
+    record_experiment(result, "ablation_fixed_point.txt")
+    rows = {row[0]: row for row in result.rows}
+    # the default Q5.10 keeps quantisation subdominant to the PWL error
+    q5_10 = rows["Q5.10"]
+    assert q5_10[3] < 1.5 * q5_10[2]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_table_reload(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_table_reload, rounds=1, iterations=1)
+    record_experiment(result, "ablation_table_reload.txt")
+    for row in result.rows:
+        assert row[5] == 0  # NOVA never reloads
+        assert row[3] > 0  # the LUT unit always does
+    # reload overhead is a short-sequence phenomenon
+    overheads = {(row[0], row[1]): float(str(row[4]).rstrip("%"))
+                 for row in result.rows}
+    for model in ("BERT-tiny", "RoBERTa"):
+        assert overheads[(model, 128)] > overheads[(model, 1024)]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_hop_length(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_hop_length, rounds=1, iterations=1)
+    record_experiment(result, "ablation_hop_length.txt")
+    areas = result.column("Area (um2)")
+    assert areas == sorted(areas)  # wire term grows with pitch
+    # NOVA keeps its win across the whole plausible pitch range
+    assert all(result.column("Still beats per-neuron LUT"))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_topology(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_topology, rounds=1, iterations=1)
+    record_experiment(result, "ablation_topology.txt")
+    rows = {row[0]: row for row in result.rows}
+    # the line is wire-optimal over a row of routers (§III-A, quantified)
+    assert rows["line"][1] <= rows["tree"][1] <= rows["star"][1]
+    # and its critical path is within 2x of the tree's
+    assert rows["line"][2] < 2.0 * rows["tree"][2] + 1e-9
+    # every scheme keeps routers single-ported
+    assert all(row[5] == 1 for row in result.rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_related_softmax_comparison(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        related_softmax_comparison, rounds=1, iterations=1
+    )
+    record_experiment(result, "ablation_related_softmax.txt")
+    rows = {row[0]: row for row in result.rows}
+    # every implemented scheme preserves the attention argmax
+    assert all(row[3] == 100 for row in result.rows)
+    # scaled Softermax is exact up to its 2^r table; raw base-2 diverges
+    assert rows["Softermax (scaled)"][1] < rows["NOVA (PWL-16)"][1]
+    assert rows["Softermax (raw base-2)"][1] > rows["NOVA (PWL-16)"][1]
+    # NOVA's PWL-16 stays in the 'negligible' band Table I demonstrates
+    assert rows["NOVA (PWL-16)"][1] < 0.05
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_utilization(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_utilization, rounds=1, iterations=1)
+    record_experiment(result, "ablation_utilization.txt")
+    pc_ratios = [float(str(row[4]).rstrip("x")) for row in result.rows]
+    sdp_ratios = [float(str(row[5]).rstrip("x")) for row in result.rows]
+    # datapath-only LUT: the gap grows with duty (active energy dominates)
+    assert pc_ratios == sorted(pc_ratios)
+    # engine-style SDP: the gap is widest at *low* duty — the always-on
+    # control keeps burning while NOVA's wires idle (the §V-E regime)
+    assert sdp_ratios == sorted(sdp_ratios, reverse=True)
+    assert sdp_ratios[0] > 5.0

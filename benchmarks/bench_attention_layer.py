@@ -1,0 +1,57 @@
+"""System benchmark: a full attention layer on the overlay.
+
+Not a paper figure — this times the reproduction's flagship composed
+path (compile-time tables -> comparators -> NoC broadcast -> MACs ->
+softmax assembly) and asserts its end-to-end numerical fidelity, so the
+title-level capability has a guarded performance number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import NovaAttentionEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return NovaAttentionEngine(
+        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
+        hop_mm=0.5, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def layer():
+    rng = np.random.default_rng(0)
+    hidden = 16
+    x = rng.normal(0.0, 1.0, size=(8, hidden))
+    weights = {
+        name: rng.normal(0.0, 1.0 / np.sqrt(hidden), size=(hidden, hidden))
+        for name in ("wq", "wk", "wv", "wo")
+    }
+    return x, weights
+
+
+@pytest.mark.benchmark(group="attention")
+def test_attention_layer_on_overlay(benchmark, engine, layer):
+    x, weights = layer
+    result = benchmark.pedantic(
+        engine.attention_layer,
+        args=(x,),
+        kwargs={"n_heads": 2, **weights},
+        rounds=3,
+        iterations=1,
+    )
+    exact = engine.exact_attention_layer(x, n_heads=2, **weights)
+    rel = np.max(np.abs(result.outputs - exact)) / np.max(np.abs(exact))
+    assert rel < 0.02
+    assert result.counters.get("lut_read") == 0
+
+
+@pytest.mark.benchmark(group="attention")
+def test_hardware_softmax_only(benchmark, engine):
+    scores = np.random.default_rng(1).normal(0, 2, size=(2, 16, 16))
+    probs, _cycles = benchmark.pedantic(
+        engine.softmax, args=(scores,), rounds=3, iterations=1
+    )
+    assert np.allclose(probs.sum(axis=-1), 1.0)

@@ -1,0 +1,37 @@
+"""Fig 6: router area vs neurons mapped per router."""
+
+import pytest
+
+from repro.eval.ascii_chart import multi_series_chart
+from repro.eval.experiments import fig6_area_scaling
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_area_scaling(benchmark, record_experiment):
+    result = benchmark(fig6_area_scaling)
+    record_experiment(result, "fig6_area_scaling.txt")
+    print()
+    print(
+        multi_series_chart(
+            result.column("Neurons"),
+            {
+                "NOVA": result.column("NOVA router"),
+                "per-neuron LUT": result.column("Per-neuron LUT"),
+                "per-core LUT": result.column("Per-core LUT"),
+            },
+            title="Fig 6 shape: router area (um2) vs neurons",
+        )
+    )
+    nova = result.column("NOVA router")
+    pn = result.column("Per-neuron LUT")
+    pc = result.column("Per-core LUT")
+    # all three curves grow with neuron count ...
+    for series in (nova, pn, pc):
+        assert series == sorted(series)
+    # ... but NOVA grows far slower (Fig. 6's visual shape):
+    assert nova[-1] / nova[0] < 0.5 * (pn[-1] / pn[0])
+    # per-neuron is the largest at scale, NOVA the smallest
+    assert nova[-1] < pc[-1] < pn[-1]
+    # savings reach the paper's ~3.23x average by 128-256 neurons
+    last_saving = float(str(result.rows[-1][4]).rstrip("x"))
+    assert last_saving > 3.0

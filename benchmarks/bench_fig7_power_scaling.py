@@ -1,0 +1,38 @@
+"""Fig 7: router power vs neurons mapped per router."""
+
+import pytest
+
+from repro.eval.ascii_chart import multi_series_chart
+from repro.eval.experiments import fig7_power_scaling
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_power_scaling(benchmark, record_experiment):
+    result = benchmark(fig7_power_scaling)
+    record_experiment(result, "fig7_power_scaling.txt")
+    print()
+    print(
+        multi_series_chart(
+            result.column("Neurons"),
+            {
+                "NOVA": result.column("NOVA router"),
+                "per-neuron LUT": result.column("Per-neuron LUT"),
+                "per-core LUT": result.column("Per-core LUT"),
+            },
+            title="Fig 7 shape: router power (mW @1GHz) vs neurons",
+        )
+    )
+    nova = result.column("NOVA router")
+    pn = result.column("Per-neuron LUT")
+    pc = result.column("Per-core LUT")
+    # the multi-ported per-core bank is the most power-hungry at scale
+    # (§V-B / §V-C.2) while NOVA is the least
+    assert nova[-1] < pn[-1] < pc[-1]
+    # per-core's port cost makes it overtake per-neuron somewhere in the
+    # sweep (the crossover the paper's power discussion hinges on)
+    crossed = any(c > n for c, n in zip(pc, pn))
+    assert crossed
+    # NOVA's saving vs per-core grows monotonically with neuron count
+    savings = [float(str(r[4]).rstrip("x")) for r in result.rows]
+    assert savings == sorted(savings)
+    assert savings[-1] > 5.0  # paper reaches 9.4x at TPU scale

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the cycle simulators themselves.
+
+Not a paper figure — these time the reproduction's own simulation
+throughput (broadcasts/second, approximations/second) so regressions in
+the simulator are visible, and compare the NOVA and LUT simulation paths
+on identical work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl, pack_beats
+from repro.core.vector_unit import NovaVectorUnit
+from repro.luts.per_core import PerCoreLutUnit
+from repro.luts.per_neuron import PerNeuronLutUnit
+
+
+@pytest.fixture(scope="module")
+def table():
+    spec = get_function("gelu")
+    return QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(0).normal(0, 2.5, size=(8, 128))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_nova_batch_simulation(benchmark, table, batch):
+    unit = NovaVectorUnit(table, 8, 128, pe_frequency_ghz=1.4, hop_mm=0.5)
+    result = benchmark(unit.approximate, batch)
+    assert np.array_equal(result.outputs, unit.golden_reference(batch))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_per_neuron_lut_batch_simulation(benchmark, table, batch):
+    unit = PerNeuronLutUnit(table, 8, 128)
+    result = benchmark(unit.approximate, batch)
+    assert np.array_equal(result.outputs, table.evaluate(batch))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_per_core_lut_batch_simulation(benchmark, table, batch):
+    unit = PerCoreLutUnit(table, 8, 128)
+    result = benchmark(unit.approximate, batch)
+    assert np.array_equal(result.outputs, table.evaluate(batch))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_broadcast_only(benchmark, table):
+    unit = NovaVectorUnit(table, 10, 256, pe_frequency_ghz=0.24)
+    beats = pack_beats(table)
+    addresses = np.random.default_rng(1).integers(0, 16, size=(10, 256))
+    result = benchmark(unit.noc.broadcast, beats, addresses)
+    assert result.noc_cycles == 2
+
+
+@pytest.mark.benchmark(group="micro")
+def test_golden_model_evaluation(benchmark, table, batch):
+    out = benchmark(table.evaluate, batch)
+    assert out.shape == batch.shape
+
+
+@pytest.mark.benchmark(group="micro")
+def test_compile_time_mlp_training(benchmark):
+    from repro.approx.nnlut_mlp import train_nnlut_mlp
+
+    spec = get_function("exp")
+    mlp = benchmark.pedantic(
+        lambda: train_nnlut_mlp(spec, n_segments=16, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert mlp.to_piecewise_linear(16).n_segments == 16

@@ -1,0 +1,35 @@
+"""§V-A scalability: single-cycle multi-hop reach vs NoC clock."""
+
+import pytest
+
+from repro.core.mapper import NovaMapper
+from repro.eval.experiments import scalability_sweep
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_sweep(benchmark, record_experiment):
+    result = benchmark(scalability_sweep)
+    record_experiment(result, "scalability.txt")
+    cells = {row[0]: row[1] for row in result.rows}
+    # the paper's P&R corner: 10 routers at 1 mm pitch at 1.5 GHz
+    assert cells[1.5] == 10
+    # reach shrinks as the clock rises
+    reaches = [cells[f] for f in sorted(cells)]
+    assert reaches == sorted(reaches, reverse=True)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_latency_growth_past_envelope(benchmark):
+    """Scaling beyond 10 routers trades latency (the §V-A trade-off)."""
+
+    def sweep():
+        mapper = NovaMapper()
+        return [
+            mapper.schedule(n, 0.75, n_pairs=16).total_latency_pe_cycles
+            for n in (5, 10, 15, 20, 30, 40)
+        ]
+
+    latencies = benchmark(sweep)
+    assert latencies[0] == latencies[1] == 2  # within the envelope
+    assert latencies[2] > 2  # first step past it
+    assert latencies == sorted(latencies)  # monotone growth

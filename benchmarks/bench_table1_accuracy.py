@@ -1,0 +1,34 @@
+"""Table I: post-approximation accuracy (exact vs approx softmax).
+
+Regenerates the full six-row table once (training the model zoo on the
+synthetic stand-in datasets) and times the fastest row (MLP/MNIST) under
+pytest-benchmark.  Asserts the paper's claim: approximating softmax with
+the NN-LUT PWL (16 breakpoints; 8 for the CIFAR-10 family) costs at most
+a fraction of a point of accuracy.
+"""
+
+import pytest
+
+from repro.eval.experiments import table1_accuracy
+from repro.ml.approx_inference import accuracy_with_softmax, table1_model_zoo
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_zoo(benchmark, record_experiment):
+    result = benchmark.pedantic(table1_accuracy, rounds=1, iterations=1)
+    record_experiment(result, "table1_accuracy.txt")
+    for row in result.rows:
+        ours_exact, ours_approx = row[5], row[6]
+        delta = abs(ours_approx - ours_exact)
+        assert delta <= 0.5, f"approximation cost {delta} points on {row[0]}"
+        # accuracy bands comparable to the paper's (all rows 55-100%)
+        assert ours_exact > 55.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_single_row_timing(benchmark):
+    entry = table1_model_zoo()[0]  # MLP / MNIST-like: the fastest row
+    result = benchmark.pedantic(
+        accuracy_with_softmax, args=(entry,), rounds=1, iterations=1
+    )
+    assert result["approx"] == pytest.approx(result["exact"], abs=0.5)

@@ -1,0 +1,15 @@
+"""Table II: accelerator parameters + the mapper's derived broadcast plan."""
+
+import pytest
+
+from repro.eval.experiments import table2_configs
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_configs(benchmark, record_experiment):
+    result = benchmark(table2_configs)
+    record_experiment(result, "table2_configs.txt")
+    # every Table II configuration broadcasts in a single cycle (§V-A)
+    assert all(result.column("Single-cycle"))
+    # 16 breakpoints => 2 beats => NoC at 2x the PE clock (§IV)
+    assert all(b == 2 for b in result.column("Beats"))

@@ -1,0 +1,27 @@
+"""Table IV: NOVA lane vs NACU / I-BERT hardware overhead."""
+
+import pytest
+
+from repro.eval.experiments import table4_related_work
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_related_work(benchmark, record_experiment):
+    result = benchmark.pedantic(table4_related_work, rounds=1, iterations=1)
+    record_experiment(result, "table4_related.txt")
+    rows = {row[0]: row for row in result.rows}
+    nova_area_model = rows["NOVA"][2]
+    # our modelled NOVA lane is smaller than both related approximators'
+    # published areas — the Table IV ordering
+    assert nova_area_model < rows["I-BERT"][3] < rows["NACU"][3]
+    # and within 2x of the paper's own NOVA lane figure
+    assert 0.5 < nova_area_model / rows["NOVA"][3] < 2.0
+    # the I-BERT lane is *computed* from its implemented integer pipeline
+    # and must land near its published area and above NOVA in both metrics
+    ibert_area_model = rows["I-BERT"][2]
+    assert 0.5 < ibert_area_model / rows["I-BERT"][3] < 2.0
+    assert ibert_area_model > nova_area_model
+    assert rows["I-BERT"][4] > rows["NOVA"][4]  # modelled power
+    # both implemented approximators hit I-BERT-grade exp accuracy
+    assert rows["I-BERT"][6] < 0.01
+    assert rows["NOVA"][6] < 0.01

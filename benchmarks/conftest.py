@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure, times the regeneration
+with pytest-benchmark, prints the rendered rows (so ``pytest benchmarks/
+--benchmark-only -s`` shows the paper-vs-model comparison) and writes them
+to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.report import render_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory for rendered experiment outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Render, print and persist an ExperimentResult."""
+
+    def _record(result: ExperimentResult, filename: str) -> str:
+        text = render_experiment(result)
+        (results_dir / filename).write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _record

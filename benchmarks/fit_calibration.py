@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate the CALIBRATION_FACTORS table (provenance script).
+
+Fits one multiplicative factor per (unit type, metric) as the geometric
+mean of paper/model over every Table III data point, exactly as described
+in repro/hw/calibration.py.  Run after changing any constant in
+repro/hw/tech.py and paste the output into CALIBRATION_FACTORS.
+
+Usage:  python benchmarks/fit_calibration.py
+"""
+
+from repro.hw.calibration import fit_calibration_factors
+
+
+def main() -> None:
+    factors = fit_calibration_factors()
+    print("CALIBRATION_FACTORS: dict[tuple[str, str], float] = {")
+    for (unit, metric), value in factors.items():
+        print(f'    ("{unit}", "{metric}"): {value:.4f},')
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

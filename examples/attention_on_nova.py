@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A complete attention layer on the NOVA overlay — the paper's title.
+
+Every non-linear operation of a multi-head self-attention layer (the
+softmax's exp, the normaliser's reciprocal) runs through the
+cycle-accurate NOVA hardware model, with the mapper switching function
+tables for free (they live on the wires, not in SRAM).  The example
+compares the hardware layer against the exact float layer and prints the
+vector-unit cycle/event accounting.
+
+Run:  python examples/attention_on_nova.py
+"""
+
+import numpy as np
+
+from repro.core.attention import NovaAttentionEngine
+
+
+def main() -> None:
+    # BERT-tiny-like geometry on a small overlay (2 routers x 16 lanes,
+    # the Jetson configuration of Table II).
+    seq, hidden, heads = 16, 32, 2
+    engine = NovaAttentionEngine(
+        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
+        hop_mm=0.5, seed=0,
+    )
+
+    rng = np.random.default_rng(42)
+    scale = 1.0 / np.sqrt(hidden)
+    x = rng.normal(0.0, 1.0, size=(seq, hidden))
+    weights = {
+        name: rng.normal(0.0, scale, size=(hidden, hidden))
+        for name in ("wq", "wk", "wv", "wo")
+    }
+
+    result = engine.attention_layer(x, n_heads=heads, **weights)
+    exact = engine.exact_attention_layer(x, n_heads=heads, **weights)
+
+    rel_err = np.max(np.abs(result.outputs - exact)) / np.max(np.abs(exact))
+    print(f"attention layer: seq={seq}, hidden={hidden}, heads={heads}")
+    print(f"max relative output error vs exact float layer: {rel_err:.4f}")
+    print(f"attention probabilities shape: {result.probabilities.shape}, "
+          f"rows sum to 1: {np.allclose(result.probabilities.sum(-1), 1.0)}")
+    print(f"non-linear queries issued: {result.nonlinear_queries}")
+    print(f"vector-unit busy cycles:   {result.vector_cycles} "
+          f"(one query per lane per PE cycle, {engine.n_lanes} lanes)")
+    print("hardware events:",
+          {k: v for k, v in sorted(result.counters.as_dict().items())
+           if k in ("mac_op", "wire_hop", "pair_capture", "beat_launch")})
+    print("\nno SRAM reads anywhere:",
+          result.counters.get("lut_read") == 0)
+    print("table switches (exp -> reciprocal) cost 0 reload cycles on "
+          "NOVA — the tables ride the NoC beats.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Energy study: BERT-family inference on a TPU-v4-like host (Fig. 8).
+
+Runs each of the paper's five attention benchmarks through the SCALE-Sim-
+style timing model, then prices the non-linear work under three vector
+units: NOVA, the per-neuron LUT and the per-core LUT.  Prints per-
+inference energy and the NOVA overhead relative to the host's own
+MAC+SRAM energy — the quantities behind the paper's "only 0.5% energy
+overhead" claim.
+
+Run:  python examples/bert_attention_energy.py [--seq-len 1024]
+"""
+
+import argparse
+
+from repro.accelerators import build_accelerator
+from repro.eval.experiments import (
+    HOST_MAC_PJ,
+    HOST_SRAM_WORD_PJ,
+    _inference_energy_mj,
+)
+from repro.eval.paper_data import TABLE2_CONFIGS
+from repro.utils.tables import format_table
+from repro.workloads import BERT_MODELS, bert_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seq-len", type=int, default=1024)
+    parser.add_argument(
+        "--accelerator", default="TPU v4-like", choices=sorted(TABLE2_CONFIGS)
+    )
+    args = parser.parse_args()
+
+    cfg = TABLE2_CONFIGS[args.accelerator]
+    host = build_accelerator(args.accelerator)
+    rows = []
+    for model_name in BERT_MODELS:
+        graph = bert_graph(model_name, seq_len=args.seq_len)
+        report = host.run(graph)
+        host_mj = (
+            report.total_macs * HOST_MAC_PJ
+            + (report.sram_reads + report.sram_writes) * HOST_SRAM_WORD_PJ
+        ) * 1e-9
+        nova = _inference_energy_mj(
+            "nova", cfg, report.total_cycles, report.nonlinear_cycles
+        )
+        pn = _inference_energy_mj(
+            "per_neuron_lut", cfg, report.total_cycles, report.nonlinear_cycles
+        )
+        pc = _inference_energy_mj(
+            "per_core_lut", cfg, report.total_cycles, report.nonlinear_cycles
+        )
+        rows.append(
+            [
+                model_name,
+                f"{report.runtime_ms:.2f}",
+                report.nonlinear_queries,
+                f"{nova * 1000:.3f}",
+                f"{pn * 1000:.3f}",
+                f"{pc * 1000:.3f}",
+                f"{100 * nova / host_mj:.2f}%",
+            ]
+        )
+    print(
+        format_table(
+            headers=[
+                "Benchmark", "Runtime (ms)", "NL queries",
+                "NOVA (uJ)", "Per-neuron LUT (uJ)", "Per-core LUT (uJ)",
+                "NOVA overhead vs host",
+            ],
+            rows=rows,
+            title=(
+                f"Per-inference approximator energy on {args.accelerator} "
+                f"(seq len {args.seq_len})"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Robustness study: single-bit faults on the NOVA link.
+
+NOVA replaces SRAM (which has a mature ECC story) with 257 long repeated
+wires, so a deployment question the paper leaves open is: what does one
+flipped wire do?  This example sweeps all 257 wire positions on beat 0 of
+a broadcast, classifies the blast radius of each flip, and shows the
+containment property: a coefficient-wire flip corrupts at most the lanes
+whose lookup address selects that (beat, pair); only the single tag wire
+can disturb the whole table (and it is *detected* — the affected lanes'
+capture-valid bits drop, so one parity bit over the tag would close the
+gap).
+
+Run:  python examples/fault_injection.py
+"""
+
+import numpy as np
+
+from repro import NovaVectorUnit, PiecewiseLinear, QuantizedPwl, get_function
+from repro.approx.bitpack import bit_field_of
+from repro.noc import LinkFault, affected_addresses
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    spec = get_function("sigmoid")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+    unit = NovaVectorUnit(table, n_routers=4, neurons_per_router=32,
+                          pe_frequency_ghz=1.0)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(*spec.domain, size=(4, 32))
+
+    by_kind = {"tag": [], "slope": [], "bias": []}
+    undetected_escapes = 0
+    for bit in range(257):
+        fault = LinkFault(beat_index=0, bit=bit)
+        result = unit.approximate_with_fault(x, fault)
+        kind, _pair = bit_field_of(bit)
+        by_kind[kind].append(result.n_corrupted)
+        # containment check: corrupted lanes must be statically predicted
+        addresses = table.segment_index(x)
+        victims = np.isin(addresses, list(affected_addresses(fault, 16, 2)))
+        if np.any(result.corrupted_lanes & ~victims):
+            undetected_escapes += 1
+
+    total_lanes = 4 * 32
+    rows = []
+    for kind, counts in by_kind.items():
+        rows.append(
+            [
+                kind,
+                len(counts),
+                f"{np.mean(counts):.1f}",
+                max(counts),
+                f"{np.mean(counts) / total_lanes * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            headers=["Wire kind", "Wires", "Mean corrupted lanes",
+                     "Worst case", "Mean blast radius"],
+            rows=rows,
+            title=f"Single-bit fault sweep over all 257 wires "
+                  f"({total_lanes} lanes, 16-entry table)",
+        )
+    )
+    print(f"\ncontainment violations (corruption outside the predicted "
+          f"victim set): {undetected_escapes}")
+
+    # The tag wire is the single point of table-wide disturbance — but it
+    # is self-announcing: victims' capture-valid bits drop.
+    tag_result = unit.approximate_with_fault(x, LinkFault(beat_index=0, bit=0))
+    print(f"tag-wire flip: {tag_result.n_corrupted} lanes disturbed, "
+          f"{int(np.count_nonzero(~tag_result.captured))} of them flagged "
+          "by the capture-valid mask (detectable without ECC)")
+
+
+if __name__ == "__main__":
+    main()

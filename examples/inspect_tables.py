@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Inspect a compiled PWL table: rows, wire image and shape.
+
+Shows what actually rides the NOVA link for a given function: the
+per-address slope/bias rows (what a LUT would store), the beat layout
+with tag interleaving, the 257-bit wire images, and an ASCII overlay of
+the function vs its approximation.
+
+Run:  python examples/inspect_tables.py [--function exp] [--segments 16]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import QuantizedPwl, get_function, train_nnlut_mlp
+from repro.approx.bitpack import encode_beat
+from repro.approx.quantize import pack_beats
+from repro.utils.tables import format_table
+
+
+def ascii_overlay(fn, approx, domain, rows=16, cols=64) -> str:
+    """Plot fn ('.') and its approximation ('#') on one character grid."""
+    xs = np.linspace(domain[0], domain[1], cols)
+    ys_fn = fn(xs)
+    ys_ap = np.asarray(approx(xs))
+    lo = min(ys_fn.min(), ys_ap.min())
+    hi = max(ys_fn.max(), ys_ap.max())
+    span = hi - lo or 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    for c in range(cols):
+        r_fn = int((1 - (ys_fn[c] - lo) / span) * (rows - 1))
+        r_ap = int((1 - (ys_ap[c] - lo) / span) * (rows - 1))
+        grid[r_fn][c] = "."
+        grid[r_ap][c] = "#" if r_ap != r_fn else "@"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{domain[0]:g}, {domain[1]:g}]   "
+                 f"'.' exact   '#' PWL   '@' overlapping")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--function", default="exp")
+    parser.add_argument("--segments", type=int, default=16)
+    args = parser.parse_args()
+
+    spec = get_function(args.function)
+    mlp = train_nnlut_mlp(spec, n_segments=args.segments, seed=0)
+    table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=args.segments))
+
+    rows = [
+        [addr, f"{lo:.4f}", f"{hi:.4f}", f"{slope:.5f}", f"{bias:.5f}"]
+        for addr, lo, hi, slope, bias in table.quantized_pwl.table_rows()
+    ]
+    print(format_table(
+        headers=["Address", "Segment low", "Segment high", "Slope", "Bias"],
+        rows=rows,
+        title=f"{args.function}: {args.segments}-entry table "
+              f"(what a LUT stores / NOVA broadcasts)",
+    ))
+
+    beats = pack_beats(table)
+    print(f"\nbeat layout ({len(beats)} beat(s), tag = address LSBs):")
+    for beat in beats:
+        addresses = [slot * len(beats) + beat.tag for slot in range(8)]
+        image = encode_beat(beat) if beat.tag in (0, 1) else None
+        image_str = f"0x{image:065x}" if image is not None else "(wide tag)"
+        print(f"  tag {beat.tag}: addresses {addresses}")
+        print(f"         wire image {image_str}")
+
+    print()
+    print(ascii_overlay(spec.fn, table.evaluate, spec.domain))
+    xs = np.linspace(*spec.domain, 4096)
+    print(f"\nmax |error| = {np.max(np.abs(table.evaluate(xs) - spec.fn(xs))):.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Table I end to end: train the model zoo, evaluate exact vs PWL softmax.
+
+Trains all six Table I model families on their synthetic stand-in
+datasets (about a minute), then evaluates each trained network twice with
+identical weights — exact softmax/GeLU vs the 16/8-breakpoint PWL
+approximations — and prints the Table I comparison.
+
+Run:  python examples/table1_accuracy.py [--max-models N]
+"""
+
+import argparse
+
+from repro.eval.experiments import table1_accuracy
+from repro.eval.report import render_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-models", type=int, default=None,
+        help="limit the zoo (default: all six rows)",
+    )
+    args = parser.parse_args()
+    result = table1_accuracy(max_models=args.max_models)
+    print(render_experiment(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+#!/usr/bin/env python
+from setuptools import setup
+setup()

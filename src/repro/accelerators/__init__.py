@@ -1,0 +1,33 @@
+"""Host accelerator models (the substrates NOVA overlays).
+
+:mod:`repro.accelerators.systolic` is a SCALE-Sim-style analytical timing
+model for systolic GEMM arrays (the paper runs its Fig. 8 benchmarks
+"in conjunction with the SCALE-Sim toolchain", §V-F); the TPU-like,
+REACT-like and NVDLA-like accelerators compose it (or a coarse-grained
+MAC-throughput model) with the Table II geometries, and report both GEMM
+runtime and the vector-unit duty cycle the energy model needs.
+"""
+
+from repro.accelerators.systolic import (
+    SystolicArray,
+    Dataflow,
+    GemmTiming,
+)
+from repro.accelerators.base import PerformanceReport, HostAccelerator
+from repro.accelerators.tpu import TpuLikeAccelerator
+from repro.accelerators.react import ReactAccelerator
+from repro.accelerators.nvdla import NvdlaAccelerator
+from repro.accelerators.configs import build_accelerator, ACCELERATOR_BUILDERS
+
+__all__ = [
+    "SystolicArray",
+    "Dataflow",
+    "GemmTiming",
+    "PerformanceReport",
+    "HostAccelerator",
+    "TpuLikeAccelerator",
+    "ReactAccelerator",
+    "NvdlaAccelerator",
+    "build_accelerator",
+    "ACCELERATOR_BUILDERS",
+]

@@ -1,0 +1,125 @@
+"""Common accelerator interface and performance reporting.
+
+Every host accelerator answers the same two questions about a workload:
+how long do the GEMMs take (tensor time) and how long does the vector
+unit spend answering non-linear queries (approximator time).  The energy
+evaluation (Fig. 8) prices those two durations under different
+approximator hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+
+__all__ = ["PerformanceReport", "HostAccelerator"]
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Timing result of one workload on one host accelerator.
+
+    ``nonlinear_cycles`` assumes the vector unit processes
+    ``n_vector_lanes`` queries per cycle (one per neuron lane, the
+    steady-state throughput of both NOVA and the LUT baselines).
+    ``total_cycles`` is the sequential sum — the paper's SCALE-Sim flow
+    likewise serialises tensor and vector phases; the duty-cycle metric is
+    what the energy model consumes, so overlap would only scale both.
+    """
+
+    workload: str
+    accelerator: str
+    frequency_ghz: float
+    gemm_cycles: int
+    nonlinear_cycles: int
+    total_macs: int
+    nonlinear_queries: int
+    sram_reads: int = 0
+    sram_writes: int = 0
+    per_op_cycles: tuple[tuple[str, int], ...] = field(default=())
+
+    @property
+    def total_cycles(self) -> int:
+        """Tensor + vector cycles."""
+        return self.gemm_cycles + self.nonlinear_cycles
+
+    @property
+    def runtime_ms(self) -> float:
+        """Wall-clock at the host clock."""
+        return self.total_cycles / (self.frequency_ghz * 1e6)
+
+    @property
+    def vector_duty_cycle(self) -> float:
+        """Fraction of runtime the vector unit is busy — the utilisation
+        the power model applies to the approximator's active energy."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.nonlinear_cycles / self.total_cycles
+
+    @property
+    def nonlinear_runtime_fraction(self) -> float:
+        """Share of runtime spent in non-linear ops (paper §I: up to ~40%
+        on attention-heavy models when the vector unit is underpowered)."""
+        return self.vector_duty_cycle
+
+
+class HostAccelerator:
+    """Base: schedules GEMMs (subclass hook) + vector-unit query timing."""
+
+    def __init__(
+        self,
+        name: str,
+        frequency_ghz: float,
+        n_vector_units: int,
+        neurons_per_unit: int,
+    ) -> None:
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency_ghz must be > 0, got {frequency_ghz}")
+        if n_vector_units < 1 or neurons_per_unit < 1:
+            raise ValueError("vector unit geometry must be >= 1")
+        self.name = name
+        self.frequency_ghz = frequency_ghz
+        self.n_vector_units = n_vector_units
+        self.neurons_per_unit = neurons_per_unit
+
+    @property
+    def n_vector_lanes(self) -> int:
+        """Total approximator lanes (queries retired per cycle)."""
+        return self.n_vector_units * self.neurons_per_unit
+
+    # ------------------------------------------------------------------
+    # Subclass hook.
+    # ------------------------------------------------------------------
+
+    def _gemm_cycles(self, ops: list[MatMulOp]) -> tuple[int, list[tuple[str, int]], int, int]:
+        """(total_cycles, per_op, sram_reads, sram_writes) for the GEMMs."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared scheduling.
+    # ------------------------------------------------------------------
+
+    def nonlinear_cycles(self, op: NonLinearOp) -> int:
+        """Cycles for one vector op at one query per lane per cycle."""
+        return -(-op.queries // self.n_vector_lanes)
+
+    def run(self, graph: OpGraph) -> PerformanceReport:
+        """Time a workload end to end."""
+        gemm_cycles, per_op, reads, writes = self._gemm_cycles(graph.matmuls)
+        vec_cycles = sum(self.nonlinear_cycles(op) for op in graph.nonlinear_ops)
+        per_op = per_op + [
+            (op.name, self.nonlinear_cycles(op)) for op in graph.nonlinear_ops
+        ]
+        return PerformanceReport(
+            workload=graph.name,
+            accelerator=self.name,
+            frequency_ghz=self.frequency_ghz,
+            gemm_cycles=gemm_cycles,
+            nonlinear_cycles=vec_cycles,
+            total_macs=graph.total_macs,
+            nonlinear_queries=graph.total_nonlinear_queries,
+            sram_reads=reads,
+            sram_writes=writes,
+            per_op_cycles=tuple(per_op),
+        )

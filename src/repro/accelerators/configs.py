@@ -1,0 +1,31 @@
+"""Accelerator factory keyed by the Table II configuration names."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.accelerators.base import HostAccelerator
+from repro.accelerators.nvdla import NvdlaAccelerator
+from repro.accelerators.react import ReactAccelerator
+from repro.accelerators.tpu import TpuLikeAccelerator
+
+__all__ = ["ACCELERATOR_BUILDERS", "build_accelerator"]
+
+ACCELERATOR_BUILDERS: dict[str, Callable[[], HostAccelerator]] = {
+    "REACT": lambda: ReactAccelerator(),
+    "TPU v3-like": lambda: TpuLikeAccelerator("TPU v3-like", n_mxus=4),
+    "TPU v4-like": lambda: TpuLikeAccelerator("TPU v4-like", n_mxus=8),
+    "Jetson Xavier NX": lambda: NvdlaAccelerator(),
+}
+
+
+def build_accelerator(name: str) -> HostAccelerator:
+    """Instantiate the host accelerator for a Table II configuration."""
+    try:
+        builder = ACCELERATOR_BUILDERS[name]
+    except KeyError:
+        available = ", ".join(sorted(ACCELERATOR_BUILDERS))
+        raise KeyError(
+            f"unknown accelerator {name!r}; available: {available}"
+        ) from None
+    return builder()

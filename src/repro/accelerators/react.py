@@ -1,0 +1,65 @@
+"""REACT-like host: a coarse-grained reconfigurable edge accelerator.
+
+REACT (Upadhyay et al., DAC 2022 — the paper's own prior work) is a
+heterogeneous wearable-class accelerator whose PEs exchange partial sums
+over a software-configured Weighted-Sum (WS) NoC.  For this evaluation
+what matters is its throughput envelope and geometry (Table II: 10 cores,
+256 output neurons each, 240 MHz, 768 kB on-chip): each core contributes
+``macs_per_core`` multiply-accumulates per cycle and cores work on
+independent output tiles, so GEMM time is compute-bound at the aggregate
+MAC rate with an efficiency factor for tile skew (fill/drain of the WS
+reduction chains).
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import HostAccelerator
+from repro.workloads.ops import MatMulOp
+
+__all__ = ["ReactAccelerator"]
+
+
+class ReactAccelerator(HostAccelerator):
+    """10 coarse-grained cores, 256 MAC lanes each, at 240 MHz."""
+
+    def __init__(
+        self,
+        name: str = "REACT",
+        n_cores: int = 10,
+        macs_per_core: int = 256,
+        frequency_ghz: float = 0.24,
+        efficiency: float = 0.85,
+    ) -> None:
+        super().__init__(
+            name=name,
+            frequency_ghz=frequency_ghz,
+            n_vector_units=n_cores,
+            neurons_per_unit=macs_per_core,
+        )
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.n_cores = n_cores
+        self.macs_per_core = macs_per_core
+        self.efficiency = efficiency
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Aggregate MAC throughput."""
+        return self.n_cores * self.macs_per_core
+
+    def _gemm_cycles(
+        self, ops: list[MatMulOp]
+    ) -> tuple[int, list[tuple[str, int]], int, int]:
+        per_op = []
+        total = 0
+        reads = 0
+        writes = 0
+        effective_rate = self.peak_macs_per_cycle * self.efficiency
+        for op in ops:
+            cycles = max(1, int(-(-op.macs // effective_rate)))
+            per_op.append((op.name, cycles))
+            total += cycles
+            # Operands stream once from the shared SRAM; outputs go back.
+            reads += op.m * op.k + op.k * op.n
+            writes += op.output_elements
+        return total, per_op, reads, writes

@@ -1,0 +1,59 @@
+"""TPU v3/v4-like hosts: systolic MXUs + NOVA/LUT vector units.
+
+"For TPU, we evaluated two configurations of the accelerator modeled
+after the TPU-v3 and TPU-v4 configurations where each MXU is a 128 x 128
+systolic array" (§V-A).  v3-like has 4 MXUs (4 NOVA routers in Table II),
+v4-like has 8.  GEMMs are distributed over the MXUs with longest-
+processing-time-first list scheduling (deterministic and within 4/3 of
+optimal makespan), matching how independent attention-head GEMMs spread
+across MXUs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.accelerators.base import HostAccelerator
+from repro.accelerators.systolic import Dataflow, SystolicArray
+from repro.workloads.ops import MatMulOp
+
+__all__ = ["TpuLikeAccelerator"]
+
+
+class TpuLikeAccelerator(HostAccelerator):
+    """An ``n_mxus`` x (128 x 128 weight-stationary) tensor core."""
+
+    def __init__(
+        self,
+        name: str,
+        n_mxus: int,
+        frequency_ghz: float = 1.4,
+        array_rows: int = 128,
+        array_cols: int = 128,
+        neurons_per_unit: int = 128,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+    ) -> None:
+        super().__init__(
+            name=name,
+            frequency_ghz=frequency_ghz,
+            n_vector_units=n_mxus,
+            neurons_per_unit=neurons_per_unit,
+        )
+        self.array = SystolicArray(rows=array_rows, cols=array_cols, dataflow=dataflow)
+        self.n_mxus = n_mxus
+
+    def _gemm_cycles(
+        self, ops: list[MatMulOp]
+    ) -> tuple[int, list[tuple[str, int]], int, int]:
+        timings = [self.array.gemm_timing(op) for op in ops]
+        per_op = [(t.op_name, t.cycles) for t in timings]
+        reads = sum(t.sram_reads for t in timings)
+        writes = sum(t.sram_writes for t in timings)
+        # LPT list scheduling across MXUs: longest first onto least-loaded.
+        loads = [0] * self.n_mxus
+        heapq.heapify(loads)
+        for t in sorted(timings, key=lambda t: t.cycles, reverse=True):
+            lightest = heapq.heappop(loads)
+            heapq.heappush(loads, lightest + t.cycles)
+        makespan = max(loads) if loads else 0
+        return makespan, per_op, reads, writes

@@ -1,0 +1,82 @@
+"""Non-linear function approximation substrate (NN-LUT methodology).
+
+NOVA does not invent a new approximation: it reuses NN-LUT's (Yu et al.,
+DAC 2022) piecewise-linear (PWL) approximation, where a small 2-layer MLP
+with ReLU hidden units is trained at compile time on the target non-linear
+function; the trained MLP *is* a piecewise-linear function whose kinks are
+the breakpoints and whose per-segment slope/bias pairs fill the table that
+NOVA broadcasts over the NoC (and that the LUT baselines store in SRAM).
+
+This package provides:
+
+* :mod:`repro.approx.functions` — reference implementations and a registry
+  of the non-linear operators that appear in attention models,
+* :mod:`repro.approx.pwl` — the :class:`PiecewiseLinear` representation
+  with comparator-style segment lookup,
+* :mod:`repro.approx.breakpoints` — breakpoint placement strategies,
+* :mod:`repro.approx.nnlut_mlp` — the NN-LUT compile-time MLP trainer and
+  its exact extraction into a PWL table,
+* :mod:`repro.approx.quantize` — fixed-point PWL tables and link-word
+  packing (16-bit words, 8 slope/bias pairs per 257-bit beat),
+* :mod:`repro.approx.softmax` — softmax / GeLU built on the elementwise
+  approximator, as the models in Table I use them,
+* :mod:`repro.approx.error` — approximation error metrics.
+"""
+
+from repro.approx.functions import FUNCTIONS, FunctionSpec, get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.breakpoints import uniform_cuts, curvature_cuts, quantile_cuts
+from repro.approx.nnlut_mlp import NnLutMlp, train_nnlut_mlp
+from repro.approx.quantize import QuantizedPwl, pack_beats, unpack_beats, LinkBeat
+from repro.approx.softmax import (
+    exact_softmax,
+    approx_softmax,
+    approx_gelu,
+    make_softmax_approximator,
+)
+from repro.approx.error import (
+    max_abs_error,
+    mean_abs_error,
+    rmse,
+    error_report,
+)
+from repro.approx.bitpack import (
+    encode_beat,
+    decode_beat,
+    LINK_WIDTH_BITS,
+)
+from repro.approx.ibert import ibert_exp, ibert_gelu, IntQuantizer
+from repro.approx.softermax import softermax, online_softmax, pow2_table
+
+__all__ = [
+    "FUNCTIONS",
+    "FunctionSpec",
+    "get_function",
+    "PiecewiseLinear",
+    "uniform_cuts",
+    "curvature_cuts",
+    "quantile_cuts",
+    "NnLutMlp",
+    "train_nnlut_mlp",
+    "QuantizedPwl",
+    "pack_beats",
+    "unpack_beats",
+    "LinkBeat",
+    "exact_softmax",
+    "approx_softmax",
+    "approx_gelu",
+    "make_softmax_approximator",
+    "max_abs_error",
+    "mean_abs_error",
+    "rmse",
+    "error_report",
+    "encode_beat",
+    "decode_beat",
+    "LINK_WIDTH_BITS",
+    "ibert_exp",
+    "ibert_gelu",
+    "IntQuantizer",
+    "softermax",
+    "online_softmax",
+    "pow2_table",
+]

@@ -1,0 +1,121 @@
+"""Bit-true encoding of link beats: the 257-bit wire image.
+
+The cycle simulator carries :class:`~repro.approx.quantize.LinkBeat`
+objects for speed; this module provides the *exact* bit-level encoding a
+SystemVerilog implementation would drive onto the 257 wires, so tests can
+pin down the wire format and the fault-injection model can flip real bit
+positions.
+
+Wire layout (LSB first), matching Fig. 3's "16 words (8 pairs of slope and
+bias values) along with their corresponding tag bit":
+
+    bit   0        : tag
+    bits  1..16    : pair 0 slope  (16-bit two's complement)
+    bits 17..32    : pair 0 bias
+    bits 33..48    : pair 1 slope
+    ...
+    bits 241..256  : pair 7 bias
+
+Total: 1 + 8 * 2 * 16 = 257 bits.
+"""
+
+from __future__ import annotations
+
+from repro.approx.quantize import LinkBeat, PAIRS_PER_BEAT
+
+__all__ = [
+    "encode_beat",
+    "decode_beat",
+    "flip_bit",
+    "bit_field_of",
+    "LINK_WIDTH_BITS",
+]
+
+#: Total wire count of the NOVA link (Fig. 3).
+LINK_WIDTH_BITS = 257
+
+_WORD_BITS = 16
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def _to_unsigned(value: int) -> int:
+    """16-bit two's-complement encoding of a signed raw code."""
+    if not -(1 << (_WORD_BITS - 1)) <= value < (1 << (_WORD_BITS - 1)):
+        raise ValueError(f"raw code {value} does not fit in {_WORD_BITS} bits")
+    return value & _WORD_MASK
+
+
+def _to_signed(value: int) -> int:
+    """Inverse of :func:`_to_unsigned`."""
+    if value & (1 << (_WORD_BITS - 1)):
+        return value - (1 << _WORD_BITS)
+    return value
+
+
+def encode_beat(beat: LinkBeat) -> int:
+    """The beat as a 257-bit integer (the wire image, LSB = tag).
+
+    Only single-tag-bit beats (tags 0/1, i.e. tables up to 16 entries) are
+    encodable on the paper's 257-bit link; wider tags would need more tag
+    wires.
+    """
+    if beat.tag not in (0, 1):
+        raise ValueError(
+            f"the 257-bit link carries a single tag bit; tag {beat.tag} "
+            "needs a wider link"
+        )
+    if beat.word_bits != _WORD_BITS:
+        raise ValueError(
+            f"wire image is defined for 16-bit words, got {beat.word_bits}"
+        )
+    image = beat.tag
+    offset = 1
+    for slope_raw, bias_raw in beat.pairs:
+        image |= _to_unsigned(int(slope_raw)) << offset
+        offset += _WORD_BITS
+        image |= _to_unsigned(int(bias_raw)) << offset
+        offset += _WORD_BITS
+    return image
+
+
+def decode_beat(image: int) -> LinkBeat:
+    """Reconstruct a :class:`LinkBeat` from its 257-bit wire image."""
+    if not 0 <= image < (1 << LINK_WIDTH_BITS):
+        raise ValueError(f"wire image must fit in {LINK_WIDTH_BITS} bits")
+    tag = image & 1
+    pairs = []
+    offset = 1
+    for _ in range(PAIRS_PER_BEAT):
+        slope = _to_signed((image >> offset) & _WORD_MASK)
+        offset += _WORD_BITS
+        bias = _to_signed((image >> offset) & _WORD_MASK)
+        offset += _WORD_BITS
+        pairs.append((slope, bias))
+    return LinkBeat(tag=tag, pairs=tuple(pairs), word_bits=_WORD_BITS)
+
+
+def flip_bit(image: int, bit: int) -> int:
+    """Flip one wire of the image (fault-injection primitive)."""
+    if not 0 <= bit < LINK_WIDTH_BITS:
+        raise ValueError(
+            f"bit must be in [0, {LINK_WIDTH_BITS}), got {bit}"
+        )
+    return image ^ (1 << bit)
+
+
+def bit_field_of(bit: int) -> tuple[str, int]:
+    """Which logical field a wire belongs to.
+
+    Returns ``("tag", 0)`` or ``("slope", pair)`` / ``("bias", pair)`` —
+    used by the fault-injection analysis to predict which lookup addresses
+    a flipped wire can corrupt.
+    """
+    if not 0 <= bit < LINK_WIDTH_BITS:
+        raise ValueError(
+            f"bit must be in [0, {LINK_WIDTH_BITS}), got {bit}"
+        )
+    if bit == 0:
+        return ("tag", 0)
+    word_index = (bit - 1) // _WORD_BITS
+    pair = word_index // 2
+    return ("slope" if word_index % 2 == 0 else "bias", pair)

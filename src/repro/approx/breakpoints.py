@@ -1,0 +1,106 @@
+"""Cut-point (breakpoint) placement strategies for PWL fitting.
+
+For a smooth function the L-infinity error of linear interpolation on a
+segment of width ``h`` is ``max|f''| * h^2 / 8``; equalising error across
+segments therefore places cut density proportional to ``sqrt(|f''|)``.
+:func:`curvature_cuts` implements that rule and is the default strategy —
+it is also what a trained NN-LUT MLP converges towards, which is why the
+direct fit and the MLP fit produce tables of comparable quality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["uniform_cuts", "curvature_cuts", "quantile_cuts"]
+
+
+def uniform_cuts(domain: tuple[float, float], n_segments: int) -> np.ndarray:
+    """``n_segments - 1`` equally spaced interior cuts."""
+    low, high = domain
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    return np.linspace(low, high, n_segments + 1)[1:-1]
+
+
+def curvature_cuts(
+    fn: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_segments: int,
+    n_samples: int = 8192,
+) -> np.ndarray:
+    """Error-equalising cuts: density proportional to sqrt(|f''|).
+
+    The second derivative is estimated by central differences on a dense
+    grid; the cumulative sqrt-curvature mass is then split into
+    ``n_segments`` equal chunks.  A small uniform floor keeps segments from
+    collapsing where the function is exactly linear (f'' == 0).
+    """
+    low, high = domain
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    if n_segments == 1:
+        return np.zeros(0)
+    xs = np.linspace(low, high, n_samples)
+    ys = fn(xs)
+    h = xs[1] - xs[0]
+    curvature = np.zeros_like(xs)
+    curvature[1:-1] = np.abs(ys[2:] - 2.0 * ys[1:-1] + ys[:-2]) / (h * h)
+    curvature[0] = curvature[1]
+    curvature[-1] = curvature[-2]
+    density = np.sqrt(curvature)
+    floor = max(np.max(density) * 1e-3, 1e-12)
+    density = density + floor
+    mass = np.cumsum(density)
+    mass = mass / mass[-1]
+    targets = np.arange(1, n_segments) / n_segments
+    cuts = np.interp(targets, mass, xs)
+    return _dedupe_cuts(cuts, domain)
+
+
+def quantile_cuts(
+    fn: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_segments: int,
+    n_samples: int = 8192,
+) -> np.ndarray:
+    """Cuts at equal quantiles of the output range (arc-in-y placement).
+
+    Useful for steep monotone functions (e.g. exp) where equal output steps
+    concentrate segments in the active region.
+    """
+    low, high = domain
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    if n_segments == 1:
+        return np.zeros(0)
+    xs = np.linspace(low, high, n_samples)
+    ys = fn(xs)
+    total_variation = np.cumsum(np.abs(np.diff(ys)))
+    if total_variation[-1] <= 0:
+        return uniform_cuts(domain, n_segments)
+    total_variation = total_variation / total_variation[-1]
+    targets = np.arange(1, n_segments) / n_segments
+    cuts = np.interp(targets, total_variation, xs[1:])
+    return _dedupe_cuts(cuts, domain)
+
+
+def _dedupe_cuts(cuts: np.ndarray, domain: tuple[float, float]) -> np.ndarray:
+    """Enforce strict monotonicity inside the open domain interval.
+
+    Numerical placement can produce coincident cuts on flat regions; nudge
+    them apart by the smallest spacing that keeps the table valid.
+    """
+    low, high = domain
+    span = high - low
+    min_gap = span * 1e-9
+    cuts = np.clip(np.sort(cuts), low + min_gap, high - min_gap)
+    for i in range(1, len(cuts)):
+        if cuts[i] <= cuts[i - 1]:
+            cuts[i] = cuts[i - 1] + min_gap
+    # If the nudging pushed past the domain edge, fall back to uniform.
+    if len(cuts) and cuts[-1] >= high:
+        return uniform_cuts(domain, len(cuts) + 1)
+    return cuts

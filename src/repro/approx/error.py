@@ -1,0 +1,64 @@
+"""Approximation error metrics.
+
+Used by the NN-LUT training loop (fit quality), by Table I (accuracy with
+approximated softmax) and by the property-based tests that bound the error
+of every shipped table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["max_abs_error", "mean_abs_error", "rmse", "error_report"]
+
+
+def max_abs_error(
+    approx: Callable[[np.ndarray], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_samples: int = 4096,
+) -> float:
+    """Maximum absolute error on a dense grid over ``domain``."""
+    xs = np.linspace(domain[0], domain[1], n_samples)
+    return float(np.max(np.abs(np.asarray(approx(xs)) - np.asarray(reference(xs)))))
+
+
+def mean_abs_error(
+    approx: Callable[[np.ndarray], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_samples: int = 4096,
+) -> float:
+    """Mean absolute error on a dense grid over ``domain``."""
+    xs = np.linspace(domain[0], domain[1], n_samples)
+    return float(np.mean(np.abs(np.asarray(approx(xs)) - np.asarray(reference(xs)))))
+
+
+def rmse(
+    approx: Callable[[np.ndarray], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_samples: int = 4096,
+) -> float:
+    """Root-mean-square error on a dense grid over ``domain``."""
+    xs = np.linspace(domain[0], domain[1], n_samples)
+    diff = np.asarray(approx(xs)) - np.asarray(reference(xs))
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def error_report(
+    approx: Callable[[np.ndarray], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray],
+    domain: tuple[float, float],
+    n_samples: int = 4096,
+) -> dict[str, float]:
+    """All three metrics at once (single sampling pass)."""
+    xs = np.linspace(domain[0], domain[1], n_samples)
+    diff = np.abs(np.asarray(approx(xs)) - np.asarray(reference(xs)))
+    return {
+        "max_abs_error": float(np.max(diff)),
+        "mean_abs_error": float(np.mean(diff)),
+        "rmse": float(np.sqrt(np.mean(diff * diff))),
+    }

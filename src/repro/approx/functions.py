@@ -1,0 +1,190 @@
+"""Reference implementations of the non-linear operators NOVA approximates.
+
+Each function comes with a default approximation domain.  The domains match
+how the operators are used inside attention layers:
+
+* ``exp`` is always evaluated on ``x - max(x) <= 0`` (the numerically
+  stable softmax), so its domain is one-sided.
+* ``gelu``/``silu`` inputs are post-GEMM activations, well covered by
+  ``[-8, 8]`` for the models evaluated in the paper.
+* ``reciprocal`` is used for the softmax normaliser ``1/sum``; the sum of
+  ``N`` exponentials lies in ``[1, N]``, rescaled into the domain below.
+
+The registry is keyed by name so experiments and the CLI can select
+functions by string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["FunctionSpec", "FUNCTIONS", "get_function"]
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+_INV_SQRT_2 = float(1.0 / np.sqrt(2.0))
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorised error function (Abramowitz & Stegun 7.1.26, |err|<1.5e-7).
+
+    scipy provides ``scipy.special.erf`` but the core library depends only
+    on numpy; the polynomial approximation is far below the 16-bit
+    fixed-point resolution of the datapath, so it is exact for our purposes.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def exp(x: np.ndarray) -> np.ndarray:
+    """Elementwise exponential."""
+    return np.exp(np.asarray(x, dtype=np.float64))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Exact GeLU: ``x * Phi(x)`` with the Gaussian CDF via erf."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + _erf(x * _INV_SQRT_2))
+
+
+def gelu_tanh(x: np.ndarray) -> np.ndarray:
+    """The tanh-based GeLU approximation used by BERT-family models."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x ** 3)))
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent."""
+    return np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * sigmoid(x)
+
+
+def erf(x: np.ndarray) -> np.ndarray:
+    """Elementwise error function."""
+    return _erf(x)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit (exactly piecewise linear already)."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def reciprocal(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``1/x`` (domain excludes zero)."""
+    return 1.0 / np.asarray(x, dtype=np.float64)
+
+
+def rsqrt(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``1/sqrt(x)`` as used by LayerNorm normalisation."""
+    return 1.0 / np.sqrt(np.asarray(x, dtype=np.float64))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.logaddexp(0.0, x)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A non-linear operator together with its approximation domain.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    fn:
+        Vectorised reference implementation (float64).
+    domain:
+        ``(low, high)`` interval over which PWL tables are fitted.  Inputs
+        outside the domain are clamped by the comparator front-end, which is
+        what the hardware's saturating comparison does.
+    description:
+        Where the operator appears in attention models.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    domain: tuple[float, float]
+    description: str
+
+    def __post_init__(self) -> None:
+        low, high = self.domain
+        if not low < high:
+            raise ValueError(f"domain must satisfy low < high, got {self.domain}")
+
+    def sample(self, n: int) -> np.ndarray:
+        """Evenly spaced sample grid over the domain (for fitting/metrics)."""
+        low, high = self.domain
+        return np.linspace(low, high, n)
+
+
+FUNCTIONS: dict[str, FunctionSpec] = {
+    spec.name: spec
+    for spec in [
+        FunctionSpec(
+            "exp",
+            exp,
+            (-16.0, 0.0),
+            "softmax numerator exp(x - max(x)); argument is always <= 0",
+        ),
+        FunctionSpec("gelu", gelu, (-8.0, 8.0), "FFN activation in BERT-family models"),
+        FunctionSpec(
+            "gelu_tanh",
+            gelu_tanh,
+            (-8.0, 8.0),
+            "tanh-form GeLU used by BERT/MobileBERT checkpoints",
+        ),
+        FunctionSpec("tanh", tanh, (-6.0, 6.0), "pooler activation / gelu_tanh inner op"),
+        FunctionSpec("sigmoid", sigmoid, (-8.0, 8.0), "gating activations"),
+        FunctionSpec("silu", silu, (-8.0, 8.0), "swish activation"),
+        FunctionSpec("erf", erf, (-4.0, 4.0), "exact-GeLU inner op"),
+        FunctionSpec("relu", relu, (-8.0, 8.0), "CNN activation (exactly PWL)"),
+        FunctionSpec(
+            "reciprocal",
+            reciprocal,
+            (0.0625, 16.0),
+            "softmax normaliser 1/sum after range reduction",
+        ),
+        FunctionSpec("rsqrt", rsqrt, (0.0625, 16.0), "LayerNorm 1/sqrt(var + eps)"),
+        FunctionSpec("softplus", softplus, (-8.0, 8.0), "smooth ReLU variant"),
+    ]
+}
+
+
+def get_function(name: str) -> FunctionSpec:
+    """Look up a registered function by name.
+
+    Raises ``KeyError`` with the list of available names on a miss, which is
+    the error users hit when they typo a function name on the CLI.
+    """
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        available = ", ".join(sorted(FUNCTIONS))
+        raise KeyError(f"unknown function {name!r}; available: {available}") from None

@@ -1,0 +1,137 @@
+"""I-BERT's integer-only approximations (Kim et al., 2021) — the related-
+work baseline of Table IV, implemented rather than carried as a citation.
+
+I-BERT replaces non-linear float ops with integer polynomials under
+scale-factor arithmetic: a quantised value is ``q * S`` for integer ``q``
+and float scale ``S``, and every kernel below consumes and produces
+``(q, S)`` pairs using only integer multiplies, adds and shifts — the
+"integer multipliers, adders, shifters and a divider [that] leads to
+higher overhead in comparison to NN-LUT" (paper §VI).
+
+Kernels (from the I-BERT paper):
+
+* **i-poly** — a second-order polynomial ``a*(q + qb)^2 + qc`` evaluated
+  in integers with the output scale folded into the coefficients.
+* **i-exp** — range reduction ``x = (-z) * ln2 + r`` with integer ``z``
+  and ``r in (-ln2, 0]``, then ``exp(x) ~= i-poly(r) >> z`` with the
+  exp-specific coefficients ``a=0.35815147, b=1.353, c=0.344``.
+* **i-erf / i-gelu** — the sign-symmetric clipped polynomial for erf
+  (``a=-0.2888, b=-1.769, c=1``), then
+  ``gelu(x) = x * (i-erf(x / sqrt(2)) + 1) / 2``.
+
+The implementations stay in numpy ``int64`` throughout; tests assert the
+integer-only property (every intermediate is an exact integer) and the
+approximation error bounds I-BERT reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IntQuantizer", "i_poly", "i_exp", "i_erf", "i_gelu"]
+
+_LN2 = float(np.log(2.0))
+
+
+@dataclass(frozen=True)
+class IntQuantizer:
+    """Symmetric uniform quantiser to ``bits``-bit integers."""
+
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+
+    def quantize(self, x: np.ndarray, max_abs: float) -> tuple[np.ndarray, float]:
+        """Return ``(q, scale)`` with ``x ~= q * scale``."""
+        if max_abs <= 0:
+            raise ValueError(f"max_abs must be > 0, got {max_abs}")
+        scale = max_abs / (2 ** (self.bits - 1) - 1)
+        q = np.clip(
+            np.rint(np.asarray(x, dtype=np.float64) / scale),
+            -(2 ** (self.bits - 1)),
+            2 ** (self.bits - 1) - 1,
+        ).astype(np.int64)
+        return q, scale
+
+
+def i_poly(
+    q: np.ndarray, scale: float, a: float, b: float, c: float
+) -> tuple[np.ndarray, float]:
+    """Integer evaluation of ``a * (x + b)^2 + c`` for ``x = q * scale``.
+
+    Following I-BERT Alg. 1: fold ``b`` and ``c`` into integers under the
+    input scale, square in int64, and emit the output scale ``a*scale^2``.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    q_b = int(np.floor(b / scale))
+    out_scale = a * scale * scale
+    q_c = int(np.floor(c / out_scale))
+    q_out = (q + q_b) ** 2 + q_c
+    return q_out, out_scale
+
+
+def i_exp(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """Integer-only ``exp`` for non-positive arguments (I-BERT Alg. 2).
+
+    ``x = q*scale <= 0`` is decomposed as ``x = -z*ln2 + r``; the
+    polynomial approximates ``exp(r)`` on ``(-ln2, 0]`` and the power of
+    two becomes a right shift.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    if np.any(q > 0):
+        raise ValueError("i_exp expects non-positive arguments (post max-"
+                         "subtraction softmax inputs)")
+    q_ln2 = max(int(np.floor(_LN2 / scale)), 1)
+    z = (-q) // q_ln2
+    q_r = q + z * q_ln2  # r = q_r * scale  in (-ln2, 0]
+    q_poly, poly_scale = i_poly(
+        q_r, scale, a=0.35815147, b=1.353, c=0.344
+    )
+    # exp(x) ~= poly(r) * 2^-z: keep integers by scaling the polynomial
+    # up by the largest z before shifting (I-BERT folds this into the
+    # requantisation; an exact >> z on the integer result is equivalent)
+    z = np.minimum(z, 62 - 30)  # guard the int64 headroom
+    q_out = q_poly >> z
+    return q_out, poly_scale
+
+
+def i_erf(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """Integer-only ``erf`` (I-BERT §3.4): clipped signed polynomial."""
+    q = np.asarray(q, dtype=np.int64)
+    a, b, c = -0.2888, -1.769, 1.0
+    sign = np.sign(q).astype(np.int64)
+    q_abs = np.abs(q)
+    q_clip_limit = int(np.floor(-b / scale))
+    q_clipped = np.minimum(q_abs, q_clip_limit)
+    q_poly, poly_scale = i_poly(q_clipped, scale, a=a, b=b, c=c)
+    return sign * q_poly, poly_scale
+
+
+def i_gelu(q: np.ndarray, scale: float) -> tuple[np.ndarray, float]:
+    """Integer-only GeLU: ``x * (erf(x / sqrt(2)) + 1) / 2``."""
+    q = np.asarray(q, dtype=np.int64)
+    q_erf, erf_scale = i_erf(q, scale / np.sqrt(2.0))
+    q_one = int(np.floor(1.0 / erf_scale))
+    q_out = q * (q_erf + q_one)
+    out_scale = scale * erf_scale / 2.0
+    return q_out, out_scale
+
+
+def ibert_exp(x: np.ndarray, bits: int = 16, max_abs: float = 16.0) -> np.ndarray:
+    """Float-in/float-out convenience wrapper around :func:`i_exp`."""
+    quantizer = IntQuantizer(bits=bits)
+    q, scale = quantizer.quantize(np.minimum(x, 0.0), max_abs)
+    q_out, out_scale = i_exp(q, scale)
+    return q_out.astype(np.float64) * out_scale
+
+
+def ibert_gelu(x: np.ndarray, bits: int = 16, max_abs: float = 8.0) -> np.ndarray:
+    """Float-in/float-out convenience wrapper around :func:`i_gelu`."""
+    quantizer = IntQuantizer(bits=bits)
+    q, scale = quantizer.quantize(x, max_abs)
+    q_out, out_scale = i_gelu(q, scale)
+    return q_out.astype(np.float64) * out_scale

@@ -1,0 +1,229 @@
+"""Piecewise-linear function representation with comparator-style lookup.
+
+Terminology note.  The paper (following NN-LUT) says "16 breakpoints" for a
+table of 16 slope/bias pairs.  A table with ``B`` pairs has ``B`` segments
+separated by ``B - 1`` interior cut points; the comparator bank compares the
+input against those cuts to produce the *lookup address* (segment index) in
+``[0, B)``.  Throughout this codebase ``n_segments`` is the number of
+slope/bias pairs (the paper's "breakpoints") and ``cuts`` are the interior
+boundaries the comparators hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.approx import breakpoints as bp
+
+__all__ = ["PiecewiseLinear"]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A piecewise-linear approximation ``y = slope[i] * x + bias[i]``.
+
+    Attributes
+    ----------
+    cuts:
+        Sorted interior segment boundaries, length ``n_segments - 1``.
+    slopes, biases:
+        Per-segment coefficients, length ``n_segments``.
+    domain:
+        ``(low, high)``; inputs are clamped into this interval before
+        lookup, modelling the saturating comparator front-end.
+    name:
+        Optional label (usually the approximated function's name).
+    """
+
+    cuts: np.ndarray
+    slopes: np.ndarray
+    biases: np.ndarray
+    domain: tuple[float, float]
+    name: str = field(default="pwl", compare=False)
+
+    def __post_init__(self) -> None:
+        cuts = np.asarray(self.cuts, dtype=np.float64)
+        slopes = np.asarray(self.slopes, dtype=np.float64)
+        biases = np.asarray(self.biases, dtype=np.float64)
+        object.__setattr__(self, "cuts", cuts)
+        object.__setattr__(self, "slopes", slopes)
+        object.__setattr__(self, "biases", biases)
+        if slopes.ndim != 1 or biases.ndim != 1 or cuts.ndim != 1:
+            raise ValueError("cuts, slopes and biases must be 1-D arrays")
+        if len(slopes) != len(biases):
+            raise ValueError(
+                f"slopes ({len(slopes)}) and biases ({len(biases)}) must have "
+                "the same length"
+            )
+        if len(cuts) != len(slopes) - 1:
+            raise ValueError(
+                f"expected {len(slopes) - 1} cuts for {len(slopes)} segments, "
+                f"got {len(cuts)}"
+            )
+        if len(slopes) < 1:
+            raise ValueError("need at least one segment")
+        if np.any(np.diff(cuts) <= 0):
+            raise ValueError("cuts must be strictly increasing")
+        low, high = self.domain
+        if not low < high:
+            raise ValueError(f"domain must satisfy low < high, got {self.domain}")
+        if len(cuts) and (cuts[0] <= low or cuts[-1] >= high):
+            raise ValueError("cuts must lie strictly inside the domain")
+
+    # ------------------------------------------------------------------
+    # Core evaluation (this is the golden model for the hardware).
+    # ------------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        """Number of slope/bias pairs (the paper's 'breakpoints')."""
+        return len(self.slopes)
+
+    def clamp(self, x: np.ndarray | float) -> np.ndarray:
+        """Clamp inputs into the approximation domain."""
+        low, high = self.domain
+        return np.clip(np.asarray(x, dtype=np.float64), low, high)
+
+    def segment_index(self, x: np.ndarray | float) -> np.ndarray:
+        """Comparator model: lookup address = number of cuts <= x.
+
+        This is exactly what the comparator bank in Fig. 3 computes: the
+        input is compared against every cut in parallel and the count of
+        asserted comparators is the segment index.
+        """
+        clamped = self.clamp(x)
+        return np.searchsorted(self.cuts, clamped, side="right").astype(np.int64)
+
+    def evaluate(self, x: np.ndarray | float) -> np.ndarray:
+        """Evaluate the approximation (functional golden model)."""
+        clamped = self.clamp(x)
+        idx = self.segment_index(clamped)
+        return self.slopes[idx] * clamped + self.biases[idx]
+
+    __call__ = evaluate
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        fn: Callable[[np.ndarray], np.ndarray],
+        domain: tuple[float, float],
+        n_segments: int,
+        strategy: str = "curvature",
+        method: str = "interpolate",
+        samples_per_segment: int = 64,
+        name: str = "pwl",
+    ) -> "PiecewiseLinear":
+        """Fit a PWL table directly to ``fn`` (non-MLP baseline fit).
+
+        Parameters
+        ----------
+        strategy:
+            Cut placement: ``"uniform"``, ``"curvature"`` (error-equalising,
+            the practical optimum for smooth functions) or ``"quantile"``.
+        method:
+            ``"interpolate"`` draws each segment through the function values
+            at its endpoints (continuous result); ``"lstsq"`` least-squares
+            fits each segment independently (lower RMSE, may be
+            discontinuous at cuts — as a hardware table is allowed to be).
+        """
+        if n_segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+        if strategy == "uniform":
+            cuts = bp.uniform_cuts(domain, n_segments)
+        elif strategy == "curvature":
+            cuts = bp.curvature_cuts(fn, domain, n_segments)
+        elif strategy == "quantile":
+            cuts = bp.quantile_cuts(fn, domain, n_segments)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return cls.from_cuts(
+            fn,
+            domain,
+            cuts,
+            method=method,
+            samples_per_segment=samples_per_segment,
+            name=name,
+        )
+
+    @classmethod
+    def from_cuts(
+        cls,
+        fn: Callable[[np.ndarray], np.ndarray],
+        domain: tuple[float, float],
+        cuts: np.ndarray,
+        method: str = "interpolate",
+        samples_per_segment: int = 64,
+        name: str = "pwl",
+    ) -> "PiecewiseLinear":
+        """Build a table from explicit cut positions."""
+        cuts = np.asarray(cuts, dtype=np.float64)
+        low, high = domain
+        edges = np.concatenate([[low], cuts, [high]])
+        n_segments = len(edges) - 1
+        slopes = np.empty(n_segments)
+        biases = np.empty(n_segments)
+        for i in range(n_segments):
+            a, b = edges[i], edges[i + 1]
+            if method == "interpolate":
+                ya, yb = float(fn(np.array([a]))[0]), float(fn(np.array([b]))[0])
+                slope = (yb - ya) / (b - a)
+                bias = ya - slope * a
+            elif method == "lstsq":
+                xs = np.linspace(a, b, samples_per_segment)
+                ys = fn(xs)
+                design = np.stack([xs, np.ones_like(xs)], axis=1)
+                (slope, bias), *_ = np.linalg.lstsq(design, ys, rcond=None)
+            else:
+                raise ValueError(f"unknown method {method!r}")
+            slopes[i] = slope
+            biases[i] = bias
+        return cls(cuts=cuts, slopes=slopes, biases=biases, domain=domain, name=name)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers.
+    # ------------------------------------------------------------------
+
+    def edges(self) -> np.ndarray:
+        """Segment edges including the domain endpoints."""
+        low, high = self.domain
+        return np.concatenate([[low], self.cuts, [high]])
+
+    def max_error(
+        self, fn: Callable[[np.ndarray], np.ndarray], n_samples: int = 4096
+    ) -> float:
+        """Max absolute error against ``fn`` on a dense grid over the domain."""
+        xs = np.linspace(self.domain[0], self.domain[1], n_samples)
+        return float(np.max(np.abs(self.evaluate(xs) - fn(xs))))
+
+    def continuity_gaps(self) -> np.ndarray:
+        """Jump magnitude of the approximation at every cut.
+
+        Zero everywhere for interpolation-constructed tables; may be
+        non-zero for least-squares or MLP-extracted tables (the hardware
+        does not require continuity).
+        """
+        if len(self.cuts) == 0:
+            return np.zeros(0)
+        left = self.slopes[:-1] * self.cuts + self.biases[:-1]
+        right = self.slopes[1:] * self.cuts + self.biases[1:]
+        return np.abs(right - left)
+
+    def table_rows(self) -> list[tuple[int, float, float, float, float]]:
+        """(address, segment_low, segment_high, slope, bias) per segment.
+
+        This is the content that the LUT baselines store in SRAM and that
+        NOVA serialises into link beats.
+        """
+        edges = self.edges()
+        return [
+            (i, float(edges[i]), float(edges[i + 1]), float(self.slopes[i]),
+             float(self.biases[i]))
+            for i in range(self.n_segments)
+        ]

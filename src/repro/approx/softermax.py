@@ -1,0 +1,108 @@
+"""Softermax (Stevens et al., DAC 2021) — the paper's other related work.
+
+Softermax makes softmax hardware-friendly by (i) replacing the
+exponential's base e with **base 2**, so the integer part of the argument
+becomes a plain shift and only ``2^r`` for the fractional remainder
+``r in (-1, 0]`` needs a (small) table, and (ii) computing the running
+max and normaliser **online** in one pass over the scores (the Milakov &
+Gimelshein online-normaliser scheme, the paper's [13]).
+
+Two operating modes:
+
+* ``scale_scores=True`` — scores are pre-multiplied by ``log2(e)``, which
+  makes base-2 softmax *mathematically identical* to softmax (one extra
+  constant multiplier in hardware);
+* ``scale_scores=False`` — raw base-2 (Softermax's deployed mode, which
+  absorbs the base change into training); the output is a genuinely
+  different, slightly softer distribution.
+
+Both modes use a NOVA-style PWL table for ``2^r`` — demonstrating that
+Softermax's table is just another function NOVA can broadcast — so the
+comparison between the two papers reduces to table contents, not
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.approx.pwl import PiecewiseLinear
+
+__all__ = [
+    "pow2_table",
+    "softermax",
+    "online_softmax",
+    "OnlineNormalizerState",
+]
+
+_LOG2_E = float(np.log2(np.e))
+
+
+def pow2_table(n_segments: int = 16) -> PiecewiseLinear:
+    """PWL table for ``2^r`` on the fractional-remainder domain (-1, 0]."""
+    return PiecewiseLinear.fit(
+        lambda r: np.exp2(r), (-1.0, 0.0), n_segments, name="pow2"
+    )
+
+
+def softermax(
+    x: np.ndarray,
+    axis: int = -1,
+    n_segments: int = 16,
+    scale_scores: bool = True,
+    pow2_approx: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Base-2 softmax with integer/fraction split and a PWL 2^r table."""
+    x = np.asarray(x, dtype=np.float64)
+    if scale_scores:
+        x = x * _LOG2_E
+    shifted = x - np.max(x, axis=axis, keepdims=True)  # <= 0
+    # split into integer shift and fractional table lookup
+    integer = np.floor(shifted)
+    fraction = shifted - integer  # in [0, 1); remap to (-1, 0] for the table
+    fraction = fraction - 1.0
+    integer = integer + 1.0
+    table = pow2_approx or pow2_table(n_segments).evaluate
+    mantissa = np.maximum(np.asarray(table(fraction), dtype=np.float64), 0.0)
+    # clamp very negative shifts: 2^-60 underflows any fixed-point anyway
+    powers = np.where(integer < -60, 0.0, np.ldexp(mantissa, integer.astype(int)))
+    denom = powers.sum(axis=axis, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    return powers / denom
+
+
+@dataclass
+class OnlineNormalizerState:
+    """Running (max, normaliser) pair of the online softmax pass."""
+
+    running_max: float = -np.inf
+    running_sum: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one score into the running statistics (one hardware op)."""
+        if value > self.running_max:
+            # rescale the accumulated sum to the new maximum
+            if np.isfinite(self.running_max):
+                self.running_sum *= np.exp(self.running_max - value)
+            self.running_max = value
+        self.running_sum += np.exp(value - self.running_max)
+
+
+def online_softmax(x: np.ndarray) -> np.ndarray:
+    """Single-pass softmax over a 1-D array (Milakov & Gimelshein).
+
+    Numerically identical to the stable two-pass softmax but touches each
+    score once for the statistics — the memory-traffic property Softermax
+    builds on.  The second loop producing the probabilities is the same
+    elementwise exp the vector unit computes.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"online_softmax expects a 1-D array, got {x.shape}")
+    state = OnlineNormalizerState()
+    for value in x:
+        state.update(float(value))
+    return np.exp(x - state.running_max) / state.running_sum

@@ -1,0 +1,136 @@
+"""Softmax and GeLU built on the elementwise PWL approximator.
+
+Table I of the paper evaluates models "with Approx. Softmax": the softmax's
+exponential is computed through the PWL approximator (this is the dense
+non-linear operation the vector unit accelerates), while the reduction
+(max, sum) runs on the accelerator's existing reduction hardware.  The
+normalising division can either be exact (the common NN-LUT deployment) or
+itself approximated through a PWL reciprocal with power-of-two range
+reduction; both paths are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.approx.pwl import PiecewiseLinear
+
+__all__ = [
+    "exact_softmax",
+    "approx_softmax",
+    "approx_gelu",
+    "SoftmaxApproximator",
+    "make_softmax_approximator",
+]
+
+
+def exact_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable reference softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def approx_softmax(
+    x: np.ndarray,
+    exp_approx: Callable[[np.ndarray], np.ndarray],
+    axis: int = -1,
+    recip_approx: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Softmax with the exponential (and optionally 1/sum) approximated.
+
+    Parameters
+    ----------
+    exp_approx:
+        Elementwise approximation of ``exp`` on a one-sided domain
+        (arguments are ``x - max(x) <= 0``).  Typically a
+        :class:`~repro.approx.pwl.PiecewiseLinear` or
+        :class:`~repro.approx.quantize.QuantizedPwl`.
+    recip_approx:
+        Optional approximation of ``1/s`` on ``[1, 2)``.  When given, the
+        normaliser is computed with power-of-two range reduction:
+        ``1/s = recip(m) * 2**-k`` for ``s = m * 2**k``; otherwise the
+        division is exact.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    numer = np.asarray(exp_approx(shifted), dtype=np.float64)
+    # A PWL exp table can dip slightly negative near its left edge; the
+    # hardware clamps at zero (probabilities cannot be negative).
+    numer = np.maximum(numer, 0.0)
+    denom = np.sum(numer, axis=axis, keepdims=True)
+    # Guard: if every element underflowed the table, fall back to uniform.
+    n = x.shape[axis]
+    denom_safe = np.where(denom <= 0, 1.0, denom)
+    if recip_approx is None:
+        result = numer / denom_safe
+    else:
+        mantissa, exponent = np.frexp(denom_safe)  # denom = mantissa * 2**exp
+        # frexp yields mantissa in [0.5, 1); shift to [1, 2) for the table.
+        mantissa = mantissa * 2.0
+        exponent = exponent - 1
+        inv = np.asarray(recip_approx(mantissa), dtype=np.float64)
+        result = numer * inv * np.ldexp(1.0, -exponent)
+    return np.where(denom <= 0, 1.0 / n, result)
+
+
+def approx_gelu(
+    x: np.ndarray, gelu_approx: Callable[[np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """GeLU through the elementwise approximator (direct PWL of GeLU)."""
+    return np.asarray(gelu_approx(x), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class SoftmaxApproximator:
+    """A ready-to-use approximate softmax with its underlying tables.
+
+    Produced by :func:`make_softmax_approximator`; carried around by the
+    ML evaluation harness so Table I can report which table sizes were
+    used per model.
+    """
+
+    exp_table: PiecewiseLinear
+    recip_table: PiecewiseLinear | None
+    n_segments: int
+
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        recip = self.recip_table.evaluate if self.recip_table is not None else None
+        return approx_softmax(x, self.exp_table.evaluate, axis=axis, recip_approx=recip)
+
+
+def make_softmax_approximator(
+    n_segments: int = 16,
+    use_mlp: bool = True,
+    approximate_reciprocal: bool = False,
+    seed: int = 0,
+) -> SoftmaxApproximator:
+    """Build an approximate softmax with ``n_segments``-entry tables.
+
+    ``use_mlp=True`` follows the paper's flow (NN-LUT MLP trained at
+    compile time, then extracted); ``use_mlp=False`` uses the direct
+    curvature-equalising fit, which is faster to construct and serves as
+    the ablation baseline for the MLP trainer.
+    """
+    exp_spec = get_function("exp")
+    if use_mlp:
+        mlp = train_nnlut_mlp(exp_spec, n_segments=n_segments, seed=seed)
+        exp_table = mlp.to_piecewise_linear(n_segments=n_segments)
+    else:
+        exp_table = PiecewiseLinear.fit(
+            exp_spec.fn, exp_spec.domain, n_segments, name="exp"
+        )
+    recip_table = None
+    if approximate_reciprocal:
+        recip_table = PiecewiseLinear.fit(
+            lambda s: 1.0 / s, (1.0, 2.0), n_segments, name="reciprocal"
+        )
+    return SoftmaxApproximator(
+        exp_table=exp_table, recip_table=recip_table, n_segments=n_segments
+    )

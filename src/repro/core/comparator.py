@@ -1,0 +1,64 @@
+"""Comparator bank: PE outputs -> lookup addresses.
+
+"The outputs from each PE are processed by the comparators to generate
+lookup addresses, which are then sent to the corresponding NOVA router"
+(paper §III-A.1).  One bank serves all the neurons mapped to a router; for
+a ``B``-entry table it holds the ``B - 1`` quantised cut values and
+produces, per neuron, the count of cuts <= x — the segment index.
+
+The same comparator bank fronts the LUT baselines (Fig. 2's walkthrough
+uses identical comparators to form LUT addresses), which is why the
+comparator hardware cost appears in both NOVA and baseline totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.approx.quantize import QuantizedPwl
+from repro.noc.stats import EventCounters
+
+__all__ = ["ComparatorBank"]
+
+
+@dataclass
+class ComparatorBank:
+    """Per-router comparator array holding the quantised cut points.
+
+    Attributes
+    ----------
+    table:
+        The quantised PWL table whose cuts are wired to the comparators.
+    n_neurons:
+        Number of PE output neurons this bank serves per PE cycle.
+    """
+
+    table: QuantizedPwl
+    n_neurons: int
+    counters: EventCounters = field(default_factory=EventCounters)
+
+    def __post_init__(self) -> None:
+        if self.n_neurons < 1:
+            raise ValueError(f"n_neurons must be >= 1, got {self.n_neurons}")
+
+    @property
+    def n_comparators(self) -> int:
+        """Comparators per neuron lane (one per interior cut)."""
+        return self.table.n_segments - 1
+
+    def lookup_addresses(self, x: np.ndarray) -> np.ndarray:
+        """Generate lookup addresses for one PE cycle's neuron outputs.
+
+        ``x`` has shape ``(n_neurons,)``; the result is the per-neuron
+        segment index in ``[0, n_segments)``.  Each call counts one
+        comparator-bank evaluation per neuron for the energy model.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_neurons,):
+            raise ValueError(
+                f"expected shape ({self.n_neurons},), got {x.shape}"
+            )
+        self.counters.add("comparator_eval", self.n_neurons)
+        return self.table.segment_index(x)

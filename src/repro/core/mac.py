@@ -1,0 +1,51 @@
+"""MAC lane: the final ``slope * x + bias`` stage.
+
+"After each core fetches the respective slope and bias values, they are
+sent to the MAC unit to perform the final approximation operation in the
+next cycle" (paper §III-A).  The MAC operates in the PE clock domain at
+one approximation per neuron per cycle; its datapath is the fixed-point
+multiply-accumulate of :meth:`repro.utils.fixed_point.FixedPointFormat.mac`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.stats import EventCounters
+from repro.utils.fixed_point import FixedPointFormat, Q5_10
+
+__all__ = ["MacLane"]
+
+
+@dataclass
+class MacLane:
+    """A bank of per-neuron MACs sharing one output format."""
+
+    n_neurons: int
+    output_format: FixedPointFormat = Q5_10
+    counters: EventCounters = field(default_factory=EventCounters)
+
+    def __post_init__(self) -> None:
+        if self.n_neurons < 1:
+            raise ValueError(f"n_neurons must be >= 1, got {self.n_neurons}")
+
+    def approximate(
+        self, slopes: np.ndarray, x: np.ndarray, biases: np.ndarray
+    ) -> np.ndarray:
+        """One PE cycle of MAC operations: ``slopes * x + biases``.
+
+        All arrays have shape ``(n_neurons,)``.  Counts one MAC op per
+        neuron for the energy model.
+        """
+        slopes = np.asarray(slopes, dtype=np.float64)
+        biases = np.asarray(biases, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        for name, arr in (("slopes", slopes), ("x", x), ("biases", biases)):
+            if arr.shape != (self.n_neurons,):
+                raise ValueError(
+                    f"{name} must have shape ({self.n_neurons},), got {arr.shape}"
+                )
+        self.counters.add("mac_op", self.n_neurons)
+        return self.output_format.mac(slopes, x, biases)

@@ -1,0 +1,167 @@
+"""NOVA mapper: compile-time scheduling of the broadcast (paper §IV).
+
+"The NOVA mapper schedules the cycle-by-cycle operation of NOVA NoC,
+ensuring correct functionality of the lookup operation across the NoC...
+Since NOVA's NoC broadcasts 8 pairs of slope and bias values in every
+clock cycle, it takes multiple cycles for the higher number of breakpoints
+... In order to keep the lookup latency to 1 cycle, NOVA's NoC runs at
+higher clock frequency that is set by the mapper at runtime."
+
+The mapper therefore decides, for a given table size and accelerator
+configuration:
+
+* the number of beats (``ceil(pairs / 8)`` rounded up to a power of two so
+  the tag is a plain bit-field of the address),
+* the NoC clock multiplier (equal to the beat count, so a full table
+  broadcast fits in one PE cycle),
+* whether the line can be traversed in a single NoC cycle at that clock
+  (the SMART repeated-wire budget, §V-A: 10 routers at 1 mm pitch at
+  1.5 GHz), and if not, which routers must buffer and how many extra
+  cycles the traversal takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.link import RepeatedWire
+from repro.utils.validation import check_positive
+
+__all__ = ["BroadcastSchedule", "NovaMapper"]
+
+
+@dataclass(frozen=True)
+class BroadcastSchedule:
+    """The mapper's output: the cycle-by-cycle broadcast plan.
+
+    Attributes
+    ----------
+    n_pairs:
+        Slope/bias pairs in the table (the paper's "breakpoints").
+    n_beats:
+        Link beats per broadcast (power of two).
+    clock_multiplier:
+        NoC clock frequency as a multiple of the PE clock (== n_beats).
+    pe_frequency_ghz, noc_frequency_ghz:
+        The two clock domains.
+    n_routers:
+        Routers on the line.
+    max_hops_per_cycle:
+        Routers a beat can ripple through in one NoC cycle at the NoC
+        clock (from the repeated-wire model).
+    traversal_segments:
+        ``ceil(n_routers / max_hops_per_cycle)`` — 1 means single-cycle
+        multi-hop broadcast, the paper's operating point.
+    buffering_routers:
+        Indices of routers whose east port latches (segment boundaries).
+    noc_cycles_per_lookup:
+        NoC cycles from first beat launch to the last router capturing the
+        last beat: ``n_beats + traversal_segments - 1`` (beats pipeline
+        behind one another).
+    fetch_pe_cycles:
+        The fetch stage's latency in PE cycles (1 at the paper's operating
+        point).
+    total_latency_pe_cycles:
+        Fetch plus the MAC cycle — matches the LUT baseline's 2 cycles
+        whenever the traversal is single-cycle.
+    """
+
+    n_pairs: int
+    n_beats: int
+    clock_multiplier: int
+    pe_frequency_ghz: float
+    noc_frequency_ghz: float
+    n_routers: int
+    max_hops_per_cycle: int
+    traversal_segments: int
+    buffering_routers: tuple[int, ...]
+    noc_cycles_per_lookup: int
+    fetch_pe_cycles: int
+    total_latency_pe_cycles: int
+
+    @property
+    def single_cycle_broadcast(self) -> bool:
+        """True when one beat reaches every router in one NoC cycle."""
+        return self.traversal_segments == 1
+
+
+class NovaMapper:
+    """Builds :class:`BroadcastSchedule` objects for a wire model."""
+
+    def __init__(
+        self, wire: RepeatedWire | None = None, pairs_per_beat: int = 8
+    ) -> None:
+        self.wire = wire if wire is not None else RepeatedWire()
+        if pairs_per_beat < 1:
+            raise ValueError(
+                f"pairs_per_beat must be >= 1, got {pairs_per_beat}"
+            )
+        self.pairs_per_beat = pairs_per_beat
+
+    def n_beats_for(self, n_pairs: int) -> int:
+        """Beats per broadcast: ceil(pairs/8) rounded up to a power of two.
+
+        The power-of-two rounding keeps the tag a contiguous low bit-field
+        of the lookup address (1 tag bit for 2 beats, as in the 257-bit
+        link of Fig. 3).
+        """
+        if n_pairs < 1:
+            raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+        needed = -(-n_pairs // self.pairs_per_beat)
+        n_beats = 1
+        while n_beats < needed:
+            n_beats *= 2
+        return n_beats
+
+    def schedule(
+        self,
+        n_routers: int,
+        pe_frequency_ghz: float,
+        n_pairs: int = 16,
+        hop_mm: float = 1.0,
+    ) -> BroadcastSchedule:
+        """Produce the broadcast plan for one accelerator configuration."""
+        if n_routers < 1:
+            raise ValueError(f"n_routers must be >= 1, got {n_routers}")
+        check_positive("pe_frequency_ghz", pe_frequency_ghz)
+        n_beats = self.n_beats_for(n_pairs)
+        multiplier = n_beats
+        noc_frequency = pe_frequency_ghz * multiplier
+        max_hops = self.wire.max_hops_per_cycle(noc_frequency, hop_mm)
+        if max_hops < 1:
+            raise ValueError(
+                f"NoC clock {noc_frequency:.3f} GHz is too fast for even one "
+                f"{hop_mm} mm hop; the configuration is infeasible"
+            )
+        segments = -(-n_routers // max_hops)
+        buffering = tuple(
+            i for i in range(max_hops, n_routers, max_hops)
+        )
+        noc_cycles = n_beats + segments - 1
+        fetch_pe_cycles = -(-noc_cycles // multiplier)
+        return BroadcastSchedule(
+            n_pairs=n_pairs,
+            n_beats=n_beats,
+            clock_multiplier=multiplier,
+            pe_frequency_ghz=pe_frequency_ghz,
+            noc_frequency_ghz=noc_frequency,
+            n_routers=n_routers,
+            max_hops_per_cycle=max_hops,
+            traversal_segments=segments,
+            buffering_routers=buffering,
+            noc_cycles_per_lookup=noc_cycles,
+            fetch_pe_cycles=fetch_pe_cycles,
+            total_latency_pe_cycles=fetch_pe_cycles + 1,
+        )
+
+    def max_single_cycle_routers(
+        self, pe_frequency_ghz: float, n_pairs: int = 16, hop_mm: float = 1.0
+    ) -> int:
+        """Longest line that still broadcasts in a single NoC cycle.
+
+        Reproduces the paper's scalability claim: at a 1.5 GHz NoC clock
+        and 1 mm hops the answer is 10 routers.
+        """
+        n_beats = self.n_beats_for(n_pairs)
+        noc_frequency = pe_frequency_ghz * n_beats
+        return self.wire.max_hops_per_cycle(noc_frequency, hop_mm)

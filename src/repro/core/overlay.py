@@ -1,0 +1,196 @@
+"""Overlay adapters: attaching NOVA to third-party accelerators (Fig. 5).
+
+NOVA is not a standalone accelerator — it is an overlay.  Each adapter
+models one of the paper's three integrations:
+
+* **REACT** (§III-B.1): the Weighted-Sum (WS) router is altered into a
+  6x2 input crossbar that steers a PE output either around NOVA (bypass)
+  or into the comparators; captured results re-enter through a 2x6 output
+  crossbar.  The crossbars are extra hardware the cost model charges to
+  the NOVA-on-REACT configuration.
+* **TPU-like systolic arrays** (§III-B.2): each 128x128 MXU's output edge
+  feeds a comparator bank directly; one NOVA router per MXU.
+* **NVDLA** (§III-B.3): each convolution core (16 output neurons) feeds
+  one NOVA router, replacing the LUT-based SDP's activation path.
+
+Functionally every adapter does the same thing — reshape the host
+accelerator's output stream into ``(n_routers, neurons_per_router)``
+batches, push them through the :class:`~repro.core.vector_unit.
+NovaVectorUnit`, and restore the host layout — plus, for REACT, the
+bypass steering.  What differs is the attachment metadata the hardware
+cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.vector_unit import NovaVectorUnit, StreamResult
+
+__all__ = [
+    "OverlayAttachment",
+    "AcceleratorOverlay",
+    "ReactOverlay",
+    "SystolicOverlay",
+    "NvdlaOverlay",
+]
+
+
+@dataclass(frozen=True)
+class CrossbarSpec:
+    """A crossbar added by an overlay (inputs x outputs, per router)."""
+
+    in_ports: int
+    out_ports: int
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if min(self.in_ports, self.out_ports, self.width_bits) < 1:
+            raise ValueError("crossbar dimensions must all be >= 1")
+
+
+@dataclass(frozen=True)
+class OverlayAttachment:
+    """What an overlay adds to the host, for the hardware cost model."""
+
+    host: str
+    n_routers: int
+    neurons_per_router: int
+    crossbars_per_router: tuple[CrossbarSpec, ...] = ()
+    notes: str = ""
+
+
+@dataclass
+class AcceleratorOverlay:
+    """Base adapter: host-layout stream -> NOVA -> host-layout stream."""
+
+    unit: NovaVectorUnit
+    host_name: str = "generic"
+    _bypass_count: int = field(default=0, repr=False)
+
+    def attachment(self) -> OverlayAttachment:
+        """Attachment metadata (subclasses add crossbars/notes)."""
+        return OverlayAttachment(
+            host=self.host_name,
+            n_routers=self.unit.n_routers,
+            neurons_per_router=self.unit.neurons_per_router,
+        )
+
+    def process(self, outputs: np.ndarray) -> StreamResult:
+        """Push host core outputs through NOVA.
+
+        ``outputs`` has shape ``(n_batches, n_routers, neurons_per_router)``
+        — one batch per host PE cycle.  A 2-D input is treated as a single
+        batch.
+        """
+        outputs = np.asarray(outputs, dtype=np.float64)
+        if outputs.ndim == 2:
+            outputs = outputs[None]
+        if outputs.ndim != 3:
+            raise ValueError(
+                "expected (n_batches, n_routers, neurons) or (n_routers, "
+                f"neurons), got shape {outputs.shape}"
+            )
+        return self.unit.run_stream(outputs)
+
+
+@dataclass
+class ReactOverlay(AcceleratorOverlay):
+    """NOVA on REACT's WS NoC, with bypass steering (Fig. 5a).
+
+    The altered WS router is a 6x2 input crossbar: one output bypasses
+    NOVA (tensor data that needs no non-linear op), the other feeds the
+    comparators.  ``process_with_bypass`` models that steering: values
+    flagged for bypass pass through unchanged and consume no approximator
+    events.
+    """
+
+    host_name: str = "REACT"
+
+    def attachment(self) -> OverlayAttachment:
+        return OverlayAttachment(
+            host=self.host_name,
+            n_routers=self.unit.n_routers,
+            neurons_per_router=self.unit.neurons_per_router,
+            crossbars_per_router=(
+                CrossbarSpec(in_ports=6, out_ports=2, width_bits=16),
+                CrossbarSpec(in_ports=2, out_ports=6, width_bits=16),
+            ),
+            notes="WS router altered to 6x2 input / 2x6 output crossbars",
+        )
+
+    def process_with_bypass(
+        self, outputs: np.ndarray, bypass_mask: np.ndarray
+    ) -> np.ndarray:
+        """One batch with per-neuron bypass.
+
+        ``bypass_mask`` is boolean with the same shape as ``outputs``
+        (n_routers, neurons); True entries skip the approximator (the
+        crossbar's bypass output) and appear unchanged in the result.
+        """
+        outputs = np.asarray(outputs, dtype=np.float64)
+        bypass_mask = np.asarray(bypass_mask, dtype=bool)
+        if bypass_mask.shape != outputs.shape:
+            raise ValueError(
+                f"bypass_mask shape {bypass_mask.shape} must match outputs "
+                f"shape {outputs.shape}"
+            )
+        approximated = self.unit.approximate(outputs).outputs
+        self._bypass_count += int(np.count_nonzero(bypass_mask))
+        return np.where(bypass_mask, outputs, approximated)
+
+    @property
+    def bypassed_values(self) -> int:
+        """Total values steered around NOVA so far."""
+        return self._bypass_count
+
+
+@dataclass
+class SystolicOverlay(AcceleratorOverlay):
+    """NOVA at the output edge of TPU-like MXUs (Fig. 5b).
+
+    One router per MXU; the MXU drains one ``systolic_cols``-wide row of
+    results per cycle, which is exactly one comparator-bank batch.
+    """
+
+    host_name: str = "TPU"
+    systolic_cols: int = 128
+
+    def attachment(self) -> OverlayAttachment:
+        return OverlayAttachment(
+            host=self.host_name,
+            n_routers=self.unit.n_routers,
+            neurons_per_router=self.unit.neurons_per_router,
+            notes=f"attached at the {self.systolic_cols}-wide MXU output edge",
+        )
+
+    def process_mxu_drain(self, result_matrix: np.ndarray) -> StreamResult:
+        """Approximate a full MXU result matrix, one row per cycle.
+
+        ``result_matrix`` has shape ``(n_rows, n_routers, systolic_cols)``:
+        each MXU drains row ``t`` of its output tile in cycle ``t``.
+        """
+        result_matrix = np.asarray(result_matrix, dtype=np.float64)
+        if result_matrix.ndim != 3 or result_matrix.shape[2] != self.systolic_cols:
+            raise ValueError(
+                f"expected (n_rows, n_routers, {self.systolic_cols}), got "
+                f"{result_matrix.shape}"
+            )
+        return self.process(result_matrix)
+
+
+@dataclass
+class NvdlaOverlay(AcceleratorOverlay):
+    """NOVA on NVDLA convolution cores, replacing the SDP path (Fig. 5c)."""
+
+    host_name: str = "NVDLA"
+
+    def attachment(self) -> OverlayAttachment:
+        return OverlayAttachment(
+            host=self.host_name,
+            n_routers=self.unit.n_routers,
+            neurons_per_router=self.unit.neurons_per_router,
+            notes="replaces the Single Data Processor (SDP) activation path",
+        )

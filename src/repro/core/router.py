@@ -1,0 +1,186 @@
+"""NOVA router microarchitecture (paper Fig. 3).
+
+Each router has two input and two output ports:
+
+* **east input** — beats arriving from the neighbouring router, into a
+  register bank (8 slope/bias pairs) with a bypass path;
+* **local input** — the lookup addresses from the PE's comparator bank;
+* **west output** — the asynchronous repeater towards the next router;
+* **local output** — the captured (slope, bias) pairs for the MAC lane.
+
+Per beat, the router matches the low bits of every pending lookup address
+against the beat tag; on a match it captures the pair at slot
+``address >> k`` (k = log2(number of beats)).  The router never arbitrates:
+the line topology's fixed route reduces flow control to the buffer/forward
+switch on the east port (paper §III-A.2).
+
+Lookups are keyed by a *broadcast id* so the pipelined stream (one lookup
+per PE cycle) stays correct even when the line is long enough that a
+broadcast takes multiple NoC cycles to reach the tail: a router simply
+matches each arriving beat against the lookup with the same id.  In the
+paper's single-cycle configurations there is never more than one
+outstanding lookup per router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.approx.quantize import LinkBeat
+from repro.noc.router import BufferedInputPort, PortState, RouterBase
+
+__all__ = ["NovaRouter"]
+
+
+@dataclass
+class _LookupJob:
+    """Capture state for one outstanding lookup on one router."""
+
+    addresses: np.ndarray
+    n_beats: int
+    slopes_raw: np.ndarray
+    biases_raw: np.ndarray
+    captured: np.ndarray
+
+    @property
+    def complete(self) -> bool:
+        return bool(np.all(self.captured))
+
+
+@dataclass
+class NovaRouter(RouterBase):
+    """One router on the NOVA line."""
+
+    n_neurons: int = 1
+    east_port: BufferedInputPort = field(default_factory=BufferedInputPort)
+    _jobs: dict[int, _LookupJob] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_neurons < 1:
+            raise ValueError(f"n_neurons must be >= 1, got {self.n_neurons}")
+
+    # ------------------------------------------------------------------
+    # Local input port: lookup addresses from the comparators.
+    # ------------------------------------------------------------------
+
+    def begin_lookup(
+        self, broadcast_id: int, addresses: np.ndarray, n_beats: int
+    ) -> None:
+        """Post one PE cycle's addresses and arm the capture logic."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.shape != (self.n_neurons,):
+            raise ValueError(
+                f"expected {self.n_neurons} addresses, got shape {addresses.shape}"
+            )
+        if n_beats < 1 or (n_beats & (n_beats - 1)):
+            raise ValueError(f"n_beats must be a power of two, got {n_beats}")
+        if broadcast_id in self._jobs:
+            raise RuntimeError(
+                f"router {self.router_id}: broadcast id {broadcast_id} already active"
+            )
+        if np.any(addresses < 0) or np.any(addresses >= n_beats * 8):
+            raise ValueError(
+                "lookup addresses out of range for the broadcast table"
+            )
+        self._jobs[broadcast_id] = _LookupJob(
+            addresses=addresses,
+            n_beats=n_beats,
+            slopes_raw=np.zeros(self.n_neurons, dtype=np.int64),
+            biases_raw=np.zeros(self.n_neurons, dtype=np.int64),
+            captured=np.zeros(self.n_neurons, dtype=bool),
+        )
+
+    # ------------------------------------------------------------------
+    # East input port: one beat per NoC cycle.
+    # ------------------------------------------------------------------
+
+    def observe_beat(self, broadcast_id: int, beat: LinkBeat) -> None:
+        """Tag-match one beat against the pending addresses of a lookup.
+
+        Every pending (uncaptured) address performs a tag comparison each
+        beat; the matching subset captures its slope/bias pair.  Event
+        counts: one ``tag_match`` per pending address, one ``pair_capture``
+        per matching address.
+        """
+        job = self._jobs.get(broadcast_id)
+        if job is None:
+            raise RuntimeError(
+                f"router {self.router_id}: beat for unknown broadcast "
+                f"{broadcast_id} (begin_lookup not called?)"
+            )
+        pending = ~job.captured
+        self.counters.add("tag_match", int(np.count_nonzero(pending)))
+        beat_sel = job.addresses & (job.n_beats - 1)
+        matches = pending & (beat_sel == beat.tag)
+        if not np.any(matches):
+            return
+        shift = (job.n_beats - 1).bit_length()
+        slots = job.addresses[matches] >> shift
+        pairs = np.asarray(beat.pairs, dtype=np.int64)  # (8, 2)
+        job.slopes_raw[matches] = pairs[slots, 0]
+        job.biases_raw[matches] = pairs[slots, 1]
+        job.captured[matches] = True
+        self.counters.add("pair_capture", int(np.count_nonzero(matches)))
+
+    # ------------------------------------------------------------------
+    # Local output port: captured pairs for the MAC lane.
+    # ------------------------------------------------------------------
+
+    def lookup_complete(self, broadcast_id: int) -> bool:
+        """True once every address of ``broadcast_id`` captured its pair."""
+        job = self._jobs.get(broadcast_id)
+        return job is not None and job.complete
+
+    def pop_pairs(self, broadcast_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Retire a completed lookup, returning (slopes_raw, biases_raw)."""
+        job = self._jobs.get(broadcast_id)
+        if job is None or not job.complete:
+            raise RuntimeError(
+                f"router {self.router_id}: lookup {broadcast_id} not complete"
+            )
+        del self._jobs[broadcast_id]
+        return job.slopes_raw, job.biases_raw
+
+    def pop_pairs_forced(
+        self, broadcast_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Retire a lookup even if incomplete (fault-injection path).
+
+        Returns ``(slopes_raw, biases_raw, captured_mask)``; uncaptured
+        lanes hold zeros and a False mask entry — the hardware analogue is
+        a lane whose match never fired, which a deployed design would flag
+        via a captured-valid bit exactly like this mask.
+        """
+        job = self._jobs.get(broadcast_id)
+        if job is None:
+            raise RuntimeError(
+                f"router {self.router_id}: no lookup {broadcast_id}"
+            )
+        del self._jobs[broadcast_id]
+        return job.slopes_raw, job.biases_raw, job.captured
+
+    @property
+    def outstanding_lookups(self) -> int:
+        """Number of lookups currently armed on this router."""
+        return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    # Buffer/forward control (multi-cycle traversal support).
+    # ------------------------------------------------------------------
+
+    def set_buffering(self, buffering: bool) -> None:
+        """Set the east-port register/bypass switch.
+
+        The mapper marks every ``max_hops_per_cycle``-th router as a
+        buffering router when the line is too long for single-cycle
+        traversal; all other routers forward combinationally.
+        """
+        self.east_port.state = PortState.BUFFER if buffering else PortState.FORWARD
+
+    @property
+    def buffering(self) -> bool:
+        """True when the east port latches rather than bypasses."""
+        return self.east_port.state is PortState.BUFFER

@@ -1,0 +1,166 @@
+"""Multi-function table scheduling: running whole models on one overlay.
+
+A transformer layer needs *several* non-linear functions in sequence —
+softmax's exp, the FFN's GeLU, LayerNorm's rsqrt (paper §IV trains one
+MLP per function).  The vector unit therefore has to switch tables
+between phases, and here the architectures genuinely differ:
+
+* **NOVA** rebroadcasts the active table every lookup anyway — the table
+  lives on the wires — so switching functions costs **zero cycles**: the
+  mapper simply feeds different beats.
+* **LUT baselines** hold the table in SRAM; switching means rewriting
+  every bank (16 entries x 2 words through a single write port = 32
+  write cycles per bank, banks in parallel), stalling the unit.
+
+This module schedules an op graph's non-linear phases onto a unit kind
+and accounts for those reload stalls — the ablation the paper's "NOVA
+mapper schedules the cycle-by-cycle operation" paragraph implies but
+never quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.approx.quantize import QuantizedPwl
+from repro.workloads.ops import NonLinearOp, OpGraph
+
+__all__ = [
+    "reconfiguration_cycles",
+    "PhaseRecord",
+    "ScheduleReport",
+    "TableScheduler",
+]
+
+
+def reconfiguration_cycles(unit_kind: str, n_segments: int) -> int:
+    """Stall cycles to switch the active function on one unit kind.
+
+    LUT banks are rewritten entry by entry through their (single) write
+    port: ``n_segments * 2`` word writes; all banks of a unit reload in
+    parallel (they hold identical contents).  NOVA needs none.
+    """
+    if unit_kind == "nova":
+        return 0
+    if unit_kind in ("per_neuron_lut", "per_core_lut", "nvdla_sdp"):
+        return n_segments * 2
+    raise ValueError(f"unknown unit kind {unit_kind!r}")
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One non-linear phase of the schedule."""
+
+    op_name: str
+    function: str
+    queries: int
+    compute_cycles: int
+    reload_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.reload_cycles
+
+
+@dataclass
+class ScheduleReport:
+    """Full schedule of a workload's non-linear phases on one unit."""
+
+    unit_kind: str
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    @property
+    def compute_cycles(self) -> int:
+        """Cycles spent actually approximating."""
+        return sum(p.compute_cycles for p in self.phases)
+
+    @property
+    def reload_cycles(self) -> int:
+        """Cycles lost to table rewrites (0 for NOVA)."""
+        return sum(p.reload_cycles for p in self.phases)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.reload_cycles
+
+    @property
+    def reload_overhead(self) -> float:
+        """Reload stalls as a fraction of useful compute."""
+        if self.compute_cycles == 0:
+            return 0.0
+        return self.reload_cycles / self.compute_cycles
+
+    def function_switches(self) -> int:
+        """How many times the active function changed."""
+        switches = 0
+        active = None
+        for phase in self.phases:
+            if phase.function != active:
+                if active is not None:
+                    switches += 1
+                active = phase.function
+        return switches
+
+
+class TableScheduler:
+    """Schedules an op graph's non-linear ops onto a vector unit kind."""
+
+    def __init__(
+        self,
+        tables: dict[str, QuantizedPwl],
+        n_lanes: int,
+        unit_kind: str = "nova",
+    ) -> None:
+        if n_lanes < 1:
+            raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+        if not tables:
+            raise ValueError("need at least one function table")
+        # validate the unit kind eagerly
+        reconfiguration_cycles(unit_kind, next(iter(tables.values())).n_segments)
+        self.tables = dict(tables)
+        self.n_lanes = n_lanes
+        self.unit_kind = unit_kind
+
+    def table_for(self, function: str) -> QuantizedPwl:
+        """The compiled table for ``function``.
+
+        ReLU needs no table (it is exactly PWL and typically folded into
+        the accumulator's clamp), so it maps to whatever is active.
+        """
+        try:
+            return self.tables[function]
+        except KeyError:
+            available = ", ".join(sorted(self.tables))
+            raise KeyError(
+                f"no table compiled for {function!r}; available: {available}"
+            ) from None
+
+    def schedule(self, graph: OpGraph) -> ScheduleReport:
+        """Walk the graph in order, charging reloads on function changes."""
+        report = ScheduleReport(unit_kind=self.unit_kind)
+        active_function: str | None = None
+        for op in graph.ops:
+            if not isinstance(op, NonLinearOp):
+                continue
+            if op.function == "relu":
+                # free on every unit: the MAC output clamp implements it
+                continue
+            table = self.table_for(op.function)
+            reload = 0
+            if op.function != active_function:
+                if active_function is not None:
+                    reload = reconfiguration_cycles(
+                        self.unit_kind, table.n_segments
+                    )
+                active_function = op.function
+            compute = -(-op.queries // self.n_lanes)
+            report.phases.append(
+                PhaseRecord(
+                    op_name=op.name,
+                    function=op.function,
+                    queries=op.queries,
+                    compute_cycles=compute,
+                    reload_cycles=reload,
+                )
+            )
+        return report

@@ -1,0 +1,270 @@
+"""The NOVA vector unit: comparators + line NoC + MAC lanes.
+
+This is the unit that overlays an accelerator (one router per core /
+MXU / convolution engine, ``n`` neurons per router) and replaces its
+LUT-based vector unit for non-linear operations.
+
+Two APIs:
+
+* :meth:`NovaVectorUnit.approximate` — one lookup across all routers,
+  cycle-accurate through the NoC, returning outputs **bit-exact** against
+  the :class:`~repro.approx.quantize.QuantizedPwl` golden model (this is
+  the property the functional-verification tests pin down, standing in
+  for the paper's Synopsys VCS verification).
+* :meth:`NovaVectorUnit.run_stream` — a pipelined stream of lookups (one
+  batch of PE outputs per PE cycle), reporting total PE cycles, per-batch
+  latency and the event counters the energy model consumes.
+
+Throughput: one approximation per neuron per PE cycle once the 2-stage
+pipeline (fetch, MAC) is full — identical to the LUT baseline, which is
+why the paper compares the two at equal latency and puts the entire
+difference in area/power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.quantize import QuantizedPwl, pack_beats
+from repro.core.comparator import ComparatorBank
+from repro.core.mac import MacLane
+from repro.core.mapper import BroadcastSchedule, NovaMapper
+from repro.core.noc import NovaNoc
+from repro.noc.link import RepeatedWire
+from repro.noc.stats import EventCounters
+from repro.noc.topology import LineTopology
+
+__all__ = ["NovaVectorUnit", "ApproximationResult", "StreamResult"]
+
+
+@dataclass(frozen=True)
+class ApproximationResult:
+    """One batch through the unit.
+
+    ``outputs`` has shape ``(n_routers, n_neurons)``; latency is in PE
+    cycles (fetch + MAC); ``noc_cycles`` is the broadcast duration.
+    """
+
+    outputs: np.ndarray
+    latency_pe_cycles: int
+    noc_cycles: int
+    counters: EventCounters
+
+
+@dataclass(frozen=True)
+class FaultedResult:
+    """Outcome of a fault-injected batch.
+
+    ``corrupted_lanes`` marks every lane whose output differs from the
+    fault-free golden model (including uncaptured lanes).
+    """
+
+    outputs: np.ndarray
+    captured: np.ndarray
+    corrupted_lanes: np.ndarray
+    golden: np.ndarray
+
+    @property
+    def n_corrupted(self) -> int:
+        """Number of lanes the fault actually disturbed."""
+        return int(np.count_nonzero(self.corrupted_lanes))
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """A pipelined stream of ``n_batches`` batches.
+
+    ``total_pe_cycles`` counts from the first batch entering the
+    comparators to the last MAC retiring; at the paper's operating point
+    it equals ``n_batches + 1`` (two-stage pipeline).
+    """
+
+    outputs: np.ndarray  # (n_batches, n_routers, n_neurons)
+    total_pe_cycles: int
+    batch_latency_pe_cycles: int
+    counters: EventCounters
+
+
+class NovaVectorUnit:
+    """A configured NOVA overlay instance."""
+
+    def __init__(
+        self,
+        table: QuantizedPwl,
+        n_routers: int,
+        neurons_per_router: int,
+        pe_frequency_ghz: float,
+        hop_mm: float = 1.0,
+        wire: RepeatedWire | None = None,
+        grid_shape: tuple[int, int] | None = None,
+    ) -> None:
+        if neurons_per_router < 1:
+            raise ValueError(
+                f"neurons_per_router must be >= 1, got {neurons_per_router}"
+            )
+        self.table = table
+        self.neurons_per_router = neurons_per_router
+        self.pe_frequency_ghz = pe_frequency_ghz
+        self.mapper = NovaMapper(wire=wire)
+        self.schedule: BroadcastSchedule = self.mapper.schedule(
+            n_routers=n_routers,
+            pe_frequency_ghz=pe_frequency_ghz,
+            n_pairs=table.n_segments,
+            hop_mm=hop_mm,
+        )
+        self.topology = LineTopology(
+            n_routers=n_routers, hop_mm=hop_mm, grid_shape=grid_shape
+        )
+        self.noc = NovaNoc(
+            topology=self.topology,
+            schedule=self.schedule,
+            neurons_per_router=neurons_per_router,
+        )
+        self.comparators = [
+            ComparatorBank(table=table, n_neurons=neurons_per_router)
+            for _ in range(n_routers)
+        ]
+        self.macs = [
+            MacLane(
+                n_neurons=neurons_per_router,
+                output_format=table.output_format,
+            )
+            for _ in range(n_routers)
+        ]
+        self.beats = pack_beats(table)
+
+    @property
+    def n_routers(self) -> int:
+        """Routers (= accelerator cores) served by this unit."""
+        return self.topology.n_routers
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        expected = (self.n_routers, self.neurons_per_router)
+        if x.shape != expected:
+            raise ValueError(f"expected input shape {expected}, got {x.shape}")
+        return x
+
+    def approximate(self, x: np.ndarray) -> ApproximationResult:
+        """Run one batch of PE outputs through the full pipeline."""
+        x = self._check_input(x)
+        addresses = np.stack(
+            [
+                self.comparators[r].lookup_addresses(x[r])
+                for r in range(self.n_routers)
+            ]
+        )
+        result = self.noc.broadcast(self.beats, addresses)
+        coeff_scale = self.table.coeff_format.scale
+        xq = self.table.input_format.quantize(
+            self.table.quantized_pwl.clamp(x)
+        )
+        outputs = np.stack(
+            [
+                self.macs[r].approximate(
+                    result.slopes_raw[r] * coeff_scale,
+                    xq[r],
+                    result.biases_raw[r] * coeff_scale,
+                )
+                for r in range(self.n_routers)
+            ]
+        )
+        lanes = self.n_routers * self.neurons_per_router
+        counters = result.counters.merge(
+            EventCounters(counts={"comparator_eval": lanes, "mac_op": lanes})
+        )
+        return ApproximationResult(
+            outputs=outputs,
+            latency_pe_cycles=self.schedule.total_latency_pe_cycles,
+            noc_cycles=result.noc_cycles,
+            counters=counters,
+        )
+
+    def run_stream(self, xs: np.ndarray) -> StreamResult:
+        """Run a pipelined stream of batches (one per PE cycle).
+
+        ``xs`` has shape ``(n_batches, n_routers, n_neurons)``.  The fetch
+        of batch ``t + 1`` overlaps the MAC of batch ``t``, so total time
+        is ``n_batches - 1 + total_latency_pe_cycles`` PE cycles.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 3:
+            raise ValueError(
+                f"expected (n_batches, n_routers, n_neurons), got shape {xs.shape}"
+            )
+        n_batches = xs.shape[0]
+        if n_batches < 1:
+            raise ValueError("need at least one batch")
+        before = self._lifetime_counters()
+        outputs = np.zeros_like(xs)
+        for t in range(n_batches):
+            outputs[t] = self.approximate(xs[t]).outputs
+        counters = self._lifetime_counters().diff(before)
+        latency = self.schedule.total_latency_pe_cycles
+        return StreamResult(
+            outputs=outputs,
+            total_pe_cycles=n_batches - 1 + latency,
+            batch_latency_pe_cycles=latency,
+            counters=counters,
+        )
+
+    def golden_reference(self, x: np.ndarray) -> np.ndarray:
+        """The bit-exact functional model the hardware must match."""
+        x = self._check_input(x)
+        return self.table.evaluate(x)
+
+    def approximate_with_fault(
+        self, x: np.ndarray, fault
+    ) -> "FaultedResult":
+        """One batch with a single-bit link fault injected.
+
+        ``fault`` is a :class:`repro.noc.faults.LinkFault`.  Returns the
+        (possibly corrupted) outputs plus the mask of lanes whose tag
+        match fired; uncaptured lanes carry a zero coefficient (slope 0,
+        bias 0 -> output 0), the natural hardware default.
+        """
+        x = self._check_input(x)
+        addresses = np.stack(
+            [
+                self.comparators[r].lookup_addresses(x[r])
+                for r in range(self.n_routers)
+            ]
+        )
+        result = self.noc.broadcast(self.beats, addresses, fault=fault)
+        coeff_scale = self.table.coeff_format.scale
+        xq = self.table.input_format.quantize(
+            self.table.quantized_pwl.clamp(x)
+        )
+        outputs = np.stack(
+            [
+                self.macs[r].approximate(
+                    result.slopes_raw[r] * coeff_scale,
+                    xq[r],
+                    result.biases_raw[r] * coeff_scale,
+                )
+                for r in range(self.n_routers)
+            ]
+        )
+        captured = (
+            result.captured
+            if result.captured is not None
+            else np.ones_like(outputs, dtype=bool)
+        )
+        golden = self.table.evaluate(x)
+        corrupted = (outputs != golden) | ~captured
+        return FaultedResult(
+            outputs=outputs,
+            captured=captured,
+            corrupted_lanes=corrupted,
+            golden=golden,
+        )
+
+    def _lifetime_counters(self) -> EventCounters:
+        merged = self.noc.merged_counters()
+        for bank in self.comparators:
+            merged = merged.merge(bank.counters)
+        for mac in self.macs:
+            merged = merged.merge(mac.counters)
+        return merged

@@ -1,0 +1,33 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Every experiment returns structured rows and can render itself as a text
+table; :mod:`repro.eval.paper_data` carries the paper's published values
+so reports always show model-vs-paper side by side.  The benchmark suite
+(``benchmarks/``) wraps these entry points in pytest-benchmark fixtures.
+"""
+
+from repro.eval import paper_data
+from repro.eval.experiments import (
+    table1_accuracy,
+    table2_configs,
+    table3_overhead,
+    table4_related_work,
+    fig6_area_scaling,
+    fig7_power_scaling,
+    fig8_energy,
+    scalability_sweep,
+)
+from repro.eval.report import render_experiment
+
+__all__ = [
+    "paper_data",
+    "table1_accuracy",
+    "table2_configs",
+    "table3_overhead",
+    "table4_related_work",
+    "fig6_area_scaling",
+    "fig7_power_scaling",
+    "fig8_energy",
+    "scalability_sweep",
+    "render_experiment",
+]

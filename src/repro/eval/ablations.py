@@ -1,0 +1,368 @@
+"""Ablation studies on the design choices behind the paper's numbers.
+
+The paper fixes several knobs (16 breakpoints, 16-bit fixed point, MLP
+fitting, 1 mm router pitch) with one-line justifications; these
+experiments sweep each knob so the trade-off behind the choice is
+visible.  Each returns an :class:`~repro.eval.experiments.
+ExperimentResult` and has a benchmark in ``benchmarks/bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.core.mapper import NovaMapper
+from repro.core.table_scheduler import TableScheduler
+from repro.eval.experiments import ExperimentResult
+from repro.hw.costs import nova_router_cost, per_core_lut_cost, per_neuron_lut_cost
+from repro.utils.fixed_point import FixedPointFormat, Q1_14, Q5_10, Q7_8
+from repro.workloads.bert import BERT_MODELS, bert_graph
+
+__all__ = [
+    "ablation_breakpoints",
+    "ablation_fit_strategy",
+    "ablation_fixed_point",
+    "ablation_table_reload",
+    "ablation_hop_length",
+    "ablation_utilization",
+    "related_softmax_comparison",
+    "ablation_topology",
+]
+
+
+def ablation_breakpoints() -> ExperimentResult:
+    """Table size sweep: approximation error vs broadcast cost.
+
+    Shows why the paper picks 16: at 8 the error is already small for
+    smooth activations, at 16 it is negligible, and beyond 16 every
+    doubling doubles the NoC clock multiplier for almost no accuracy.
+    """
+    result = ExperimentResult(
+        experiment_id="Ablation A1",
+        title="Breakpoint count: error vs broadcast cost",
+        headers=[
+            "Segments", "exp max err", "gelu max err", "Beats",
+            "NoC clock mult", "Energy/query (pJ)",
+        ],
+        notes=(
+            "Errors from MLP-trained tables (float, before quantisation); "
+            "energy from the 128-neuron NOVA router model at 1 GHz."
+        ),
+    )
+    mapper = NovaMapper()
+    for n_segments in (4, 8, 16, 32, 64):
+        errors = {}
+        for name in ("exp", "gelu"):
+            spec = get_function(name)
+            mlp = train_nnlut_mlp(spec, n_segments=n_segments, seed=0,
+                                  epochs=150)
+            pwl = mlp.to_piecewise_linear(n_segments=n_segments)
+            errors[name] = pwl.max_error(spec.fn)
+        n_beats = mapper.n_beats_for(n_segments)
+        cost = nova_router_cost(128, n_segments=n_segments,
+                                pe_frequency_ghz=1.0)
+        result.rows.append(
+            [
+                n_segments,
+                round(errors["exp"], 5),
+                round(errors["gelu"], 5),
+                n_beats,
+                n_beats,
+                round(cost.energy_per_query_pj(), 4),
+            ]
+        )
+    return result
+
+
+def ablation_fit_strategy() -> ExperimentResult:
+    """Fitting flow ablation: NN-LUT MLP vs direct fits at 16 segments."""
+    result = ExperimentResult(
+        experiment_id="Ablation A2",
+        title="Table fitting strategy: max |error| at 16 segments",
+        headers=[
+            "Function", "NN-LUT MLP", "Curvature interp", "Uniform interp",
+            "Curvature lstsq",
+        ],
+        notes=(
+            "The MLP flow (the paper's) matches the curvature-equalising "
+            "direct fit; uniform placement is the naive baseline it beats."
+        ),
+    )
+    for name in ("exp", "gelu", "tanh", "sigmoid"):
+        spec = get_function(name)
+        mlp_pwl = train_nnlut_mlp(
+            spec, n_segments=16, seed=0
+        ).to_piecewise_linear(16)
+        curvature = PiecewiseLinear.fit(spec.fn, spec.domain, 16,
+                                        strategy="curvature")
+        uniform = PiecewiseLinear.fit(spec.fn, spec.domain, 16,
+                                      strategy="uniform")
+        lstsq = PiecewiseLinear.fit(spec.fn, spec.domain, 16,
+                                    strategy="curvature", method="lstsq")
+        result.rows.append(
+            [
+                name,
+                round(mlp_pwl.max_error(spec.fn), 5),
+                round(curvature.max_error(spec.fn), 5),
+                round(uniform.max_error(spec.fn), 5),
+                round(lstsq.max_error(spec.fn), 5),
+            ]
+        )
+    return result
+
+
+def ablation_fixed_point() -> ExperimentResult:
+    """Word-format sweep: quantisation's contribution to total error."""
+    result = ExperimentResult(
+        experiment_id="Ablation A3",
+        title="Fixed-point format: total error of the quantised gelu table",
+        headers=[
+            "Format", "LSB", "PWL-only max err", "Quantised max err",
+            "Quantisation share",
+        ],
+        notes=(
+            "16 segments; 'share' is the error added by quantisation on "
+            "top of the PWL error. Q5.10 (the default) leaves the PWL "
+            "error dominant, which is why 16-bit words suffice (Fig. 3)."
+        ),
+    )
+    spec = get_function("gelu")
+    pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+    pwl_err = pwl.max_error(spec.fn)
+    xs = np.linspace(*spec.domain, 4096)
+    # formats whose range covers the gelu domain (+-8); narrower formats
+    # are rejected by QuantizedPwl (saturated cuts would collapse)
+    for fmt in (Q7_8, Q5_10, FixedPointFormat(4, 11), FixedPointFormat(3, 12)):
+        table = QuantizedPwl(pwl, input_format=fmt, coeff_format=fmt,
+                             output_format=fmt)
+        q_err = float(np.max(np.abs(table.evaluate(xs) - spec.fn(xs))))
+        result.rows.append(
+            [
+                str(fmt),
+                fmt.scale,
+                round(pwl_err, 5),
+                round(q_err, 5),
+                f"{max(q_err - pwl_err, 0.0) / q_err * 100:.1f}%",
+            ]
+        )
+    return result
+
+
+def _phase_tables(n_segments: int = 16) -> dict[str, QuantizedPwl]:
+    tables = {}
+    for name in ("exp", "gelu", "rsqrt", "reciprocal"):
+        spec = get_function(name)
+        tables[name] = QuantizedPwl(
+            PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+        )
+    return tables
+
+
+def ablation_table_reload() -> ExperimentResult:
+    """Function-switching cost: NOVA's tables-on-wires vs SRAM reloads.
+
+    The extension study the paper's mapper section implies: every encoder
+    layer switches exp -> reciprocal -> rsqrt -> gelu -> rsqrt, and a LUT
+    unit rewrites its banks at each switch while NOVA pays nothing.
+    """
+    result = ExperimentResult(
+        experiment_id="Ablation A4",
+        title="Table-reload overhead per inference (vector-unit cycles)",
+        headers=[
+            "Benchmark", "Seq len", "Compute cycles", "LUT reload cycles",
+            "LUT overhead", "NOVA reload cycles",
+        ],
+        notes=(
+            "1024 lanes (TPU v4-like); reload = 32 write cycles per "
+            "switch (16 entries x 2 words, single write port)."
+        ),
+    )
+    tables = _phase_tables()
+    nova = TableScheduler(tables, n_lanes=1024, unit_kind="nova")
+    lut = TableScheduler(tables, n_lanes=1024, unit_kind="per_neuron_lut")
+    for model_name in BERT_MODELS:
+        for seq_len in (128, 1024):
+            graph = bert_graph(model_name, seq_len=seq_len)
+            nova_report = nova.schedule(graph)
+            lut_report = lut.schedule(graph)
+            result.rows.append(
+                [
+                    model_name,
+                    seq_len,
+                    lut_report.compute_cycles,
+                    lut_report.reload_cycles,
+                    f"{lut_report.reload_overhead * 100:.2f}%",
+                    nova_report.reload_cycles,
+                ]
+            )
+    return result
+
+
+def ablation_hop_length() -> ExperimentResult:
+    """Router-pitch sweep: the wire term in NOVA's cost.
+
+    NOVA trades SRAM for wires, so its cost is the only one sensitive to
+    floorplan pitch; this sweep bounds how far the Table III conclusions
+    travel to bigger/smaller hosts.
+    """
+    result = ExperimentResult(
+        experiment_id="Ablation A5",
+        title="NOVA router cost vs hop length (128 neurons, 1 GHz)",
+        headers=[
+            "Hop (mm)", "Area (um2)", "Wire share", "Power (mW)",
+            "Still beats per-neuron LUT",
+        ],
+        notes="per-neuron LUT reference is pitch-independent.",
+    )
+    pn = per_neuron_lut_cost(128, pe_frequency_ghz=1.0)
+    for hop_mm in (0.25, 0.5, 1.0, 2.0, 4.0):
+        nova = nova_router_cost(128, pe_frequency_ghz=1.0, hop_mm=hop_mm)
+        wire_share = nova.area_breakdown["link_wires"] / nova.area_um2
+        result.rows.append(
+            [
+                hop_mm,
+                round(nova.area_um2),
+                f"{wire_share * 100:.1f}%",
+                round(nova.power_mw(), 3),
+                nova.area_um2 < pn.area_um2 and nova.power_mw() < pn.power_mw(),
+            ]
+        )
+    return result
+
+
+def ablation_topology() -> ExperimentResult:
+    """Broadcast topology: the quantitative case for the paper's line.
+
+    §III-A asserts the line topology "minimizes the complexity of the
+    NoC"; over a row of cores the line is also *wire-optimal* and within
+    2x of the tree's critical path — so the choice costs nothing.
+    """
+    from repro.noc.broadcast_topologies import compare_topologies
+
+    result = ExperimentResult(
+        experiment_id="Ablation A8",
+        title="Broadcast topology over a row of routers (10 @ 1 mm pitch)",
+        headers=[
+            "Topology", "Total wire (mm)", "Critical path (mm)",
+            "Critical delay (ps)", "Driver banks", "Router input ports",
+        ],
+        notes=(
+            "Wire area/energy scale with total wire (257 bits each); the "
+            "line minimises it while keeping a single input port per "
+            "router — trees only pay off for 2-D router spreads."
+        ),
+    )
+    for topo in compare_topologies(10, pitch_mm=1.0):
+        result.rows.append(
+            [
+                topo.name,
+                round(topo.total_wire_mm, 2),
+                round(topo.critical_path_mm, 2),
+                round(topo.critical_delay_ps(), 1),
+                topo.n_drivers,
+                topo.router_ports,
+            ]
+        )
+    return result
+
+
+def related_softmax_comparison() -> ExperimentResult:
+    """All three *implemented* softmax approaches on one metric suite.
+
+    NOVA's NN-LUT PWL flow, I-BERT's integer-only i-exp and Softermax's
+    base-2 scheme are all implemented in this repository; this experiment
+    runs them on identical attention-logit traces and reports probability
+    error and argmax fidelity — the algorithmic side of the paper's
+    related-work section, computed instead of cited.
+    """
+    from repro.approx.ibert import ibert_exp
+    from repro.approx.softermax import softermax
+    from repro.approx.softmax import approx_softmax, exact_softmax
+    from repro.workloads.traces import attention_logit_trace
+
+    logits = attention_logit_trace(64 * 256, seq_len=64, seed=0).reshape(256, 64)
+    exact = exact_softmax(logits, axis=-1)
+
+    spec = get_function("exp")
+    nova_table = train_nnlut_mlp(spec, n_segments=16, seed=0)
+    nova_pwl = nova_table.to_piecewise_linear(16)
+
+    candidates = {
+        "NOVA (PWL-16)": approx_softmax(logits, nova_pwl.evaluate, axis=-1),
+        "I-BERT (i-exp)": approx_softmax(logits, ibert_exp, axis=-1),
+        "Softermax (scaled)": softermax(logits, scale_scores=True),
+        "Softermax (raw base-2)": softermax(logits, scale_scores=False),
+    }
+    result = ExperimentResult(
+        experiment_id="Ablation A7",
+        title="Implemented related-work softmax schemes on attention logits",
+        headers=[
+            "Scheme", "Max |p err|", "Mean |p err|", "Argmax match %",
+        ],
+        notes=(
+            "256 rows of 64-wide post-max attention logits; raw base-2 "
+            "Softermax computes an intentionally softer distribution "
+            "(its deployments retrain), hence its larger 'error' vs true "
+            "softmax with perfect argmax fidelity."
+        ),
+    )
+    for name, probs in candidates.items():
+        err = np.abs(probs - exact)
+        match = float(
+            np.mean(probs.argmax(axis=-1) == exact.argmax(axis=-1)) * 100
+        )
+        result.rows.append(
+            [name, round(float(err.max()), 5), round(float(err.mean()), 6),
+             round(match, 2)]
+        )
+    return result
+
+
+def ablation_utilization() -> ExperimentResult:
+    """Duty-cycle sweep: the clocked-vs-active power split made visible.
+
+    Two opposite regimes at the Jetson geometry (16 lanes, 1.4 GHz):
+
+    * **datapath-only LUT units** (per-core): their advantage-free SRAM
+      reads scale with work, so the NOVA gap *grows* with duty cycle;
+    * **engine-style units** (NVDLA's SDP, with always-on control and
+      sequencing): the gap is *widest at low duty* — exactly the regime
+      an NVDLA conv core's rare activation emissions create, which is
+      the mechanism behind the paper's 37.8x (§V-E).
+    """
+    from repro.hw.costs import sdp_cost
+
+    result = ExperimentResult(
+        experiment_id="Ablation A6",
+        title="Power vs vector-unit duty cycle (16 lanes @ 1.4 GHz, mW)",
+        headers=[
+            "Utilization", "NOVA", "Per-core LUT", "NVDLA SDP",
+            "Per-core / NOVA", "SDP / NOVA",
+        ],
+        notes=(
+            "leakage included; LUT/SDP clock trees and SDP control toggle "
+            "every cycle regardless of work."
+        ),
+    )
+    nova = nova_router_cost(16, pe_frequency_ghz=1.4, hop_mm=0.5)
+    pc = per_core_lut_cost(16, pe_frequency_ghz=1.4)
+    sdp = sdp_cost(16, pe_frequency_ghz=1.4)
+    for utilization in (0.02, 0.1, 0.25, 0.5, 1.0):
+        p_nova = nova.power_mw(utilization)
+        p_pc = pc.power_mw(utilization)
+        p_sdp = sdp.power_mw(utilization)
+        result.rows.append(
+            [
+                utilization,
+                round(p_nova, 3),
+                round(p_pc, 3),
+                round(p_sdp, 3),
+                f"{p_pc / p_nova:.2f}x",
+                f"{p_sdp / p_nova:.2f}x",
+            ]
+        )
+    return result

@@ -1,0 +1,80 @@
+"""ASCII charts for the figure-shaped experiments.
+
+Fig. 6/7/8 are plots in the paper; the benchmark harness renders their
+series as horizontal bar charts next to the numeric tables so the *shape*
+claims (who grows how fast, where curves cross) are visible in a terminal
+without matplotlib.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "multi_series_chart"]
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per (label, value), scaled to ``width`` chars."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if not values:
+        return title or ""
+    peak = max(float(v) for v in values)
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(float(value) / peak * width))
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {float(value):g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def multi_series_chart(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Grouped bar chart: one block per x value, one bar per series.
+
+    All series share one scale so relative magnitudes (e.g. NOVA vs the
+    LUT baselines at each neuron count) are comparable.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+    peak = max(
+        float(v) for values in series.values() for v in values
+    )
+    if peak <= 0:
+        raise ValueError("chart needs at least one positive value")
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, x in enumerate(x_labels):
+        lines.append(f"{x}:")
+        for name, values in series.items():
+            value = float(values[i])
+            bar = "#" * max(1, round(value / peak * width))
+            lines.append(
+                f"  {name.ljust(name_width)} | {bar} {value:g}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Installed as ``nova-repro``::
+
+    nova-repro table2            # one experiment
+    nova-repro all               # every paper table/figure except Table I
+    nova-repro all --with-table1 # the full paper evaluation
+    nova-repro ablations         # the A1-A6 design-knob studies
+    nova-repro sweeps            # the S1-S2 extension sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.eval import ablations, experiments, sweeps
+from repro.eval.report import render_experiment
+
+__all__ = ["main"]
+
+#: The paper's own tables and figures.
+PAPER_EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
+    "table1": experiments.table1_accuracy,
+    "table2": experiments.table2_configs,
+    "table3": experiments.table3_overhead,
+    "table4": experiments.table4_related_work,
+    "fig6": experiments.fig6_area_scaling,
+    "fig7": experiments.fig7_power_scaling,
+    "fig8": experiments.fig8_energy,
+    "scalability": experiments.scalability_sweep,
+}
+
+#: Extension studies (see EXPERIMENTS.md).
+EXTENSION_EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
+    "ablation-breakpoints": ablations.ablation_breakpoints,
+    "ablation-fit": ablations.ablation_fit_strategy,
+    "ablation-fixedpoint": ablations.ablation_fixed_point,
+    "ablation-reload": ablations.ablation_table_reload,
+    "ablation-hop": ablations.ablation_hop_length,
+    "ablation-utilization": ablations.ablation_utilization,
+    "ablation-related-softmax": ablations.related_softmax_comparison,
+    "ablation-topology": ablations.ablation_topology,
+    "sweep-seqlen": sweeps.seq_len_sweep,
+    "sweep-memory": sweeps.memory_energy_sweep,
+    "sweep-lanes": sweeps.lane_sizing_sweep,
+}
+
+EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one or all experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="nova-repro",
+        description="Regenerate the NOVA paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "ablations", "sweeps"],
+        help="which table/figure (or group) to regenerate",
+    )
+    parser.add_argument(
+        "--with-table1",
+        action="store_true",
+        help="include Table I (trains the model zoo; ~1 minute) in 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        names = [n for n in sorted(PAPER_EXPERIMENTS) if n != "table1"]
+        if args.with_table1:
+            names.insert(0, "table1")
+    elif args.experiment == "ablations":
+        names = sorted(n for n in EXTENSION_EXPERIMENTS if n.startswith("abl"))
+    elif args.experiment == "sweeps":
+        names = sorted(n for n in EXTENSION_EXPERIMENTS if n.startswith("sweep"))
+    else:
+        names = [args.experiment]
+
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(render_experiment(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,520 @@
+"""One entry point per paper table/figure.
+
+Each experiment returns an :class:`ExperimentResult` whose rows place the
+model's output next to the paper's published value, so the benchmark
+harness and EXPERIMENTS.md can always show both.  Shapes (who wins, by
+what factor) come from the physical models; the per-unit-type calibration
+of :mod:`repro.hw.calibration` sets the absolute gauge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators import build_accelerator
+from repro.accelerators.nvdla import NvdlaAccelerator
+from repro.core.mapper import NovaMapper
+from repro.eval import paper_data
+from repro.hw.calibration import calibrated_cost
+from repro.hw.costs import unit_cost
+from repro.noc.link import RepeatedWire
+from repro.workloads.bert import BERT_MODELS, bert_graph
+
+__all__ = [
+    "ExperimentResult",
+    "table1_accuracy",
+    "table2_configs",
+    "table3_overhead",
+    "table4_related_work",
+    "fig6_area_scaling",
+    "fig7_power_scaling",
+    "fig8_energy",
+    "scalability_sweep",
+    "nvdla_duty_cycle_estimate",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered-ready experiment outcome."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, header: str) -> list[object]:
+        """Extract one column by header name (for assertions in tests)."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(
+                f"no column {header!r}; available: {self.headers}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+
+def table1_accuracy(max_models: int | None = None) -> ExperimentResult:
+    """Exact vs PWL-softmax accuracy across the model zoo.
+
+    ``max_models`` limits the zoo for quick runs (the full six models
+    train in about a minute).
+    """
+    from repro.ml.approx_inference import accuracy_with_softmax, table1_model_zoo
+
+    paper_rows = {
+        (model, dataset): (exact, approx, bp)
+        for model, dataset, exact, approx, bp in paper_data.TABLE1_ACCURACY
+    }
+    result = ExperimentResult(
+        experiment_id="Table I",
+        title="Post-approximation accuracy (exact vs approx softmax)",
+        headers=[
+            "Model", "Dataset", "Breakpoints",
+            "Paper exact %", "Paper approx %",
+            "Ours exact %", "Ours approx %", "Ours delta",
+            "Ours approx (softmax+GeLU) %",
+        ],
+        notes=(
+            "Synthetic-dataset substitution (DESIGN.md): same architectural "
+            "families, same breakpoint budgets, accuracy bands tuned to the "
+            "paper's. The reproduced claim is the ~zero exact-to-approx "
+            "delta; the final column additionally approximates GeLU (our "
+            "stricter extension beyond Table I's softmax-only setting)."
+        ),
+    )
+    zoo = table1_model_zoo()
+    if max_models is not None:
+        zoo = zoo[:max_models]
+    for entry in zoo:
+        ours = accuracy_with_softmax(entry)
+        p_exact, p_approx, p_bp = paper_rows[(entry.model_name, entry.dataset_name)]
+        result.rows.append(
+            [
+                entry.model_name,
+                entry.dataset_name,
+                entry.breakpoints,
+                p_exact,
+                p_approx,
+                round(ours["exact"], 2),
+                round(ours["approx"], 2),
+                round(ours["approx"] - ours["exact"], 2),
+                round(ours["approx_all"], 2),
+            ]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+
+def table2_configs() -> ExperimentResult:
+    """Accelerator parameters plus the mapper's derived broadcast plan."""
+    mapper = NovaMapper()
+    result = ExperimentResult(
+        experiment_id="Table II",
+        title="Accelerator parameters integrated with NOVA",
+        headers=[
+            "Accelerator", "NOVA routers", "Neurons/router", "Memory (kB)",
+            "Freq (MHz)", "Beats", "NoC clock (MHz)", "Single-cycle",
+        ],
+        notes=(
+            "Beats / NoC clock / single-cycle traversal are derived by the "
+            "NOVA mapper (16 breakpoints => 2 beats => 2x clock, paper §IV)."
+        ),
+    )
+    for cfg in paper_data.TABLE2_CONFIGS.values():
+        schedule = mapper.schedule(
+            n_routers=cfg.n_routers,
+            pe_frequency_ghz=cfg.frequency_ghz,
+            n_pairs=16,
+            hop_mm=cfg.hop_mm,
+        )
+        result.rows.append(
+            [
+                cfg.name,
+                cfg.n_routers,
+                cfg.neurons_per_router,
+                cfg.onchip_memory_kb,
+                cfg.frequency_mhz,
+                schedule.n_beats,
+                round(schedule.noc_frequency_ghz * 1000.0),
+                schedule.single_cycle_broadcast,
+            ]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+
+def _units_for(accelerator: str) -> list[str]:
+    if accelerator == "Jetson Xavier NX":
+        return ["nvdla_sdp", "nova"]
+    return ["per_neuron_lut", "per_core_lut", "nova"]
+
+
+def table3_overhead(calibrated: bool = True) -> ExperimentResult:
+    """Area/power overhead of every approximator on every accelerator."""
+    cost_fn = calibrated_cost if calibrated else unit_cost
+    result = ExperimentResult(
+        experiment_id="Table III",
+        title="Hardware overhead of NOVA vs LUT-based approximators",
+        headers=[
+            "Accelerator", "Approximator",
+            "Area mm2 (model)", "Area mm2 (paper)",
+            "Power mW (model)", "Power mW (paper)",
+        ],
+        notes=(
+            "Model values from the component-level 22nm cost model"
+            + (" with per-unit-type calibration" if calibrated else " (raw)")
+            + "; NOVA power uses each accelerator's vector-unit duty cycle "
+            "(NVDLA's conv cores emit activations rarely)."
+        ),
+    )
+    for cfg in paper_data.TABLE2_CONFIGS.values():
+        for unit in _units_for(cfg.name):
+            cost = cost_fn(
+                unit,
+                cfg.neurons_per_router,
+                n_segments=16,
+                pe_frequency_ghz=cfg.frequency_ghz,
+                hop_mm=cfg.hop_mm,
+            )
+            utilization = cfg.utilization if unit == "nova" else 1.0
+            area = cost.area_mm2 * cfg.n_routers
+            power = cost.power_mw(utilization) * cfg.n_routers
+            p_area, p_power = paper_data.TABLE3_OVERHEAD[(cfg.name, unit)]
+            result.rows.append(
+                [cfg.name, unit, round(area, 4), p_area, round(power, 2), p_power]
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table IV
+# ----------------------------------------------------------------------
+
+def table4_related_work() -> ExperimentResult:
+    """NOVA lane vs NACU / I-BERT (single approximator lane).
+
+    The I-BERT row is *computed*: its integer-only exp kernel
+    (:mod:`repro.approx.ibert`) is implemented and measured for accuracy,
+    and its datapath (two integer multipliers, adders, a barrel shifter)
+    is priced with the same component model as NOVA.  NACU carries its
+    published numbers only (its internal microarchitecture is not
+    specified to reproducible depth).
+    """
+    import numpy as np
+
+    from repro.approx.functions import get_function
+    from repro.approx.ibert import ibert_exp
+    from repro.approx.nnlut_mlp import train_nnlut_mlp
+    from repro.hw.costs import ibert_lane_cost
+
+    # One NOVA lane: the per-neuron slice plus a 1/128 share of the fixed
+    # router (the TPU-like sharing ratio the paper's Table IV uses).
+    neurons = 128
+    cost = calibrated_cost(
+        "nova", neurons, n_segments=16, pe_frequency_ghz=1.4, hop_mm=0.5
+    )
+    lane_area = cost.area_um2 / neurons
+    lane_power = cost.power_mw(1.0) / neurons
+
+    ibert = ibert_lane_cost(pe_frequency_ghz=1.4)
+
+    # measured exp error of both implemented approximators
+    spec = get_function("exp")
+    xs = np.linspace(*spec.domain, 4096)
+    nova_table = train_nnlut_mlp(spec, n_segments=16, seed=0)
+    nova_err = float(
+        np.max(np.abs(nova_table.to_piecewise_linear(16).evaluate(xs)
+                      - spec.fn(xs)))
+    )
+    ibert_err = float(np.max(np.abs(ibert_exp(xs) - spec.fn(xs))))
+
+    result = ExperimentResult(
+        experiment_id="Table IV",
+        title="Hardware overhead of NOVA vs related approximators (per lane)",
+        headers=[
+            "Approximator", "Tech node", "Area um2 (model)",
+            "Area um2 (paper)", "Power mW (model)", "Power mW (paper)",
+            "exp max err (measured)",
+        ],
+        notes=(
+            "I-BERT's integer-only kernels are implemented "
+            "(repro.approx.ibert) and its lane priced with our component "
+            "model; NACU carries its published numbers. NOVA lane at the "
+            "TPU sharing ratio."
+        ),
+    )
+    for row in paper_data.TABLE4_RELATED:
+        if row["name"] == "NOVA":
+            result.rows.append(
+                [
+                    "NOVA", "22 nm", round(lane_area, 1),
+                    row["area_um2"], round(lane_power, 4), row["power_mw"],
+                    round(nova_err, 5),
+                ]
+            )
+        elif row["name"] == "I-BERT":
+            result.rows.append(
+                [
+                    "I-BERT", "22 nm", round(ibert.area_um2, 1),
+                    row["area_um2"],
+                    round(ibert.power_mw(1.0), 4),
+                    row["power_mw"],
+                    round(ibert_err, 5),
+                ]
+            )
+        else:
+            power = row["power_mw"]
+            if isinstance(power, dict):
+                power = max(power.values())
+            result.rows.append(
+                [
+                    row["name"], f"{row['tech_nm']} nm", "-",
+                    row["area_um2"], "-", power, "-",
+                ]
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs 6 and 7
+# ----------------------------------------------------------------------
+
+NEURON_SWEEP = (16, 32, 64, 128, 256)
+
+
+def fig6_area_scaling(calibrated: bool = True) -> ExperimentResult:
+    """Router/unit area vs neurons mapped per router."""
+    cost_fn = calibrated_cost if calibrated else unit_cost
+    result = ExperimentResult(
+        experiment_id="Fig 6",
+        title="Router area vs neurons mapped per router (um2)",
+        headers=[
+            "Neurons", "NOVA router", "Per-neuron LUT", "Per-core LUT",
+            "NOVA saving vs per-neuron",
+        ],
+        notes="16 breakpoints, 22 nm, 1 mm hop; areas per router/core.",
+    )
+    for neurons in NEURON_SWEEP:
+        nova = cost_fn("nova", neurons, pe_frequency_ghz=1.0, hop_mm=1.0)
+        pn = cost_fn("per_neuron_lut", neurons, pe_frequency_ghz=1.0)
+        pc = cost_fn("per_core_lut", neurons, pe_frequency_ghz=1.0)
+        result.rows.append(
+            [
+                neurons,
+                round(nova.area_um2),
+                round(pn.area_um2),
+                round(pc.area_um2),
+                f"{pn.area_um2 / nova.area_um2:.2f}x",
+            ]
+        )
+    return result
+
+
+def fig7_power_scaling(
+    frequency_ghz: float = 1.0, calibrated: bool = True
+) -> ExperimentResult:
+    """Router/unit power vs neurons mapped per router."""
+    cost_fn = calibrated_cost if calibrated else unit_cost
+    result = ExperimentResult(
+        experiment_id="Fig 7",
+        title=f"Router power vs neurons per router (mW @ {frequency_ghz} GHz)",
+        headers=[
+            "Neurons", "NOVA router", "Per-neuron LUT", "Per-core LUT",
+            "NOVA saving vs per-core",
+        ],
+        notes=(
+            "Full utilisation; the per-core curve's multi-ported reads make "
+            "it the most power-hungry at scale (paper §V-B)."
+        ),
+    )
+    for neurons in NEURON_SWEEP:
+        nova = cost_fn("nova", neurons, pe_frequency_ghz=frequency_ghz, hop_mm=1.0)
+        pn = cost_fn("per_neuron_lut", neurons, pe_frequency_ghz=frequency_ghz)
+        pc = cost_fn("per_core_lut", neurons, pe_frequency_ghz=frequency_ghz)
+        result.rows.append(
+            [
+                neurons,
+                round(nova.power_mw(), 3),
+                round(pn.power_mw(), 3),
+                round(pc.power_mw(), 3),
+                f"{pc.power_mw() / nova.power_mw():.2f}x",
+            ]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig 8
+# ----------------------------------------------------------------------
+
+#: Host-side energy constants for the overhead-percent metric: one MAC in
+#: the tensor array and one 16-bit word of SRAM traffic.
+HOST_MAC_PJ = 0.04
+HOST_SRAM_WORD_PJ = 0.2
+
+
+def _inference_energy_mj(
+    unit: str,
+    cfg: paper_data.AcceleratorConfig,
+    total_cycles: int,
+    busy_cycles: int,
+) -> float:
+    """Per-inference energy of one approximator variant (mJ)."""
+    cost = calibrated_cost(
+        unit,
+        cfg.neurons_per_router,
+        n_segments=16,
+        pe_frequency_ghz=cfg.frequency_ghz,
+        hop_mm=cfg.hop_mm,
+    )
+    time_s = total_cycles / (cfg.frequency_ghz * 1e9)
+    busy = min(busy_cycles, total_cycles)
+    dynamic_pj = cfg.n_routers * (
+        cost.clocked_energy_pj * total_cycles + cost.active_energy_pj * busy
+    )
+    leak_mj = cost.leakage_power_mw() * cfg.n_routers * time_s
+    return dynamic_pj * 1e-9 + leak_mj
+
+
+def _paper_method_energy_mj(
+    unit: str, cfg: paper_data.AcceleratorConfig, total_cycles: int
+) -> float:
+    """Energy the way the paper computes it: synthesis power x runtime.
+
+    '"The energy consumption numbers are calculated using the respective
+    power consumption number from the synthesis results" (§V-F) — i.e.
+    full-activity power held for the whole inference, which makes the
+    energy ratio equal the Table III power ratio.
+    """
+    cost = calibrated_cost(
+        unit,
+        cfg.neurons_per_router,
+        n_segments=16,
+        pe_frequency_ghz=cfg.frequency_ghz,
+        hop_mm=cfg.hop_mm,
+    )
+    time_s = total_cycles / (cfg.frequency_ghz * 1e9)
+    utilization = cfg.utilization if unit == "nova" else 1.0
+    return cost.power_mw(utilization) * cfg.n_routers * time_s
+
+
+def fig8_energy() -> ExperimentResult:
+    """Per-inference approximator energy for the 5 BERT-family models.
+
+    Two accountings per row: *paper-method* (synthesis power x runtime,
+    reproducing the paper's 4.14x / 9.3x TPU-v4 ratios exactly, since
+    under that method energy ratios equal power ratios) and our finer
+    *activity-aware* model (clocked energy every cycle, active energy only
+    on busy cycles), which narrows the gap but preserves the ordering.
+    """
+    result = ExperimentResult(
+        experiment_id="Fig 8",
+        title="Energy per inference for different approximator hardware",
+        headers=[
+            "Accelerator", "Benchmark", "Seq len",
+            "NOVA (mJ)", "Per-neuron LUT (mJ)", "Per-core LUT (mJ)",
+            "PN/NOVA", "PC/NOVA",
+            "PN/NOVA (paper method)", "PC/NOVA (paper method)",
+            "NOVA overhead %",
+        ],
+        notes=(
+            "Activity-aware columns: LUT baselines keep paying their "
+            "clocked energy during tensor phases; NOVA's wires only toggle "
+            "on queries. Paper-method columns hold full synthesis power for "
+            "the whole runtime, as §V-F does. Overhead % is vs the host's "
+            "MAC+SRAM energy for the same inference."
+        ),
+    )
+    units = ("nova", "per_neuron_lut", "per_core_lut")
+    for acc_name, seq_len in paper_data.FIG8_SEQ_LEN.items():
+        cfg = paper_data.TABLE2_CONFIGS[acc_name]
+        host = build_accelerator(acc_name)
+        for model_name in BERT_MODELS:
+            graph = bert_graph(model_name, seq_len=seq_len)
+            report = host.run(graph)
+            host_energy_mj = (
+                report.total_macs * HOST_MAC_PJ
+                + (report.sram_reads + report.sram_writes) * HOST_SRAM_WORD_PJ
+            ) * 1e-9
+            energies = {
+                unit: _inference_energy_mj(
+                    unit, cfg, report.total_cycles, report.nonlinear_cycles
+                )
+                for unit in units
+            }
+            paper_energies = {
+                unit: _paper_method_energy_mj(unit, cfg, report.total_cycles)
+                for unit in units
+            }
+            result.rows.append(
+                [
+                    acc_name,
+                    model_name,
+                    seq_len,
+                    round(energies["nova"], 5),
+                    round(energies["per_neuron_lut"], 5),
+                    round(energies["per_core_lut"], 5),
+                    f"{energies['per_neuron_lut'] / energies['nova']:.2f}x",
+                    f"{energies['per_core_lut'] / energies['nova']:.2f}x",
+                    f"{paper_energies['per_neuron_lut'] / paper_energies['nova']:.2f}x",
+                    f"{paper_energies['per_core_lut'] / paper_energies['nova']:.2f}x",
+                    round(100.0 * energies["nova"] / host_energy_mj, 3),
+                ]
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# §V-A scalability
+# ----------------------------------------------------------------------
+
+def scalability_sweep() -> ExperimentResult:
+    """Max single-cycle line length vs NoC clock (the 10 @ 1.5 GHz claim)."""
+    wire = RepeatedWire()
+    result = ExperimentResult(
+        experiment_id="Scalability",
+        title="Single-cycle multi-hop reach vs NoC clock (1 mm hops)",
+        headers=["NoC clock (GHz)", "Max routers in one cycle", "Paper point"],
+        notes=(
+            "Paper §V-A: 10 routers at 1 mm pitch traversable at 1.5 GHz; "
+            "beyond that the mapper falls back to multi-cycle traversal."
+        ),
+    )
+    for freq in (0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.8):
+        reach = wire.max_hops_per_cycle(freq, hop_mm=1.0)
+        marker = ""
+        if freq == paper_data.SCALABILITY["noc_clock_ghz"]:
+            marker = f"paper: {int(paper_data.SCALABILITY['max_routers_single_cycle'])}"
+        result.rows.append([freq, reach, marker])
+    return result
+
+
+def nvdla_duty_cycle_estimate() -> float:
+    """Vector-unit duty cycle of the NVDLA host on its native workload.
+
+    Justifies the Jetson configuration's ``utilization`` field: an
+    ImageNet-scale convolution accumulates ``K = C_in * k * k`` products
+    (hundreds to thousands) per output, so the conv cores emit one
+    16-wide activation vector only once per many MAC cycles and the
+    approximator idles in between.  The emission duty is ~``2048 / K``.
+    """
+    from repro.workloads.ops import MatMulOp, OpGraph
+
+    host = NvdlaAccelerator()
+    graph = OpGraph("imagenet-conv-stage")
+    # A representative mid-network layer: 256 -> 256 channels, 3x3 kernel,
+    # 14x14 feature map (K = 256 * 9 = 2304).
+    graph.add(MatMulOp("conv", m=14 * 14, k=256 * 9, n=256))
+    return host.activation_duty_cycle(graph)

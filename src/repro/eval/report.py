@@ -1,0 +1,21 @@
+"""Rendering experiments as text reports."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import ExperimentResult
+from repro.utils.tables import format_table
+
+__all__ = ["render_experiment"]
+
+
+def render_experiment(result: ExperimentResult, precision: int = 4) -> str:
+    """One experiment as a titled text table plus its notes."""
+    table = format_table(
+        headers=result.headers,
+        rows=result.rows,
+        title=f"{result.experiment_id}: {result.title}",
+        precision=precision,
+    )
+    if result.notes:
+        return f"{table}\n\nNotes: {result.notes}"
+    return table

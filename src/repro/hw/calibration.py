@@ -1,0 +1,108 @@
+"""Calibration of the analytical model against the paper's synthesis.
+
+The component model in :mod:`repro.hw.costs` is physical but uncalibrated:
+its constants are representative 22 nm values, not the foundry's.  The
+paper's own numbers come from a commercial P&R flow we cannot run, so we
+fit **one multiplicative factor per (unit type, metric)** — nothing
+per-configuration — by least squares in log space over every Table III
+data point, and freeze the result here.  Shapes (scaling with neurons,
+ports, frequency) therefore come entirely from the model; only the global
+gauge is set by the paper.
+
+``calibrated_cost`` is what the experiment harness uses; the raw model is
+always reported alongside so EXPERIMENTS.md can show both.
+
+Fit provenance: ``benchmarks/fit_calibration.py`` reproduces the factors
+from ``repro.eval.paper_data`` (run it after changing any tech constant).
+"""
+
+from __future__ import annotations
+
+from repro.hw.costs import VectorUnitCost, unit_cost
+from repro.hw.tech import TechNode, TECH_22NM
+
+__all__ = ["CALIBRATION_FACTORS", "calibrated_cost", "fit_calibration_factors"]
+
+#: (unit_name, metric) -> multiplicative factor.  metric is "area" or
+#: "energy" (energy scales dynamic power and per-query energy together).
+#:
+#: Fitted (geometric mean of paper/model over every Table III data point
+#: for that unit type) by ``benchmarks/fit_calibration.py``.  Per-config
+#: residuals after this global gauge are within 10-35% everywhere except
+#: the REACT per-core-LUT power row, where the paper's own number
+#: (292.57 mW, barely above its per-neuron baseline) is inconsistent with
+#: the paper's TPU trend (2.25x above per-neuron); see EXPERIMENTS.md.
+CALIBRATION_FACTORS: dict[tuple[str, str], float] = {
+    ("nova", "area"): 0.7655,
+    ("nova", "energy"): 0.7793,
+    ("per_neuron_lut", "area"): 1.0963,
+    ("per_neuron_lut", "energy"): 0.8659,
+    ("per_core_lut", "area"): 1.5263,
+    ("per_core_lut", "energy"): 0.5170,
+    ("nvdla_sdp", "area"): 1.0501,
+    ("nvdla_sdp", "energy"): 0.6482,
+}
+
+
+def fit_calibration_factors() -> dict[tuple[str, str], float]:
+    """Re-derive the factors from Table III (the provenance function).
+
+    Geometric mean of paper/model per unit type: area directly; energy as
+    the residual dynamic power after subtracting area-scaled leakage.
+    ``benchmarks/fit_calibration.py`` prints this; a regression test pins
+    the frozen table against it so a tech-constant change cannot silently
+    drift the calibration.
+    """
+    import numpy as np
+
+    from repro.eval.paper_data import TABLE2_CONFIGS, TABLE3_OVERHEAD
+
+    factors: dict[tuple[str, str], float] = {}
+    for unit in ("nova", "per_neuron_lut", "per_core_lut", "nvdla_sdp"):
+        area_ratios = []
+        energy_ratios = []
+        for (acc, u), (paper_area, paper_power) in TABLE3_OVERHEAD.items():
+            if u != unit:
+                continue
+            cfg = TABLE2_CONFIGS[acc]
+            cost = unit_cost(
+                unit, cfg.neurons_per_router, 16, cfg.frequency_ghz,
+                hop_mm=cfg.hop_mm,
+            )
+            n = cfg.n_routers
+            area_factor = paper_area / (cost.area_mm2 * n)
+            utilization = cfg.utilization if unit == "nova" else 1.0
+            dynamic = cost.dynamic_power_mw(utilization) * n
+            leakage = cost.leakage_power_mw() * n * area_factor
+            energy_factor = max((paper_power - leakage) / dynamic, 0.05)
+            area_ratios.append(area_factor)
+            energy_ratios.append(energy_factor)
+        factors[(unit, "area")] = float(np.exp(np.mean(np.log(area_ratios))))
+        factors[(unit, "energy")] = float(
+            np.exp(np.mean(np.log(energy_ratios)))
+        )
+    return factors
+
+
+def calibrated_cost(
+    unit_name: str,
+    neurons: int,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    hop_mm: float = 1.0,
+    tech: TechNode = TECH_22NM,
+    extra_crossbars: tuple[tuple[int, int, int], ...] = (),
+) -> VectorUnitCost:
+    """The analytical cost with the frozen calibration factors applied."""
+    cost = unit_cost(
+        unit_name,
+        neurons,
+        n_segments=n_segments,
+        pe_frequency_ghz=pe_frequency_ghz,
+        hop_mm=hop_mm,
+        tech=tech,
+        extra_crossbars=extra_crossbars,
+    )
+    area_factor = CALIBRATION_FACTORS.get((unit_name, "area"), 1.0)
+    energy_factor = CALIBRATION_FACTORS.get((unit_name, "energy"), 1.0)
+    return cost.scaled_area(area_factor).scaled_energy(energy_factor)

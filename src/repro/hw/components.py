@@ -1,0 +1,157 @@
+"""Per-component area and per-operation-energy models.
+
+Every vector-unit variant in the evaluation is a composition of these
+seven components; :mod:`repro.hw.costs` does the composing.  Each builder
+returns a :class:`ComponentCost` so unit totals keep a named breakdown —
+the experiment reports print the breakdowns, which is how one audits *why*
+NOVA wins (no SRAM term, a wire term instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.sram import SramMacroModel
+from repro.hw.tech import TechNode, TECH_22NM
+
+__all__ = [
+    "ComponentCost",
+    "comparator_bank_cost",
+    "mac_lane_cost",
+    "register_bank_cost",
+    "tag_match_cost",
+    "crossbar_cost",
+    "repeater_cost",
+    "link_wire_cost",
+    "sram_bank_cost",
+]
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area plus the energy of one *use* of the component.
+
+    ``energy_per_op_pj`` is per activation (one compare, one MAC, one
+    read, one beat traversal ...); power follows as energy x rate in
+    :mod:`repro.hw.costs`.
+    """
+
+    name: str
+    area_um2: float
+    energy_per_op_pj: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 < 0 or self.energy_per_op_pj < 0:
+            raise ValueError(f"negative cost for component {self.name!r}")
+
+    def scaled(self, count: float) -> "ComponentCost":
+        """``count`` parallel instances, each used once per op."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return ComponentCost(
+            name=self.name,
+            area_um2=self.area_um2 * count,
+            energy_per_op_pj=self.energy_per_op_pj * count,
+        )
+
+
+def comparator_bank_cost(
+    n_cuts: int, word_bits: int = 16, tech: TechNode = TECH_22NM
+) -> ComponentCost:
+    """One neuron lane's comparator bank (``n_cuts`` parallel compares).
+
+    A 16-entry table needs 15 comparators; all fire every lookup, which is
+    why the energy term multiplies by the full count.
+    """
+    if n_cuts < 0:
+        raise ValueError(f"n_cuts must be >= 0, got {n_cuts}")
+    area = n_cuts * word_bits * tech.comparator_area_um2_per_bit
+    energy = n_cuts * word_bits * tech.comparator_pj_per_bit
+    return ComponentCost("comparator_bank", area, energy)
+
+
+def mac_lane_cost(word_bits: int = 16, tech: TechNode = TECH_22NM) -> ComponentCost:
+    """One neuron lane's multiply-accumulate (slope * x + bias)."""
+    scale = (word_bits / 16.0) ** 2  # multiplier area/energy ~ bits^2
+    return ComponentCost("mac", tech.mac16_area_um2 * scale, tech.mac16_pj * scale)
+
+
+def register_bank_cost(bits: int, tech: TechNode = TECH_22NM) -> ComponentCost:
+    """Flip-flop bank; one op = one full-width write."""
+    if bits < 0:
+        raise ValueError(f"bits must be >= 0, got {bits}")
+    return ComponentCost(
+        "registers",
+        bits * tech.ff_area_um2_per_bit,
+        bits * tech.ff_write_pj_per_bit,
+    )
+
+
+def tag_match_cost(
+    tag_bits: int = 1, select_bits: int = 3, tech: TechNode = TECH_22NM
+) -> ComponentCost:
+    """One neuron lane's tag comparator + slot mux (NOVA router, Fig. 3).
+
+    Matches the beat tag against the address LSBs and selects one of 8
+    pairs — a few gates plus a 32-bit-wide 8:1 mux.
+    """
+    if tag_bits < 1 or select_bits < 0:
+        raise ValueError("tag_bits must be >= 1 and select_bits >= 0")
+    match_gates = 4 * tag_bits
+    mux_bits = 32 * max(select_bits, 1)  # 8:1 mux ~= 3 levels of 2:1 per bit
+    area = match_gates * tech.nand2_area_um2 + mux_bits * tech.mux2_area_um2_per_bit
+    energy = tag_bits * 16 * tech.comparator_pj_per_bit + mux_bits * tech.mux_pj_per_bit
+    return ComponentCost("tag_match", area, energy)
+
+
+def crossbar_cost(
+    in_ports: int, out_ports: int, width_bits: int, tech: TechNode = TECH_22NM
+) -> ComponentCost:
+    """An ``in x out`` crossbar of ``width_bits`` lanes (REACT overlay)."""
+    if min(in_ports, out_ports, width_bits) < 1:
+        raise ValueError("crossbar dimensions must all be >= 1")
+    cross_points = in_ports * out_ports * width_bits
+    area = cross_points * tech.mux2_area_um2_per_bit
+    energy = out_ports * width_bits * tech.mux_pj_per_bit * in_ports
+    return ComponentCost("crossbar", area, energy)
+
+
+def repeater_cost(width_bits: int, tech: TechNode = TECH_22NM) -> ComponentCost:
+    """The clockless repeater bank driving one hop of link.
+
+    Area only — the drive energy is folded into the wire's pJ/bit/mm
+    constant (see :meth:`TechNode.wire_energy_pj_per_bit_mm`).
+    """
+    if width_bits < 1:
+        raise ValueError(f"width_bits must be >= 1, got {width_bits}")
+    area = width_bits * 4 * tech.nand2_area_um2  # 2 staged inverters per bit
+    return ComponentCost("repeaters", area, 0.0)
+
+
+def link_wire_cost(
+    width_bits: int, length_mm: float, tech: TechNode = TECH_22NM
+) -> ComponentCost:
+    """One hop of routed link: billed wire area + per-beat energy.
+
+    This is the component the paper ran placement-and-routing to capture
+    ("as NOVA replaces ... registers and memory elements with wires, and
+    wiring overhead can be under-estimated by synthesis", §V-A): the slope
+    and bias values are 'stored' in these wires.
+    """
+    if width_bits < 1:
+        raise ValueError(f"width_bits must be >= 1, got {width_bits}")
+    if length_mm <= 0:
+        raise ValueError(f"length_mm must be > 0, got {length_mm}")
+    area = width_bits * length_mm * tech.wire_area_um2_per_bit_mm()
+    energy = width_bits * length_mm * tech.wire_energy_pj_per_bit_mm()
+    return ComponentCost("link_wires", area, energy)
+
+
+def sram_bank_cost(
+    capacity_bytes: int, n_ports: int, tech: TechNode = TECH_22NM
+) -> ComponentCost:
+    """An SRAM LUT bank; one op = one single-port read."""
+    macro = SramMacroModel(
+        capacity_bytes=capacity_bytes, n_ports=n_ports, tech=tech
+    )
+    return ComponentCost("sram_bank", macro.area_um2(), macro.read_energy_pj())

@@ -1,0 +1,423 @@
+"""Vector-unit cost composition: area, power, per-query energy.
+
+One :class:`VectorUnitCost` describes one *unit* (a NOVA router, or the
+LUT hardware of one core) at a given clock; accelerator totals multiply by
+the unit count.  All four variants share the comparator + MAC + pipeline-
+register skeleton; they differ in the table-storage term:
+
+=================  ====================================================
+per-neuron LUT     + one 64 B single-ported SRAM macro *per neuron*
+per-core LUT       + one 64 B ``n``-ported SRAM macro per core
+NVDLA SDP          per-core LUT + the SDP's post-processing datapath
+                   and its always-on engine control
+NOVA router        + 257-bit east registers, bypass mux, repeaters and
+                   the routed link wires; per-neuron tag-match logic
+=================  ====================================================
+
+Power is split the way a synthesis power report splits it:
+
+* **clocked** energy is paid every cycle regardless of work — flip-flop
+  clock-pin loading, engine control/sequencing.  The LUT baselines are
+  conventionally clocked designs; NOVA's only clocked element is the
+  thin 257-bit east register bank (at the NoC clock).
+* **active** energy is paid per actual operation — comparisons, MACs,
+  SRAM reads, and NOVA's wire broadcasts (wires do not toggle when no
+  value is sent, which is the physical root of the paper's power gap).
+
+``power_mw(utilization)`` is ``(clocked + util * active) * f + leakage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.components import (
+    ComponentCost,
+    comparator_bank_cost,
+    crossbar_cost,
+    link_wire_cost,
+    mac_lane_cost,
+    register_bank_cost,
+    repeater_cost,
+    sram_bank_cost,
+    tag_match_cost,
+)
+from repro.hw.tech import TechNode, TECH_22NM
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "VectorUnitCost",
+    "nova_router_cost",
+    "per_neuron_lut_cost",
+    "per_core_lut_cost",
+    "sdp_cost",
+    "unit_cost",
+    "LINK_BITS",
+    "PIPELINE_REG_BITS",
+]
+
+#: 16 words of 16 bits (8 slope/bias pairs) + 1 tag bit (paper Fig. 3).
+LINK_BITS = 257
+
+#: Pipeline register between the fetch and MAC stages: one slope + one
+#: bias word per neuron lane (present in every variant).
+PIPELINE_REG_BITS = 32
+
+
+@dataclass(frozen=True)
+class VectorUnitCost:
+    """Cost of one vector-processing unit instance.
+
+    ``area_breakdown`` maps component name to um^2.  The two energy
+    breakdowns map component name to pJ per PE cycle: ``clocked`` is paid
+    every cycle, ``active`` only on utilised cycles (see module docstring).
+    """
+
+    unit_name: str
+    neurons: int
+    pe_frequency_ghz: float
+    tech: TechNode
+    area_breakdown: dict[str, float] = field(default_factory=dict)
+    clocked_energy_breakdown_pj: dict[str, float] = field(default_factory=dict)
+    active_energy_breakdown_pj: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def area_um2(self) -> float:
+        """Total unit area."""
+        return sum(self.area_breakdown.values())
+
+    @property
+    def area_mm2(self) -> float:
+        """Total unit area in mm^2."""
+        return self.area_um2 * 1e-6
+
+    @property
+    def clocked_energy_pj(self) -> float:
+        """Per-cycle energy paid regardless of utilisation."""
+        return sum(self.clocked_energy_breakdown_pj.values())
+
+    @property
+    def active_energy_pj(self) -> float:
+        """Per-cycle energy at full utilisation (every lane working)."""
+        return sum(self.active_energy_breakdown_pj.values())
+
+    @property
+    def cycle_energy_pj(self) -> float:
+        """Total dynamic energy of one fully-utilised PE cycle."""
+        return self.clocked_energy_pj + self.active_energy_pj
+
+    def dynamic_power_mw(self, utilization: float = 1.0) -> float:
+        """Dynamic power at the unit's PE clock (pJ/cycle x GHz = mW)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        per_cycle = self.clocked_energy_pj + utilization * self.active_energy_pj
+        return per_cycle * self.pe_frequency_ghz
+
+    def leakage_power_mw(self) -> float:
+        """Static power from area and the node's leakage density."""
+        return self.area_mm2 * self.tech.leakage_mw_per_mm2
+
+    def power_mw(self, utilization: float = 1.0) -> float:
+        """Total unit power."""
+        return self.dynamic_power_mw(utilization) + self.leakage_power_mw()
+
+    def energy_per_query_pj(self) -> float:
+        """Dynamic energy per single neuron approximation (full util)."""
+        return self.cycle_energy_pj / self.neurons
+
+    def scaled_area(self, factor: float) -> "VectorUnitCost":
+        """Uniformly scale areas (used by calibration)."""
+        check_positive("factor", factor)
+        return VectorUnitCost(
+            unit_name=self.unit_name,
+            neurons=self.neurons,
+            pe_frequency_ghz=self.pe_frequency_ghz,
+            tech=self.tech,
+            area_breakdown={k: v * factor for k, v in self.area_breakdown.items()},
+            clocked_energy_breakdown_pj=dict(self.clocked_energy_breakdown_pj),
+            active_energy_breakdown_pj=dict(self.active_energy_breakdown_pj),
+        )
+
+    def scaled_energy(self, factor: float) -> "VectorUnitCost":
+        """Uniformly scale per-cycle energies (used by calibration)."""
+        check_positive("factor", factor)
+        return VectorUnitCost(
+            unit_name=self.unit_name,
+            neurons=self.neurons,
+            pe_frequency_ghz=self.pe_frequency_ghz,
+            tech=self.tech,
+            area_breakdown=dict(self.area_breakdown),
+            clocked_energy_breakdown_pj={
+                k: v * factor for k, v in self.clocked_energy_breakdown_pj.items()
+            },
+            active_energy_breakdown_pj={
+                k: v * factor for k, v in self.active_energy_breakdown_pj.items()
+            },
+        )
+
+
+def _lane_skeleton(
+    n_segments: int, tech: TechNode
+) -> tuple[dict[str, float], dict[str, float], dict[str, float]]:
+    """The comparator + MAC + pipeline-register cost every variant pays.
+
+    Returns (area, clocked_energy, active_energy) per neuron lane.
+    """
+    comp = comparator_bank_cost(n_cuts=n_segments - 1, tech=tech)
+    mac = mac_lane_cost(tech=tech)
+    pipe = register_bank_cost(bits=PIPELINE_REG_BITS, tech=tech)
+    area = {
+        "comparators": comp.area_um2,
+        "mac": mac.area_um2,
+        "pipeline_regs": pipe.area_um2,
+    }
+    clocked = {
+        "pipeline_regs_clock": PIPELINE_REG_BITS * tech.ff_clock_pj_per_bit,
+    }
+    active = {
+        "comparators": comp.energy_per_op_pj,
+        "mac": mac.energy_per_op_pj,
+        "pipeline_regs": pipe.energy_per_op_pj,
+    }
+    return area, clocked, active
+
+
+def nova_router_cost(
+    neurons: int,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    hop_mm: float = 1.0,
+    tech: TechNode = TECH_22NM,
+    extra_crossbars: tuple[tuple[int, int, int], ...] = (),
+) -> VectorUnitCost:
+    """One NOVA router with its share of the line (one hop of link).
+
+    ``extra_crossbars`` carries the REACT overlay's 6x2 / 2x6 crossbars as
+    ``(in_ports, out_ports, width_bits)`` tuples.
+    """
+    if neurons < 1:
+        raise ValueError(f"neurons must be >= 1, got {neurons}")
+    n_beats = max(1, -(-n_segments // 8))
+    lane_area, lane_clocked, lane_active = _lane_skeleton(n_segments, tech)
+    tag = tag_match_cost(tag_bits=max(1, (n_beats - 1).bit_length()), tech=tech)
+    east_regs = register_bank_cost(bits=LINK_BITS, tech=tech)
+    bypass = ComponentCost(
+        "bypass_mux",
+        LINK_BITS * tech.mux2_area_um2_per_bit,
+        LINK_BITS * tech.mux_pj_per_bit,
+    )
+    reps = repeater_cost(width_bits=LINK_BITS, tech=tech)
+    wires = link_wire_cost(width_bits=LINK_BITS, length_mm=hop_mm, tech=tech)
+
+    area = {k: v * neurons for k, v in lane_area.items()}
+    area["tag_match"] = tag.area_um2 * neurons
+    area["east_regs"] = east_regs.area_um2
+    area["bypass_mux"] = bypass.area_um2
+    area["repeaters"] = reps.area_um2
+    area["link_wires"] = wires.area_um2
+
+    clocked = {k: v * neurons for k, v in lane_clocked.items()}
+    # The east register bank clocks at the NoC clock (n_beats x PE clock).
+    clocked["east_regs_clock"] = LINK_BITS * tech.ff_clock_pj_per_bit * n_beats
+
+    active = {k: v * neurons for k, v in lane_active.items()}
+    # Every beat: each neuron lane tag-matches; the link wires, repeaters
+    # and bypass mux toggle once per hop; n_beats beats per PE cycle.
+    active["tag_match"] = tag.energy_per_op_pj * neurons * n_beats
+    active["link_wires"] = wires.energy_per_op_pj * n_beats
+    active["bypass_mux"] = bypass.energy_per_op_pj * n_beats
+
+    for in_ports, out_ports, width in extra_crossbars:
+        xbar = crossbar_cost(in_ports, out_ports, width, tech=tech)
+        key = f"crossbar_{in_ports}x{out_ports}"
+        area[key] = area.get(key, 0.0) + xbar.area_um2
+        active[key] = active.get(key, 0.0) + xbar.energy_per_op_pj
+
+    return VectorUnitCost(
+        unit_name="nova",
+        neurons=neurons,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+        area_breakdown=area,
+        clocked_energy_breakdown_pj=clocked,
+        active_energy_breakdown_pj=active,
+    )
+
+
+def per_neuron_lut_cost(
+    neurons: int,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    tech: TechNode = TECH_22NM,
+) -> VectorUnitCost:
+    """One core's per-neuron-LUT vector unit (one 64 B bank per neuron)."""
+    if neurons < 1:
+        raise ValueError(f"neurons must be >= 1, got {neurons}")
+    lane_area, lane_clocked, lane_active = _lane_skeleton(n_segments, tech)
+    bank_bytes = n_segments * 4  # 2 x 16-bit words per entry
+    bank = sram_bank_cost(capacity_bytes=bank_bytes, n_ports=1, tech=tech)
+    area = {k: v * neurons for k, v in lane_area.items()}
+    area["sram_banks"] = bank.area_um2 * neurons
+    clocked = {k: v * neurons for k, v in lane_clocked.items()}
+    active = {k: v * neurons for k, v in lane_active.items()}
+    active["sram_banks"] = bank.energy_per_op_pj * neurons
+    return VectorUnitCost(
+        unit_name="per_neuron_lut",
+        neurons=neurons,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+        area_breakdown=area,
+        clocked_energy_breakdown_pj=clocked,
+        active_energy_breakdown_pj=active,
+    )
+
+
+def per_core_lut_cost(
+    neurons: int,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    tech: TechNode = TECH_22NM,
+) -> VectorUnitCost:
+    """One core's per-core-LUT unit (one ``neurons``-ported 64 B bank)."""
+    if neurons < 1:
+        raise ValueError(f"neurons must be >= 1, got {neurons}")
+    lane_area, lane_clocked, lane_active = _lane_skeleton(n_segments, tech)
+    bank_bytes = n_segments * 4
+    bank = sram_bank_cost(capacity_bytes=bank_bytes, n_ports=neurons, tech=tech)
+    area = {k: v * neurons for k, v in lane_area.items()}
+    area["sram_banks"] = bank.area_um2
+    clocked = {k: v * neurons for k, v in lane_clocked.items()}
+    active = {k: v * neurons for k, v in lane_active.items()}
+    # Every neuron reads through its own port each cycle; each read pays
+    # the multi-ported access energy.
+    active["sram_banks"] = bank.energy_per_op_pj * neurons
+    return VectorUnitCost(
+        unit_name="per_core_lut",
+        neurons=neurons,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+        area_breakdown=area,
+        clocked_energy_breakdown_pj=clocked,
+        active_energy_breakdown_pj=active,
+    )
+
+
+#: The SDP's post-processing datapath beyond the bare LUT path: two
+#: scale/offset ALUs per lane plus a per-engine control/sequencing block
+#: that toggles every cycle (DMA sequencing, register file, clocking).
+SDP_ALU_AREA_UM2 = 300.0
+SDP_ALU_ENERGY_PJ = 0.03
+SDP_CONTROL_AREA_UM2 = 40_000.0
+SDP_CONTROL_PJ_PER_CYCLE = 15.0
+
+
+def sdp_cost(
+    neurons: int = 16,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    tech: TechNode = TECH_22NM,
+) -> VectorUnitCost:
+    """NVDLA's LUT-based SDP engine for one convolution core."""
+    base = per_core_lut_cost(
+        neurons=neurons,
+        n_segments=n_segments,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+    )
+    area = dict(base.area_breakdown)
+    clocked = dict(base.clocked_energy_breakdown_pj)
+    active = dict(base.active_energy_breakdown_pj)
+    area["sdp_alus"] = 2 * SDP_ALU_AREA_UM2 * neurons
+    area["sdp_control"] = SDP_CONTROL_AREA_UM2
+    clocked["sdp_control"] = SDP_CONTROL_PJ_PER_CYCLE
+    active["sdp_alus"] = 2 * SDP_ALU_ENERGY_PJ * neurons
+    return VectorUnitCost(
+        unit_name="nvdla_sdp",
+        neurons=neurons,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+        area_breakdown=area,
+        clocked_energy_breakdown_pj=clocked,
+        active_energy_breakdown_pj=active,
+    )
+
+
+def ibert_lane_cost(
+    pe_frequency_ghz: float = 1.0, tech: TechNode = TECH_22NM
+) -> VectorUnitCost:
+    """One I-BERT integer-approximation lane (the Table IV comparator).
+
+    Per the I-BERT pipeline: a 16-bit range-reduction multiplier (the
+    divide-by-ln2 as multiplication by the reciprocal), the i-poly
+    squaring datapath — which operates on the *requantised 24-bit*
+    intermediate I-BERT's INT32 accumulation implies — adder/clip logic,
+    a 6-stage barrel shifter, the softmax-normaliser **divider** the
+    paper's §VI explicitly lists (an iterative integer divider, ~2x a
+    16-bit multiplier), and pipeline registers.  All priced with the same
+    component constants as NOVA's lane.
+    """
+    mult16 = mac_lane_cost(word_bits=16, tech=tech)
+    mult24 = mac_lane_cost(word_bits=24, tech=tech)  # i-poly square stage
+    adders_area = 200 * tech.nand2_area_um2
+    shifter_area = 16 * 6 * tech.mux2_area_um2_per_bit  # 6-stage barrel
+    pipe = register_bank_cost(bits=PIPELINE_REG_BITS, tech=tech)
+    area = {
+        "range_reduction_mult": mult16.area_um2,
+        "poly_mult_24b": mult24.area_um2,
+        "normaliser_divider": 2 * mult16.area_um2,
+        "adders_clip": adders_area,
+        "barrel_shifter": shifter_area,
+        "pipeline_regs": pipe.area_um2,
+    }
+    clocked = {
+        "pipeline_regs_clock": PIPELINE_REG_BITS * tech.ff_clock_pj_per_bit,
+    }
+    active = {
+        "range_reduction_mult": mult16.energy_per_op_pj,
+        "poly_mult_24b": mult24.energy_per_op_pj,
+        # the divider is shared across a softmax row: charge 1/8 per query
+        "normaliser_divider": 2 * mult16.energy_per_op_pj / 8.0,
+        "adders_clip": 200 * 2 * tech.mux_pj_per_bit,
+        "barrel_shifter": 16 * 6 * tech.mux_pj_per_bit,
+        "pipeline_regs": pipe.energy_per_op_pj,
+    }
+    return VectorUnitCost(
+        unit_name="ibert_lane",
+        neurons=1,
+        pe_frequency_ghz=pe_frequency_ghz,
+        tech=tech,
+        area_breakdown=area,
+        clocked_energy_breakdown_pj=clocked,
+        active_energy_breakdown_pj=active,
+    )
+
+
+def unit_cost(
+    unit_name: str,
+    neurons: int,
+    n_segments: int = 16,
+    pe_frequency_ghz: float = 1.0,
+    hop_mm: float = 1.0,
+    tech: TechNode = TECH_22NM,
+    extra_crossbars: tuple[tuple[int, int, int], ...] = (),
+) -> VectorUnitCost:
+    """Dispatch by unit name (``nova`` / ``per_neuron_lut`` / ... )."""
+    if unit_name == "nova":
+        return nova_router_cost(
+            neurons,
+            n_segments,
+            pe_frequency_ghz,
+            hop_mm,
+            tech,
+            extra_crossbars=extra_crossbars,
+        )
+    if unit_name == "per_neuron_lut":
+        return per_neuron_lut_cost(neurons, n_segments, pe_frequency_ghz, tech)
+    if unit_name == "per_core_lut":
+        return per_core_lut_cost(neurons, n_segments, pe_frequency_ghz, tech)
+    if unit_name == "nvdla_sdp":
+        return sdp_cost(neurons, n_segments, pe_frequency_ghz, tech)
+    raise ValueError(
+        f"unknown unit {unit_name!r}; expected one of nova, per_neuron_lut, "
+        "per_core_lut, nvdla_sdp"
+    )

@@ -1,0 +1,89 @@
+"""Energy accounting: event counters -> picojoules -> milliwatts.
+
+The cycle simulations (:mod:`repro.core`, :mod:`repro.luts`) count events;
+this module prices them.  Keeping the two separate lets one simulation run
+be costed under different technology assumptions, and makes the energy
+model unit-testable against the closed-form costs in
+:mod:`repro.hw.costs` (the integration tests check that simulating N fully
+utilised cycles and pricing the counters equals N x ``cycle_energy_pj``
+within rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.components import (
+    comparator_bank_cost,
+    link_wire_cost,
+    mac_lane_cost,
+    register_bank_cost,
+    sram_bank_cost,
+    tag_match_cost,
+)
+from repro.hw.costs import LINK_BITS, PIPELINE_REG_BITS
+from repro.hw.tech import TechNode, TECH_22NM
+from repro.noc.stats import EventCounters
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies for one hardware configuration.
+
+    Parameters describe the configuration the counters came from: table
+    size (comparator count, bank bytes), link geometry, and — for LUT
+    units — the bank port count.
+    """
+
+    n_segments: int = 16
+    hop_mm: float = 1.0
+    sram_ports: int = 1
+    tech: TechNode = TECH_22NM
+
+    def event_energy_pj(self, event: str) -> float:
+        """Energy of one occurrence of ``event``."""
+        t = self.tech
+        n_beats = max(1, -(-self.n_segments // 8))
+        if event == "comparator_eval":
+            return comparator_bank_cost(self.n_segments - 1, tech=t).energy_per_op_pj
+        if event == "mac_op":
+            return (
+                mac_lane_cost(tech=t).energy_per_op_pj
+                + register_bank_cost(PIPELINE_REG_BITS, tech=t).energy_per_op_pj
+            )
+        if event == "tag_match":
+            return tag_match_cost(
+                tag_bits=max(1, (n_beats - 1).bit_length()), tech=t
+            ).energy_per_op_pj
+        if event == "pair_capture":
+            return register_bank_cost(PIPELINE_REG_BITS, tech=t).energy_per_op_pj
+        if event == "wire_hop":
+            return link_wire_cost(LINK_BITS, self.hop_mm, tech=t).energy_per_op_pj
+        if event in ("register_write", "beat_launch"):
+            return register_bank_cost(LINK_BITS, tech=t).energy_per_op_pj
+        if event == "lut_read":
+            return sram_bank_cost(
+                capacity_bytes=self.n_segments * 4, n_ports=self.sram_ports, tech=t
+            ).energy_per_op_pj
+        if event == "postscale_op":
+            return 0.03  # SDP scale/offset ALU (see costs.SDP_ALU_ENERGY_PJ)
+        raise KeyError(f"no energy model for event {event!r}")
+
+    def energy_pj(self, counters: EventCounters) -> float:
+        """Total dynamic energy of a counted simulation run."""
+        return sum(
+            self.event_energy_pj(event) * n for event, n in counters.counts.items()
+        )
+
+    def average_power_mw(
+        self, counters: EventCounters, elapsed_cycles: int, frequency_ghz: float
+    ) -> float:
+        """Average dynamic power of a run of ``elapsed_cycles`` PE cycles."""
+        if elapsed_cycles < 1:
+            raise ValueError(f"elapsed_cycles must be >= 1, got {elapsed_cycles}")
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency_ghz must be > 0, got {frequency_ghz}")
+        elapsed_ns = elapsed_cycles / frequency_ghz
+        return self.energy_pj(counters) / elapsed_ns  # pJ/ns == mW

@@ -1,0 +1,74 @@
+"""SRAM macro model: area, read energy and leakage vs size and ports.
+
+Two effects matter for the paper's comparison:
+
+* **Periphery floor.**  A 64-byte macro is all periphery: decoders, sense
+  amplifiers and control dwarf the 512 cell bits.  This is why the
+  per-neuron LUT baseline is so expensive — it pays that floor once per
+  neuron.
+* **Multi-porting.**  Each extra port adds a wordline and bitline pair
+  per cell (cell area grows with port count) plus its own periphery
+  slice, and every read drives longer, more heavily loaded bitlines
+  (read energy grows with port count).  This is the per-core baseline's
+  power problem (§V-C.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tech import TechNode, TECH_22NM
+from repro.utils.validation import check_positive
+
+__all__ = ["SramMacroModel"]
+
+
+@dataclass(frozen=True)
+class SramMacroModel:
+    """Analytical model of one SRAM macro."""
+
+    capacity_bytes: int
+    n_ports: int = 1
+    tech: TechNode = TECH_22NM
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        if self.n_ports < 1:
+            raise ValueError(f"n_ports must be >= 1, got {self.n_ports}")
+
+    @property
+    def bits(self) -> int:
+        """Storage bits."""
+        return self.capacity_bytes * 8
+
+    def area_um2(self) -> float:
+        """Macro area: multi-port-scaled cells plus per-port periphery.
+
+        Cell area grows linearly-squared with ports (one extra wordline
+        *and* bitline pair each): ``(1 + f*(p-1))^2`` on the cell
+        footprint, the classical multi-port layout rule.
+        """
+        t = self.tech
+        port_growth = (1.0 + t.sram_multiport_cell_factor * (self.n_ports - 1)) ** 2
+        cell_area = self.bits * t.sram_cell_um2_per_bit * port_growth
+        periphery = (
+            t.sram_periphery_base_um2
+            + t.sram_periphery_per_port_um2 * (self.n_ports - 1)
+        )
+        return cell_area + periphery
+
+    def read_energy_pj(self) -> float:
+        """Energy of one read through one port.
+
+        The base is a 64-byte single-ported read; energy scales with the
+        square root of capacity (bitline length) and linearly with the
+        port count (bitline loading).
+        """
+        t = self.tech
+        size_factor = (self.capacity_bytes / 64.0) ** 0.5
+        port_factor = 1.0 + t.sram_read_port_factor * (self.n_ports - 1)
+        return t.sram_read_pj_base * size_factor * port_factor
+
+    def leakage_mw(self) -> float:
+        """Static power of the macro."""
+        return self.area_um2() * 1e-6 * self.tech.leakage_mw_per_mm2

@@ -1,0 +1,118 @@
+"""Technology node constants.
+
+The numbers are representative of a commercial 22 nm low-power process at
+0.8 V (the paper's operating voltage, Table II) and are consistent with
+standard scaling texts (Weste & Harris, "CMOS VLSI Design") and published
+component surveys.  They are deliberately *simple* — one number per
+component class — because the reproduction's claims are comparative; the
+per-unit-type calibration in :mod:`repro.hw.calibration` absorbs the
+residual against the paper's synthesis flow.
+
+28 nm constants (for the Table IV comparison against NACU, which was
+synthesised at 28 nm) are derived by classical constant-field scaling of
+the 22 nm values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TechNode", "TECH_22NM", "TECH_28NM"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Area / energy / leakage constants for one process corner.
+
+    Areas in um^2, energies in pJ (per operation at the stated voltage),
+    leakage in mW per mm^2 of active area.
+    """
+
+    name: str
+    feature_nm: float
+    voltage_v: float
+
+    # --- logic area ---------------------------------------------------
+    nand2_area_um2: float = 0.25          # NAND2-equivalent gate footprint
+    ff_area_um2_per_bit: float = 2.5      # DFF incl. local clocking
+    comparator_area_um2_per_bit: float = 0.8
+    mac16_area_um2: float = 475.0         # 16x16 multiplier + 32b add + round
+    mux2_area_um2_per_bit: float = 0.35
+
+    # --- SRAM macro ---------------------------------------------------
+    sram_cell_um2_per_bit: float = 0.15   # 6T cell incl. array overhead
+    sram_periphery_base_um2: float = 1400.0   # decoder/sense/control floor
+    sram_periphery_per_port_um2: float = 150.0
+    sram_multiport_cell_factor: float = 0.12  # extra cell area per port
+
+    # --- global wires (the resource NOVA trades memory for) ------------
+    wire_track_pitch_um: float = 0.2      # intermediate-metal pitch+space
+    wire_area_charge: float = 0.5         # fraction billed (routed over logic)
+    wire_cap_ff_per_mm: float = 200.0     # repeated-wire capacitance
+
+    # --- per-operation energies ---------------------------------------
+    comparator_pj_per_bit: float = 0.0001
+    mac16_pj: float = 0.04
+    ff_write_pj_per_bit: float = 0.0006   # data write (per toggled cycle)
+    ff_clock_pj_per_bit: float = 0.0004   # clock pin load (every cycle)
+    mux_pj_per_bit: float = 0.0001
+    sram_read_pj_base: float = 0.45       # 64 B single-ported read
+    sram_read_port_factor: float = 0.015  # extra energy per extra port
+    wire_activity: float = 0.15           # average toggle rate on the link
+    repeater_pj_per_bit_per_mm: float = 0.010
+
+    # --- static -------------------------------------------------------
+    leakage_mw_per_mm2: float = 8.0
+
+    def wire_energy_pj_per_bit_mm(self) -> float:
+        """Switching energy of 1 bit over 1 mm of repeated wire.
+
+        ``E = activity * 0.5 * C * V^2`` plus the repeater drivers.
+        """
+        cap_pf = self.wire_cap_ff_per_mm / 1000.0
+        switching = self.wire_activity * 0.5 * cap_pf * self.voltage_v ** 2
+        return switching + self.repeater_pj_per_bit_per_mm
+
+    def wire_area_um2_per_bit_mm(self) -> float:
+        """Die area billed for 1 bit of link over 1 mm."""
+        return self.wire_track_pitch_um * 1000.0 * self.wire_area_charge
+
+    def scaled_to(self, feature_nm: float, voltage_v: float) -> "TechNode":
+        """Constant-field scale to another node (for Table IV's 28 nm).
+
+        Area scales with the square of the feature ratio; dynamic energy
+        with ``s * v^2`` (capacitance down with s, voltage explicit);
+        leakage density is held (a deliberate simplification).
+        """
+        s = feature_nm / self.feature_nm
+        v = (voltage_v / self.voltage_v) ** 2
+        return replace(
+            self,
+            name=f"{feature_nm:g}nm@{voltage_v:g}V",
+            feature_nm=feature_nm,
+            voltage_v=voltage_v,
+            nand2_area_um2=self.nand2_area_um2 * s * s,
+            ff_area_um2_per_bit=self.ff_area_um2_per_bit * s * s,
+            comparator_area_um2_per_bit=self.comparator_area_um2_per_bit * s * s,
+            mac16_area_um2=self.mac16_area_um2 * s * s,
+            mux2_area_um2_per_bit=self.mux2_area_um2_per_bit * s * s,
+            sram_cell_um2_per_bit=self.sram_cell_um2_per_bit * s * s,
+            sram_periphery_base_um2=self.sram_periphery_base_um2 * s * s,
+            sram_periphery_per_port_um2=self.sram_periphery_per_port_um2 * s * s,
+            wire_track_pitch_um=self.wire_track_pitch_um * s,
+            comparator_pj_per_bit=self.comparator_pj_per_bit * s * v,
+            mac16_pj=self.mac16_pj * s * v,
+            ff_write_pj_per_bit=self.ff_write_pj_per_bit * s * v,
+            ff_clock_pj_per_bit=self.ff_clock_pj_per_bit * s * v,
+            mux_pj_per_bit=self.mux_pj_per_bit * s * v,
+            sram_read_pj_base=self.sram_read_pj_base * s * v,
+            repeater_pj_per_bit_per_mm=self.repeater_pj_per_bit_per_mm * s * v,
+            wire_cap_ff_per_mm=self.wire_cap_ff_per_mm,  # per-mm cap ~node-flat
+        )
+
+
+#: The paper's synthesis corner: commercial 22 nm CMOS at 0.8 V (Table II).
+TECH_22NM = TechNode(name="22nm@0.8V", feature_nm=22.0, voltage_v=0.8)
+
+#: NACU's corner (Table IV row 1), derived by constant-field scaling.
+TECH_28NM = TECH_22NM.scaled_to(feature_nm=28.0, voltage_v=0.9)

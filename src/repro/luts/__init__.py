@@ -1,0 +1,34 @@
+"""Baseline LUT-based vector units (what NOVA replaces).
+
+The paper models "two versions of LUT-based vector units ... a per-neuron
+LUT which maps each LUT (storing the slope and bias values) to every
+neuron which uses single ported banks and ... a per-core LUT which maps
+all the neurons to one multi-ported LUT bank ... These two versions give
+an estimate of two extreme variations of LUT-based architectures.  The
+size of each LUT bank is kept at 64 bytes each since 16 pairs of the
+slope and bias values are stored in each LUT" (§V-B).
+
+Both share NOVA's comparator front-end and MAC back-end and the 2-cycle
+pipeline of the Fig. 2 walkthrough (cycle 1: fetch slope/bias from the
+LUT, cycle 2: MAC); the difference against NOVA is purely *where the
+table lives* — SRAM banks here, the NoC wires there — which is why the
+evaluation holds latency equal and compares area/power/energy.
+
+:mod:`repro.luts.sdp` models NVDLA's Single Data Processor, the
+LUT-based activation engine NOVA replaces in the Jetson configuration.
+"""
+
+from repro.luts.sram_bank import SramBank
+from repro.luts.lut_unit import LutVectorUnit, LutResult
+from repro.luts.per_neuron import PerNeuronLutUnit
+from repro.luts.per_core import PerCoreLutUnit
+from repro.luts.sdp import NvdlaSdp
+
+__all__ = [
+    "SramBank",
+    "LutVectorUnit",
+    "LutResult",
+    "PerNeuronLutUnit",
+    "PerCoreLutUnit",
+    "NvdlaSdp",
+]

@@ -1,0 +1,139 @@
+"""Common machinery of the LUT-based baseline vector units.
+
+Both baselines implement the NN-LUT 2-cycle pipeline of the Fig. 2
+walkthrough: in cycle 1 the comparators form the lookup address and the
+LUT is read; in cycle 2 the MAC computes ``slope * x + bias``.  The
+subclasses differ only in bank organisation (see package docstring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.quantize import QuantizedPwl
+from repro.core.comparator import ComparatorBank
+from repro.core.mac import MacLane
+from repro.luts.sram_bank import SramBank
+from repro.noc.stats import EventCounters
+
+__all__ = ["LutVectorUnit", "LutResult"]
+
+#: Fetch + MAC, matching NOVA's end-to-end latency (paper §V-B: "Both
+#: baseline LUT versions operate at the same clock frequency as the rest
+#: of the accelerator, so NOVA's latency is identical to that of the
+#: baseline").
+PIPELINE_LATENCY_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class LutResult:
+    """One batch through a LUT unit (mirror of NOVA's result type)."""
+
+    outputs: np.ndarray
+    latency_pe_cycles: int
+    counters: EventCounters
+
+
+class LutVectorUnit:
+    """Base class: comparators + SRAM banks + MACs across cores.
+
+    Subclasses implement :meth:`_build_banks` (bank organisation) and
+    :meth:`_fetch` (which bank serves which neuron's read).
+    """
+
+    unit_name = "lut"
+
+    def __init__(
+        self,
+        table: QuantizedPwl,
+        n_cores: int,
+        neurons_per_core: int,
+    ) -> None:
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        if neurons_per_core < 1:
+            raise ValueError(
+                f"neurons_per_core must be >= 1, got {neurons_per_core}"
+            )
+        self.table = table
+        self.n_cores = n_cores
+        self.neurons_per_core = neurons_per_core
+        self.comparators = [
+            ComparatorBank(table=table, n_neurons=neurons_per_core)
+            for _ in range(n_cores)
+        ]
+        self.macs = [
+            MacLane(n_neurons=neurons_per_core, output_format=table.output_format)
+            for _ in range(n_cores)
+        ]
+        self.banks: list[list[SramBank]] = self._build_banks()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks.
+    # ------------------------------------------------------------------
+
+    def _build_banks(self) -> list[list[SramBank]]:
+        """Bank instances per core (organisation-specific)."""
+        raise NotImplementedError
+
+    def _fetch(
+        self, core: int, addresses: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cycle-1 fetch: (slopes_raw, biases_raw) for one core's neurons."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared pipeline.
+    # ------------------------------------------------------------------
+
+    def approximate(self, x: np.ndarray) -> LutResult:
+        """One batch of PE outputs through the 2-cycle pipeline.
+
+        ``x`` has shape ``(n_cores, neurons_per_core)``; the result is
+        bit-exact against the :class:`QuantizedPwl` golden model, like
+        NOVA's — the two implementations must agree bit-for-bit.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        expected = (self.n_cores, self.neurons_per_core)
+        if x.shape != expected:
+            raise ValueError(f"expected input shape {expected}, got {x.shape}")
+        before = self.lifetime_counters()
+        coeff_scale = self.table.coeff_format.scale
+        xq = self.table.input_format.quantize(self.table.quantized_pwl.clamp(x))
+        outputs = np.zeros_like(xq)
+        for core in range(self.n_cores):
+            addresses = self.comparators[core].lookup_addresses(x[core])
+            slopes_raw, biases_raw = self._fetch(core, addresses)
+            outputs[core] = self.macs[core].approximate(
+                slopes_raw * coeff_scale, xq[core], biases_raw * coeff_scale
+            )
+        return LutResult(
+            outputs=outputs,
+            latency_pe_cycles=PIPELINE_LATENCY_CYCLES,
+            counters=self.lifetime_counters().diff(before),
+        )
+
+    def golden_reference(self, x: np.ndarray) -> np.ndarray:
+        """The shared functional model (identical to NOVA's)."""
+        return self.table.evaluate(np.asarray(x, dtype=np.float64))
+
+    def lifetime_counters(self) -> EventCounters:
+        """All events so far across comparators, banks and MACs."""
+        merged = EventCounters()
+        for bank_row in self.banks:
+            for bank in bank_row:
+                merged = merged.merge(bank.counters)
+        for comp in self.comparators:
+            merged = merged.merge(comp.counters)
+        for mac in self.macs:
+            merged = merged.merge(mac.counters)
+        return merged
+
+    @property
+    def total_lut_bytes(self) -> int:
+        """Aggregate SRAM capacity across all banks (redundancy metric)."""
+        return sum(
+            bank.capacity_bytes for bank_row in self.banks for bank in bank_row
+        )

@@ -1,0 +1,41 @@
+"""Per-core LUT baseline: one multi-ported bank shared by all neurons.
+
+"A per-core LUT which maps all the neurons to one multi-ported LUT bank,
+which reduces the need to store multiple copies of the same data within a
+core to reduce the redundancy" (§V-B).  Storage drops to one table per
+core, but the bank needs as many read ports as neurons it serves — "higher
+number of ports to facilitate the sharing of each LUT output across all
+neurons, which leads to higher power consumption than the per-neuron LUT
+baseline" (§V-C.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.luts.lut_unit import LutVectorUnit
+from repro.luts.sram_bank import SramBank
+
+__all__ = ["PerCoreLutUnit"]
+
+
+class PerCoreLutUnit(LutVectorUnit):
+    """One ``neurons_per_core``-ported SRAM bank per core."""
+
+    unit_name = "per_core_lut"
+
+    def _build_banks(self) -> list[list[SramBank]]:
+        return [
+            [SramBank(table=self.table, n_ports=self.neurons_per_core)]
+            for _ in range(self.n_cores)
+        ]
+
+    def _fetch(
+        self, core: int, addresses: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.banks[core][0].read(addresses)
+
+    @property
+    def ports_per_bank(self) -> int:
+        """Read ports on each shared bank (= neurons per core)."""
+        return self.neurons_per_core

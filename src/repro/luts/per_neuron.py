@@ -1,0 +1,46 @@
+"""Per-neuron LUT baseline: one single-ported bank per neuron.
+
+"A per-neuron LUT which maps each LUT (storing the slope and bias values)
+to every neuron which uses single ported banks" (§V-B).  Every neuron owns
+a private copy of the same 64-byte table — maximal on-chip data redundancy
+(the redundancy NOVA's broadcast eliminates), but each read is a cheap
+single-ported access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.luts.lut_unit import LutVectorUnit
+from repro.luts.sram_bank import SramBank
+
+__all__ = ["PerNeuronLutUnit"]
+
+
+class PerNeuronLutUnit(LutVectorUnit):
+    """One single-ported SRAM bank per neuron per core."""
+
+    unit_name = "per_neuron_lut"
+
+    def _build_banks(self) -> list[list[SramBank]]:
+        return [
+            [SramBank(table=self.table, n_ports=1) for _ in range(self.neurons_per_core)]
+            for _ in range(self.n_cores)
+        ]
+
+    def _fetch(
+        self, core: int, addresses: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        slopes = np.zeros(self.neurons_per_core, dtype=np.int64)
+        biases = np.zeros(self.neurons_per_core, dtype=np.int64)
+        core_banks = self.banks[core]
+        for neuron, address in enumerate(addresses):
+            s, b = core_banks[neuron].read(np.array([address]))
+            slopes[neuron] = s[0]
+            biases[neuron] = b[0]
+        return slopes, biases
+
+    @property
+    def replicated_tables(self) -> int:
+        """Copies of the identical table held on chip (the redundancy)."""
+        return self.n_cores * self.neurons_per_core

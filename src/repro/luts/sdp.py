@@ -1,0 +1,57 @@
+"""NVDLA Single Data Processor (SDP) model.
+
+NVDLA's SDP is the engine that "compute[s] activation functions" in the
+stock Jetson configuration (§III-B.3); the paper compares it, as the
+incumbent LUT-based approximator, against NOVA attached directly to the
+convolution cores (§V-E: 4.99x area, 37.8x power in NOVA's favour).
+
+Functionally the SDP is modelled as a per-core LUT unit with NVDLA's
+geometry (16 output neurons per convolution core) plus the SDP's extra
+post-processing datapath (bias addition / batch-norm scaling stages),
+which is why its cost model in :mod:`repro.hw.calibration` carries a
+fixed per-engine overhead beyond the bare LUT bank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.quantize import QuantizedPwl
+from repro.luts.per_core import PerCoreLutUnit
+from repro.luts.lut_unit import LutResult
+
+__all__ = ["NvdlaSdp"]
+
+#: NVDLA convolution cores emit this many output neurons per cycle in the
+#: Jetson Xavier NX configuration of Table II.
+NVDLA_NEURONS_PER_CORE = 16
+
+
+class NvdlaSdp(PerCoreLutUnit):
+    """The stock NVDLA activation path (LUT-based), 16 lanes per core."""
+
+    unit_name = "nvdla_sdp"
+
+    def __init__(self, table: QuantizedPwl, n_cores: int = 2) -> None:
+        super().__init__(
+            table=table, n_cores=n_cores, neurons_per_core=NVDLA_NEURONS_PER_CORE
+        )
+
+    def process_with_postscale(
+        self, x: np.ndarray, scale: float = 1.0, offset: float = 0.0
+    ) -> LutResult:
+        """SDP activation plus its elementwise post-scaling stage.
+
+        NVDLA's SDP chains the activation LUT with per-channel scale/offset
+        (used for batch-norm folding); the post-scale stays in the same
+        fixed-point output format.
+        """
+        base = self.approximate(x)
+        scaled = self.table.output_format.quantize(base.outputs * scale + offset)
+        for mac in self.macs:
+            mac.counters.add("postscale_op", self.neurons_per_core)
+        return LutResult(
+            outputs=scaled,
+            latency_pe_cycles=base.latency_pe_cycles + 1,
+            counters=base.counters,
+        )

@@ -1,0 +1,74 @@
+"""SRAM LUT bank: the storage element of the baseline vector units.
+
+A bank stores the PWL table's slope/bias words.  The paper fixes each bank
+at 64 bytes — 16 pairs x 2 words x 16 bits.  Port count is the axis that
+separates the two baselines: the per-neuron variant uses many single-
+ported banks; the per-core variant shares one bank whose port count equals
+the neurons it serves, "which leads to higher power consumption" (§V-C.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.approx.quantize import QuantizedPwl
+from repro.noc.stats import EventCounters
+
+__all__ = ["SramBank"]
+
+
+@dataclass
+class SramBank:
+    """A (possibly multi-ported) SRAM bank holding one PWL table.
+
+    Attributes
+    ----------
+    table:
+        The quantised table whose coefficient words fill the bank.
+    n_ports:
+        Simultaneous read ports.  Reads beyond the port count in one cycle
+        are a modelling error (the hardware would need arbitration the
+        baselines do not have), so :meth:`read` enforces it.
+    """
+
+    table: QuantizedPwl
+    n_ports: int = 1
+    counters: EventCounters = field(default_factory=EventCounters)
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 1:
+            raise ValueError(f"n_ports must be >= 1, got {self.n_ports}")
+        self._words = self.table.coefficient_words()  # (n_segments, 2)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bank size in bytes (64 B for a 16-entry, 16-bit-word table)."""
+        word_bytes = self.table.coeff_format.word_bits / 8.0
+        return int(round(self._words.size * word_bytes))
+
+    @property
+    def n_entries(self) -> int:
+        """Addressable (slope, bias) entries."""
+        return self._words.shape[0]
+
+    def read(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One cycle of port reads: (slopes_raw, biases_raw) per address.
+
+        ``len(addresses)`` must not exceed the port count.  Each read is
+        counted once for the energy model, tagged with the bank's port
+        count (multi-ported reads cost more energy).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.ndim != 1:
+            raise ValueError(f"addresses must be 1-D, got shape {addresses.shape}")
+        if len(addresses) > self.n_ports:
+            raise ValueError(
+                f"{len(addresses)} simultaneous reads exceed the bank's "
+                f"{self.n_ports} ports"
+            )
+        if np.any(addresses < 0) or np.any(addresses >= self.n_entries):
+            raise ValueError("read address out of range")
+        self.counters.add("lut_read", len(addresses))
+        return self._words[addresses, 0].copy(), self._words[addresses, 1].copy()

@@ -1,0 +1,86 @@
+"""Tiny numpy NN framework for the Table I accuracy experiments.
+
+Table I evaluates model accuracy with the softmax replaced by its PWL
+approximation, *without retraining*.  This package provides just enough
+machinery to reproduce that experiment end to end on synthetic data:
+layers with forward/backward, an Adam trainer, deterministic dataset
+generators matching the architectural families of the paper's model zoo
+(MLP, CNN, depthwise-separable CNN, VGG-style CNN, tiny transformer
+encoders), and an inference harness whose softmax/GeLU are pluggable so
+the exact and approximated networks share every weight.
+"""
+
+from repro.ml.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    DepthwiseConv2D,
+    MaxPool2D,
+    Flatten,
+    ReLU,
+    GeLU,
+    Embedding,
+    LayerNorm,
+    MultiHeadSelfAttention,
+    MeanPool1D,
+    Sequential,
+    InferenceContext,
+)
+from repro.ml.datasets import (
+    Dataset,
+    make_mnist_like,
+    make_cifar_like,
+    make_sentiment_like,
+    make_span_qa_like,
+)
+from repro.ml.models import (
+    build_mlp,
+    build_cnn,
+    build_mobilenet_like,
+    build_vgg_like,
+    build_tiny_transformer,
+    build_span_qa_transformer,
+)
+from repro.ml.train import TrainConfig, train_classifier, evaluate_accuracy
+from repro.ml.approx_inference import (
+    accuracy_with_softmax,
+    table1_model_zoo,
+    ZooEntry,
+)
+from repro.ml.quantized import QuantizedModel, quantize_model
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool2D",
+    "Flatten",
+    "ReLU",
+    "GeLU",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadSelfAttention",
+    "MeanPool1D",
+    "Sequential",
+    "InferenceContext",
+    "Dataset",
+    "make_mnist_like",
+    "make_cifar_like",
+    "make_sentiment_like",
+    "make_span_qa_like",
+    "build_mlp",
+    "build_cnn",
+    "build_mobilenet_like",
+    "build_vgg_like",
+    "build_tiny_transformer",
+    "build_span_qa_transformer",
+    "TrainConfig",
+    "train_classifier",
+    "evaluate_accuracy",
+    "accuracy_with_softmax",
+    "table1_model_zoo",
+    "ZooEntry",
+    "QuantizedModel",
+    "quantize_model",
+]

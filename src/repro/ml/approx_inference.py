@@ -1,0 +1,134 @@
+"""Exact-vs-approximate inference: the Table I experiment core.
+
+For every zoo entry: train once with exact non-linearities, then evaluate
+the *same weights* twice — once with the exact softmax and once with the
+PWL softmax at the paper's breakpoint budget (16; 8 for the CIFAR-10
+family).  The classifier's final softmax is argmax-invariant under any
+monotone approximation, so the deltas Table I reports come entirely from
+the attention-internal softmax (and GeLU) of the transformer rows — which
+is exactly what our harness reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.approx.softmax import SoftmaxApproximator, make_softmax_approximator
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.ml.datasets import (
+    Dataset,
+    make_cifar_like,
+    make_mnist_like,
+    make_sentiment_like,
+    make_span_qa_like,
+)
+from repro.ml.layers import InferenceContext, Sequential
+from repro.ml.models import (
+    build_cnn,
+    build_mlp,
+    build_mobilenet_like,
+    build_tiny_transformer,
+    build_span_qa_transformer,
+    build_vgg_like,
+)
+from repro.ml.train import TrainConfig, evaluate_accuracy, train_classifier
+
+__all__ = ["ZooEntry", "table1_model_zoo", "accuracy_with_softmax"]
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One Table I row: a model family, its dataset and breakpoint budget."""
+
+    model_name: str
+    dataset_name: str
+    build: Callable[[], Sequential]
+    load: Callable[[], Dataset]
+    breakpoints: int
+    train_config: TrainConfig
+
+
+def table1_model_zoo() -> list[ZooEntry]:
+    """The six Table I rows at reproduction scale."""
+    return [
+        ZooEntry(
+            "MLP", "MNIST", build_mlp, make_mnist_like, 16,
+            TrainConfig(epochs=8, seed=100),
+        ),
+        ZooEntry(
+            "CNN", "CIFAR-10", build_cnn, make_cifar_like, 8,
+            TrainConfig(epochs=8, seed=101),
+        ),
+        ZooEntry(
+            "MobileNet v1", "CIFAR-10", build_mobilenet_like, make_cifar_like, 8,
+            TrainConfig(epochs=8, seed=102),
+        ),
+        ZooEntry(
+            "VGG-16", "CIFAR-10", build_vgg_like, make_cifar_like, 8,
+            TrainConfig(epochs=6, seed=103),
+        ),
+        ZooEntry(
+            "MobileBERT", "SQUAD", build_span_qa_transformer, make_span_qa_like,
+            16, TrainConfig(epochs=10, seed=104),
+        ),
+        ZooEntry(
+            "RoBERTa", "SST-2", build_tiny_transformer, make_sentiment_like, 16,
+            TrainConfig(epochs=10, seed=105),
+        ),
+    ]
+
+
+def _approx_context(
+    n_segments: int, seed: int = 0, include_gelu: bool = False
+) -> InferenceContext:
+    """Inference context with PWL softmax (and optionally PWL GeLU).
+
+    Table I approximates *softmax only* ("Accuracy with Approx.
+    Softmax"); ``include_gelu=True`` additionally routes GeLU through a
+    PWL table — the harder setting our extension column reports.
+    """
+    softmax: SoftmaxApproximator = make_softmax_approximator(
+        n_segments=n_segments, use_mlp=True, seed=seed
+    )
+    if not include_gelu:
+        return InferenceContext(softmax_fn=softmax, training=False)
+    gelu_spec = get_function("gelu")
+    gelu_table = train_nnlut_mlp(
+        gelu_spec, n_segments=n_segments, seed=seed
+    ).to_piecewise_linear(n_segments=n_segments)
+    return InferenceContext(
+        softmax_fn=softmax, gelu_fn=gelu_table.evaluate, training=False
+    )
+
+
+def accuracy_with_softmax(
+    entry: ZooEntry,
+) -> dict[str, float]:
+    """Train one zoo entry and report exact vs approximated accuracy.
+
+    Returns accuracies in percent: ``exact`` (no approximation),
+    ``approx`` (PWL softmax, the Table I column) and ``approx_all``
+    (PWL softmax *and* GeLU — our stricter extension).
+    """
+    dataset = entry.load()
+    model = entry.build()
+    train_classifier(model, dataset, entry.train_config)
+    exact = evaluate_accuracy(model, dataset.x_test, dataset.y_test)
+    approx = evaluate_accuracy(
+        model, dataset.x_test, dataset.y_test,
+        ctx=_approx_context(entry.breakpoints),
+    )
+    approx_all = evaluate_accuracy(
+        model, dataset.x_test, dataset.y_test,
+        ctx=_approx_context(entry.breakpoints, include_gelu=True),
+    )
+    return {
+        "exact": 100.0 * exact,
+        "approx": 100.0 * approx,
+        "approx_all": 100.0 * approx_all,
+        "breakpoints": float(entry.breakpoints),
+    }

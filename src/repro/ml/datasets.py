@@ -1,0 +1,181 @@
+"""Deterministic synthetic datasets standing in for the Table I corpora.
+
+The substitution rationale (DESIGN.md): Table I's claim is about the
+*approximator* — a 16/8-breakpoint PWL softmax does not change model
+predictions — not about the datasets.  Each generator below produces a
+learnable classification problem of the same modality as the original:
+
+* :func:`make_mnist_like` — 10-class 28x28 grayscale digits built from
+  per-class stroke templates plus noise (for the MLP row),
+* :func:`make_cifar_like` — 10-class 3x16x16 colour textures (for the
+  CNN / MobileNet / VGG rows),
+* :func:`make_sentiment_like` — binary token sequences whose class is
+  carried by sentiment-bearing token distributions (for the RoBERTa /
+  SST-2 row),
+* :func:`make_span_qa_like` — sequences with a marked answer span whose
+  start position the model must point at (for the MobileBERT / SQuAD
+  row).
+
+Everything is a pure function of the seed: train/test splits are
+reproducible across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Dataset",
+    "make_mnist_like",
+    "make_cifar_like",
+    "make_sentiment_like",
+    "make_span_qa_like",
+]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Train/test arrays plus descriptive metadata."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) != len(self.y_train):
+            raise ValueError("train arrays disagree on sample count")
+        if len(self.x_test) != len(self.y_test):
+            raise ValueError("test arrays disagree on sample count")
+
+
+def _split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    order = rng.permutation(len(x))
+    x, y = x[order], y[order]
+    n_test = int(len(x) * test_fraction)
+    return x[n_test:], y[n_test:], x[:n_test], y[:n_test]
+
+
+def make_mnist_like(
+    n_samples: int = 2400, seed: int = 0, test_fraction: float = 0.25
+) -> Dataset:
+    """10-class 784-dim 'digit' vectors from smooth class templates."""
+    rng = make_rng(seed)
+    n_classes = 10
+    # Smooth per-class templates: sums of random low-frequency 2-D cosines.
+    grid_y, grid_x = np.mgrid[0:28, 0:28] / 28.0
+    templates = np.zeros((n_classes, 28, 28))
+    for c in range(n_classes):
+        for _ in range(4):
+            fy, fx = rng.integers(1, 4, size=2)
+            phase_y, phase_x = rng.uniform(0, 2 * np.pi, size=2)
+            templates[c] += np.cos(2 * np.pi * fy * grid_y + phase_y) * np.cos(
+                2 * np.pi * fx * grid_x + phase_x
+            )
+        templates[c] /= np.abs(templates[c]).max()
+    labels = rng.integers(0, n_classes, size=n_samples)
+    # Noise level picked so the MLP lands in the high-90s band of the
+    # paper's MNIST row (97.31%) rather than saturating.
+    images = templates[labels] + rng.normal(0.0, 1.6, size=(n_samples, 28, 28))
+    x = images.reshape(n_samples, 784)
+    x_train, y_train, x_test, y_test = _split(x, labels, test_fraction, rng)
+    return Dataset("MNIST-like", x_train, y_train, x_test, y_test, n_classes)
+
+
+def make_cifar_like(
+    n_samples: int = 2000, seed: int = 1, test_fraction: float = 0.25
+) -> Dataset:
+    """10-class 3x16x16 colour-texture images.
+
+    Each class has a characteristic colour direction and spatial frequency;
+    the noise level is chosen so a small CNN lands in the 60-90% accuracy
+    band the paper's CIFAR-10 rows occupy.
+    """
+    rng = make_rng(seed)
+    n_classes = 10
+    grid_y, grid_x = np.mgrid[0:16, 0:16] / 16.0
+    templates = np.zeros((n_classes, 3, 16, 16))
+    for c in range(n_classes):
+        colour = rng.normal(0.0, 1.0, size=3)
+        colour /= np.linalg.norm(colour)
+        fy, fx = rng.integers(1, 5, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        pattern = np.sin(2 * np.pi * (fy * grid_y + fx * grid_x) + phase)
+        templates[c] = colour[:, None, None] * pattern
+    labels = rng.integers(0, n_classes, size=n_samples)
+    # Noise chosen so the three CNN families span the paper's CIFAR-10
+    # band (63-88%): small CNN ~70%, MobileNet-like ~60%, VGG-like ~90%.
+    images = templates[labels] + rng.normal(0.0, 1.5, size=(n_samples, 3, 16, 16))
+    x_train, y_train, x_test, y_test = _split(images, labels, test_fraction, rng)
+    return Dataset("CIFAR-like", x_train, y_train, x_test, y_test, n_classes)
+
+
+def make_sentiment_like(
+    n_samples: int = 1600,
+    seq_len: int = 16,
+    vocab: int = 64,
+    seed: int = 2,
+    test_fraction: float = 0.25,
+) -> Dataset:
+    """Binary 'sentiment' token sequences (SST-2 stand-in).
+
+    Tokens 0..7 are positive-bearing, 8..15 negative-bearing, the rest
+    neutral filler; a sequence's label is the sign of its sentiment-token
+    balance, mirroring how lexical polarity drives SST-2.
+    """
+    rng = make_rng(seed)
+    x = rng.integers(16, vocab, size=(n_samples, seq_len))
+    labels = rng.integers(0, 2, size=n_samples)
+    for i in range(n_samples):
+        n_marks = rng.integers(1, 4)
+        positions = rng.choice(seq_len, size=n_marks, replace=False)
+        low = 0 if labels[i] == 1 else 8
+        x[i, positions] = rng.integers(low, low + 8, size=n_marks)
+        # 30% of sentences carry one opposite-polarity distractor token,
+        # capping accuracy in the mid-90s band of the paper's SST-2 row.
+        if rng.random() < 0.3:
+            distractor = rng.choice(seq_len)
+            opposite = 8 if labels[i] == 1 else 0
+            x[i, distractor] = rng.integers(opposite, opposite + 8)
+    x_train, y_train, x_test, y_test = _split(x, labels, test_fraction, rng)
+    return Dataset("SST2-like", x_train, y_train, x_test, y_test, 2)
+
+
+def make_span_qa_like(
+    n_samples: int = 1600,
+    seq_len: int = 16,
+    vocab: int = 64,
+    seed: int = 3,
+    test_fraction: float = 0.25,
+) -> Dataset:
+    """Span-pointing sequences (SQuAD stand-in).
+
+    A marker token (id 1) precedes the answer token (drawn from a
+    distinctive range); the label is the *position* of the answer, so the
+    task is classification over positions — the discrete analogue of
+    SQuAD's start-pointer — and accuracy is exact-match.
+    """
+    rng = make_rng(seed)
+    x = rng.integers(16, vocab, size=(n_samples, seq_len))
+    labels = rng.integers(1, seq_len, size=n_samples)
+    for i in range(n_samples):
+        x[i, labels[i] - 1] = 1  # the marker
+        x[i, labels[i]] = rng.integers(8, 16)  # the answer token
+        # 22% of contexts contain a full decoy pattern (marker + answer-
+        # range token) at another position; genuinely ambiguous samples
+        # cap exact-match around the paper's SQuAD row (~89%).
+        if rng.random() < 0.22:
+            decoy = int(rng.integers(1, seq_len))
+            if decoy != labels[i] and decoy - 1 != labels[i]:
+                x[i, decoy - 1] = 1
+                x[i, decoy] = rng.integers(8, 16)
+    x_train, y_train, x_test, y_test = _split(x, labels, test_fraction, rng)
+    return Dataset("SQuAD-like", x_train, y_train, x_test, y_test, seq_len)

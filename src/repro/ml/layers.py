@@ -1,0 +1,506 @@
+"""Neural-network layers with forward/backward passes (numpy only).
+
+Design notes:
+
+* Every layer owns its parameters and gradients (``params()`` yields
+  ``Param`` records the optimiser updates in place).
+* ``forward(x, ctx)`` takes an :class:`InferenceContext` whose
+  ``softmax_fn`` / ``gelu_fn`` default to the exact functions.  Training
+  always uses the exact context; the Table I experiment swaps in PWL
+  approximations at inference time only ("without any retraining on the
+  respective datasets", paper §II).
+* ``backward`` is only required to be correct under the exact context —
+  approximated inference never backpropagates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.approx.functions import gelu as exact_gelu
+from repro.approx.softmax import exact_softmax
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Param",
+    "InferenceContext",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool2D",
+    "Flatten",
+    "ReLU",
+    "GeLU",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadSelfAttention",
+    "MeanPool1D",
+    "Sequential",
+]
+
+
+@dataclass
+class Param:
+    """A trainable tensor with its gradient accumulator."""
+
+    name: str
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.grad = np.zeros_like(self.value)
+
+
+@dataclass(frozen=True)
+class InferenceContext:
+    """Pluggable non-linearities for the forward pass.
+
+    ``softmax_fn(x, axis)`` and ``gelu_fn(x)``; the defaults are exact.
+    The Table I experiment builds a context whose functions route through
+    the PWL approximator.
+    """
+
+    softmax_fn: Callable[..., np.ndarray] = exact_softmax
+    gelu_fn: Callable[[np.ndarray], np.ndarray] = exact_gelu
+    training: bool = False
+
+
+EXACT_CONTEXT = InferenceContext()
+TRAIN_CONTEXT = InferenceContext(training=True)
+
+
+class Layer:
+    """Base layer: forward/backward plus parameter iteration."""
+
+    def params(self) -> list[Param]:
+        """Trainable parameters (default: none)."""
+        return []
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine layer ``x @ W + b`` on the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        rng = make_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.w = Param("w", rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.b = Param("b", np.zeros(out_features))
+        self._x: np.ndarray | None = None
+
+    def params(self) -> list[Param]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        self._x = x if ctx.training else None
+        return x @ self.w.value + self.b.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before training-mode forward"
+        x2 = self._x.reshape(-1, self._x.shape[-1])
+        g2 = grad.reshape(-1, grad.shape[-1])
+        self.w.grad += x2.T @ g2
+        self.b.grad += g2.sum(axis=0)
+        return grad @ self.w.value.T
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """(B, C, H, W) -> (B, out_h, out_w, C * k * k) patch matrix."""
+    b, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    shape = (b, c, out_h, out_w, kernel, kernel)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(b, out_h, out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col` (scatter-add patches back)."""
+    b, c, h, w = x_shape
+    padded = np.zeros((b, c, h + 2 * pad, w + 2 * pad))
+    out_h = cols.shape[1]
+    out_w = cols.shape[2]
+    cols6 = cols.reshape(b, out_h, out_w, c, kernel, kernel)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :, :, ki : ki + out_h * stride : stride, kj : kj + out_w * stride : stride
+            ] += cols6[:, :, :, :, ki, kj].transpose(0, 3, 1, 2)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2D(Layer):
+    """Standard convolution via im2col, stride 1, 'same' padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        seed: int = 0,
+    ) -> None:
+        rng = make_rng(seed)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.w = Param(
+            "w", rng.normal(0.0, scale, size=(fan_in, out_channels))
+        )
+        self.b = Param("b", np.zeros(out_channels))
+        self.kernel = kernel
+        self.pad = kernel // 2
+        self.in_channels = in_channels
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Param]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        cols, out_h, out_w = _im2col(x, self.kernel, 1, self.pad)
+        out = cols @ self.w.value + self.b.value  # (B, H, W, Cout)
+        if ctx.training:
+            self._cache = (cols, x.shape)
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before training-mode forward"
+        cols, x_shape = self._cache
+        g = grad.transpose(0, 2, 3, 1)  # (B, H, W, Cout)
+        g2 = g.reshape(-1, g.shape[-1])
+        self.w.grad += cols.reshape(-1, cols.shape[-1]).T @ g2
+        self.b.grad += g2.sum(axis=0)
+        dcols = g @ self.w.value.T
+        return _col2im(dcols, x_shape, self.kernel, 1, self.pad)
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise convolution (MobileNet's separable building block)."""
+
+    def __init__(self, channels: int, kernel: int = 3, seed: int = 0) -> None:
+        rng = make_rng(seed)
+        scale = np.sqrt(2.0 / (kernel * kernel))
+        self.w = Param(
+            "w", rng.normal(0.0, scale, size=(channels, kernel * kernel))
+        )
+        self.b = Param("b", np.zeros(channels))
+        self.kernel = kernel
+        self.pad = kernel // 2
+        self.channels = channels
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Param]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        cols, out_h, out_w = _im2col(x, self.kernel, 1, self.pad)
+        b = x.shape[0]
+        k2 = self.kernel * self.kernel
+        # (B, H, W, C, k*k): one small GEMV per channel.
+        cols5 = cols.reshape(b, out_h, out_w, self.channels, k2)
+        out = np.einsum("bhwck,ck->bchw", cols5, self.w.value) + self.b.value[
+            None, :, None, None
+        ]
+        if ctx.training:
+            self._cache = (cols5, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before training-mode forward"
+        cols5, x_shape = self._cache
+        self.w.grad += np.einsum("bhwck,bchw->ck", cols5, grad)
+        self.b.grad += grad.sum(axis=(0, 2, 3))
+        dcols5 = np.einsum("bchw,ck->bhwck", grad, self.w.value)
+        b, out_h, out_w = dcols5.shape[:3]
+        dcols = dcols5.reshape(b, out_h, out_w, -1)
+        return _col2im(dcols, x_shape, self.kernel, 1, self.pad)
+
+
+class MaxPool2D(Layer):
+    """2x2 max pooling, stride 2."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        b, c, h, w = x.shape
+        if h % 2 or w % 2:
+            raise ValueError(f"MaxPool2D needs even spatial dims, got {h}x{w}")
+        blocks = x.reshape(b, c, h // 2, 2, w // 2, 2)
+        out = blocks.max(axis=(3, 5))
+        if ctx.training:
+            self._mask = blocks == out[:, :, :, None, :, None]
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward before training-mode forward"
+        b, c, h, w = self._x_shape
+        expanded = self._mask * grad[:, :, :, None, :, None]
+        return expanded.reshape(b, c, h, w)
+
+
+class Flatten(Layer):
+    """(B, ...) -> (B, features)."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        if ctx.training:
+            self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x_shape is not None, "backward before training-mode forward"
+        return grad.reshape(self._x_shape)
+
+
+class ReLU(Layer):
+    """Elementwise max(x, 0)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        if ctx.training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward before training-mode forward"
+        return grad * self._mask
+
+
+class GeLU(Layer):
+    """GeLU routed through the context (approximable at inference)."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        if ctx.training:
+            self._x = x
+            return exact_gelu(x)
+        return ctx.gelu_fn(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before training-mode forward"
+        x = self._x
+        # d/dx gelu via the Gaussian pdf/cdf identities.
+        inv_sqrt2 = 1.0 / np.sqrt(2.0)
+        inv_sqrt2pi = 1.0 / np.sqrt(2.0 * np.pi)
+        from repro.approx.functions import erf
+
+        cdf = 0.5 * (1.0 + erf(x * inv_sqrt2))
+        pdf = inv_sqrt2pi * np.exp(-0.5 * x * x)
+        return grad * (cdf + x * pdf)
+
+
+class Embedding(Layer):
+    """Token ids (B, S) -> vectors (B, S, D)."""
+
+    def __init__(self, vocab: int, dim: int, seed: int = 0) -> None:
+        rng = make_rng(seed)
+        self.table = Param("table", rng.normal(0.0, 0.05, size=(vocab, dim)))
+        self._ids: np.ndarray | None = None
+
+    def params(self) -> list[Param]:
+        return [self.table]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        ids = np.asarray(x, dtype=np.int64)
+        if ctx.training:
+            self._ids = ids
+        return self.table.value[ids]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._ids is not None, "backward before training-mode forward"
+        np.add.at(self.table.grad, self._ids, grad)
+        return np.zeros_like(self._ids, dtype=np.float64)
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.gamma = Param("gamma", np.ones(dim))
+        self.beta = Param("beta", np.zeros(dim))
+        self.eps = eps
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Param]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        norm = (x - mean) * inv_std
+        if ctx.training:
+            self._cache = (norm, inv_std)
+        return norm * self.gamma.value + self.beta.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before training-mode forward"
+        norm, inv_std = self._cache
+        self.gamma.grad += (grad * norm).sum(axis=tuple(range(grad.ndim - 1)))
+        self.beta.grad += grad.sum(axis=tuple(range(grad.ndim - 1)))
+        g = grad * self.gamma.value
+        d = norm.shape[-1]
+        g_mean = g.mean(axis=-1, keepdims=True)
+        gn_mean = (g * norm).mean(axis=-1, keepdims=True)
+        return (g - g_mean - norm * gn_mean) * inv_std
+
+
+class MultiHeadSelfAttention(Layer):
+    """Multi-head self-attention with a context-pluggable softmax.
+
+    This is where Table I's approximation bites: the attention
+    probabilities feed downstream matmuls, so PWL softmax error can
+    propagate (unlike the final classifier softmax, whose argmax is
+    invariant to any monotone approximation).
+    """
+
+    def __init__(self, dim: int, heads: int, seed: int = 0) -> None:
+        if dim % heads != 0:
+            raise ValueError(f"dim ({dim}) must divide by heads ({heads})")
+        rng = make_rng(seed)
+        scale = np.sqrt(1.0 / dim)
+        self.wq = Param("wq", rng.normal(0.0, scale, size=(dim, dim)))
+        self.wk = Param("wk", rng.normal(0.0, scale, size=(dim, dim)))
+        self.wv = Param("wv", rng.normal(0.0, scale, size=(dim, dim)))
+        self.wo = Param("wo", rng.normal(0.0, scale, size=(dim, dim)))
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self._cache: tuple | None = None
+
+    def params(self) -> list[Param]:
+        return [self.wq, self.wk, self.wv, self.wo]
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        q = self._split(x @ self.wq.value)
+        k = self._split(x @ self.wk.value)
+        v = self._split(x @ self.wv.value)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if ctx.training:
+            probs = exact_softmax(scores, axis=-1)
+        else:
+            probs = ctx.softmax_fn(scores, axis=-1)
+        context = probs @ v
+        merged = self._merge(context)
+        out = merged @ self.wo.value
+        if ctx.training:
+            self._cache = (x, q, k, v, probs, merged)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before training-mode forward"
+        x, q, k, v, probs, merged = self._cache
+        b, s, _ = x.shape
+
+        self.wo.grad += merged.reshape(-1, self.dim).T @ grad.reshape(-1, self.dim)
+        d_merged = grad @ self.wo.value.T
+        d_context = self._split(d_merged)
+
+        d_probs = d_context @ v.transpose(0, 1, 3, 2)
+        d_v = probs.transpose(0, 1, 3, 2) @ d_context
+        # softmax backward: p * (g - sum(g * p))
+        inner = (d_probs * probs).sum(axis=-1, keepdims=True)
+        d_scores = probs * (d_probs - inner) / np.sqrt(self.head_dim)
+
+        d_q = d_scores @ k
+        d_k = d_scores.transpose(0, 1, 3, 2) @ q
+
+        d_xq = self._merge(d_q)
+        d_xk = self._merge(d_k)
+        d_xv = self._merge(d_v)
+        x2 = x.reshape(-1, self.dim)
+        self.wq.grad += x2.T @ d_xq.reshape(-1, self.dim)
+        self.wk.grad += x2.T @ d_xk.reshape(-1, self.dim)
+        self.wv.grad += x2.T @ d_xv.reshape(-1, self.dim)
+        return (
+            d_xq @ self.wq.value.T
+            + d_xk @ self.wk.value.T
+            + d_xv @ self.wv.value.T
+        )
+
+
+class MeanPool1D(Layer):
+    """(B, S, D) -> (B, D) mean over the sequence axis."""
+
+    def __init__(self) -> None:
+        self._seq_len: int | None = None
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        if ctx.training:
+            self._seq_len = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._seq_len is not None, "backward before training-mode forward"
+        return np.repeat(grad[:, None, :], self._seq_len, axis=1) / self._seq_len
+
+
+class Sequential(Layer):
+    """An ordered stack of layers."""
+
+    def __init__(self, layers: list[Layer], name: str = "model") -> None:
+        self.layers = layers
+        self.name = name
+
+    def params(self) -> list[Param]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def forward(self, x: np.ndarray, ctx: InferenceContext) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, ctx)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grads(self) -> None:
+        """Reset every parameter gradient (start of a minibatch)."""
+        for p in self.params():
+            p.grad[...] = 0.0

@@ -1,0 +1,198 @@
+"""Model builders for the Table I zoo (reduced-scale, same families)."""
+
+from __future__ import annotations
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Embedding,
+    Flatten,
+    GeLU,
+    Layer,
+    LayerNorm,
+    MaxPool2D,
+    MeanPool1D,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+    InferenceContext,
+)
+
+__all__ = [
+    "build_mlp",
+    "build_cnn",
+    "build_mobilenet_like",
+    "build_vgg_like",
+    "build_tiny_transformer",
+    "build_span_qa_transformer",
+    "TransformerEncoderBlock",
+]
+
+
+def build_mlp(seed: int = 10) -> Sequential:
+    """784 -> 64 -> 10 MLP (the Table I MNIST row's family)."""
+    return Sequential(
+        [
+            Dense(784, 64, seed=seed),
+            ReLU(),
+            Dense(64, 10, seed=seed + 1),
+        ],
+        name="MLP",
+    )
+
+
+def build_cnn(seed: int = 20) -> Sequential:
+    """Small plain CNN for 3x16x16 inputs (the Table I CNN row)."""
+    return Sequential(
+        [
+            Conv2D(3, 8, seed=seed),
+            ReLU(),
+            MaxPool2D(),
+            Conv2D(8, 16, seed=seed + 1),
+            ReLU(),
+            MaxPool2D(),
+            Flatten(),
+            Dense(16 * 4 * 4, 10, seed=seed + 2),
+        ],
+        name="CNN",
+    )
+
+
+def build_mobilenet_like(seed: int = 30) -> Sequential:
+    """Depthwise-separable CNN (the MobileNet v1 row's family)."""
+    return Sequential(
+        [
+            Conv2D(3, 8, seed=seed),
+            ReLU(),
+            DepthwiseConv2D(8, seed=seed + 1),
+            Conv2D(8, 16, kernel=1, seed=seed + 2),
+            ReLU(),
+            MaxPool2D(),
+            DepthwiseConv2D(16, seed=seed + 3),
+            Conv2D(16, 32, kernel=1, seed=seed + 4),
+            ReLU(),
+            MaxPool2D(),
+            Flatten(),
+            Dense(32 * 4 * 4, 10, seed=seed + 5),
+        ],
+        name="MobileNet v1",
+    )
+
+
+def build_vgg_like(seed: int = 40) -> Sequential:
+    """Stacked 3x3 conv blocks (the VGG-16 row's family)."""
+    return Sequential(
+        [
+            Conv2D(3, 16, seed=seed),
+            ReLU(),
+            Conv2D(16, 16, seed=seed + 1),
+            ReLU(),
+            MaxPool2D(),
+            Conv2D(16, 32, seed=seed + 2),
+            ReLU(),
+            Conv2D(32, 32, seed=seed + 3),
+            ReLU(),
+            MaxPool2D(),
+            Flatten(),
+            Dense(32 * 4 * 4, 64, seed=seed + 4),
+            ReLU(),
+            Dense(64, 10, seed=seed + 5),
+        ],
+        name="VGG-16",
+    )
+
+
+class TransformerEncoderBlock(Layer):
+    """Pre-norm encoder block: LN -> MHSA -> +x, LN -> FFN(GeLU) -> +x."""
+
+    def __init__(self, dim: int, heads: int, ffn_dim: int, seed: int = 0) -> None:
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, heads, seed=seed)
+        self.ln2 = LayerNorm(dim)
+        self.ffn_up = Dense(dim, ffn_dim, seed=seed + 1)
+        self.gelu = GeLU()
+        self.ffn_down = Dense(ffn_dim, dim, seed=seed + 2)
+
+    def params(self):
+        return (
+            self.ln1.params()
+            + self.attn.params()
+            + self.ln2.params()
+            + self.ffn_up.params()
+            + self.ffn_down.params()
+        )
+
+    def forward(self, x, ctx: InferenceContext):
+        attn_out = self.attn.forward(self.ln1.forward(x, ctx), ctx)
+        x = x + attn_out
+        ffn = self.ffn_down.forward(
+            self.gelu.forward(self.ffn_up.forward(self.ln2.forward(x, ctx), ctx), ctx),
+            ctx,
+        )
+        return x + ffn
+
+    def backward(self, grad):
+        d_ffn = self.ffn_down.backward(grad)
+        d_gelu = self.gelu.backward(d_ffn)
+        d_up = self.ffn_up.backward(d_gelu)
+        d_ln2 = self.ln2.backward(d_up)
+        grad = grad + d_ln2
+        d_attn = self.attn.backward(grad)
+        d_ln1 = self.ln1.backward(d_attn)
+        return grad + d_ln1
+
+
+def build_tiny_transformer(
+    vocab: int = 64,
+    dim: int = 32,
+    heads: int = 2,
+    layers: int = 2,
+    n_classes: int = 2,
+    seed: int = 50,
+) -> Sequential:
+    """Sequence classifier (the RoBERTa / SST-2 row's family)."""
+    stack: list[Layer] = [Embedding(vocab, dim, seed=seed)]
+    for i in range(layers):
+        stack.append(
+            TransformerEncoderBlock(dim, heads, dim * 4, seed=seed + 10 * (i + 1))
+        )
+    stack.extend([MeanPool1D(), Dense(dim, n_classes, seed=seed + 99)])
+    return Sequential(stack, name="RoBERTa")
+
+
+class _PerTokenHead(Layer):
+    """(B, S, D) -> (B, S) start-position logits via a shared projection."""
+
+    def __init__(self, dim: int, seed: int = 0) -> None:
+        self.proj = Dense(dim, 1, seed=seed)
+
+    def params(self):
+        return self.proj.params()
+
+    def forward(self, x, ctx: InferenceContext):
+        return self.proj.forward(x, ctx)[..., 0]
+
+    def backward(self, grad):
+        return self.proj.backward(grad[..., None])
+
+
+def build_span_qa_transformer(
+    vocab: int = 64,
+    dim: int = 32,
+    heads: int = 2,
+    layers: int = 2,
+    seed: int = 60,
+) -> Sequential:
+    """Start-pointer model (the MobileBERT / SQuAD row's family).
+
+    Classifies over sequence positions; accuracy is exact span-start
+    match, the discrete analogue of the SQuAD exact-match metric.
+    """
+    stack: list[Layer] = [Embedding(vocab, dim, seed=seed)]
+    for i in range(layers):
+        stack.append(
+            TransformerEncoderBlock(dim, heads, dim * 4, seed=seed + 10 * (i + 1))
+        )
+    stack.append(_PerTokenHead(dim, seed=seed + 99))
+    return Sequential(stack, name="MobileBERT")

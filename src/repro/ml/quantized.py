@@ -1,0 +1,136 @@
+"""Post-training INT8 quantisation for the Table I models.
+
+The paper targets *edge* inference, where models are deployed quantised;
+this extension checks that the PWL softmax's "negligible loss" property
+survives on top of INT8 weights/activations — the compound setting a
+Jetson-class deployment actually runs.
+
+The scheme is standard symmetric per-tensor post-training quantisation:
+weights are rounded to INT8 once; activations are quantised at every
+layer boundary with scales calibrated on a small sample of training
+data.  Only inference is supported (Table I never retrains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    InferenceContext,
+    Layer,
+    Sequential,
+)
+
+__all__ = ["QuantizedModel", "quantize_model"]
+
+_INT8_MAX = 127
+
+
+def _quantize_tensor(x: np.ndarray, scale: float) -> np.ndarray:
+    """Symmetric INT8 rounding at a given scale."""
+    return np.clip(np.rint(x / scale), -_INT8_MAX - 1, _INT8_MAX)
+
+
+def _scale_for(x: np.ndarray) -> float:
+    """Per-tensor symmetric scale covering the observed range."""
+    peak = float(np.max(np.abs(x)))
+    return max(peak, 1e-8) / _INT8_MAX
+
+
+@dataclass
+class _QuantizedAffine:
+    """An INT8 weight tensor plus its dequantisation scales."""
+
+    layer: Layer
+    w_int: np.ndarray
+    w_scale: float
+    act_scale: float
+
+
+class QuantizedModel:
+    """INT8 inference wrapper around a trained Sequential model.
+
+    Affine layers (Dense / Conv2D / DepthwiseConv2D) run with quantised
+    weights and inputs: the INT8 x INT8 products accumulate in int32-like
+    float64 integers and are dequantised with ``w_scale * act_scale``
+    (bit-exact to an integer MAC array).  All other layers — activations,
+    pooling, attention — run on the dequantised values through the usual
+    inference context, so the PWL softmax/GeLU plug in unchanged.
+    """
+
+    def __init__(self, model: Sequential, calibration: np.ndarray) -> None:
+        self.model = model
+        self._quantized: dict[int, _QuantizedAffine] = {}
+        self._calibrate(calibration)
+
+    def _calibrate(self, x: np.ndarray) -> None:
+        """One float pass recording activation scales, then weight quant."""
+        ctx = InferenceContext()
+        current = np.asarray(x, dtype=np.float64)
+        for index, layer in enumerate(self.model.layers):
+            if isinstance(layer, (Dense, Conv2D, DepthwiseConv2D)):
+                w = layer.w.value
+                w_scale = _scale_for(w)
+                self._quantized[index] = _QuantizedAffine(
+                    layer=layer,
+                    w_int=_quantize_tensor(w, w_scale),
+                    w_scale=w_scale,
+                    act_scale=_scale_for(current),
+                )
+            current = layer.forward(current, ctx)
+
+    def forward(
+        self, x: np.ndarray, ctx: InferenceContext | None = None
+    ) -> np.ndarray:
+        """INT8 inference under the given (possibly approximated) context."""
+        ctx = ctx or InferenceContext()
+        current = np.asarray(x, dtype=np.float64)
+        for index, layer in enumerate(self.model.layers):
+            record = self._quantized.get(index)
+            if record is None:
+                current = layer.forward(current, ctx)
+                continue
+            x_int = _quantize_tensor(current, record.act_scale)
+            # run the layer with its weights temporarily swapped to the
+            # integer grid; the affine maths is linear so the result is
+            # (integer accumulation) * (w_scale * act_scale)
+            original = record.layer.w.value
+            record.layer.w.value = record.w_int
+            try:
+                acc = layer.forward(x_int, ctx)
+                bias = layer.b.value
+                # forward added the float bias to integer-scale values;
+                # remove it, rescale, then re-add in real units
+                acc = acc - bias
+            finally:
+                record.layer.w.value = original
+            current = acc * (record.w_scale * record.act_scale) + bias
+        return current
+
+    def accuracy(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        ctx: InferenceContext | None = None,
+        batch_size: int = 256,
+    ) -> float:
+        """Top-1 accuracy of the quantised model."""
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            logits = self.forward(x[start : start + batch_size], ctx)
+            correct += int(
+                np.sum(logits.argmax(axis=-1) == y[start : start + batch_size])
+            )
+        return correct / len(x)
+
+
+def quantize_model(
+    model: Sequential, calibration: np.ndarray
+) -> QuantizedModel:
+    """Post-training-quantise a trained model with a calibration batch."""
+    return QuantizedModel(model, calibration)

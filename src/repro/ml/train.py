@@ -1,0 +1,90 @@
+"""Minimal Adam trainer + accuracy evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.softmax import exact_softmax
+from repro.ml.datasets import Dataset
+from repro.ml.layers import InferenceContext, Sequential
+from repro.utils.rng import make_rng
+
+__all__ = ["TrainConfig", "train_classifier", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters for the small Table I models."""
+
+    epochs: int = 8
+    batch_size: int = 64
+    learning_rate: float = 3e-3
+    seed: int = 0
+
+
+def _cross_entropy_grad(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean CE loss and dL/dlogits for integer labels."""
+    probs = exact_softmax(logits, axis=-1)
+    n = len(labels)
+    loss = float(-np.mean(np.log(probs[np.arange(n), labels] + 1e-12)))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def train_classifier(
+    model: Sequential, dataset: Dataset, config: TrainConfig | None = None
+) -> list[float]:
+    """Train in place; returns the per-epoch training losses."""
+    config = config or TrainConfig()
+    rng = make_rng(config.seed)
+    params = model.params()
+    m = [np.zeros_like(p.value) for p in params]
+    v = [np.zeros_like(p.value) for p in params]
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    step = 0
+    ctx = InferenceContext(training=True)
+    losses = []
+    n = len(dataset.x_train)
+    for _ in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            x, y = dataset.x_train[idx], dataset.y_train[idx]
+            model.zero_grads()
+            logits = model.forward(x, ctx)
+            loss, grad = _cross_entropy_grad(logits, y)
+            model.backward(grad)
+            step += 1
+            for i, p in enumerate(params):
+                m[i] = beta1 * m[i] + (1 - beta1) * p.grad
+                v[i] = beta2 * v[i] + (1 - beta2) * p.grad * p.grad
+                m_hat = m[i] / (1 - beta1 ** step)
+                v_hat = v[i] / (1 - beta2 ** step)
+                p.value -= config.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            epoch_loss += loss
+            n_batches += 1
+        losses.append(epoch_loss / max(n_batches, 1))
+    return losses
+
+
+def evaluate_accuracy(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    ctx: InferenceContext | None = None,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy under the given inference context (default exact)."""
+    ctx = ctx or InferenceContext()
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start : start + batch_size], ctx)
+        correct += int(np.sum(logits.argmax(axis=-1) == y[start : start + batch_size]))
+    return correct / len(x)

@@ -1,0 +1,51 @@
+"""Generic network-on-chip substrate (cycle-level).
+
+NOVA overlays a 1-D line NoC with SMART-style clockless repeaters on top of
+an existing accelerator.  This package provides the generic pieces NOVA is
+built from — a synchronous multi-clock-domain cycle engine, flits/links
+with single-cycle multi-hop bypass, router port primitives, topologies and
+event counters — while :mod:`repro.core` adds the NOVA-specific router and
+broadcast protocol on top.
+
+The cycle engine runs at the *fastest* clock in the system (the NOVA NoC
+clock, which is an integer multiple of the PE clock); slower components
+tick on the cycles where their domain is active.
+"""
+
+from repro.noc.engine import ClockDomain, CycleEngine, Tickable
+from repro.noc.packet import Flit, BroadcastFlit
+from repro.noc.link import Link, RepeatedWire
+from repro.noc.router import BufferedInputPort, RouterBase, PortState
+from repro.noc.topology import LineTopology
+from repro.noc.stats import EventCounters
+from repro.noc.faults import LinkFault, apply_fault, affected_addresses
+from repro.noc.broadcast_topologies import (
+    BroadcastTopology,
+    compare_topologies,
+    line_broadcast,
+    tree_broadcast,
+    star_broadcast,
+)
+
+__all__ = [
+    "ClockDomain",
+    "CycleEngine",
+    "Tickable",
+    "Flit",
+    "BroadcastFlit",
+    "Link",
+    "RepeatedWire",
+    "BufferedInputPort",
+    "RouterBase",
+    "PortState",
+    "LineTopology",
+    "EventCounters",
+    "LinkFault",
+    "apply_fault",
+    "affected_addresses",
+    "BroadcastTopology",
+    "compare_topologies",
+    "line_broadcast",
+    "tree_broadcast",
+    "star_broadcast",
+]

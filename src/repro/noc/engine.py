@@ -1,0 +1,91 @@
+"""Synchronous cycle engine with integer-ratio clock domains.
+
+NOVA runs its NoC at ``n_beats`` times the PE clock (2x for 16-entry
+tables) so a full table broadcast fits inside one PE cycle (paper §IV).
+The engine therefore simulates at the fastest clock; a component registered
+in a slower domain ticks only on that domain's active edges.
+
+Two-phase update discipline: every component's :meth:`Tickable.tick` reads
+its inputs and computes, then :meth:`Tickable.commit` latches new state.
+All ticks in a cycle observe the *previous* cycle's outputs, which is what
+makes the simulation order-independent (the same discipline as an RTL
+simulator's non-blocking assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClockDomain", "Tickable", "CycleEngine"]
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A clock that ticks once every ``period`` engine cycles.
+
+    ``period = 1`` is the fastest clock in the system (the engine clock);
+    the PE clock in a 2-beat NOVA configuration has ``period = 2``.
+    """
+
+    name: str
+    period: int = 1
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not 0 <= self.phase < self.period:
+            raise ValueError(
+                f"phase must be in [0, {self.period}), got {self.phase}"
+            )
+
+    def active(self, engine_cycle: int) -> bool:
+        """True when this domain has a rising edge on ``engine_cycle``."""
+        return engine_cycle % self.period == self.phase
+
+    def local_cycle(self, engine_cycle: int) -> int:
+        """This domain's own cycle count at ``engine_cycle``."""
+        return (engine_cycle - self.phase) // self.period
+
+
+class Tickable:
+    """Interface for clocked components (two-phase update)."""
+
+    def tick(self, local_cycle: int) -> None:
+        """Combinational phase: read inputs, compute next state."""
+
+    def commit(self, local_cycle: int) -> None:
+        """Sequential phase: latch next state into visible state."""
+
+
+@dataclass
+class CycleEngine:
+    """Runs registered components under their clock domains."""
+
+    components: list[tuple[ClockDomain, Tickable]] = field(default_factory=list)
+    engine_cycle: int = 0
+
+    def add(self, domain: ClockDomain, component: Tickable) -> None:
+        """Register ``component`` to tick on ``domain``'s edges."""
+        self.components.append((domain, component))
+
+    def step(self) -> None:
+        """Advance the engine by one (fastest-clock) cycle."""
+        cycle = self.engine_cycle
+        active = [
+            (domain.local_cycle(cycle), component)
+            for domain, component in self.components
+            if domain.active(cycle)
+        ]
+        for local_cycle, component in active:
+            component.tick(local_cycle)
+        for local_cycle, component in active:
+            component.commit(local_cycle)
+        self.engine_cycle += 1
+
+    def run(self, n_cycles: int) -> None:
+        """Advance by ``n_cycles`` engine cycles."""
+        if n_cycles < 0:
+            raise ValueError(f"n_cycles must be >= 0, got {n_cycles}")
+        for _ in range(n_cycles):
+            self.step()

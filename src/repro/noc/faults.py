@@ -1,0 +1,87 @@
+"""Fault injection on the NOVA link.
+
+NOVA replaces SRAM (with its well-understood ECC story) by long repeated
+wires, so a natural robustness question — beyond the paper's scope, but
+essential for anyone deploying the idea — is: *what does one flipped link
+wire do to the computation?*  This module injects single-bit faults into
+the bit-true wire image (:mod:`repro.approx.bitpack`) and the analysis in
+the tests demonstrates the containment property: a flipped coefficient
+wire corrupts at most the neurons whose lookup address selects that
+(beat, pair); a flipped tag wire corrupts at most one beat's captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.bitpack import bit_field_of, decode_beat, encode_beat, flip_bit
+from repro.approx.quantize import LinkBeat
+
+__all__ = ["LinkFault", "apply_fault", "affected_addresses"]
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A single-bit upset on one beat of one broadcast.
+
+    Attributes
+    ----------
+    beat_index:
+        Which beat of the broadcast is hit (equals the beat's tag for the
+        in-order broadcast).
+    bit:
+        Which of the 257 wires flips.
+    from_router:
+        The wire segment where the flip occurs: every router with id >=
+        ``from_router`` observes the corrupted beat, routers before it the
+        clean one (the broadcast flows head -> tail).
+    """
+
+    beat_index: int
+    bit: int
+    from_router: int = 0
+
+    def __post_init__(self) -> None:
+        if self.beat_index < 0:
+            raise ValueError(f"beat_index must be >= 0, got {self.beat_index}")
+        if self.from_router < 0:
+            raise ValueError(f"from_router must be >= 0, got {self.from_router}")
+        # bit range validated by flip_bit at application time
+
+    @property
+    def field(self) -> tuple[str, int]:
+        """(field_kind, pair_index) of the flipped wire."""
+        return bit_field_of(self.bit)
+
+
+def apply_fault(beat: LinkBeat, fault: LinkFault) -> LinkBeat:
+    """The beat as observed downstream of the flipped wire.
+
+    Encodes the beat to its 257-bit image, flips the wire, decodes.  Note
+    a tag-wire flip changes which addresses match the beat, not the
+    payload.
+    """
+    return decode_beat(flip_bit(encode_beat(beat), fault.bit))
+
+
+def affected_addresses(fault: LinkFault, n_segments: int, n_beats: int) -> set[int]:
+    """Lookup addresses whose captured pair can differ under ``fault``.
+
+    * a slope/bias wire of pair ``p`` affects only the address mapped to
+      slot ``p`` of the faulted beat;
+    * the tag wire affects every address whose pair rides the faulted
+      beat (they miss their match) **and** every address expecting the
+      complementary tag (they may falsely match) — conservatively, all
+      addresses of both parities involved, i.e. the whole table for a
+      2-beat broadcast.
+    """
+    if n_beats < 1 or (n_beats & (n_beats - 1)):
+        raise ValueError(f"n_beats must be a power of two, got {n_beats}")
+    kind, pair = fault.field
+    if kind == "tag":
+        return set(range(n_segments))
+    shift = (n_beats - 1).bit_length()
+    address = (pair << shift) | fault.beat_index
+    if address >= n_segments:
+        return set()  # zero-filled slot: flip lands on unused wires
+    return {address}

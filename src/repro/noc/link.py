@@ -1,0 +1,93 @@
+"""Links and SMART-style repeated wires.
+
+NOVA's single-cycle multi-hop broadcast relies on clockless repeaters, as
+in SMART NoCs (Krishna et al., HPCA 2013): a flit launched at the head of
+the line ripples through the asynchronous repeaters of consecutive routers
+within one clock period, as long as the total repeated-wire delay fits in
+the period.  The paper's place-and-route result is that **10 routers placed
+1 mm apart can be traversed at 1.5 GHz** (§V-A "Scalability"); the
+:class:`RepeatedWire` model is calibrated to exactly that corner and is
+what the mapper queries to decide how many hops fit in a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["RepeatedWire", "Link"]
+
+
+@dataclass(frozen=True)
+class RepeatedWire:
+    """Delay model for a repeated global wire at a fixed technology corner.
+
+    With optimally spaced repeaters, wire delay grows linearly with
+    distance; each router on the path adds a small fixed pass-through
+    (receiver + bypass mux + driver) delay.
+
+    Attributes
+    ----------
+    delay_per_mm_ps:
+        Repeated-wire delay per millimetre (ps/mm).  ~66 ps/mm reproduces
+        the paper's 10-hop @ 1 mm @ 1.5 GHz corner together with the
+        default bypass delay below.
+    router_bypass_ps:
+        Per-router asynchronous pass-through delay (ps).
+    setup_margin_ps:
+        Clocking overhead reserved per cycle (setup + skew), since "the
+        clock edge [is] registered at NoC inputs" (paper §V-A).
+    """
+
+    delay_per_mm_ps: float = 56.0
+    router_bypass_ps: float = 8.0
+    setup_margin_ps: float = 26.0
+
+    def __post_init__(self) -> None:
+        check_positive("delay_per_mm_ps", self.delay_per_mm_ps)
+        check_positive("router_bypass_ps", self.router_bypass_ps)
+        if self.setup_margin_ps < 0:
+            raise ValueError("setup_margin_ps must be >= 0")
+
+    def path_delay_ps(self, n_hops: int, hop_mm: float) -> float:
+        """End-to-end delay of ``n_hops`` hops of ``hop_mm`` wire each."""
+        if n_hops < 0:
+            raise ValueError(f"n_hops must be >= 0, got {n_hops}")
+        check_positive("hop_mm", hop_mm)
+        return n_hops * (hop_mm * self.delay_per_mm_ps + self.router_bypass_ps)
+
+    def max_hops_per_cycle(self, frequency_ghz: float, hop_mm: float = 1.0) -> int:
+        """Largest hop count whose path delay fits in one clock period."""
+        check_positive("frequency_ghz", frequency_ghz)
+        period_ps = 1000.0 / frequency_ghz
+        budget = period_ps - self.setup_margin_ps
+        if budget <= 0:
+            return 0
+        per_hop = hop_mm * self.delay_per_mm_ps + self.router_bypass_ps
+        return int(budget // per_hop)
+
+    def max_frequency_ghz(self, n_hops: int, hop_mm: float = 1.0) -> float:
+        """Highest clock at which ``n_hops`` hops fit in a single cycle."""
+        delay = self.path_delay_ps(n_hops, hop_mm) + self.setup_margin_ps
+        if delay <= 0:
+            raise ValueError("path delay must be positive")
+        return 1000.0 / delay
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link: width in bits plus physical length.
+
+    The NOVA link is 257 bits (16 16-bit words + tag).  ``length_mm`` feeds
+    both the timing model above and the wire energy model in
+    :mod:`repro.hw.wires`.
+    """
+
+    width_bits: int = 257
+    length_mm: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ValueError(f"width_bits must be >= 1, got {self.width_bits}")
+        check_positive("length_mm", self.length_mm)

@@ -1,0 +1,55 @@
+"""Flit types carried by the NOVA NoC.
+
+The NOVA link is a single-flit-wide broadcast medium: each beat carries
+8 slope/bias pairs plus a tag (257 bits).  There is no multi-flit
+packetisation or credit flow — the line topology with a fixed snaking route
+removes the need for flow control beyond a per-router buffer/forward switch
+(paper §III-A.2) — so the flit is the unit of everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.quantize import LinkBeat
+
+__all__ = ["Flit", "BroadcastFlit"]
+
+
+@dataclass(frozen=True)
+class Flit:
+    """A generic single-beat payload with origin metadata."""
+
+    payload: object
+    source: int
+    injected_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0:
+            raise ValueError(f"source must be >= 0, got {self.source}")
+        if self.injected_cycle < 0:
+            raise ValueError(
+                f"injected_cycle must be >= 0, got {self.injected_cycle}"
+            )
+
+
+@dataclass(frozen=True)
+class BroadcastFlit(Flit):
+    """A NOVA broadcast beat: one :class:`LinkBeat` of slope/bias pairs.
+
+    ``broadcast_id`` groups the beats of one table broadcast; ``beat_index``
+    is the position within the broadcast (equal to the beat's tag).
+    """
+
+    broadcast_id: int = 0
+    beat_index: int = 0
+
+    @property
+    def beat(self) -> LinkBeat:
+        """The slope/bias payload, typed."""
+        if not isinstance(self.payload, LinkBeat):
+            raise TypeError(
+                f"BroadcastFlit payload must be a LinkBeat, got "
+                f"{type(self.payload).__name__}"
+            )
+        return self.payload

@@ -1,0 +1,75 @@
+"""Router building blocks: buffered input ports with a bypass path.
+
+Each NOVA router's east input port "consists of registers (for 8 pairs of
+slope and bias values) along with a bypass path" (paper §III-A.2).  A port
+is therefore either *forwarding* — the incoming flit ripples through the
+asynchronous repeater to the next router in the same cycle — or
+*buffering* — the flit is latched and re-launched on the next cycle.  The
+line topology's fixed route means this buffer/forward switch is the entire
+flow-control state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.noc.packet import Flit
+from repro.noc.stats import EventCounters
+
+__all__ = ["PortState", "BufferedInputPort", "RouterBase"]
+
+
+class PortState(enum.Enum):
+    """Buffer/forward switch of a NOVA input port."""
+
+    FORWARD = "forward"
+    BUFFER = "buffer"
+
+
+@dataclass
+class BufferedInputPort:
+    """A register + bypass input port (two-phase update).
+
+    ``present`` is the flit visible on the port's output this cycle;
+    ``incoming`` is what arrives during the current cycle and becomes
+    visible after :meth:`commit` (when buffering) or immediately via the
+    bypass (when forwarding — the caller reads :attr:`incoming` directly in
+    that case, modelling the clockless repeater path).
+    """
+
+    state: PortState = PortState.FORWARD
+    present: Flit | None = None
+    incoming: Flit | None = field(default=None, repr=False)
+
+    def accept(self, flit: Flit | None) -> None:
+        """Present ``flit`` at the port input for this cycle."""
+        self.incoming = flit
+
+    def visible(self) -> Flit | None:
+        """The flit observable at the port output this cycle.
+
+        In FORWARD state the bypass makes the incoming flit visible
+        combinationally; in BUFFER state only the latched flit is visible.
+        """
+        if self.state is PortState.FORWARD:
+            return self.incoming
+        return self.present
+
+    def commit(self) -> None:
+        """Latch the incoming flit (register write happens either way;
+        in FORWARD state the register is transparent next cycle)."""
+        self.present = self.incoming
+        self.incoming = None
+
+
+@dataclass
+class RouterBase:
+    """Common state for routers on a line: an id and event counters."""
+
+    router_id: int
+    counters: EventCounters = field(default_factory=lambda: EventCounters())
+
+    def __post_init__(self) -> None:
+        if self.router_id < 0:
+            raise ValueError(f"router_id must be >= 0, got {self.router_id}")

@@ -1,0 +1,65 @@
+"""Event counters for energy accounting.
+
+The cycle simulation counts *events* (wire-hop traversals, register
+writes, tag matches, comparator evaluations, LUT reads, MAC operations);
+:mod:`repro.hw.energy` multiplies these by per-event energies to produce
+the energy numbers behind Fig. 8.  Keeping counting separate from costing
+means the same simulation run can be costed under different technology
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventCounters"]
+
+
+@dataclass
+class EventCounters:
+    """A bag of named event counts with arithmetic helpers."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, event: str, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``event``."""
+        if n < 0:
+            raise ValueError(f"cannot add a negative count ({n}) for {event!r}")
+        self.counts[event] = self.counts.get(event, 0) + n
+
+    def get(self, event: str) -> int:
+        """Count for ``event`` (0 if never recorded)."""
+        return self.counts.get(event, 0)
+
+    def merge(self, other: "EventCounters") -> "EventCounters":
+        """Return a new counter bag with both sets of counts summed."""
+        merged = EventCounters(counts=dict(self.counts))
+        for event, n in other.counts.items():
+            merged.counts[event] = merged.counts.get(event, 0) + n
+        return merged
+
+    def diff(self, earlier: "EventCounters") -> "EventCounters":
+        """Counts accumulated since the ``earlier`` snapshot."""
+        delta = EventCounters()
+        for event, n in self.counts.items():
+            change = n - earlier.counts.get(event, 0)
+            if change < 0:
+                raise ValueError(
+                    f"counter {event!r} decreased ({change}); snapshots are "
+                    "out of order"
+                )
+            if change:
+                delta.counts[event] = change
+        return delta
+
+    def snapshot(self) -> "EventCounters":
+        """An immutable-by-convention copy of the current counts."""
+        return EventCounters(counts=dict(self.counts))
+
+    def total(self) -> int:
+        """Sum of all counts (useful for smoke checks)."""
+        return sum(self.counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        """Copy of the raw counts."""
+        return dict(self.counts)

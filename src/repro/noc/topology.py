@@ -1,0 +1,77 @@
+"""Topologies.
+
+NOVA uses a 1-D line: "The NoC is arranged in a line topology which routes
+the packets ... in a pre-defined route snaking through the entire NoC, one
+PE after the other" (paper §III-A).  The *snake* is how a 2-D PE grid (the
+4x2 grid of the walkthrough) is linearised: routers are chained
+boustrophedon so each hop stays between physically adjacent PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.link import Link
+
+__all__ = ["LineTopology"]
+
+
+@dataclass(frozen=True)
+class LineTopology:
+    """A line of ``n_routers`` routers with uniform hop length.
+
+    ``grid_shape`` optionally records the 2-D PE grid the line snakes
+    through, purely for position naming (the walkthrough's Core (0,0) ..
+    (3,1)); the route itself is always the linear chain 0 -> 1 -> ... ->
+    n-1.
+    """
+
+    n_routers: int
+    hop_mm: float = 1.0
+    link_width_bits: int = 257
+    grid_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_routers < 1:
+            raise ValueError(f"n_routers must be >= 1, got {self.n_routers}")
+        if self.hop_mm <= 0:
+            raise ValueError(f"hop_mm must be > 0, got {self.hop_mm}")
+        if self.grid_shape is not None:
+            rows, cols = self.grid_shape
+            if rows * cols != self.n_routers:
+                raise ValueError(
+                    f"grid_shape {self.grid_shape} does not hold "
+                    f"{self.n_routers} routers"
+                )
+
+    @property
+    def n_hops(self) -> int:
+        """Hops from head to tail."""
+        return self.n_routers - 1
+
+    def link(self) -> Link:
+        """The (uniform) inter-router link."""
+        return Link(width_bits=self.link_width_bits, length_mm=self.hop_mm)
+
+    def position(self, router_id: int) -> tuple[int, int]:
+        """(row, col) of ``router_id`` on the snaking route.
+
+        Even rows run left-to-right, odd rows right-to-left, so consecutive
+        router ids are always physically adjacent — the layout property the
+        1 mm hop length assumes.
+        """
+        if not 0 <= router_id < self.n_routers:
+            raise ValueError(
+                f"router_id must be in [0, {self.n_routers}), got {router_id}"
+            )
+        if self.grid_shape is None:
+            return (0, router_id)
+        rows, cols = self.grid_shape
+        row = router_id // cols
+        offset = router_id % cols
+        col = offset if row % 2 == 0 else cols - 1 - offset
+        return (row, col)
+
+    def total_length_mm(self) -> float:
+        """Physical length of the full line."""
+        return self.n_hops * self.hop_mm

@@ -1,0 +1,28 @@
+"""Shared utilities: fixed-point arithmetic, formatting, validation, RNG.
+
+These are the lowest-level building blocks of the reproduction; every other
+subpackage may depend on :mod:`repro.utils` but not vice versa.
+"""
+
+from repro.utils.fixed_point import FixedPointFormat, Q5_10, Q1_14, Q7_8
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_power_of_two,
+    check_in_range,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "Q5_10",
+    "Q1_14",
+    "Q7_8",
+    "make_rng",
+    "format_table",
+    "check_positive",
+    "check_non_negative",
+    "check_power_of_two",
+    "check_in_range",
+]

@@ -1,0 +1,134 @@
+"""Fixed-point number formats used throughout the NOVA datapath.
+
+The NOVA link is 257 bits wide: 16 words of 16 bits (8 slope/bias pairs)
+plus one tag bit (paper, Fig. 3).  All datapath words in this reproduction
+are therefore 16-bit two's-complement fixed point by default.  The format is
+parameterised so experiments can sweep precision.
+
+A :class:`FixedPointFormat` is immutable and hashable so it can be used as a
+dictionary key (e.g. when caching quantised PWL tables per format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "Q5_10", "Q1_14", "Q7_8"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Attributes
+    ----------
+    integer_bits:
+        Number of integer bits, *excluding* the sign bit.
+    fraction_bits:
+        Number of fractional bits.
+
+    The total word width is ``1 + integer_bits + fraction_bits``.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0:
+            raise ValueError(f"integer_bits must be >= 0, got {self.integer_bits}")
+        if self.fraction_bits < 0:
+            raise ValueError(f"fraction_bits must be >= 0, got {self.fraction_bits}")
+        if self.word_bits > 64:
+            raise ValueError(f"word width {self.word_bits} exceeds 64 bits")
+
+    @property
+    def word_bits(self) -> int:
+        """Total word width in bits (sign + integer + fraction)."""
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit (the quantisation step)."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.word_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.word_bits - 1)) * self.scale
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer code."""
+        return 2 ** (self.word_bits - 1) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest representable raw integer code."""
+        return -(2 ** (self.word_bits - 1))
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Round ``values`` to the nearest representable value, saturating.
+
+        Returns an array of floats that are exactly representable in this
+        format (i.e. integer multiples of :attr:`scale` within range).
+        """
+        raw = self.to_raw(values)
+        return raw.astype(np.float64) * self.scale
+
+    def to_raw(self, values: np.ndarray | float) -> np.ndarray:
+        """Convert real values to raw integer codes (round-half-to-even)."""
+        arr = np.asarray(values, dtype=np.float64)
+        raw = np.rint(arr / self.scale)
+        raw = np.clip(raw, self.min_raw, self.max_raw)
+        return raw.astype(np.int64)
+
+    def from_raw(self, raw: np.ndarray | int) -> np.ndarray:
+        """Convert raw integer codes back to real values."""
+        arr = np.asarray(raw, dtype=np.int64)
+        if np.any(arr > self.max_raw) or np.any(arr < self.min_raw):
+            raise ValueError("raw code out of range for format " + str(self))
+        return arr.astype(np.float64) * self.scale
+
+    def saturates(self, values: np.ndarray | float) -> np.ndarray:
+        """Boolean mask of inputs that fall outside the representable range."""
+        arr = np.asarray(values, dtype=np.float64)
+        return (arr > self.max_value) | (arr < self.min_value)
+
+    def mac(
+        self,
+        slope: np.ndarray | float,
+        x: np.ndarray | float,
+        bias: np.ndarray | float,
+    ) -> np.ndarray:
+        """Fixed-point multiply-accumulate ``slope * x + bias``.
+
+        Models the NOVA / NN-LUT MAC lane: the product is computed at full
+        precision internally and the final sum is rounded and saturated back
+        into this format, which is how a hardware MAC with a wide
+        accumulator and an output rounding stage behaves.
+        """
+        product = np.asarray(slope, dtype=np.float64) * np.asarray(x, dtype=np.float64)
+        total = product + np.asarray(bias, dtype=np.float64)
+        return self.quantize(total)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+#: Default NOVA datapath format: 16-bit word, 5 integer bits, 10 fraction
+#: bits.  Range [-32, 32) with ~1e-3 resolution covers the operand ranges of
+#: softmax/GeLU/tanh inputs after standard pre-scaling.
+Q5_10 = FixedPointFormat(integer_bits=5, fraction_bits=10)
+
+#: High-resolution unit-range format (e.g. for probabilities).
+Q1_14 = FixedPointFormat(integer_bits=1, fraction_bits=14)
+
+#: Wide-range format for accumulators fed to the approximator.
+Q7_8 = FixedPointFormat(integer_bits=7, fraction_bits=8)

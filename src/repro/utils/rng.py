@@ -1,0 +1,48 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component in the reproduction (dataset synthesis, MLP
+weight initialisation, workload sampling) takes a seed and obtains its
+generator through :func:`make_rng`, so experiments are reproducible
+run-to-run and machine-to-machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "derive_seed"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator for ``seed``.
+
+    Accepts an existing Generator (returned unchanged) so functions can be
+    composed without reseeding, an integer seed, or ``None`` for an
+    OS-entropy generator (only sensible in exploratory use, never in tests).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *components: str | int) -> int:
+    """Derive a stable sub-seed from a base seed and a component path.
+
+    Used to give independent streams to independent subsystems (e.g. the
+    dataset generator and the model initialiser) while keeping everything a
+    pure function of one top-level seed.
+    """
+    seq = np.random.SeedSequence(
+        base_seed, spawn_key=tuple(_component_key(c) for c in components)
+    )
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+
+def _component_key(component: str | int) -> int:
+    if isinstance(component, int):
+        return component & 0xFFFFFFFF
+    # Stable string hash (Python's hash() is salted per-process).
+    value = 2166136261
+    for byte in component.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each paper table/figure as an aligned text
+table; this module is the single implementation used everywhere so output
+formatting stays consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render one table cell.
+
+    Floats are shown with ``precision`` significant digits; everything else
+    through ``str``.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 10 ** precision or magnitude < 10 ** -(precision - 1):
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned text table.
+
+    Returns the table as a single string (no trailing newline) suitable for
+    ``print``.  Column widths adapt to content; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    rendered_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    n_cols = len(header_cells)
+    for row in rendered_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {n_cols} columns: {row}"
+            )
+
+    widths = [len(h) for h in header_cells]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [True] * n_cols
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if not _looks_numeric(cell):
+                numeric[i] = False
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    text = cell.replace("x", "").replace("%", "").strip()
+    if not text:
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

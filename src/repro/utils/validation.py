@@ -1,0 +1,39 @@
+"""Argument validation helpers.
+
+Hardware-model constructors take many integer parameters (port counts,
+widths, neuron counts); these helpers keep the error messages uniform and
+the constructors short.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_power_of_two",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,31 @@
+"""Workload models: the networks whose non-linear ops NOVA accelerates.
+
+:mod:`repro.workloads.ops` defines a minimal operator-graph vocabulary
+(GEMMs plus non-linear elementwise/reduction ops with query counts);
+:mod:`repro.workloads.transformer` lowers a transformer encoder into that
+vocabulary; :mod:`repro.workloads.bert` registers the five Fig. 8
+benchmarks (BERT-tiny/mini, MobileBERT-base/tiny, RoBERTa);
+:mod:`repro.workloads.cnn` registers the Table I CNN family; and
+:mod:`repro.workloads.traces` synthesises realistic operand-value streams
+for driving the cycle simulators.
+"""
+
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+from repro.workloads.transformer import TransformerConfig, build_encoder_graph
+from repro.workloads.bert import BERT_MODELS, bert_graph
+from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
+from repro.workloads.traces import attention_logit_trace, activation_trace
+
+__all__ = [
+    "MatMulOp",
+    "NonLinearOp",
+    "OpGraph",
+    "TransformerConfig",
+    "build_encoder_graph",
+    "BERT_MODELS",
+    "bert_graph",
+    "CNN_MODELS",
+    "CnnLayerSpec",
+    "attention_logit_trace",
+    "activation_trace",
+]

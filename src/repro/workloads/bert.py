@@ -1,0 +1,64 @@
+"""The five Fig. 8 attention benchmarks.
+
+"We ran five attention benchmarks namely MobileBERT-base, MobileBERT-tiny,
+RoBERTa, BERT-tiny and BERT-mini which are representative of real-world
+NLP based tasks" (§V-F).  Dimensions follow the published configurations:
+BERT-tiny/mini from Turc et al. (the paper's [3] citing Devlin et al.),
+MobileBERT from Sun et al. [19] (128-wide tiny / 512-wide base bottleneck,
+24 layers), RoBERTa-base from Liu et al. [11].
+"""
+
+from __future__ import annotations
+
+from repro.workloads.ops import OpGraph
+from repro.workloads.transformer import TransformerConfig, build_encoder_graph
+
+__all__ = ["BERT_MODELS", "bert_graph"]
+
+BERT_MODELS: dict[str, TransformerConfig] = {
+    config.name: config
+    for config in [
+        TransformerConfig(
+            "BERT-tiny", layers=2, hidden=128, heads=2, intermediate=512,
+            seq_len=1024,
+        ),
+        TransformerConfig(
+            "BERT-mini", layers=4, hidden=256, heads=4, intermediate=1024,
+            seq_len=1024,
+        ),
+        TransformerConfig(
+            "MobileBERT-tiny", layers=24, hidden=128, heads=4, intermediate=512,
+            seq_len=1024,
+        ),
+        TransformerConfig(
+            "MobileBERT-base", layers=24, hidden=512, heads=4, intermediate=512,
+            seq_len=1024,
+        ),
+        TransformerConfig(
+            "RoBERTa", layers=12, hidden=768, heads=12, intermediate=3072,
+            seq_len=1024,
+        ),
+    ]
+}
+
+
+def bert_graph(model_name: str, seq_len: int | None = None) -> OpGraph:
+    """Op graph for one registered model, optionally at another sequence
+    length (REACT is evaluated at 128, the systolic configs at 1024)."""
+    try:
+        config = BERT_MODELS[model_name]
+    except KeyError:
+        available = ", ".join(sorted(BERT_MODELS))
+        raise KeyError(
+            f"unknown model {model_name!r}; available: {available}"
+        ) from None
+    if seq_len is not None:
+        config = TransformerConfig(
+            name=config.name,
+            layers=config.layers,
+            hidden=config.hidden,
+            heads=config.heads,
+            intermediate=config.intermediate,
+            seq_len=seq_len,
+        )
+    return build_encoder_graph(config)

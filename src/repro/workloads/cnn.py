@@ -1,0 +1,174 @@
+"""CNN/MLP workload shapes for the Table I model family.
+
+Table I evaluates approximated softmax on an MLP (MNIST), a small CNN,
+MobileNet v1 and VGG-16 (CIFAR-10).  These registry entries describe the
+*architectural family* at the reduced scale our synthetic-data substitute
+uses (documented in DESIGN.md): the property under test — that a 16- or
+8-breakpoint PWL softmax leaves classification accuracy unchanged — does
+not depend on ImageNet-scale capacity.
+
+Each spec also lowers to an op graph so the CNNs can be pushed through
+the same accelerator timing models as the transformers (conv as im2col
+GEMM, the standard mapping on systolic arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+
+__all__ = ["CnnLayerSpec", "CnnModelSpec", "CNN_MODELS", "cnn_graph"]
+
+
+@dataclass(frozen=True)
+class CnnLayerSpec:
+    """One layer: conv (kernel > 0) / depthwise conv / dense (kernel 0)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    spatial: int          # output feature-map side
+    kernel: int = 3       # 0 => dense layer on flattened input
+    depthwise: bool = False
+    activation: str = "relu"
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates for one input sample."""
+        if self.kernel == 0:
+            return self.in_channels * self.out_channels
+        taps = self.kernel * self.kernel
+        if self.depthwise:
+            return self.out_channels * self.spatial * self.spatial * taps
+        return (
+            self.out_channels * self.in_channels * self.spatial * self.spatial * taps
+        )
+
+    @property
+    def activations(self) -> int:
+        """Output activations (non-linear queries if activation != none)."""
+        if self.kernel == 0:
+            return self.out_channels
+        return self.out_channels * self.spatial * self.spatial
+
+
+@dataclass(frozen=True)
+class CnnModelSpec:
+    """A named stack of layers ending in a softmax classifier."""
+
+    name: str
+    layers: tuple[CnnLayerSpec, ...]
+    n_classes: int = 10
+    softmax_breakpoints: int = 8  # Table I: CIFAR-10 models use 8
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+
+def _mlp() -> CnnModelSpec:
+    return CnnModelSpec(
+        "MLP",
+        (
+            CnnLayerSpec("fc1", 784, 64, spatial=1, kernel=0),
+            CnnLayerSpec("fc2", 64, 10, spatial=1, kernel=0, activation="none"),
+        ),
+        softmax_breakpoints=16,  # Table I: MNIST uses 16
+    )
+
+
+def _cnn() -> CnnModelSpec:
+    return CnnModelSpec(
+        "CNN",
+        (
+            CnnLayerSpec("conv1", 3, 8, spatial=16),
+            CnnLayerSpec("conv2", 8, 16, spatial=8),
+            CnnLayerSpec("fc", 16 * 4 * 4, 10, spatial=1, kernel=0,
+                         activation="none"),
+        ),
+    )
+
+
+def _mobilenet_like() -> CnnModelSpec:
+    layers: list[CnnLayerSpec] = [CnnLayerSpec("conv1", 3, 8, spatial=16)]
+    channels = 8
+    spatial = 16
+    for i in range(3):
+        layers.append(
+            CnnLayerSpec(
+                f"dw{i}", channels, channels, spatial=spatial, depthwise=True
+            )
+        )
+        layers.append(
+            CnnLayerSpec(f"pw{i}", channels, channels * 2, spatial=spatial,
+                         kernel=1)
+        )
+        channels *= 2
+        spatial //= 2
+    layers.append(
+        CnnLayerSpec("fc", channels * spatial * spatial, 10, spatial=1,
+                     kernel=0, activation="none")
+    )
+    return CnnModelSpec("MobileNet v1", tuple(layers))
+
+
+def _vgg_like() -> CnnModelSpec:
+    layers: list[CnnLayerSpec] = []
+    channels_in, spatial = 3, 16
+    for i, channels_out in enumerate([16, 32, 64]):
+        layers.append(
+            CnnLayerSpec(f"conv{i}a", channels_in, channels_out, spatial=spatial)
+        )
+        layers.append(
+            CnnLayerSpec(f"conv{i}b", channels_out, channels_out, spatial=spatial)
+        )
+        channels_in = channels_out
+        spatial //= 2
+    layers.append(
+        CnnLayerSpec("fc1", 64 * 2 * 2, 64, spatial=1, kernel=0)
+    )
+    layers.append(
+        CnnLayerSpec("fc2", 64, 10, spatial=1, kernel=0, activation="none")
+    )
+    return CnnModelSpec("VGG-16", tuple(layers))
+
+
+CNN_MODELS: dict[str, CnnModelSpec] = {
+    spec.name: spec for spec in [_mlp(), _cnn(), _mobilenet_like(), _vgg_like()]
+}
+
+
+def cnn_graph(model_name: str, batch: int = 1) -> OpGraph:
+    """Lower a CNN spec to GEMMs (im2col) + activation query ops."""
+    try:
+        spec = CNN_MODELS[model_name]
+    except KeyError:
+        available = ", ".join(sorted(CNN_MODELS))
+        raise KeyError(
+            f"unknown model {model_name!r}; available: {available}"
+        ) from None
+    graph = OpGraph(name=spec.name)
+    for layer in spec.layers:
+        if layer.kernel == 0:
+            graph.add(
+                MatMulOp(layer.name, m=batch, k=layer.in_channels,
+                         n=layer.out_channels)
+            )
+        else:
+            pixels = layer.spatial * layer.spatial * batch
+            taps = layer.kernel * layer.kernel
+            k_dim = taps if layer.depthwise else layer.in_channels * taps
+            graph.add(MatMulOp(layer.name, m=pixels, k=k_dim, n=layer.out_channels))
+        if layer.activation != "none":
+            graph.add(
+                NonLinearOp(
+                    f"{layer.name}.{layer.activation}",
+                    function=layer.activation,
+                    queries=layer.activations * batch,
+                )
+            )
+    graph.add(
+        NonLinearOp("softmax_exp", function="exp", queries=spec.n_classes * batch)
+    )
+    return graph

@@ -1,0 +1,102 @@
+"""Operator-graph vocabulary for the performance/energy evaluation.
+
+The evaluation needs exactly two things from a workload: the GEMMs (which
+the host accelerator executes and which set the runtime) and the
+non-linear operations (which the vector unit executes and whose *query
+count* sets the approximator energy).  ``OpGraph`` is an ordered list of
+those two op kinds with helpers for the totals the harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MatMulOp", "NonLinearOp", "OpGraph"]
+
+
+@dataclass(frozen=True)
+class MatMulOp:
+    """A dense GEMM: ``(m x k) @ (k x n)``."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"GEMM dims must be >= 1: {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates."""
+        return self.m * self.k * self.n
+
+    @property
+    def output_elements(self) -> int:
+        """Result elements (feeds activation query counts)."""
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class NonLinearOp:
+    """An elementwise non-linear op executed by the vector unit.
+
+    ``queries`` is the number of scalar approximations the op needs —
+    e.g. a softmax over an ``(S x S)`` attention-score matrix per head
+    issues ``heads * S * S`` exponential queries.
+    """
+
+    name: str
+    function: str  # key into repro.approx.functions.FUNCTIONS
+    queries: int
+
+    def __post_init__(self) -> None:
+        if self.queries < 1:
+            raise ValueError(f"queries must be >= 1: {self}")
+
+
+@dataclass
+class OpGraph:
+    """An ordered workload: GEMMs interleaved with non-linear ops."""
+
+    name: str
+    ops: list[MatMulOp | NonLinearOp] = field(default_factory=list)
+
+    def add(self, op: MatMulOp | NonLinearOp) -> None:
+        """Append an op (construction helper)."""
+        self.ops.append(op)
+
+    @property
+    def matmuls(self) -> list[MatMulOp]:
+        """The GEMMs, in order."""
+        return [op for op in self.ops if isinstance(op, MatMulOp)]
+
+    @property
+    def nonlinear_ops(self) -> list[NonLinearOp]:
+        """The vector-unit ops, in order."""
+        return [op for op in self.ops if isinstance(op, NonLinearOp)]
+
+    @property
+    def total_macs(self) -> int:
+        """All GEMM multiply-accumulates."""
+        return sum(op.macs for op in self.matmuls)
+
+    @property
+    def total_nonlinear_queries(self) -> int:
+        """All scalar approximator queries."""
+        return sum(op.queries for op in self.nonlinear_ops)
+
+    def queries_by_function(self) -> dict[str, int]:
+        """Approximator queries grouped by non-linear function."""
+        totals: dict[str, int] = {}
+        for op in self.nonlinear_ops:
+            totals[op.function] = totals.get(op.function, 0) + op.queries
+        return totals
+
+    def nonlinear_fraction(self) -> float:
+        """Queries per MAC — the 'non-linear operation density' that makes
+        attention layers hard for tensor-only accelerators (paper §I)."""
+        if self.total_macs == 0:
+            return float("inf")
+        return self.total_nonlinear_queries / self.total_macs

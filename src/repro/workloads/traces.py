@@ -1,0 +1,49 @@
+"""Synthetic operand-value traces for driving the cycle simulators.
+
+The functional-verification and energy tests feed realistic value
+distributions through NOVA and the LUT baselines.  Attention logits after
+the max-subtraction of a stable softmax are non-positive with most mass
+near zero; GEMM activations entering GeLU are approximately Gaussian.
+The traces are deterministic functions of a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["attention_logit_trace", "activation_trace"]
+
+
+def attention_logit_trace(
+    n_values: int,
+    seq_len: int = 64,
+    scale: float = 2.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Post-max-subtraction softmax arguments (all <= 0).
+
+    Rows of ``seq_len`` logits are drawn N(0, scale), then shifted by the
+    row max, reproducing the operand distribution the exp approximator
+    sees inside an attention layer.
+    """
+    if n_values < 1:
+        raise ValueError(f"n_values must be >= 1, got {n_values}")
+    rng = make_rng(seed)
+    n_rows = -(-n_values // seq_len)
+    logits = rng.normal(0.0, scale, size=(n_rows, seq_len))
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted.reshape(-1)[:n_values]
+
+
+def activation_trace(
+    n_values: int,
+    scale: float = 2.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Pre-activation GEMM outputs (inputs to GeLU/tanh/sigmoid)."""
+    if n_values < 1:
+        raise ValueError(f"n_values must be >= 1, got {n_values}")
+    rng = make_rng(seed)
+    return rng.normal(0.0, scale, size=n_values)

@@ -1,0 +1,161 @@
+"""Unit tests for the systolic timing model and host accelerators."""
+
+import pytest
+
+from repro.accelerators.base import PerformanceReport
+from repro.accelerators.configs import build_accelerator
+from repro.accelerators.nvdla import NvdlaAccelerator
+from repro.accelerators.react import ReactAccelerator
+from repro.accelerators.systolic import Dataflow, SystolicArray
+from repro.accelerators.tpu import TpuLikeAccelerator
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+
+
+class TestSystolicArray:
+    def test_os_single_tile_hand_computed(self):
+        # 4x4 array, 4x4x4 GEMM, OS: one tile, 2R+C+K-2 = 8+4+4-2 = 14
+        array = SystolicArray(4, 4, Dataflow.OUTPUT_STATIONARY)
+        t = array.gemm_timing(MatMulOp("g", 4, 4, 4))
+        assert t.tiles == 1
+        assert t.cycles == 14
+
+    def test_ws_single_fold_hand_computed(self):
+        # 4x4 array, M=8 K=4 N=4, WS: 1 fold, R + (M+R+C-2) = 4 + 14 = 18
+        array = SystolicArray(4, 4, Dataflow.WEIGHT_STATIONARY)
+        t = array.gemm_timing(MatMulOp("g", 8, 4, 4))
+        assert t.tiles == 1
+        assert t.cycles == 18
+
+    def test_is_single_fold_hand_computed(self):
+        # IS: folds = ceil(K/R)*ceil(M/C) = 1; R + (N+R+C-2) = 4+(4+6) = 14
+        array = SystolicArray(4, 4, Dataflow.INPUT_STATIONARY)
+        t = array.gemm_timing(MatMulOp("g", 4, 4, 4))
+        assert t.cycles == 14
+
+    def test_os_tiling(self):
+        array = SystolicArray(4, 4, Dataflow.OUTPUT_STATIONARY)
+        t = array.gemm_timing(MatMulOp("g", 8, 4, 8))
+        assert t.tiles == 4  # ceil(8/4) * ceil(8/4)
+
+    def test_ws_folds_over_k(self):
+        array = SystolicArray(4, 4, Dataflow.WEIGHT_STATIONARY)
+        t = array.gemm_timing(MatMulOp("g", 4, 16, 4))
+        assert t.tiles == 4  # ceil(16/4) folds
+
+    def test_utilization_bounded(self):
+        array = SystolicArray(128, 128)
+        t = array.gemm_timing(MatMulOp("g", 1024, 1024, 1024))
+        assert 0.0 < t.utilization <= 1.0
+
+    def test_big_gemm_high_utilization(self):
+        array = SystolicArray(128, 128)
+        t = array.gemm_timing(MatMulOp("g", 4096, 4096, 4096))
+        assert t.utilization > 0.8
+
+    def test_traffic_positive(self):
+        array = SystolicArray(8, 8)
+        t = array.gemm_timing(MatMulOp("g", 16, 16, 16))
+        assert t.sram_reads > 0 and t.sram_writes > 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4)
+
+
+class TestHosts:
+    def small_graph(self):
+        graph = OpGraph("toy")
+        graph.add(MatMulOp("mm1", 64, 64, 64))
+        graph.add(NonLinearOp("sm", "exp", queries=4096))
+        graph.add(MatMulOp("mm2", 64, 64, 64))
+        return graph
+
+    def test_tpu_report_structure(self):
+        host = TpuLikeAccelerator("tpu", n_mxus=4)
+        report = host.run(self.small_graph())
+        assert isinstance(report, PerformanceReport)
+        assert report.total_cycles == report.gemm_cycles + report.nonlinear_cycles
+        assert report.nonlinear_queries == 4096
+
+    def test_tpu_vector_throughput(self):
+        host = TpuLikeAccelerator("tpu", n_mxus=4, neurons_per_unit=128)
+        graph = OpGraph("v")
+        graph.add(NonLinearOp("sm", "exp", queries=4096))
+        report = host.run(graph)
+        assert report.nonlinear_cycles == 4096 // (4 * 128)
+
+    def test_more_mxus_faster(self):
+        graph = self.small_graph()
+        t4 = TpuLikeAccelerator("v3", n_mxus=4).run(graph).gemm_cycles
+        t8 = TpuLikeAccelerator("v4", n_mxus=8).run(graph).gemm_cycles
+        assert t8 <= t4
+
+    def test_lpt_scheduling_balances(self):
+        host = TpuLikeAccelerator("tpu", n_mxus=2)
+        graph = OpGraph("two")
+        graph.add(MatMulOp("a", 256, 128, 128))
+        graph.add(MatMulOp("b", 256, 128, 128))
+        report = host.run(graph)
+        single = host.array.gemm_cycles(MatMulOp("a", 256, 128, 128))
+        assert report.gemm_cycles == single  # perfectly parallel
+
+    def test_react_compute_bound(self):
+        host = ReactAccelerator()
+        graph = OpGraph("g")
+        op = MatMulOp("mm", 128, 128, 128)
+        graph.add(op)
+        report = host.run(graph)
+        expected = -(-op.macs // (host.peak_macs_per_cycle * host.efficiency))
+        assert report.gemm_cycles == int(expected)
+
+    def test_react_geometry_matches_table2(self):
+        host = ReactAccelerator()
+        assert host.n_vector_units == 10
+        assert host.neurons_per_unit == 256
+        assert host.frequency_ghz == pytest.approx(0.24)
+
+    def test_nvdla_duty_cycle_low_on_deep_conv(self):
+        # the structural justification for the Jetson utilization setting:
+        # deep-channel convolution (K = 256*9) emits activation vectors
+        # rarely, so the approximator idles most cycles
+        from repro.eval.experiments import nvdla_duty_cycle_estimate
+
+        duty = nvdla_duty_cycle_estimate()
+        assert 0.0 < duty < 0.1
+
+    def test_nvdla_duty_cycle_scales_inverse_k(self):
+        host = NvdlaAccelerator()
+        shallow = OpGraph("shallow")
+        shallow.add(MatMulOp("c", m=196, k=64 * 9, n=256))
+        deep = OpGraph("deep")
+        deep.add(MatMulOp("c", m=196, k=512 * 9, n=256))
+        assert (host.activation_duty_cycle(deep)
+                < host.activation_duty_cycle(shallow))
+
+    def test_nvdla_geometry(self):
+        host = NvdlaAccelerator()
+        assert host.n_vector_units == 2
+        assert host.neurons_per_unit == 16
+        assert host.macs_per_core_cycle == 1024
+
+    def test_builder_registry(self):
+        for name in ("REACT", "TPU v3-like", "TPU v4-like", "Jetson Xavier NX"):
+            host = build_accelerator(name)
+            assert host.name == name
+        with pytest.raises(KeyError):
+            build_accelerator("GPU")
+
+    def test_report_properties(self):
+        report = PerformanceReport(
+            workload="w", accelerator="a", frequency_ghz=1.0,
+            gemm_cycles=900, nonlinear_cycles=100,
+            total_macs=10, nonlinear_queries=5,
+        )
+        assert report.vector_duty_cycle == pytest.approx(0.1)
+        assert report.runtime_ms == pytest.approx(1000 / 1e6)
+
+    def test_invalid_host_args(self):
+        with pytest.raises(ValueError):
+            TpuLikeAccelerator("bad", n_mxus=0)
+        with pytest.raises(ValueError):
+            ReactAccelerator(efficiency=0.0)

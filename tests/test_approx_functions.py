@@ -1,0 +1,94 @@
+"""Unit tests for repro.approx.functions."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.approx import functions as fn
+from repro.approx.functions import FUNCTIONS, FunctionSpec, get_function
+
+
+class TestReferenceImplementations:
+    def test_exp_matches_numpy(self):
+        xs = np.linspace(-16, 0, 101)
+        assert np.allclose(fn.exp(xs), np.exp(xs))
+
+    def test_erf_matches_scipy(self):
+        xs = np.linspace(-4, 4, 401)
+        assert np.allclose(fn.erf(xs), special.erf(xs), atol=2e-7)
+
+    def test_gelu_matches_scipy_form(self):
+        xs = np.linspace(-8, 8, 401)
+        expected = 0.5 * xs * (1 + special.erf(xs / np.sqrt(2)))
+        assert np.allclose(fn.gelu(xs), expected, atol=1e-6)
+
+    def test_gelu_tanh_close_to_exact(self):
+        xs = np.linspace(-4, 4, 401)
+        assert np.max(np.abs(fn.gelu_tanh(xs) - fn.gelu(xs))) < 5e-3
+
+    def test_sigmoid_stable_at_extremes(self):
+        assert fn.sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+        assert fn.sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+
+    def test_sigmoid_symmetry(self):
+        xs = np.linspace(-8, 8, 101)
+        assert np.allclose(fn.sigmoid(xs) + fn.sigmoid(-xs), 1.0)
+
+    def test_silu_is_x_times_sigmoid(self):
+        xs = np.linspace(-8, 8, 101)
+        assert np.allclose(fn.silu(xs), xs * fn.sigmoid(xs))
+
+    def test_relu(self):
+        assert np.array_equal(
+            fn.relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0])
+        )
+
+    def test_reciprocal_and_rsqrt(self):
+        xs = np.array([0.25, 1.0, 4.0])
+        assert np.allclose(fn.reciprocal(xs), [4.0, 1.0, 0.25])
+        assert np.allclose(fn.rsqrt(xs), [2.0, 1.0, 0.5])
+
+    def test_softplus_stable(self):
+        assert fn.softplus(np.array([1000.0]))[0] == pytest.approx(1000.0)
+        assert fn.softplus(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_tanh(self):
+        xs = np.linspace(-6, 6, 101)
+        assert np.allclose(fn.tanh(xs), np.tanh(xs))
+
+
+class TestRegistry:
+    def test_expected_functions_present(self):
+        for name in ("exp", "gelu", "tanh", "sigmoid", "relu", "reciprocal",
+                     "rsqrt", "silu", "erf", "softplus", "gelu_tanh"):
+            assert name in FUNCTIONS
+
+    def test_get_function(self):
+        spec = get_function("exp")
+        assert spec.name == "exp"
+        assert spec.domain == (-16.0, 0.0)
+
+    def test_get_function_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="gelu"):
+            get_function("not-a-function")
+
+    def test_exp_domain_one_sided(self):
+        # softmax arguments are always <= 0 after max subtraction
+        low, high = get_function("exp").domain
+        assert high == 0.0 and low < 0
+
+    def test_spec_sample_grid(self):
+        spec = get_function("tanh")
+        grid = spec.sample(11)
+        assert grid[0] == spec.domain[0]
+        assert grid[-1] == spec.domain[1]
+        assert len(grid) == 11
+
+    def test_spec_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("bad", fn.exp, (1.0, 1.0), "degenerate domain")
+
+    def test_all_specs_evaluate_on_domain(self):
+        for spec in FUNCTIONS.values():
+            ys = spec.fn(spec.sample(64))
+            assert np.all(np.isfinite(ys)), spec.name

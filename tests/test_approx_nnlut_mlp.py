@@ -1,0 +1,114 @@
+"""Unit tests for the NN-LUT compile-time MLP trainer."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import NnLutMlp, train_nnlut_mlp
+from repro.approx.pwl import PiecewiseLinear
+
+
+class TestMlpForward:
+    def test_relu_expansion_is_exact_pwl(self):
+        # f(x) = relu(x - 1) with skip 0 -> kink at 1, slopes {0, 1}
+        mlp = NnLutMlp(
+            w=np.array([1.0]),
+            c=np.array([-1.0]),
+            v=np.array([1.0]),
+            skip_slope=0.0,
+            skip_bias=0.0,
+            domain=(-2.0, 4.0),
+        )
+        assert mlp.forward(np.array([0.0]))[0] == 0.0
+        assert mlp.forward(np.array([3.0]))[0] == pytest.approx(2.0)
+        pwl = mlp.to_piecewise_linear()
+        assert pwl.n_segments == 2
+        assert pwl.cuts[0] == pytest.approx(1.0)
+        assert pwl.slopes.tolist() == [0.0, 1.0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NnLutMlp(
+                w=np.ones(3), c=np.ones(2), v=np.ones(3),
+                skip_slope=0.0, skip_bias=0.0, domain=(-1, 1),
+            )
+
+    def test_extraction_matches_forward_exactly(self):
+        spec = get_function("gelu")
+        mlp = train_nnlut_mlp(spec, n_segments=16, seed=1, epochs=50)
+        pwl = mlp.to_piecewise_linear()
+        xs = np.linspace(*spec.domain, 1001)
+        # analytic extraction == MLP forward, to float precision
+        assert np.allclose(pwl.evaluate(xs), mlp.forward(xs), atol=1e-9)
+
+    def test_kinks_sorted_and_inside_domain(self):
+        spec = get_function("sigmoid")
+        mlp = train_nnlut_mlp(spec, n_segments=16, seed=2, epochs=50)
+        kinks = mlp.kinks()
+        assert np.all(np.diff(kinks) > 0)
+        assert np.all(kinks > spec.domain[0]) and np.all(kinks < spec.domain[1])
+
+
+class TestTraining:
+    @pytest.mark.parametrize("name", ["exp", "gelu", "tanh", "sigmoid"])
+    def test_fit_quality_close_to_direct(self, name):
+        spec = get_function(name)
+        mlp = train_nnlut_mlp(spec, n_segments=16, seed=0)
+        mlp_pwl = mlp.to_piecewise_linear(n_segments=16)
+        direct = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+        # the trained table is at worst ~2x the direct interpolation error
+        assert mlp_pwl.max_error(spec.fn) < 2.0 * direct.max_error(spec.fn) + 1e-4
+
+    def test_table_padded_to_exact_size(self):
+        spec = get_function("tanh")
+        mlp = train_nnlut_mlp(spec, n_segments=16, seed=3)
+        pwl = mlp.to_piecewise_linear(n_segments=16)
+        assert pwl.n_segments == 16
+
+    def test_padding_preserves_function(self):
+        spec = get_function("tanh")
+        mlp = train_nnlut_mlp(spec, n_segments=8, seed=4, epochs=100)
+        raw = mlp.to_piecewise_linear()
+        padded = mlp.to_piecewise_linear(n_segments=16)
+        xs = np.linspace(*spec.domain, 501)
+        assert np.allclose(raw.evaluate(xs), padded.evaluate(xs), atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        spec = get_function("gelu")
+        a = train_nnlut_mlp(spec, n_segments=8, seed=5, epochs=60)
+        b = train_nnlut_mlp(spec, n_segments=8, seed=5, epochs=60)
+        assert np.array_equal(a.w, b.w)
+        assert np.array_equal(a.v, b.v)
+
+    def test_raw_callable_needs_domain(self):
+        with pytest.raises(ValueError, match="domain"):
+            train_nnlut_mlp(np.exp, n_segments=8)
+
+    def test_raw_callable_with_domain(self):
+        mlp = train_nnlut_mlp(
+            np.exp, domain=(-4.0, 0.0), n_segments=8, seed=6, epochs=100
+        )
+        pwl = mlp.to_piecewise_linear(n_segments=8)
+        assert pwl.max_error(np.exp) < 0.05
+
+    def test_invalid_n_segments(self):
+        spec = get_function("exp")
+        with pytest.raises(ValueError):
+            train_nnlut_mlp(spec, n_segments=0)
+
+    def test_oversized_extraction_rejected(self):
+        spec = get_function("tanh")
+        mlp = train_nnlut_mlp(spec, n_segments=16, seed=7, epochs=60)
+        realized = mlp.to_piecewise_linear().n_segments
+        if realized > 4:
+            with pytest.raises(ValueError, match="exceeds"):
+                mlp.to_piecewise_linear(n_segments=4)
+
+    def test_paper_budget_16_breakpoints_good_enough(self):
+        # Table I uses 16 breakpoints because "they are sufficient for the
+        # commonly used non-linear functions" — check the error is small.
+        for name in ("exp", "gelu", "tanh", "sigmoid"):
+            spec = get_function(name)
+            pwl = train_nnlut_mlp(spec, n_segments=16, seed=8).to_piecewise_linear(16)
+            span = np.ptp(spec.fn(spec.sample(1000)))
+            assert pwl.max_error(spec.fn) < 0.02 * span + 1e-3, name

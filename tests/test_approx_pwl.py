@@ -1,0 +1,196 @@
+"""Unit tests for repro.approx.pwl (+ breakpoints)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.breakpoints import curvature_cuts, quantile_cuts, uniform_cuts
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+
+
+def simple_pwl():
+    """y = -x on x<0 ; y = 2x on x>=0 over [-4, 4]."""
+    return PiecewiseLinear(
+        cuts=np.array([0.0]),
+        slopes=np.array([-1.0, 2.0]),
+        biases=np.array([0.0, 0.0]),
+        domain=(-4.0, 4.0),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        pwl = simple_pwl()
+        assert pwl.n_segments == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([0.0]), np.ones(3), np.ones(2), (-1, 1))
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([0.0, 0.5]), np.ones(2), np.ones(2), (-1, 1))
+
+    def test_unsorted_cuts_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(
+                np.array([0.5, 0.0]), np.ones(3), np.ones(3), (-1.0, 1.0)
+            )
+
+    def test_cut_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.array([2.0]), np.ones(2), np.ones(2), (-1.0, 1.0))
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(np.zeros(0), np.ones(1), np.ones(1), (1.0, -1.0))
+
+    def test_single_segment_no_cuts(self):
+        pwl = PiecewiseLinear(np.zeros(0), np.array([2.0]), np.array([1.0]),
+                              (-1.0, 1.0))
+        assert pwl.evaluate(0.5) == pytest.approx(2.0)
+
+
+class TestSegmentLookup:
+    def test_comparator_counts_cuts(self):
+        pwl = simple_pwl()
+        assert pwl.segment_index(-1.0) == 0
+        assert pwl.segment_index(1.0) == 1
+        # at the cut itself the comparator (<=) selects the upper segment
+        assert pwl.segment_index(0.0) == 1
+
+    def test_clamping(self):
+        pwl = simple_pwl()
+        assert pwl.segment_index(-100.0) == 0
+        assert pwl.segment_index(100.0) == 1
+
+    def test_evaluate_piecewise(self):
+        pwl = simple_pwl()
+        assert pwl.evaluate(-2.0) == pytest.approx(2.0)
+        assert pwl.evaluate(3.0) == pytest.approx(6.0)
+
+    def test_evaluate_clamps_inputs(self):
+        pwl = simple_pwl()
+        assert pwl.evaluate(100.0) == pytest.approx(pwl.evaluate(4.0))
+
+    def test_callable_alias(self):
+        pwl = simple_pwl()
+        assert pwl(1.0) == pwl.evaluate(1.0)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("strategy", ["uniform", "curvature", "quantile"])
+    def test_fit_strategies(self, strategy):
+        spec = get_function("tanh")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16, strategy=strategy)
+        assert pwl.n_segments == 16
+        # quantile (output-variation) placement is the weakest baseline:
+        # it starves the flat tails of tanh, so it gets a looser bound.
+        bound = 0.1 if strategy == "quantile" else 0.05
+        assert pwl.max_error(spec.fn) < bound
+
+    def test_curvature_beats_uniform_on_exp(self):
+        spec = get_function("exp")
+        uniform = PiecewiseLinear.fit(spec.fn, spec.domain, 16, strategy="uniform")
+        curved = PiecewiseLinear.fit(spec.fn, spec.domain, 16, strategy="curvature")
+        assert curved.max_error(spec.fn) < uniform.max_error(spec.fn)
+
+    def test_lstsq_lower_rmse_than_interpolation(self):
+        spec = get_function("sigmoid")
+        interp = PiecewiseLinear.fit(spec.fn, spec.domain, 8, method="interpolate")
+        lstsq = PiecewiseLinear.fit(spec.fn, spec.domain, 8, method="lstsq")
+        xs = np.linspace(*spec.domain, 2048)
+        rmse_i = np.sqrt(np.mean((interp(xs) - spec.fn(xs)) ** 2))
+        rmse_l = np.sqrt(np.mean((lstsq(xs) - spec.fn(xs)) ** 2))
+        assert rmse_l <= rmse_i + 1e-12
+
+    def test_interpolation_is_continuous(self):
+        spec = get_function("gelu")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16, method="interpolate")
+        assert np.max(pwl.continuity_gaps()) < 1e-9
+
+    def test_unknown_strategy_rejected(self):
+        spec = get_function("tanh")
+        with pytest.raises(ValueError):
+            PiecewiseLinear.fit(spec.fn, spec.domain, 8, strategy="magic")
+
+    def test_unknown_method_rejected(self):
+        spec = get_function("tanh")
+        with pytest.raises(ValueError):
+            PiecewiseLinear.fit(spec.fn, spec.domain, 8, method="magic")
+
+    def test_error_decreases_with_segments(self):
+        spec = get_function("gelu")
+        errors = [
+            PiecewiseLinear.fit(spec.fn, spec.domain, n).max_error(spec.fn)
+            for n in (4, 8, 16, 32)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_table_rows_shape(self):
+        pwl = simple_pwl()
+        rows = pwl.table_rows()
+        assert len(rows) == 2
+        address, lo, hi, slope, bias = rows[0]
+        assert address == 0 and lo == -4.0 and hi == 0.0 and slope == -1.0
+
+    def test_edges(self):
+        pwl = simple_pwl()
+        assert pwl.edges().tolist() == [-4.0, 0.0, 4.0]
+
+
+class TestBreakpointPlacement:
+    def test_uniform_count_and_bounds(self):
+        cuts = uniform_cuts((-2.0, 2.0), 8)
+        assert len(cuts) == 7
+        assert cuts[0] > -2.0 and cuts[-1] < 2.0
+
+    def test_uniform_single_segment(self):
+        assert len(uniform_cuts((-1.0, 1.0), 1)) == 0
+
+    def test_curvature_concentrates_near_high_curvature(self):
+        spec = get_function("exp")  # curvature mass near 0 (right edge)
+        cuts = curvature_cuts(spec.fn, spec.domain, 16)
+        assert np.median(cuts) > -4.0  # most cuts in the right quarter
+
+    def test_curvature_on_linear_function_falls_back_uniform(self):
+        cuts = curvature_cuts(lambda x: 3.0 * x, (-1.0, 1.0), 8)
+        assert len(cuts) == 7
+        assert np.all(np.diff(cuts) > 0)
+
+    def test_quantile_monotone(self):
+        spec = get_function("sigmoid")
+        cuts = quantile_cuts(spec.fn, spec.domain, 16)
+        assert np.all(np.diff(cuts) > 0)
+
+    @pytest.mark.parametrize("maker", [uniform_cuts])
+    def test_invalid_segment_count(self, maker):
+        with pytest.raises(ValueError):
+            maker((-1.0, 1.0), 0)
+
+
+@settings(max_examples=50)
+@given(
+    n_segments=st.integers(min_value=2, max_value=32),
+    x=st.floats(min_value=-20.0, max_value=5.0, allow_nan=False),
+)
+def test_segment_index_always_valid(n_segments, x):
+    spec = get_function("exp")
+    pwl = PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+    idx = int(pwl.segment_index(x))
+    assert 0 <= idx < n_segments
+
+
+@settings(max_examples=30)
+@given(n_segments=st.integers(min_value=4, max_value=64))
+def test_interpolation_exact_at_edges(n_segments):
+    spec = get_function("tanh")
+    pwl = PiecewiseLinear.fit(spec.fn, spec.domain, n_segments,
+                              method="interpolate")
+    edges = pwl.edges()
+    # interpolation passes through the function at every segment edge
+    interior = edges[1:-1]
+    if len(interior):
+        # evaluate just left of each cut to stay in the lower segment
+        eps = 1e-9
+        ys = pwl.evaluate(interior - eps)
+        assert np.allclose(ys, spec.fn(interior - eps), atol=1e-6)

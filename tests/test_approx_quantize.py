@@ -1,0 +1,148 @@
+"""Unit tests for fixed-point tables and link-beat packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import (
+    LinkBeat,
+    PAIRS_PER_BEAT,
+    QuantizedPwl,
+    beat_of_address,
+    pack_beats,
+    slot_of_address,
+    unpack_beats,
+)
+from repro.utils.fixed_point import Q5_10
+
+
+def make_table(n_segments=16, name="gelu", seed=0):
+    spec = get_function(name)
+    pwl = train_nnlut_mlp(spec, n_segments=n_segments, seed=seed,
+                          epochs=60).to_piecewise_linear(n_segments)
+    return QuantizedPwl(pwl)
+
+
+class TestQuantizedPwl:
+    def test_n_beats(self):
+        assert make_table(8).n_beats == 1
+        assert make_table(16).n_beats == 2
+
+    def test_evaluate_outputs_representable(self):
+        table = make_table(16)
+        xs = np.linspace(-8, 8, 257)
+        ys = table.evaluate(xs)
+        assert np.array_equal(ys, Q5_10.quantize(ys))
+
+    def test_quantization_error_bounded(self):
+        spec = get_function("gelu")
+        table = make_table(16)
+        xs = np.linspace(*spec.domain, 1001)
+        err = np.max(np.abs(table.evaluate(xs) - spec.fn(xs)))
+        # PWL error plus a few LSBs of quantisation noise
+        assert err < 0.05
+
+    def test_coefficient_words_shape_and_range(self):
+        table = make_table(16)
+        words = table.coefficient_words()
+        assert words.shape == (16, 2)
+        assert words.max() <= Q5_10.max_raw
+        assert words.min() >= Q5_10.min_raw
+
+    def test_segment_index_on_quantized_cuts(self):
+        table = make_table(8)
+        idx = table.segment_index(np.linspace(-8, 8, 100))
+        assert idx.min() >= 0 and idx.max() <= 7
+
+
+class TestTagAddressing:
+    def test_single_beat_uses_full_address_as_slot(self):
+        for addr in range(8):
+            assert beat_of_address(addr, 1) == 0
+            assert slot_of_address(addr, 1) == addr
+
+    def test_two_beats_lsb_is_tag(self):
+        # paper §III-A.1: LSB matches the tag, remaining bits pick the pair
+        for addr in range(16):
+            assert beat_of_address(addr, 2) == addr & 1
+            assert slot_of_address(addr, 2) == addr >> 1
+
+    def test_four_beats_two_tag_bits(self):
+        for addr in range(32):
+            assert beat_of_address(addr, 4) == addr & 3
+            assert slot_of_address(addr, 4) == addr >> 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            beat_of_address(0, 3)
+        with pytest.raises(ValueError):
+            slot_of_address(0, 3)
+
+
+class TestLinkBeat:
+    def test_257_bit_width(self):
+        # 16 words x 16 bits + 1 tag bit (paper Fig. 3)
+        beat = LinkBeat(tag=0, pairs=tuple((0, 0) for _ in range(8)))
+        assert beat.bit_width == 257
+
+    def test_wrong_pair_count_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBeat(tag=0, pairs=((0, 0),) * 7)
+
+    def test_negative_tag_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBeat(tag=-1, pairs=((0, 0),) * 8)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n_segments", [4, 8, 16, 32])
+    def test_round_trip_lossless(self, n_segments):
+        spec = get_function("tanh")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+        table = QuantizedPwl(pwl)
+        beats = pack_beats(table)
+        words = unpack_beats(beats, n_segments)
+        assert np.array_equal(words, table.coefficient_words())
+
+    def test_beat_count_padded_to_power_of_two(self):
+        spec = get_function("tanh")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 20)
+        beats = pack_beats(QuantizedPwl(pwl))
+        assert len(beats) == 4  # ceil(20/8)=3 -> padded to 4
+
+    def test_interleaving_layout(self):
+        # address a lives in beat a%n_beats at slot a//n_beats
+        table = make_table(16)
+        beats = pack_beats(table)
+        words = table.coefficient_words()
+        for address in range(16):
+            beat = beats[address % 2]
+            slope, bias = beat.pair_for_slot(address // 2)
+            assert (slope, bias) == (words[address, 0], words[address, 1])
+
+    def test_tags_are_sequential(self):
+        beats = pack_beats(make_table(16))
+        assert [b.tag for b in beats] == [0, 1]
+
+    def test_short_table_zero_fills(self):
+        spec = get_function("tanh")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 5)
+        beats = pack_beats(QuantizedPwl(pwl))
+        assert len(beats) == 1
+        # slots 5..7 are zero-filled
+        for slot in range(5, PAIRS_PER_BEAT):
+            assert beats[0].pair_for_slot(slot) == (0, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_segments=st.sampled_from([2, 4, 8, 12, 16, 24, 32]))
+def test_pack_unpack_property(n_segments):
+    spec = get_function("sigmoid")
+    pwl = PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+    table = QuantizedPwl(pwl)
+    assert np.array_equal(
+        unpack_beats(pack_beats(table), n_segments), table.coefficient_words()
+    )

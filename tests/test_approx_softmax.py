@@ -1,0 +1,140 @@
+"""Unit tests for approximate softmax / GeLU composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.approx.error import error_report, max_abs_error, mean_abs_error, rmse
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.softmax import (
+    approx_gelu,
+    approx_softmax,
+    exact_softmax,
+    make_softmax_approximator,
+)
+
+
+class TestExactSoftmax:
+    def test_sums_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 16))
+        assert np.allclose(exact_softmax(x).sum(axis=-1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        out = exact_softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_axis_argument(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        assert np.allclose(exact_softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestApproxSoftmax:
+    def test_close_to_exact(self):
+        # classifier-width rows (10-way): tail error of the exp table
+        # barely accumulates in the normaliser
+        sm = make_softmax_approximator(16, use_mlp=False)
+        x = np.random.default_rng(2).normal(scale=3.0, size=(32, 10))
+        diff = np.abs(sm(x) - exact_softmax(x))
+        assert diff.max() < 0.03
+
+    def test_error_grows_mildly_with_row_width(self):
+        # attention-width rows (64-way): per-element exp error accumulates
+        # in the denominator, but stays within a few percent of probability
+        sm = make_softmax_approximator(16, use_mlp=False)
+        x = np.random.default_rng(2).normal(scale=3.0, size=(8, 64))
+        diff = np.abs(sm(x) - exact_softmax(x))
+        assert diff.max() < 0.1
+
+    def test_sums_close_to_one(self):
+        sm = make_softmax_approximator(16, use_mlp=False)
+        x = np.random.default_rng(3).normal(scale=2.0, size=(4, 32))
+        assert np.allclose(sm(x).sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_outputs_non_negative(self):
+        sm = make_softmax_approximator(8, use_mlp=False)
+        x = np.random.default_rng(4).normal(scale=5.0, size=(4, 32))
+        assert np.all(sm(x) >= 0.0)
+
+    def test_argmax_preserved(self):
+        # PWL exp is monotone, so the ordering (and argmax) is preserved
+        sm = make_softmax_approximator(16, use_mlp=True, seed=1)
+        x = np.random.default_rng(5).normal(scale=3.0, size=(64, 10))
+        assert np.array_equal(
+            sm(x).argmax(axis=-1), exact_softmax(x).argmax(axis=-1)
+        )
+
+    def test_approximate_reciprocal_path(self):
+        sm = make_softmax_approximator(
+            16, use_mlp=False, approximate_reciprocal=True
+        )
+        assert sm.recip_table is not None
+        x = np.random.default_rng(6).normal(scale=2.0, size=(4, 16))
+        diff = np.abs(sm(x) - exact_softmax(x))
+        assert diff.max() < 0.05
+
+    def test_underflow_fallback_uniform(self):
+        # all elements far below the exp table's domain -> uniform output
+        exp_table = PiecewiseLinear.fit(np.exp, (-16.0, 0.0), 16)
+
+        def always_zero(x):
+            return np.zeros_like(np.asarray(x))
+
+        out = approx_softmax(np.array([[1.0, 2.0, 3.0]]), always_zero)
+        assert np.allclose(out, 1.0 / 3.0)
+        del exp_table
+
+    def test_mlp_flow_matches_paper_budget(self):
+        sm = make_softmax_approximator(16, use_mlp=True, seed=0)
+        assert sm.n_segments == 16
+        assert sm.exp_table.n_segments == 16
+
+
+class TestApproxGelu:
+    def test_wrapper(self):
+        spec = get_function("gelu")
+        table = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+        xs = np.linspace(-8, 8, 101)
+        assert np.array_equal(approx_gelu(xs, table.evaluate), table.evaluate(xs))
+
+
+class TestErrorMetrics:
+    def test_zero_for_identical(self):
+        f = np.tanh
+        assert max_abs_error(f, f, (-2, 2)) == 0.0
+        assert mean_abs_error(f, f, (-2, 2)) == 0.0
+        assert rmse(f, f, (-2, 2)) == 0.0
+
+    def test_constant_offset(self):
+        f = np.tanh
+        g = lambda x: np.tanh(x) + 0.5
+        assert max_abs_error(g, f, (-2, 2)) == pytest.approx(0.5)
+        assert mean_abs_error(g, f, (-2, 2)) == pytest.approx(0.5)
+        assert rmse(g, f, (-2, 2)) == pytest.approx(0.5)
+
+    def test_report_keys(self):
+        report = error_report(np.tanh, np.tanh, (-1, 1))
+        assert set(report) == {"max_abs_error", "mean_abs_error", "rmse"}
+
+    def test_rmse_between_mean_and_max(self):
+        g = lambda x: np.tanh(x) + np.sin(10 * x) * 0.1
+        lo = mean_abs_error(g, np.tanh, (-2, 2))
+        hi = max_abs_error(g, np.tanh, (-2, 2))
+        mid = rmse(g, np.tanh, (-2, 2))
+        assert lo <= mid <= hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 16)),
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+)
+def test_approx_softmax_is_distribution(x):
+    sm = make_softmax_approximator(16, use_mlp=False)
+    out = sm(x)
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval.ascii_chart import bar_chart, multi_series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # the peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [3.0], unit="mW")
+        assert out.endswith("3mW")
+
+    def test_minimum_one_char_bar(self):
+        out = bar_chart(["tiny", "huge"], [0.001, 1000.0], width=20)
+        assert "#" in out.splitlines()[0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_no_positive_values(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestMultiSeries:
+    def test_grouped_render(self):
+        out = multi_series_chart(
+            [16, 32],
+            {"nova": [1.0, 2.0], "lut": [2.0, 4.0]},
+            width=8,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "16:"
+        assert len(lines) == 6  # 2 groups x (header + 2 bars)
+
+    def test_shared_scale(self):
+        out = multi_series_chart(
+            ["x"], {"small": [1.0], "big": [10.0]}, width=10
+        )
+        lines = out.splitlines()
+        assert lines[1].count("#") == 1
+        assert lines[2].count("#") == 10
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            multi_series_chart(["a", "b"], {"s": [1.0]})

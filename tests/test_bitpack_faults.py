@@ -1,0 +1,177 @@
+"""Tests for the bit-true wire image and link fault injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.bitpack import (
+    LINK_WIDTH_BITS,
+    bit_field_of,
+    decode_beat,
+    encode_beat,
+    flip_bit,
+)
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import LinkBeat, QuantizedPwl, pack_beats
+from repro.core.vector_unit import NovaVectorUnit
+from repro.noc.faults import LinkFault, affected_addresses, apply_fault
+
+
+def make_unit(n_routers=4, neurons=8, n_segments=16):
+    spec = get_function("sigmoid")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+    return NovaVectorUnit(table, n_routers, neurons, pe_frequency_ghz=0.5), table
+
+
+class TestWireImage:
+    def test_encode_decode_round_trip(self):
+        _, table = make_unit()
+        for beat in pack_beats(table):
+            assert decode_beat(encode_beat(beat)) == beat
+
+    def test_width_is_257(self):
+        _, table = make_unit()
+        image = encode_beat(pack_beats(table)[1])
+        assert image < (1 << LINK_WIDTH_BITS)
+        assert LINK_WIDTH_BITS == 257
+
+    def test_tag_is_lsb(self):
+        _, table = make_unit()
+        beats = pack_beats(table)
+        assert encode_beat(beats[0]) & 1 == 0
+        assert encode_beat(beats[1]) & 1 == 1
+
+    def test_negative_codes_two_complement(self):
+        beat = LinkBeat(tag=0, pairs=((-1, -32768),) + ((0, 0),) * 7)
+        decoded = decode_beat(encode_beat(beat))
+        assert decoded.pairs[0] == (-1, -32768)
+
+    def test_wide_tag_rejected(self):
+        beat = LinkBeat(tag=2, pairs=((0, 0),) * 8)
+        with pytest.raises(ValueError, match="tag"):
+            encode_beat(beat)
+
+    def test_flip_bit_involution(self):
+        image = 0b1011
+        assert flip_bit(flip_bit(image, 2), 2) == image
+
+    def test_flip_bit_bounds(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 257)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    def test_bit_field_layout(self):
+        assert bit_field_of(0) == ("tag", 0)
+        assert bit_field_of(1) == ("slope", 0)
+        assert bit_field_of(16) == ("slope", 0)
+        assert bit_field_of(17) == ("bias", 0)
+        assert bit_field_of(33) == ("slope", 1)
+        assert bit_field_of(256) == ("bias", 7)
+
+
+class TestApplyFault:
+    def test_payload_flip_changes_one_word(self):
+        _, table = make_unit()
+        beat = pack_beats(table)[0]
+        fault = LinkFault(beat_index=0, bit=1)  # pair 0 slope, LSB
+        corrupted = apply_fault(beat, fault)
+        diffs = [
+            i for i in range(8) if corrupted.pairs[i] != beat.pairs[i]
+        ]
+        assert diffs == [0]
+        assert corrupted.tag == beat.tag
+
+    def test_tag_flip_changes_only_tag(self):
+        _, table = make_unit()
+        beat = pack_beats(table)[0]
+        corrupted = apply_fault(beat, LinkFault(beat_index=0, bit=0))
+        assert corrupted.tag == 1 - beat.tag
+        assert corrupted.pairs == beat.pairs
+
+
+class TestAffectedAddresses:
+    def test_payload_fault_hits_one_address(self):
+        # pair 3 of beat 1 in a 16-entry/2-beat table = address 3*2+1 = 7
+        fault = LinkFault(beat_index=1, bit=1 + 3 * 32)  # pair 3 slope
+        assert affected_addresses(fault, 16, 2) == {7}
+
+    def test_tag_fault_hits_whole_table(self):
+        fault = LinkFault(beat_index=0, bit=0)
+        assert affected_addresses(fault, 16, 2) == set(range(16))
+
+    def test_unused_slot_fault_hits_nothing(self):
+        # 5-entry table in 1 beat: pair 6 is a zero-filled slot
+        fault = LinkFault(beat_index=0, bit=1 + 6 * 32)
+        assert affected_addresses(fault, 5, 1) == set()
+
+
+class TestFaultContainment:
+    """The central robustness property: a payload-wire flip corrupts at
+    most the lanes whose address selects the faulted (beat, pair)."""
+
+    def test_payload_fault_containment(self):
+        unit, table = make_unit(n_routers=4, neurons=16)
+        x = np.linspace(-7.9, 7.9, 64).reshape(4, 16)
+        addresses = table.segment_index(x)
+        fault = LinkFault(beat_index=0, bit=5)  # pair 0 slope, beat 0
+        result = unit.approximate_with_fault(x, fault)
+        may_differ = affected_addresses(fault, 16, 2)
+        victims = np.isin(addresses, list(may_differ))
+        # every corrupted lane is a predicted victim
+        assert np.all(~result.corrupted_lanes | victims)
+        # lanes outside the victim set match golden exactly
+        assert np.array_equal(
+            result.outputs[~victims], result.golden[~victims]
+        )
+
+    def test_fault_only_downstream_of_segment(self):
+        unit, table = make_unit(n_routers=4, neurons=16)
+        x = np.linspace(-7.9, 7.9, 64).reshape(4, 16)
+        fault = LinkFault(beat_index=0, bit=5, from_router=2)
+        result = unit.approximate_with_fault(x, fault)
+        # routers 0 and 1 observe the clean beat
+        assert not np.any(result.corrupted_lanes[:2])
+
+    def test_tag_fault_reported_via_mask(self):
+        unit, table = make_unit(n_routers=2, neurons=16)
+        x = np.linspace(-7.9, 7.9, 32).reshape(2, 16)
+        addresses = table.segment_index(x)
+        fault = LinkFault(beat_index=0, bit=0)  # flip beat 0's tag
+        result = unit.approximate_with_fault(x, fault)
+        even_lanes = addresses % 2 == 0
+        # even-address lanes never see a tag-0 beat: mask must expose them
+        assert not np.any(result.captured[even_lanes])
+
+    def test_no_fault_path_unchanged(self):
+        unit, _ = make_unit()
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        clean = unit.approximate(x).outputs
+        assert np.array_equal(clean, unit.golden_reference(x))
+
+    def test_fault_validation(self):
+        unit, _ = make_unit()
+        x = np.zeros((4, 8))
+        with pytest.raises(ValueError, match="beats"):
+            unit.approximate_with_fault(x, LinkFault(beat_index=5, bit=0))
+        with pytest.raises(ValueError):
+            LinkFault(beat_index=-1, bit=0)
+        with pytest.raises(ValueError):
+            LinkFault(beat_index=0, bit=0, from_router=-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bit=st.integers(min_value=0, max_value=256))
+def test_single_bit_fault_never_escapes_prediction(bit):
+    """For every one of the 257 wires: corrupted lanes are a subset of the
+    statically predicted victim set."""
+    spec = get_function("sigmoid")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+    unit = NovaVectorUnit(table, 2, 16, pe_frequency_ghz=0.5)
+    x = np.linspace(-7.9, 7.9, 32).reshape(2, 16)
+    addresses = table.segment_index(x)
+    fault = LinkFault(beat_index=0, bit=bit)
+    result = unit.approximate_with_fault(x, fault)
+    victims = np.isin(addresses, list(affected_addresses(fault, 16, 2)))
+    assert np.all(~result.corrupted_lanes | victims)

@@ -1,0 +1,81 @@
+"""Tests for the broadcast-topology comparison (line vs tree vs star)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.broadcast_topologies import (
+    compare_topologies,
+    line_broadcast,
+    star_broadcast,
+    tree_broadcast,
+)
+
+
+class TestLine:
+    def test_wire_linear_in_routers(self):
+        assert line_broadcast(10).total_wire_mm == pytest.approx(10.0)
+        assert line_broadcast(20).total_wire_mm == pytest.approx(20.0)
+
+    def test_single_input_port(self):
+        assert line_broadcast(10).router_ports == 1
+
+    def test_critical_path_is_full_line(self):
+        topo = line_broadcast(10, pitch_mm=0.5)
+        assert topo.critical_path_mm == pytest.approx(5.0)
+
+
+class TestTree:
+    def test_wire_n_log_n_plus_stubs(self):
+        # (N*p/2) per level x log2(N) levels + N/2 of leaf stubs
+        topo = tree_broadcast(16, pitch_mm=1.0)
+        assert topo.total_wire_mm == pytest.approx(8.0 * 4 + 8.0)
+
+    def test_critical_path_shorter_than_row(self):
+        # sum of spans: N*p * (1/2 + 1/4 + ...) + stub -> under N*p
+        topo = tree_broadcast(16, pitch_mm=1.0)
+        assert 8.0 < topo.critical_path_mm < 16.0
+
+    def test_single_router(self):
+        assert tree_broadcast(1).n_routers == 1
+
+
+class TestStar:
+    def test_wire_quadratic(self):
+        topo = star_broadcast(10, pitch_mm=1.0)
+        assert topo.total_wire_mm == pytest.approx(55.0)  # 1+2+...+10
+
+
+class TestComparison:
+    def test_line_minimises_wire_on_a_row(self):
+        """The quantitative version of the paper's §III-A topology claim."""
+        for n in (4, 8, 10, 16, 32):
+            line, tree, star = compare_topologies(n)
+            assert line.total_wire_mm <= tree.total_wire_mm
+            assert tree.total_wire_mm <= star.total_wire_mm
+
+    def test_tree_critical_path_shorter_but_within_2x(self):
+        for n in (8, 16, 32):
+            line, tree, _ = compare_topologies(n)
+            assert tree.critical_path_mm < line.critical_path_mm
+            assert line.critical_path_mm < 2.0 * tree.critical_path_mm + 1e-9
+
+    def test_delays_ordered_by_critical_path(self):
+        line, tree, star = compare_topologies(16)
+        assert tree.critical_delay_ps() < line.critical_delay_ps()
+        # star's critical path equals the line's full row
+        assert star.critical_delay_ps() <= line.critical_delay_ps() + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_broadcast(0)
+        with pytest.raises(ValueError):
+            tree_broadcast(4, pitch_mm=0.0)
+
+
+@settings(max_examples=40)
+@given(n=st.integers(min_value=2, max_value=128))
+def test_line_wire_optimality_property(n):
+    """For any row length, the line's total wire is minimal among the
+    three schemes — NOVA's topology choice is wire-optimal."""
+    line, tree, star = compare_topologies(n)
+    assert line.total_wire_mm <= tree.total_wire_mm <= star.total_wire_mm

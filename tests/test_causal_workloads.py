@@ -1,0 +1,48 @@
+"""Tests for causal (GPT-style) attention workloads."""
+
+import pytest
+
+from repro.workloads.transformer import TransformerConfig, build_encoder_graph
+
+
+def config(causal, seq=64):
+    return TransformerConfig(
+        "t", layers=2, hidden=64, heads=4, intermediate=256, seq_len=seq,
+        causal=causal,
+    )
+
+
+class TestCausalQueries:
+    def test_causal_halves_softmax_queries(self):
+        full = config(False).softmax_queries_per_layer
+        causal = config(True).softmax_queries_per_layer
+        # lower triangle incl. diagonal: S(S+1)/2 of S^2
+        assert causal == pytest.approx(full * (64 + 1) / (2 * 64))
+
+    def test_graph_reflects_causal_count(self):
+        graph = build_encoder_graph(config(True))
+        exp_queries = graph.queries_by_function()["exp"]
+        assert exp_queries == 2 * 4 * 64 * 65 // 2
+
+    def test_gemm_work_unchanged_by_masking(self):
+        # systolic arrays compute full score tiles; masking discards
+        full = build_encoder_graph(config(False))
+        causal = build_encoder_graph(config(True))
+        assert full.total_macs == causal.total_macs
+
+    def test_gelu_and_norm_queries_unchanged(self):
+        full = build_encoder_graph(config(False)).queries_by_function()
+        causal = build_encoder_graph(config(True)).queries_by_function()
+        assert full["gelu"] == causal["gelu"]
+        assert full["rsqrt"] == causal["rsqrt"]
+
+    def test_causal_converges_to_half_at_long_seq(self):
+        ratio = (
+            config(True, seq=2048).softmax_queries_per_layer
+            / config(False, seq=2048).softmax_queries_per_layer
+        )
+        assert 0.5 < ratio < 0.51
+
+    def test_default_is_full_attention(self):
+        assert not config(False).causal
+        assert TransformerConfig("t", 1, 8, 2, 8, 4).causal is False

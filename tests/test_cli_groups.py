@@ -1,0 +1,55 @@
+"""Tests for the CLI's experiment registry and group handling."""
+
+import pytest
+
+from repro.eval.cli import (
+    EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    main,
+)
+
+
+class TestRegistry:
+    def test_paper_experiments_cover_every_table_and_figure(self):
+        assert set(PAPER_EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig6", "fig7", "fig8", "scalability",
+        }
+
+    def test_extensions_registered(self):
+        assert "ablation-breakpoints" in EXTENSION_EXPERIMENTS
+        assert "ablation-related-softmax" in EXTENSION_EXPERIMENTS
+        assert "sweep-seqlen" in EXTENSION_EXPERIMENTS
+        assert "sweep-memory" in EXTENSION_EXPERIMENTS
+
+    def test_no_name_collisions(self):
+        assert len(EXPERIMENTS) == len(PAPER_EXPERIMENTS) + len(
+            EXTENSION_EXPERIMENTS
+        )
+
+
+class TestMain:
+    def test_single_fast_experiment(self, capsys):
+        assert main(["scalability"]) == 0
+        assert "1.5" in capsys.readouterr().out
+
+    def test_sweeps_group(self, capsys):
+        assert main(["sweeps"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep S1" in out and "Sweep S2" in out
+
+    def test_all_excludes_table1_and_extensions(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table I:" not in out
+        assert "Ablation" not in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_fast_ablation(self, capsys):
+        assert main(["ablation-hop"]) == 0
+        assert "hop" in capsys.readouterr().out.lower()

@@ -1,0 +1,109 @@
+"""Tests for the end-to-end attention engine (the paper's title claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import NovaAttentionEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # small Jetson-like overlay keeps the cycle sim fast
+    return NovaAttentionEngine(
+        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
+        hop_mm=0.5, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def layer_weights():
+    rng = np.random.default_rng(0)
+    hidden = 16
+    scale = 1.0 / np.sqrt(hidden)
+    return {
+        name: rng.normal(0.0, scale, size=(hidden, hidden))
+        for name in ("wq", "wk", "wv", "wo")
+    }
+
+
+class TestHardwareSoftmax:
+    def test_rows_are_distributions(self, engine):
+        scores = np.random.default_rng(1).normal(0, 2, size=(2, 8, 8))
+        probs, cycles = engine.softmax(scores)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+        assert cycles > 0
+
+    def test_close_to_exact(self, engine):
+        from repro.approx.softmax import exact_softmax
+
+        scores = np.random.default_rng(2).normal(0, 2, size=(2, 8, 8))
+        probs, _ = engine.softmax(scores)
+        exact = exact_softmax(scores, axis=-1)
+        assert np.max(np.abs(probs - exact)) < 0.05
+        assert np.array_equal(probs.argmax(-1), exact.argmax(-1))
+
+    def test_vector_cycles_match_query_count(self, engine):
+        # one query per lane per PE cycle: exp queries + recip queries
+        scores = np.zeros((1, 8, 8))
+        _, cycles = engine.softmax(scores)
+        lanes = engine.n_lanes  # 32
+        exp_batches = -(-64 // lanes)
+        recip_batches = -(-8 // lanes)
+        assert cycles == exp_batches + recip_batches
+
+
+class TestHardwareGelu:
+    def test_matches_table(self, engine):
+        values = np.random.default_rng(3).normal(0, 2, size=(5, 7))
+        out, _ = engine.gelu(values)
+        expected = engine.tables["gelu"].evaluate(values)
+        assert np.array_equal(out, expected)
+
+    def test_padding_does_not_leak(self, engine):
+        # a stream that does not fill the last lane batch
+        values = np.random.default_rng(4).normal(0, 2, size=33)
+        out, _ = engine.gelu(values)
+        assert out.shape == (33,)
+        expected = engine.tables["gelu"].evaluate(values)
+        assert np.array_equal(out, expected)
+
+
+class TestAttentionLayer:
+    def test_output_close_to_exact(self, engine, layer_weights):
+        x = np.random.default_rng(5).normal(0, 1, size=(8, 16))
+        result = engine.attention_layer(x, n_heads=2, **layer_weights)
+        exact = engine.exact_attention_layer(x, n_heads=2, **layer_weights)
+        # attention outputs are weighted sums of value vectors; small
+        # probability errors stay small in the output
+        scale = np.max(np.abs(exact)) + 1e-9
+        assert np.max(np.abs(result.outputs - exact)) / scale < 0.05
+
+    def test_probabilities_shape(self, engine, layer_weights):
+        x = np.random.default_rng(6).normal(size=(8, 16))
+        result = engine.attention_layer(x, n_heads=2, **layer_weights)
+        assert result.probabilities.shape == (2, 8, 8)
+
+    def test_counters_accumulate_hardware_events(self, engine, layer_weights):
+        x = np.random.default_rng(7).normal(size=(8, 16))
+        result = engine.attention_layer(x, n_heads=2, **layer_weights)
+        assert result.counters.get("mac_op") > 0
+        assert result.counters.get("wire_hop") > 0
+        assert result.counters.get("lut_read") == 0  # no SRAM anywhere
+
+    def test_head_divisibility_enforced(self, engine, layer_weights):
+        x = np.zeros((8, 16))
+        with pytest.raises(ValueError):
+            engine.attention_layer(x, n_heads=3, **layer_weights)
+
+    def test_table_switching_is_free(self, engine):
+        # scheduling exp -> reciprocal -> gelu on NOVA costs no reloads
+        from repro.workloads.ops import NonLinearOp, OpGraph
+
+        graph = OpGraph("layer")
+        graph.add(NonLinearOp("sm", "exp", queries=64))
+        graph.add(NonLinearOp("norm", "reciprocal", queries=8))
+        graph.add(NonLinearOp("act", "gelu", queries=64))
+        report = engine.scheduler.schedule(graph)
+        assert report.reload_cycles == 0
+        assert report.function_switches() == 2

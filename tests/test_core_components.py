@@ -1,0 +1,131 @@
+"""Unit tests for the comparator bank, MAC lane and overlay adapters."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.core.comparator import ComparatorBank
+from repro.core.mac import MacLane
+from repro.core.overlay import NvdlaOverlay, ReactOverlay, SystolicOverlay
+from repro.core.vector_unit import NovaVectorUnit
+
+
+def make_table(n_segments=16, name="sigmoid"):
+    spec = get_function(name)
+    return QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+
+
+class TestComparatorBank:
+    def test_addresses_match_table(self):
+        table = make_table()
+        bank = ComparatorBank(table=table, n_neurons=16)
+        x = np.linspace(-8, 8, 16)
+        assert np.array_equal(bank.lookup_addresses(x), table.segment_index(x))
+
+    def test_comparator_count(self):
+        bank = ComparatorBank(table=make_table(16), n_neurons=4)
+        assert bank.n_comparators == 15
+
+    def test_event_counting(self):
+        bank = ComparatorBank(table=make_table(), n_neurons=8)
+        bank.lookup_addresses(np.zeros(8))
+        bank.lookup_addresses(np.zeros(8))
+        assert bank.counters.get("comparator_eval") == 16
+
+    def test_shape_validation(self):
+        bank = ComparatorBank(table=make_table(), n_neurons=8)
+        with pytest.raises(ValueError):
+            bank.lookup_addresses(np.zeros(7))
+
+    def test_invalid_neurons(self):
+        with pytest.raises(ValueError):
+            ComparatorBank(table=make_table(), n_neurons=0)
+
+
+class TestMacLane:
+    def test_fixed_point_mac(self):
+        lane = MacLane(n_neurons=3)
+        out = lane.approximate(
+            np.array([1.0, 0.5, -2.0]),
+            np.array([2.0, 4.0, 1.0]),
+            np.array([0.0, 0.25, 0.125]),
+        )
+        expected = lane.output_format.quantize(
+            np.array([2.0, 2.25, -1.875])
+        )
+        assert np.array_equal(out, expected)
+
+    def test_event_counting(self):
+        lane = MacLane(n_neurons=4)
+        lane.approximate(np.ones(4), np.ones(4), np.ones(4))
+        assert lane.counters.get("mac_op") == 4
+
+    def test_shape_validation(self):
+        lane = MacLane(n_neurons=4)
+        with pytest.raises(ValueError, match="slopes"):
+            lane.approximate(np.ones(3), np.ones(4), np.ones(4))
+        with pytest.raises(ValueError, match="x"):
+            lane.approximate(np.ones(4), np.ones(3), np.ones(4))
+
+
+class TestOverlays:
+    def make_unit(self, n_routers=4, neurons=8):
+        return NovaVectorUnit(
+            make_table(), n_routers=n_routers, neurons_per_router=neurons,
+            pe_frequency_ghz=1.0,
+        )
+
+    def test_generic_process_single_batch(self):
+        overlay = SystolicOverlay(unit=self.make_unit(), systolic_cols=8)
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        stream = overlay.process(x)
+        assert stream.outputs.shape == (1, 4, 8)
+
+    def test_react_attachment_declares_crossbars(self):
+        overlay = ReactOverlay(unit=self.make_unit())
+        attachment = overlay.attachment()
+        assert attachment.host == "REACT"
+        specs = [(x.in_ports, x.out_ports) for x in attachment.crossbars_per_router]
+        assert specs == [(6, 2), (2, 6)]  # Fig. 5a: 6x2 in, 2x6 out
+
+    def test_react_bypass_passthrough(self):
+        overlay = ReactOverlay(unit=self.make_unit())
+        x = np.random.default_rng(1).normal(size=(4, 8))
+        bypass = np.zeros_like(x, dtype=bool)
+        bypass[:, ::2] = True
+        out = overlay.process_with_bypass(x, bypass)
+        assert np.array_equal(out[bypass], x[bypass])
+        golden = overlay.unit.golden_reference(x)
+        assert np.array_equal(out[~bypass], golden[~bypass])
+        assert overlay.bypassed_values == int(bypass.sum())
+
+    def test_react_bypass_shape_check(self):
+        overlay = ReactOverlay(unit=self.make_unit())
+        with pytest.raises(ValueError):
+            overlay.process_with_bypass(np.zeros((4, 8)), np.zeros((4, 7), bool))
+
+    def test_systolic_mxu_drain(self):
+        overlay = SystolicOverlay(unit=self.make_unit(), systolic_cols=8)
+        tile = np.random.default_rng(2).normal(size=(16, 4, 8))
+        stream = overlay.process_mxu_drain(tile)
+        assert stream.outputs.shape == (16, 4, 8)
+        # 16 rows through the 2-stage pipeline
+        assert stream.total_pe_cycles == 17
+
+    def test_systolic_drain_shape_check(self):
+        overlay = SystolicOverlay(unit=self.make_unit(), systolic_cols=8)
+        with pytest.raises(ValueError):
+            overlay.process_mxu_drain(np.zeros((16, 4, 7)))
+
+    def test_nvdla_attachment(self):
+        overlay = NvdlaOverlay(unit=self.make_unit(n_routers=2, neurons=16))
+        attachment = overlay.attachment()
+        assert attachment.host == "NVDLA"
+        assert "SDP" in attachment.notes
+
+    def test_process_rejects_bad_rank(self):
+        overlay = SystolicOverlay(unit=self.make_unit(), systolic_cols=8)
+        with pytest.raises(ValueError):
+            overlay.process(np.zeros(8))

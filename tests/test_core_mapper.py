@@ -1,0 +1,91 @@
+"""Unit tests for the NOVA mapper (broadcast scheduling)."""
+
+import pytest
+
+from repro.core.mapper import NovaMapper
+from repro.noc.link import RepeatedWire
+
+
+class TestBeatCounts:
+    def test_paper_budgets(self):
+        mapper = NovaMapper()
+        assert mapper.n_beats_for(8) == 1
+        assert mapper.n_beats_for(16) == 2
+
+    def test_power_of_two_padding(self):
+        mapper = NovaMapper()
+        assert mapper.n_beats_for(17) == 4
+        assert mapper.n_beats_for(24) == 4
+        assert mapper.n_beats_for(33) == 8
+
+    def test_tiny_tables_single_beat(self):
+        mapper = NovaMapper()
+        for n in range(1, 9):
+            assert mapper.n_beats_for(n) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NovaMapper().n_beats_for(0)
+
+
+class TestSchedule:
+    def test_react_configuration(self):
+        # REACT: 10 routers @ 240 MHz, 16 pairs -> NoC at 480 MHz,
+        # single-cycle traversal, 2-cycle total latency (fetch + MAC)
+        schedule = NovaMapper().schedule(10, 0.24, n_pairs=16, hop_mm=1.0)
+        assert schedule.n_beats == 2
+        assert schedule.clock_multiplier == 2
+        assert schedule.noc_frequency_ghz == pytest.approx(0.48)
+        assert schedule.single_cycle_broadcast
+        assert schedule.buffering_routers == ()
+        assert schedule.noc_cycles_per_lookup == 2
+        assert schedule.fetch_pe_cycles == 1
+        assert schedule.total_latency_pe_cycles == 2
+
+    def test_paper_scalability_point(self):
+        # NoC at 1.5 GHz (PE at 0.75 with 16 pairs): 10 routers max
+        mapper = NovaMapper()
+        assert mapper.max_single_cycle_routers(0.75, 16, 1.0) == 10
+
+    def test_beyond_envelope_multi_cycle(self):
+        schedule = NovaMapper().schedule(15, 0.75, n_pairs=16, hop_mm=1.0)
+        assert not schedule.single_cycle_broadcast
+        assert schedule.traversal_segments == 2
+        assert schedule.buffering_routers == (10,)
+        assert schedule.noc_cycles_per_lookup == 3  # 2 beats + 1 extra segment
+        assert schedule.fetch_pe_cycles == 2
+        assert schedule.total_latency_pe_cycles == 3
+
+    def test_eight_pair_table_runs_at_pe_clock(self):
+        schedule = NovaMapper().schedule(8, 1.0, n_pairs=8)
+        assert schedule.n_beats == 1
+        assert schedule.clock_multiplier == 1
+        assert schedule.noc_frequency_ghz == pytest.approx(1.0)
+
+    def test_latency_matches_lut_baseline_when_single_cycle(self):
+        # §V-B: "NOVA's latency is identical to that of the baseline" (2cyc)
+        for n_routers, pe_ghz, hop in [(10, 0.24, 1.0), (4, 1.4, 0.5),
+                                       (8, 1.4, 0.5), (2, 1.4, 0.5)]:
+            schedule = NovaMapper().schedule(n_routers, pe_ghz, 16, hop)
+            assert schedule.total_latency_pe_cycles == 2, (n_routers, pe_ghz)
+
+    def test_infeasible_clock_raises(self):
+        wire = RepeatedWire()
+        mapper = NovaMapper(wire=wire)
+        with pytest.raises(ValueError, match="infeasible"):
+            mapper.schedule(4, 20.0, n_pairs=16, hop_mm=1.0)
+
+    def test_invalid_args(self):
+        mapper = NovaMapper()
+        with pytest.raises(ValueError):
+            mapper.schedule(0, 1.0)
+        with pytest.raises(ValueError):
+            mapper.schedule(4, -1.0)
+        with pytest.raises(ValueError):
+            NovaMapper(pairs_per_beat=0)
+
+    def test_buffering_router_spacing(self):
+        schedule = NovaMapper().schedule(40, 0.75, n_pairs=16, hop_mm=1.0)
+        # max 10 hops/cycle -> buffers at 10, 20, 30
+        assert schedule.buffering_routers == (10, 20, 30)
+        assert schedule.traversal_segments == 4

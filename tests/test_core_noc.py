@@ -1,0 +1,127 @@
+"""Unit tests for the NOVA line NoC broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl, pack_beats
+from repro.core.mapper import NovaMapper
+from repro.core.noc import NovaNoc
+from repro.noc.topology import LineTopology
+
+
+def make_noc(n_routers=8, neurons=4, pe_ghz=0.24, n_segments=16, hop_mm=1.0):
+    spec = get_function("sigmoid")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+    schedule = NovaMapper().schedule(n_routers, pe_ghz, n_segments, hop_mm)
+    topo = LineTopology(n_routers=n_routers, hop_mm=hop_mm)
+    return NovaNoc(topo, schedule, neurons), table
+
+
+class TestSingleCycleBroadcast:
+    def test_all_routers_capture(self):
+        noc, table = make_noc()
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 16, size=(8, 4))
+        result = noc.broadcast(pack_beats(table), addresses)
+        words = table.coefficient_words()
+        assert np.array_equal(result.slopes_raw, words[addresses, 0])
+        assert np.array_equal(result.biases_raw, words[addresses, 1])
+
+    def test_noc_cycles_equals_beats_when_single_cycle(self):
+        noc, table = make_noc()
+        addresses = np.zeros((8, 4), dtype=np.int64)
+        result = noc.broadcast(pack_beats(table), addresses)
+        assert result.noc_cycles == 2  # 2 beats, single-cycle traversal
+
+    def test_wire_hops_count(self):
+        noc, table = make_noc()
+        result = noc.broadcast(pack_beats(table), np.zeros((8, 4), dtype=np.int64))
+        # every beat traverses every router once
+        assert result.counters.get("wire_hop") == 2 * 8
+
+    def test_no_register_writes_single_cycle(self):
+        noc, table = make_noc()
+        result = noc.broadcast(pack_beats(table), np.zeros((8, 4), dtype=np.int64))
+        assert result.counters.get("register_write") == 0
+
+    def test_beat_launches(self):
+        noc, table = make_noc()
+        result = noc.broadcast(pack_beats(table), np.zeros((8, 4), dtype=np.int64))
+        assert result.counters.get("beat_launch") == 2
+
+    def test_arrival_cycles_zero(self):
+        noc, _ = make_noc()
+        assert all(noc.arrival_cycle(r) == 0 for r in range(8))
+
+
+class TestMultiCycleTraversal:
+    def test_long_line_buffers(self):
+        # PE 0.75 GHz + 16 pairs -> NoC 1.5 GHz -> 10 hops/cycle; 25 routers
+        noc, table = make_noc(n_routers=25, neurons=2, pe_ghz=0.75)
+        assert noc.schedule.traversal_segments == 3
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 16, size=(25, 2))
+        result = noc.broadcast(pack_beats(table), addresses)
+        words = table.coefficient_words()
+        assert np.array_equal(result.slopes_raw, words[addresses, 0])
+        # 2 beats + 2 extra segments
+        assert result.noc_cycles == 4
+
+    def test_arrival_cycle_steps_at_segment_boundaries(self):
+        noc, _ = make_noc(n_routers=25, neurons=2, pe_ghz=0.75)
+        assert noc.arrival_cycle(0) == 0
+        assert noc.arrival_cycle(9) == 0
+        assert noc.arrival_cycle(10) == 1
+        assert noc.arrival_cycle(19) == 1
+        assert noc.arrival_cycle(20) == 2
+
+    def test_register_writes_at_boundaries(self):
+        noc, table = make_noc(n_routers=25, neurons=2, pe_ghz=0.75)
+        result = noc.broadcast(
+            pack_beats(table), np.zeros((25, 2), dtype=np.int64)
+        )
+        # each of the 2 beats is latched at routers 10 and 20
+        assert result.counters.get("register_write") == 4
+
+    def test_buffering_routers_marked(self):
+        noc, _ = make_noc(n_routers=25, neurons=2, pe_ghz=0.75)
+        buffering = {r.router_id for r in noc.routers if r.buffering}
+        assert buffering == {10, 20}
+
+
+class TestValidation:
+    def test_wrong_beat_count(self):
+        noc, table = make_noc(n_segments=16)
+        beats = pack_beats(table)[:1]
+        with pytest.raises(ValueError, match="beats"):
+            noc.broadcast(beats, np.zeros((8, 4), dtype=np.int64))
+
+    def test_wrong_address_shape(self):
+        noc, table = make_noc()
+        with pytest.raises(ValueError, match="shape"):
+            noc.broadcast(pack_beats(table), np.zeros((8, 3), dtype=np.int64))
+
+    def test_topology_schedule_mismatch(self):
+        spec = get_function("sigmoid")
+        table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+        schedule = NovaMapper().schedule(8, 0.24, 16)
+        with pytest.raises(ValueError, match="routers"):
+            NovaNoc(LineTopology(n_routers=9), schedule, 4)
+
+    def test_arrival_cycle_bounds(self):
+        noc, _ = make_noc()
+        with pytest.raises(ValueError):
+            noc.arrival_cycle(8)
+
+
+class TestCounterIsolation:
+    def test_per_broadcast_counters_are_deltas(self):
+        noc, table = make_noc()
+        addresses = np.zeros((8, 4), dtype=np.int64)
+        first = noc.broadcast(pack_beats(table), addresses)
+        second = noc.broadcast(pack_beats(table), addresses)
+        assert first.counters.get("wire_hop") == second.counters.get("wire_hop")
+        assert first.counters.get("pair_capture") == 8 * 4
+        assert second.counters.get("pair_capture") == 8 * 4

@@ -1,0 +1,133 @@
+"""Unit tests for the NOVA router microarchitecture."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import LinkBeat, QuantizedPwl, pack_beats
+from repro.core.router import NovaRouter
+
+
+def make_beats(n_segments=16):
+    spec = get_function("tanh")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+    return pack_beats(table), table
+
+
+class TestLookupLifecycle:
+    def test_begin_observe_pop(self):
+        beats, table = make_beats(16)
+        router = NovaRouter(router_id=0, n_neurons=4)
+        addresses = np.array([0, 5, 10, 15])
+        router.begin_lookup(0, addresses, n_beats=2)
+        assert not router.lookup_complete(0)
+        router.observe_beat(0, beats[0])
+        router.observe_beat(0, beats[1])
+        assert router.lookup_complete(0)
+        slopes, biases = router.pop_pairs(0)
+        words = table.coefficient_words()
+        assert np.array_equal(slopes, words[addresses, 0])
+        assert np.array_equal(biases, words[addresses, 1])
+
+    def test_tag_matching_splits_by_lsb(self):
+        beats, _ = make_beats(16)
+        router = NovaRouter(router_id=0, n_neurons=2)
+        router.begin_lookup(0, np.array([2, 3]), n_beats=2)  # even, odd
+        router.observe_beat(0, beats[0])  # tag 0 -> captures address 2 only
+        assert not router.lookup_complete(0)
+        assert router.counters.get("pair_capture") == 1
+        router.observe_beat(0, beats[1])
+        assert router.lookup_complete(0)
+
+    def test_single_beat_table(self):
+        beats, table = make_beats(8)
+        router = NovaRouter(router_id=1, n_neurons=8)
+        addresses = np.arange(8)
+        router.begin_lookup(0, addresses, n_beats=1)
+        router.observe_beat(0, beats[0])
+        slopes, _ = router.pop_pairs(0)
+        assert np.array_equal(slopes, table.coefficient_words()[:, 0])
+
+    def test_pop_removes_job(self):
+        beats, _ = make_beats(8)
+        router = NovaRouter(router_id=0, n_neurons=1)
+        router.begin_lookup(0, np.array([3]), n_beats=1)
+        router.observe_beat(0, beats[0])
+        router.pop_pairs(0)
+        assert router.outstanding_lookups == 0
+        with pytest.raises(RuntimeError):
+            router.pop_pairs(0)
+
+    def test_multiple_outstanding_lookups(self):
+        beats, table = make_beats(8)
+        router = NovaRouter(router_id=0, n_neurons=1)
+        router.begin_lookup(0, np.array([1]), n_beats=1)
+        router.begin_lookup(1, np.array([6]), n_beats=1)
+        router.observe_beat(0, beats[0])
+        router.observe_beat(1, beats[0])
+        s0, _ = router.pop_pairs(0)
+        s1, _ = router.pop_pairs(1)
+        words = table.coefficient_words()
+        assert s0[0] == words[1, 0] and s1[0] == words[6, 0]
+
+
+class TestValidation:
+    def test_wrong_address_shape(self):
+        router = NovaRouter(router_id=0, n_neurons=4)
+        with pytest.raises(ValueError):
+            router.begin_lookup(0, np.array([1, 2]), n_beats=1)
+
+    def test_address_out_of_range(self):
+        router = NovaRouter(router_id=0, n_neurons=1)
+        with pytest.raises(ValueError):
+            router.begin_lookup(0, np.array([8]), n_beats=1)
+        with pytest.raises(ValueError):
+            router.begin_lookup(0, np.array([-1]), n_beats=1)
+
+    def test_non_power_of_two_beats(self):
+        router = NovaRouter(router_id=0, n_neurons=1)
+        with pytest.raises(ValueError):
+            router.begin_lookup(0, np.array([0]), n_beats=3)
+
+    def test_duplicate_broadcast_id(self):
+        router = NovaRouter(router_id=0, n_neurons=1)
+        router.begin_lookup(0, np.array([0]), n_beats=1)
+        with pytest.raises(RuntimeError):
+            router.begin_lookup(0, np.array([0]), n_beats=1)
+
+    def test_beat_without_lookup(self):
+        router = NovaRouter(router_id=0, n_neurons=1)
+        beat = LinkBeat(tag=0, pairs=((0, 0),) * 8)
+        with pytest.raises(RuntimeError):
+            router.observe_beat(9, beat)
+
+    def test_pop_incomplete(self):
+        beats, _ = make_beats(16)
+        router = NovaRouter(router_id=0, n_neurons=1)
+        router.begin_lookup(0, np.array([1]), n_beats=2)  # odd -> beat 1
+        router.observe_beat(0, beats[0])
+        with pytest.raises(RuntimeError):
+            router.pop_pairs(0)
+
+    def test_zero_neurons_rejected(self):
+        with pytest.raises(ValueError):
+            NovaRouter(router_id=0, n_neurons=0)
+
+
+class TestEventCounting:
+    def test_tag_match_counts_pending_only(self):
+        beats, _ = make_beats(16)
+        router = NovaRouter(router_id=0, n_neurons=4)
+        router.begin_lookup(0, np.array([0, 2, 4, 6]), n_beats=2)  # all even
+        router.observe_beat(0, beats[0])
+        assert router.counters.get("tag_match") == 4
+        assert router.counters.get("pair_capture") == 4
+        router.observe_beat(0, beats[1])  # nothing pending
+        assert router.counters.get("tag_match") == 4
+
+    def test_buffering_flag(self):
+        router = NovaRouter(router_id=0, n_neurons=1)
+        assert not router.buffering
+        router.set_buffering(True)
+        assert router.buffering

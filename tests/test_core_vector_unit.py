@@ -1,0 +1,136 @@
+"""Unit + equivalence tests for the NOVA vector unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.core.vector_unit import NovaVectorUnit
+
+
+def make_unit(n_routers=4, neurons=8, n_segments=16, pe_ghz=1.0, name="gelu",
+              hop_mm=1.0):
+    spec = get_function(name)
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+    return NovaVectorUnit(
+        table, n_routers=n_routers, neurons_per_router=neurons,
+        pe_frequency_ghz=pe_ghz, hop_mm=hop_mm,
+    )
+
+
+class TestFunctionalVerification:
+    """Stands in for the paper's Synopsys VCS verification (§V-A)."""
+
+    def test_bit_exact_vs_golden(self):
+        unit = make_unit()
+        x = np.random.default_rng(0).normal(0, 3, size=(4, 8))
+        assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))
+
+    def test_bit_exact_with_8_segment_table(self):
+        unit = make_unit(n_segments=8)
+        x = np.random.default_rng(1).normal(0, 3, size=(4, 8))
+        assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))
+
+    def test_bit_exact_multi_cycle_traversal(self):
+        unit = make_unit(n_routers=25, neurons=2, pe_ghz=0.75)
+        assert unit.schedule.traversal_segments > 1
+        x = np.random.default_rng(2).normal(0, 3, size=(25, 2))
+        assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))
+
+    def test_out_of_domain_inputs_clamped(self):
+        unit = make_unit()
+        x = np.array([[100.0, -100.0] + [0.0] * 6] * 4)
+        out = unit.approximate(x).outputs
+        assert np.array_equal(out, unit.golden_reference(x))
+
+
+class TestTiming:
+    def test_latency_two_pe_cycles_at_paper_operating_point(self):
+        unit = make_unit(n_routers=8, neurons=128, pe_ghz=1.4, hop_mm=0.5)
+        result = unit.approximate(np.zeros((8, 128)))
+        assert result.latency_pe_cycles == 2
+        assert result.noc_cycles == 2  # 2 beats, single NoC cycle each
+
+    def test_stream_pipeline_cycles(self):
+        unit = make_unit()
+        xs = np.random.default_rng(3).normal(size=(10, 4, 8))
+        stream = unit.run_stream(xs)
+        # 10 batches through a 2-stage pipeline: 11 PE cycles
+        assert stream.total_pe_cycles == 11
+
+    def test_stream_outputs_match_golden(self):
+        unit = make_unit()
+        xs = np.random.default_rng(4).normal(size=(5, 4, 8))
+        stream = unit.run_stream(xs)
+        for t in range(5):
+            assert np.array_equal(stream.outputs[t], unit.golden_reference(xs[t]))
+
+
+class TestEventCounting:
+    def test_per_batch_counts(self):
+        unit = make_unit(n_routers=4, neurons=8)
+        result = unit.approximate(np.zeros((4, 8)))
+        c = result.counters
+        assert c.get("comparator_eval") == 32
+        assert c.get("mac_op") == 32
+        assert c.get("pair_capture") == 32
+        assert c.get("wire_hop") == 2 * 4  # 2 beats x 4 routers
+        assert c.get("beat_launch") == 2
+
+    def test_stream_counters_scale_linearly(self):
+        unit = make_unit()
+        xs = np.zeros((3, 4, 8))
+        stream = unit.run_stream(xs)
+        assert stream.counters.get("mac_op") == 3 * 32
+        assert stream.counters.get("beat_launch") == 6
+
+
+class TestValidation:
+    def test_input_shape(self):
+        unit = make_unit()
+        with pytest.raises(ValueError):
+            unit.approximate(np.zeros((3, 8)))
+
+    def test_stream_dims(self):
+        unit = make_unit()
+        with pytest.raises(ValueError):
+            unit.run_stream(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            unit.run_stream(np.zeros((0, 4, 8)))
+
+    def test_bad_geometry(self):
+        spec = get_function("gelu")
+        table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+        with pytest.raises(ValueError):
+            NovaVectorUnit(table, 4, 0, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=hnp.arrays(
+        dtype=np.float64,
+        shape=(3, 5),
+        elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+)
+def test_hardware_equals_golden_property(x):
+    """The cycle-accurate pipeline is bit-exact for any input whatsoever."""
+    spec = get_function("tanh")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+    unit = NovaVectorUnit(table, 3, 5, pe_frequency_ghz=0.5)
+    assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_mlp_trained_tables_also_exact(seed):
+    spec = get_function("exp")
+    mlp = train_nnlut_mlp(spec, n_segments=16, seed=seed, epochs=40)
+    table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
+    unit = NovaVectorUnit(table, 2, 4, pe_frequency_ghz=1.0)
+    x = np.random.default_rng(seed).uniform(-20, 4, size=(2, 4))
+    assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))

@@ -1,0 +1,177 @@
+"""Unit tests for component costs and vector-unit cost composition."""
+
+import pytest
+
+from repro.hw.components import (
+    comparator_bank_cost,
+    crossbar_cost,
+    link_wire_cost,
+    mac_lane_cost,
+    register_bank_cost,
+    repeater_cost,
+    sram_bank_cost,
+    tag_match_cost,
+)
+from repro.hw.costs import (
+    LINK_BITS,
+    nova_router_cost,
+    per_core_lut_cost,
+    per_neuron_lut_cost,
+    sdp_cost,
+    unit_cost,
+)
+
+
+class TestComponents:
+    def test_comparator_scales_with_cuts(self):
+        c15 = comparator_bank_cost(15)
+        c7 = comparator_bank_cost(7)
+        assert c15.area_um2 > c7.area_um2
+        assert c15.energy_per_op_pj > c7.energy_per_op_pj
+
+    def test_zero_cuts_free(self):
+        c = comparator_bank_cost(0)
+        assert c.area_um2 == 0.0 and c.energy_per_op_pj == 0.0
+
+    def test_mac_quadratic_in_width(self):
+        assert mac_lane_cost(32).area_um2 == pytest.approx(
+            4 * mac_lane_cost(16).area_um2
+        )
+
+    def test_register_bank_linear(self):
+        assert register_bank_cost(64).area_um2 == pytest.approx(
+            2 * register_bank_cost(32).area_um2
+        )
+
+    def test_link_wires_linear_in_length(self):
+        w1 = link_wire_cost(LINK_BITS, 1.0)
+        w2 = link_wire_cost(LINK_BITS, 2.0)
+        assert w2.area_um2 == pytest.approx(2 * w1.area_um2)
+        assert w2.energy_per_op_pj == pytest.approx(2 * w1.energy_per_op_pj)
+
+    def test_repeaters_energy_free_area_positive(self):
+        r = repeater_cost(LINK_BITS)
+        assert r.area_um2 > 0 and r.energy_per_op_pj == 0.0
+
+    def test_crossbar_dimensions(self):
+        small = crossbar_cost(2, 2, 16)
+        big = crossbar_cost(6, 2, 16)
+        assert big.area_um2 > small.area_um2
+
+    def test_sram_bank_wraps_macro(self):
+        bank = sram_bank_cost(64, 1)
+        assert bank.area_um2 > 0 and bank.energy_per_op_pj > 0
+
+    def test_scaled(self):
+        c = comparator_bank_cost(15).scaled(10)
+        assert c.area_um2 == pytest.approx(10 * comparator_bank_cost(15).area_um2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            comparator_bank_cost(-1)
+        with pytest.raises(ValueError):
+            link_wire_cost(0, 1.0)
+        with pytest.raises(ValueError):
+            link_wire_cost(10, 0.0)
+        with pytest.raises(ValueError):
+            crossbar_cost(0, 2, 16)
+        with pytest.raises(ValueError):
+            comparator_bank_cost(15).scaled(-1)
+
+
+class TestUnitCosts:
+    def test_orderings_at_128_neurons(self):
+        # the paper's structural result: nova < per-core < per-neuron area;
+        # nova << per-neuron < per-core power at TPU-like scale
+        nova = nova_router_cost(128, pe_frequency_ghz=1.4, hop_mm=0.5)
+        pn = per_neuron_lut_cost(128, pe_frequency_ghz=1.4)
+        pc = per_core_lut_cost(128, pe_frequency_ghz=1.4)
+        assert nova.area_um2 < pc.area_um2 < pn.area_um2
+        assert nova.power_mw() < pn.power_mw() < pc.power_mw()
+
+    def test_nova_scales_best_with_neurons(self):
+        # Fig. 6 shape: NOVA's area grows far slower than the baselines'
+        def growth(cost_fn, **kw):
+            return cost_fn(256, **kw).area_um2 / cost_fn(16, **kw).area_um2
+
+        assert growth(nova_router_cost, hop_mm=1.0) < growth(per_neuron_lut_cost)
+        assert growth(nova_router_cost, hop_mm=1.0) < growth(per_core_lut_cost)
+
+    def test_per_neuron_perfectly_linear(self):
+        a16 = per_neuron_lut_cost(16).area_um2
+        a256 = per_neuron_lut_cost(256).area_um2
+        assert a256 == pytest.approx(16 * a16, rel=1e-9)
+
+    def test_nova_wire_area_scales_with_hop(self):
+        short = nova_router_cost(128, hop_mm=0.5)
+        long = nova_router_cost(128, hop_mm=1.0)
+        assert long.area_breakdown["link_wires"] == pytest.approx(
+            2 * short.area_breakdown["link_wires"]
+        )
+
+    def test_nova_has_no_sram_term(self):
+        nova = nova_router_cost(128)
+        assert "sram_banks" not in nova.area_breakdown
+        assert "link_wires" in nova.area_breakdown
+
+    def test_lut_units_have_no_wire_term(self):
+        pn = per_neuron_lut_cost(128)
+        assert "link_wires" not in pn.area_breakdown
+        assert "sram_banks" in pn.area_breakdown
+
+    def test_clocked_vs_active_split(self):
+        nova = nova_router_cost(128)
+        # NOVA's clocked share is small (east regs + pipeline clock pins)
+        assert nova.clocked_energy_pj < 0.2 * nova.active_energy_pj
+
+    def test_power_utilization_interpolates(self):
+        nova = nova_router_cost(128, pe_frequency_ghz=1.0)
+        p0 = nova.power_mw(0.0)
+        p1 = nova.power_mw(1.0)
+        p_half = nova.power_mw(0.5)
+        assert p0 < p_half < p1
+        assert p_half == pytest.approx((p0 + p1) / 2, rel=1e-9)
+
+    def test_dynamic_power_unit_conversion(self):
+        # pJ/cycle x GHz = mW exactly
+        nova = nova_router_cost(64, pe_frequency_ghz=2.0)
+        assert nova.dynamic_power_mw(1.0) == pytest.approx(
+            nova.cycle_energy_pj * 2.0
+        )
+
+    def test_sdp_carries_engine_overheads(self):
+        sdp = sdp_cost(16, pe_frequency_ghz=1.4)
+        assert "sdp_control" in sdp.area_breakdown
+        assert "sdp_control" in sdp.clocked_energy_breakdown_pj
+        pc = per_core_lut_cost(16, pe_frequency_ghz=1.4)
+        assert sdp.power_mw() > pc.power_mw()
+
+    def test_react_crossbars_add_area(self):
+        plain = nova_router_cost(256, hop_mm=1.0)
+        react = nova_router_cost(
+            256, hop_mm=1.0, extra_crossbars=((6, 2, 16), (2, 6, 16))
+        )
+        assert react.area_um2 > plain.area_um2
+
+    def test_dispatcher(self):
+        for name in ("nova", "per_neuron_lut", "per_core_lut", "nvdla_sdp"):
+            assert unit_cost(name, 16).unit_name == name
+        with pytest.raises(ValueError):
+            unit_cost("mystery", 16)
+
+    def test_energy_per_query(self):
+        nova = nova_router_cost(128)
+        assert nova.energy_per_query_pj() == pytest.approx(
+            nova.cycle_energy_pj / 128
+        )
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            nova_router_cost(16).dynamic_power_mw(1.5)
+
+    def test_scaling_helpers(self):
+        nova = nova_router_cost(16)
+        assert nova.scaled_area(2.0).area_um2 == pytest.approx(2 * nova.area_um2)
+        assert nova.scaled_energy(0.5).cycle_energy_pj == pytest.approx(
+            0.5 * nova.cycle_energy_pj
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for technology constants and the SRAM macro model."""
+
+import pytest
+
+from repro.hw.sram import SramMacroModel
+from repro.hw.tech import TECH_22NM, TECH_28NM
+
+
+class TestTechNode:
+    def test_wire_energy_composition(self):
+        t = TECH_22NM
+        expected = (
+            t.wire_activity * 0.5 * (t.wire_cap_ff_per_mm / 1000.0)
+            * t.voltage_v ** 2 + t.repeater_pj_per_bit_per_mm
+        )
+        assert t.wire_energy_pj_per_bit_mm() == pytest.approx(expected)
+
+    def test_wire_area_charge(self):
+        t = TECH_22NM
+        assert t.wire_area_um2_per_bit_mm() == pytest.approx(
+            t.wire_track_pitch_um * 1000.0 * t.wire_area_charge
+        )
+
+    def test_scaling_to_28nm_grows_area(self):
+        s = (28.0 / 22.0) ** 2
+        assert TECH_28NM.nand2_area_um2 == pytest.approx(
+            TECH_22NM.nand2_area_um2 * s
+        )
+        assert TECH_28NM.mac16_area_um2 > TECH_22NM.mac16_area_um2
+
+    def test_scaling_grows_energy(self):
+        # 28 nm at 0.9 V: higher voltage and larger caps
+        assert TECH_28NM.mac16_pj > TECH_22NM.mac16_pj
+
+    def test_scaled_name(self):
+        assert TECH_28NM.name == "28nm@0.9V"
+
+
+class TestSramMacro:
+    def test_periphery_floor_dominates_tiny_macro(self):
+        macro = SramMacroModel(capacity_bytes=64, n_ports=1)
+        cells = 512 * TECH_22NM.sram_cell_um2_per_bit
+        assert macro.area_um2() > 3 * cells  # periphery >> cells at 64 B
+
+    def test_area_monotone_in_capacity(self):
+        a64 = SramMacroModel(64, 1).area_um2()
+        a256 = SramMacroModel(256, 1).area_um2()
+        assert a256 > a64
+
+    def test_area_monotone_in_ports(self):
+        areas = [SramMacroModel(64, p).area_um2() for p in (1, 2, 8, 32, 128)]
+        assert areas == sorted(areas)
+
+    def test_multiport_superlinear(self):
+        # doubling ports more than doubles the *added* area (quadratic cell
+        # growth), the structural driver of the per-core baseline's cost
+        a1 = SramMacroModel(64, 1).area_um2()
+        a32 = SramMacroModel(64, 32).area_um2()
+        a64 = SramMacroModel(64, 64).area_um2()
+        assert (a64 - a1) > 2.0 * (a32 - a1) * 0.9
+
+    def test_read_energy_monotone_in_ports(self):
+        energies = [
+            SramMacroModel(64, p).read_energy_pj() for p in (1, 16, 64, 256)
+        ]
+        assert energies == sorted(energies)
+
+    def test_read_energy_baseline(self):
+        macro = SramMacroModel(64, 1)
+        assert macro.read_energy_pj() == pytest.approx(
+            TECH_22NM.sram_read_pj_base
+        )
+
+    def test_read_energy_grows_with_capacity(self):
+        assert (
+            SramMacroModel(256, 1).read_energy_pj()
+            > SramMacroModel(64, 1).read_energy_pj()
+        )
+
+    def test_leakage_proportional_to_area(self):
+        macro = SramMacroModel(64, 1)
+        assert macro.leakage_mw() == pytest.approx(
+            macro.area_um2() * 1e-6 * TECH_22NM.leakage_mw_per_mm2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SramMacroModel(0, 1)
+        with pytest.raises(ValueError):
+            SramMacroModel(64, 0)

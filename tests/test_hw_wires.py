@@ -1,0 +1,75 @@
+"""Tests for the repeated-wire physics (repeater insertion model)."""
+
+import pytest
+
+from repro.hw.wires import (
+    RepeaterDesign,
+    WireTechnology,
+    design_repeated_wire,
+    segment_delay_ps,
+)
+from repro.noc.link import RepeatedWire
+from repro.hw.tech import TECH_22NM
+
+
+class TestOptimalDesign:
+    def test_optimum_is_locally_optimal_in_spacing(self):
+        opt = design_repeated_wire()
+        shorter = design_repeated_wire(spacing_um=opt.spacing_um * 0.5,
+                                       size=opt.size)
+        longer = design_repeated_wire(spacing_um=opt.spacing_um * 2.0,
+                                      size=opt.size)
+        assert opt.delay_ps_per_mm <= shorter.delay_ps_per_mm
+        assert opt.delay_ps_per_mm <= longer.delay_ps_per_mm
+
+    def test_optimum_is_locally_optimal_in_size(self):
+        opt = design_repeated_wire()
+        smaller = design_repeated_wire(spacing_um=opt.spacing_um,
+                                       size=opt.size * 0.5)
+        bigger = design_repeated_wire(spacing_um=opt.spacing_um,
+                                      size=opt.size * 2.0)
+        assert opt.delay_ps_per_mm <= smaller.delay_ps_per_mm
+        assert opt.delay_ps_per_mm <= bigger.delay_ps_per_mm
+
+    def test_consistent_with_repeated_wire_constant(self):
+        """The physics and the RepeatedWire timing constant must agree —
+        the paper's 10 @ 1.5 GHz corner rests on both."""
+        physics = design_repeated_wire().delay_ps_per_mm
+        constant = RepeatedWire().delay_per_mm_ps
+        assert abs(physics - constant) / constant < 0.15
+
+    def test_energy_consistent_with_tech_node(self):
+        physics = design_repeated_wire(
+            activity=TECH_22NM.wire_activity
+        ).energy_pj_per_bit_mm
+        lumped = TECH_22NM.wire_energy_pj_per_bit_mm()
+        assert 0.5 < physics / lumped < 2.0
+
+    def test_delay_grows_with_resistance(self):
+        base = design_repeated_wire(WireTechnology())
+        resistive = design_repeated_wire(
+            WireTechnology(resistance_ohm_per_um=1.5)
+        )
+        assert resistive.delay_ps_per_mm > base.delay_ps_per_mm
+
+    def test_energy_independent_of_sizing_regime(self):
+        # wire cap dominates: halving the spacing (more repeaters) raises
+        # energy only modestly
+        opt = design_repeated_wire()
+        dense = design_repeated_wire(spacing_um=opt.spacing_um / 2,
+                                     size=opt.size)
+        assert dense.energy_pj_per_bit_mm < 2 * opt.energy_pj_per_bit_mm
+
+    def test_segment_delay_components_positive(self):
+        tech = WireTechnology()
+        assert segment_delay_ps(tech, 300.0, 40.0) > tech.inverter_delay_ps
+
+    def test_validation(self):
+        tech = WireTechnology()
+        with pytest.raises(ValueError):
+            segment_delay_ps(tech, 0.0, 40.0)
+        with pytest.raises(ValueError):
+            segment_delay_ps(tech, 300.0, 0.0)
+        with pytest.raises(ValueError):
+            RepeaterDesign(spacing_um=0.0, size=1.0, delay_ps_per_mm=1.0,
+                           energy_pj_per_bit_mm=1.0)

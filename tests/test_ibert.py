@@ -1,0 +1,143 @@
+"""Tests for the I-BERT integer-only baseline kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.functions import gelu as exact_gelu
+from repro.approx.ibert import (
+    IntQuantizer,
+    i_erf,
+    i_exp,
+    i_gelu,
+    i_poly,
+    ibert_exp,
+    ibert_gelu,
+)
+
+
+class TestQuantizer:
+    def test_round_trip_error_bounded(self):
+        q = IntQuantizer(bits=16)
+        x = np.linspace(-4, 4, 1001)
+        codes, scale = q.quantize(x, max_abs=4.0)
+        assert np.max(np.abs(codes * scale - x)) <= scale / 2 + 1e-12
+
+    def test_integer_output(self):
+        q = IntQuantizer(bits=8)
+        codes, _ = q.quantize(np.array([0.3, -0.7]), max_abs=1.0)
+        assert codes.dtype == np.int64
+
+    def test_saturation(self):
+        q = IntQuantizer(bits=8)
+        codes, scale = q.quantize(np.array([100.0]), max_abs=1.0)
+        assert codes[0] == 127
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntQuantizer(bits=1)
+        with pytest.raises(ValueError):
+            IntQuantizer().quantize(np.zeros(1), max_abs=0.0)
+
+
+class TestIPoly:
+    def test_matches_float_polynomial(self):
+        x = np.linspace(-0.6, 0.0, 101)
+        q, scale = IntQuantizer(16).quantize(x, max_abs=1.0)
+        a, b, c = 0.35815147, 1.353, 0.344
+        q_out, out_scale = i_poly(q, scale, a, b, c)
+        approx = q_out * out_scale
+        exact = a * (x + b) ** 2 + c
+        assert np.max(np.abs(approx - exact)) < 1e-3
+
+    def test_integers_throughout(self):
+        q, scale = IntQuantizer(16).quantize(np.array([-0.3]), max_abs=1.0)
+        q_out, _ = i_poly(q, scale, 0.3585, 1.353, 0.344)
+        assert q_out.dtype == np.int64
+
+
+class TestIExp:
+    def test_error_vs_float_exp(self):
+        xs = np.linspace(-16, 0, 2048)
+        err = np.max(np.abs(ibert_exp(xs) - np.exp(xs)))
+        assert err < 0.005  # I-BERT-grade accuracy
+
+    def test_positive_inputs_rejected(self):
+        q, scale = IntQuantizer(16).quantize(np.array([-1.0]), max_abs=16.0)
+        with pytest.raises(ValueError):
+            i_exp(np.array([5]), scale)
+
+    def test_monotone_non_increasing_in_magnitude(self):
+        xs = np.linspace(-10, 0, 256)
+        ys = ibert_exp(xs)
+        # exp is increasing on (-inf, 0]; allow quantisation plateaus
+        assert np.all(np.diff(ys) >= -1e-6)
+
+    def test_range_reduction_correct_at_ln2_multiples(self):
+        ln2 = float(np.log(2.0))
+        xs = np.array([-ln2, -2 * ln2, -3 * ln2])
+        ys = ibert_exp(xs)
+        assert np.allclose(ys, np.exp(xs), atol=5e-3)
+
+    def test_integer_only_property(self):
+        xs = np.linspace(-8, 0, 64)
+        q, scale = IntQuantizer(16).quantize(xs, max_abs=16.0)
+        q_out, out_scale = i_exp(q, scale)
+        assert q_out.dtype == np.int64
+        recovered = q_out * out_scale
+        assert np.max(np.abs(recovered - np.exp(xs))) < 0.005
+
+
+class TestIGelu:
+    def test_error_vs_float_gelu(self):
+        xs = np.linspace(-8, 8, 2048)
+        err = np.max(np.abs(ibert_gelu(xs) - exact_gelu(xs)))
+        assert err < 0.05
+
+    def test_odd_symmetry_of_erf(self):
+        q, scale = IntQuantizer(16).quantize(
+            np.array([-1.0, 1.0]), max_abs=4.0
+        )
+        q_out, _ = i_erf(q, scale)
+        assert q_out[0] == -q_out[1]
+
+    def test_gelu_tails(self):
+        # gelu(x) ~ x for large x, ~0 for very negative x
+        assert abs(ibert_gelu(np.array([7.5]))[0] - 7.5) < 0.05
+        assert abs(ibert_gelu(np.array([-7.5]))[0]) < 0.05
+
+    def test_integer_only_property(self):
+        xs = np.linspace(-4, 4, 64)
+        q, scale = IntQuantizer(16).quantize(xs, max_abs=8.0)
+        q_out, out_scale = i_gelu(q, scale)
+        assert q_out.dtype == np.int64
+
+
+class TestLaneCost:
+    def test_ibert_lane_bigger_than_nova_lane(self):
+        """The paper's §VI claim, now computed with one component model:
+        the integer pipeline out-costs NOVA's comparator+tag+MAC lane."""
+        from repro.hw.costs import ibert_lane_cost, nova_router_cost
+
+        ibert = ibert_lane_cost()
+        nova = nova_router_cost(128, pe_frequency_ghz=1.0, hop_mm=0.5)
+        nova_lane_area = nova.area_um2 / 128
+        assert ibert.area_um2 > nova_lane_area
+        nova_lane_energy = nova.cycle_energy_pj / 128
+        assert ibert.cycle_energy_pj > nova_lane_energy
+
+    def test_ibert_lane_in_paper_band(self):
+        from repro.hw.costs import ibert_lane_cost
+
+        ibert = ibert_lane_cost()
+        # paper Table IV: 2941 um2; our component model must land within 2x
+        assert 0.5 < ibert.area_um2 / 2941.0 < 2.0
+
+
+@settings(max_examples=30)
+@given(
+    st.floats(min_value=-15.9, max_value=0.0, allow_nan=False),
+)
+def test_i_exp_pointwise_error_property(x):
+    err = abs(float(ibert_exp(np.array([x]))[0]) - np.exp(x))
+    assert err < 0.01

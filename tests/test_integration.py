@@ -1,0 +1,161 @@
+"""Cross-module integration tests.
+
+These are the repository's 'testbench' suite: they wire the compile-time
+flow (MLP -> table -> beats), the three hardware implementations, the
+accelerator timing models and the energy accounting together and check
+the end-to-end invariants the paper relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.functions import get_function
+from repro.approx.nnlut_mlp import train_nnlut_mlp
+from repro.approx.quantize import QuantizedPwl
+from repro.approx.softmax import approx_softmax, exact_softmax
+from repro.core.vector_unit import NovaVectorUnit
+from repro.luts.per_core import PerCoreLutUnit
+from repro.luts.per_neuron import PerNeuronLutUnit
+from repro.workloads.traces import activation_trace, attention_logit_trace
+
+
+@pytest.fixture(scope="module")
+def gelu_table():
+    spec = get_function("gelu")
+    mlp = train_nnlut_mlp(spec, n_segments=16, seed=0)
+    return QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
+
+
+@pytest.fixture(scope="module")
+def exp_table():
+    spec = get_function("exp")
+    mlp = train_nnlut_mlp(spec, n_segments=16, seed=0)
+    return QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
+
+
+class TestCompileToHardwareFlow:
+    """NN-LUT MLP -> PWL -> quantised table -> all three hardware units."""
+
+    def test_three_implementations_bit_identical(self, gelu_table):
+        x = activation_trace(4 * 32, scale=2.5, seed=1).reshape(4, 32)
+        nova = NovaVectorUnit(gelu_table, 4, 32, pe_frequency_ghz=1.0)
+        pn = PerNeuronLutUnit(gelu_table, 4, 32)
+        pc = PerCoreLutUnit(gelu_table, 4, 32)
+        golden = gelu_table.evaluate(x)
+        assert np.array_equal(nova.approximate(x).outputs, golden)
+        assert np.array_equal(pn.approximate(x).outputs, golden)
+        assert np.array_equal(pc.approximate(x).outputs, golden)
+
+    def test_equal_latency(self, gelu_table):
+        # §V-B: both LUT baselines and NOVA present the same 2-cycle latency
+        x = np.zeros((4, 32))
+        nova = NovaVectorUnit(gelu_table, 4, 32, pe_frequency_ghz=1.4,
+                              hop_mm=0.5)
+        pn = PerNeuronLutUnit(gelu_table, 4, 32)
+        assert (nova.approximate(x).latency_pe_cycles
+                == pn.approximate(x).latency_pe_cycles == 2)
+
+    def test_accuracy_unaffected_by_implementation(self, exp_table):
+        """Softmax through the cycle-accurate NOVA == functional approx."""
+        logits = attention_logit_trace(64 * 8, seq_len=64, seed=2).reshape(8, 64)
+        unit = NovaVectorUnit(exp_table, 8, 64, pe_frequency_ghz=1.4,
+                              hop_mm=0.5)
+        hw_exp = unit.approximate(logits).outputs
+        hw_softmax = np.maximum(hw_exp, 0.0)
+        hw_softmax = hw_softmax / hw_softmax.sum(axis=-1, keepdims=True)
+        functional = approx_softmax(logits, exp_table.evaluate, axis=-1)
+        assert np.allclose(hw_softmax, functional, atol=1e-12)
+
+
+class TestAttentionOnSystolicHost:
+    """An attention layer's softmax running through the TPU overlay."""
+
+    def test_mxu_drain_softmax(self, exp_table):
+        from repro.core.overlay import SystolicOverlay
+
+        n_mxus, cols, rows = 4, 64, 16
+        unit = NovaVectorUnit(exp_table, n_mxus, cols, pe_frequency_ghz=1.4,
+                              hop_mm=0.5)
+        overlay = SystolicOverlay(unit=unit, systolic_cols=cols)
+        logits = attention_logit_trace(
+            rows * n_mxus * cols, seq_len=cols, seed=3
+        ).reshape(rows, n_mxus, cols)
+        stream = overlay.process_mxu_drain(logits)
+        # one row drained per PE cycle, 2-stage pipeline
+        assert stream.total_pe_cycles == rows + 1
+        probs = np.maximum(stream.outputs, 0.0)
+        probs = probs / probs.sum(axis=-1, keepdims=True)
+        exact = exact_softmax(logits, axis=-1)
+        # per-element exp error accumulates in the denominator of peaked
+        # 64-wide rows; the attention ordering is what must survive
+        assert np.max(np.abs(probs - exact)) < 0.15
+        assert np.array_equal(probs.argmax(-1), exact.argmax(-1))
+
+
+class TestEnergyAccountingEndToEnd:
+    def test_more_queries_more_energy(self, gelu_table):
+        from repro.hw.energy import EnergyModel
+
+        unit = NovaVectorUnit(gelu_table, 2, 8, pe_frequency_ghz=1.0)
+        model = EnergyModel(n_segments=16, hop_mm=1.0)
+        short = unit.run_stream(np.zeros((2, 2, 8)))
+        long = unit.run_stream(np.zeros((8, 2, 8)))
+        assert model.energy_pj(long.counters) == pytest.approx(
+            4 * model.energy_pj(short.counters), rel=0.01
+        )
+
+    def test_nova_spends_no_lut_read_energy(self, gelu_table):
+        unit = NovaVectorUnit(gelu_table, 2, 8, pe_frequency_ghz=1.0)
+        stream = unit.run_stream(np.zeros((3, 2, 8)))
+        assert stream.counters.get("lut_read") == 0
+        assert stream.counters.get("wire_hop") > 0
+
+    def test_lut_unit_spends_no_wire_energy(self, gelu_table):
+        unit = PerNeuronLutUnit(gelu_table, 2, 8)
+        before = unit.lifetime_counters()
+        unit.approximate(np.zeros((2, 8)))
+        counters = unit.lifetime_counters().diff(before)
+        assert counters.get("wire_hop") == 0
+        assert counters.get("lut_read") == 16
+
+
+class TestWorkloadThroughFullStack:
+    def test_bert_tiny_attention_block_numbers(self):
+        """One BERT-tiny attention block: queries through the hardware
+        match the op-graph's predicted count."""
+        from repro.workloads.bert import bert_graph
+
+        graph = bert_graph("BERT-tiny", seq_len=64)
+        exp_queries = graph.queries_by_function()["exp"]
+        # layers * heads * S^2 = 2 * 2 * 64 * 64
+        assert exp_queries == 2 * 2 * 64 * 64
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_segments=st.sampled_from([8, 16]),
+    n_routers=st.integers(min_value=1, max_value=10),
+    neurons=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_equivalence_property_across_geometries(
+    n_segments, n_routers, neurons, seed
+):
+    """NOVA == per-neuron LUT == per-core LUT == golden, for any geometry,
+    table size and input values — the repository's central invariant."""
+    spec = get_function("tanh")
+    from repro.approx.pwl import PiecewiseLinear
+
+    table = QuantizedPwl(
+        PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+    )
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-10, 10, size=(n_routers, neurons))
+    golden = table.evaluate(x)
+    nova = NovaVectorUnit(table, n_routers, neurons, pe_frequency_ghz=0.5)
+    pn = PerNeuronLutUnit(table, n_routers, neurons)
+    pc = PerCoreLutUnit(table, n_routers, neurons)
+    assert np.array_equal(nova.approximate(x).outputs, golden)
+    assert np.array_equal(pn.approximate(x).outputs, golden)
+    assert np.array_equal(pc.approximate(x).outputs, golden)

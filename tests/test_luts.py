@@ -1,0 +1,143 @@
+"""Unit tests for the LUT-based baseline vector units."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.luts.lut_unit import PIPELINE_LATENCY_CYCLES
+from repro.luts.per_core import PerCoreLutUnit
+from repro.luts.per_neuron import PerNeuronLutUnit
+from repro.luts.sdp import NVDLA_NEURONS_PER_CORE, NvdlaSdp
+from repro.luts.sram_bank import SramBank
+
+
+def make_table(n_segments=16, name="gelu"):
+    spec = get_function(name)
+    return QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+
+
+class TestSramBank:
+    def test_capacity_64_bytes_for_16_entries(self):
+        # §V-B: "The size of each LUT bank is kept at 64 bytes each since
+        # 16 pairs of the slope and bias values are stored in each LUT"
+        bank = SramBank(table=make_table(16))
+        assert bank.capacity_bytes == 64
+        assert bank.n_entries == 16
+
+    def test_read_returns_table_words(self):
+        table = make_table(16)
+        bank = SramBank(table=table, n_ports=4)
+        addresses = np.array([0, 7, 15])
+        slopes, biases = bank.read(addresses)
+        words = table.coefficient_words()
+        assert np.array_equal(slopes, words[addresses, 0])
+        assert np.array_equal(biases, words[addresses, 1])
+
+    def test_port_limit_enforced(self):
+        bank = SramBank(table=make_table(), n_ports=2)
+        with pytest.raises(ValueError, match="ports"):
+            bank.read(np.array([0, 1, 2]))
+
+    def test_address_range(self):
+        bank = SramBank(table=make_table(16), n_ports=1)
+        with pytest.raises(ValueError):
+            bank.read(np.array([16]))
+
+    def test_read_counting(self):
+        bank = SramBank(table=make_table(), n_ports=8)
+        bank.read(np.array([0, 1, 2]))
+        assert bank.counters.get("lut_read") == 3
+
+
+class TestPerNeuronLut:
+    def test_bit_exact_vs_golden(self):
+        table = make_table()
+        unit = PerNeuronLutUnit(table, n_cores=4, neurons_per_core=8)
+        x = np.random.default_rng(0).normal(0, 3, size=(4, 8))
+        assert np.array_equal(unit.approximate(x).outputs, table.evaluate(x))
+
+    def test_replication_redundancy(self):
+        unit = PerNeuronLutUnit(make_table(), n_cores=4, neurons_per_core=8)
+        assert unit.replicated_tables == 32
+        assert unit.total_lut_bytes == 32 * 64
+
+    def test_two_cycle_latency(self):
+        unit = PerNeuronLutUnit(make_table(), n_cores=2, neurons_per_core=4)
+        result = unit.approximate(np.zeros((2, 4)))
+        assert result.latency_pe_cycles == PIPELINE_LATENCY_CYCLES
+
+    def test_one_read_per_neuron(self):
+        unit = PerNeuronLutUnit(make_table(), n_cores=2, neurons_per_core=4)
+        result = unit.approximate(np.zeros((2, 4)))
+        assert result.counters.get("lut_read") == 8
+
+    def test_banks_single_ported(self):
+        unit = PerNeuronLutUnit(make_table(), n_cores=2, neurons_per_core=4)
+        assert all(b.n_ports == 1 for row in unit.banks for b in row)
+
+
+class TestPerCoreLut:
+    def test_bit_exact_vs_golden(self):
+        table = make_table()
+        unit = PerCoreLutUnit(table, n_cores=4, neurons_per_core=8)
+        x = np.random.default_rng(1).normal(0, 3, size=(4, 8))
+        assert np.array_equal(unit.approximate(x).outputs, table.evaluate(x))
+
+    def test_single_bank_per_core(self):
+        unit = PerCoreLutUnit(make_table(), n_cores=4, neurons_per_core=8)
+        assert all(len(row) == 1 for row in unit.banks)
+        assert unit.total_lut_bytes == 4 * 64  # no replication
+
+    def test_ports_equal_neurons(self):
+        unit = PerCoreLutUnit(make_table(), n_cores=2, neurons_per_core=16)
+        assert unit.ports_per_bank == 16
+        assert unit.banks[0][0].n_ports == 16
+
+    def test_input_shape_validation(self):
+        unit = PerCoreLutUnit(make_table(), n_cores=2, neurons_per_core=4)
+        with pytest.raises(ValueError):
+            unit.approximate(np.zeros((2, 5)))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PerCoreLutUnit(make_table(), n_cores=0, neurons_per_core=4)
+
+
+class TestNvdlaSdp:
+    def test_fixed_16_lanes(self):
+        sdp = NvdlaSdp(make_table(), n_cores=2)
+        assert sdp.neurons_per_core == NVDLA_NEURONS_PER_CORE == 16
+
+    def test_bit_exact_vs_golden(self):
+        table = make_table()
+        sdp = NvdlaSdp(table)
+        x = np.random.default_rng(2).normal(0, 3, size=(2, 16))
+        assert np.array_equal(sdp.approximate(x).outputs, table.evaluate(x))
+
+    def test_postscale_stage(self):
+        table = make_table()
+        sdp = NvdlaSdp(table)
+        x = np.random.default_rng(3).normal(0, 2, size=(2, 16))
+        result = sdp.process_with_postscale(x, scale=2.0, offset=0.5)
+        base = table.evaluate(x)
+        expected = table.output_format.quantize(base * 2.0 + 0.5)
+        assert np.array_equal(result.outputs, expected)
+        assert result.latency_pe_cycles == PIPELINE_LATENCY_CYCLES + 1
+
+
+class TestCrossUnitEquivalence:
+    """NOVA and both LUT baselines implement the same function, bit-exact."""
+
+    def test_all_three_agree(self):
+        from repro.core.vector_unit import NovaVectorUnit
+
+        table = make_table()
+        x = np.random.default_rng(4).normal(0, 3, size=(4, 8))
+        nova = NovaVectorUnit(table, 4, 8, pe_frequency_ghz=1.0)
+        pn = PerNeuronLutUnit(table, 4, 8)
+        pc = PerCoreLutUnit(table, 4, 8)
+        out_nova = nova.approximate(x).outputs
+        assert np.array_equal(out_nova, pn.approximate(x).outputs)
+        assert np.array_equal(out_nova, pc.approximate(x).outputs)

@@ -1,0 +1,104 @@
+"""Tests for the memory hierarchy model and the sweep experiments."""
+
+import pytest
+
+from repro.accelerators.memory import MemoryHierarchy, WORD_BYTES
+from repro.eval.sweeps import memory_energy_sweep, seq_len_sweep
+from repro.workloads.bert import bert_graph
+from repro.workloads.ops import MatMulOp, OpGraph
+
+
+class TestMemoryHierarchy:
+    def test_usable_words_half_of_sram(self):
+        mem = MemoryHierarchy(sram_kb=64)
+        assert mem.usable_words == 64 * 1024 // WORD_BYTES // 2
+
+    def test_small_gemm_compulsory_only(self):
+        mem = MemoryHierarchy(sram_kb=1024)
+        op = MatMulOp("g", 64, 64, 64)
+        reads, writes, refetch = mem.gemm_traffic(op)
+        assert reads == 2 * 64 * 64  # A + B once
+        assert writes == 64 * 64
+        assert refetch == 0
+
+    def test_capacity_miss_triggers_refetch(self):
+        mem = MemoryHierarchy(sram_kb=16)  # 4096 usable words
+        op = MatMulOp("g", 64, 256, 256)  # working set ~82k words
+        reads, _writes, refetch = mem.gemm_traffic(op)
+        assert refetch > 0
+        assert reads == 64 * 256 + 256 * 256 + refetch
+
+    def test_refetch_monotone_in_capacity(self):
+        op = MatMulOp("g", 128, 768, 3072)
+        small = MemoryHierarchy(sram_kb=256).gemm_traffic(op)[2]
+        large = MemoryHierarchy(sram_kb=4096).gemm_traffic(op)[2]
+        assert small > large
+
+    def test_huge_sram_never_refetches(self):
+        mem = MemoryHierarchy(sram_kb=43_008)  # TPU-like 42 MB
+        graph = bert_graph("BERT-tiny", seq_len=1024)
+        assert mem.graph_traffic(graph).refetch_reads == 0
+
+    def test_edge_sram_refetches_on_roberta(self):
+        mem = MemoryHierarchy(sram_kb=768)  # REACT
+        graph = bert_graph("RoBERTa", seq_len=128)
+        report = mem.graph_traffic(graph)
+        assert report.refetch_reads > 0
+        assert 0.0 < report.refetch_fraction < 1.0
+
+    def test_dram_energy_scaling(self):
+        mem = MemoryHierarchy(sram_kb=1024, dram_word_pj=100.0)
+        graph = OpGraph("g")
+        graph.add(MatMulOp("m", 16, 16, 16))
+        report = mem.graph_traffic(graph)
+        assert mem.dram_energy_mj(report) == pytest.approx(
+            report.dram_words * 100.0 * 1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(sram_kb=0)
+        with pytest.raises(ValueError):
+            MemoryHierarchy(sram_kb=64, dram_word_pj=-1.0)
+
+
+class TestSeqLenSweep:
+    def test_vector_share_rises_with_seq_len(self):
+        result = seq_len_sweep()
+        shares = result.column("Vector share %")
+        assert shares == sorted(shares)
+
+    def test_approaches_intro_motivation_band(self):
+        # §I: non-linear ops "up to nearly 40% of the runtime"; at long
+        # sequences the share must be well into double digits
+        result = seq_len_sweep()
+        assert result.rows[-1][3] > 20.0
+
+    def test_softmax_queries_quadratic(self):
+        result = seq_len_sweep()
+        queries = result.column("Softmax queries")
+        seqs = result.column("Seq len")
+        for i in range(1, len(seqs)):
+            assert queries[i] / queries[i - 1] == pytest.approx(
+                (seqs[i] / seqs[i - 1]) ** 2
+            )
+
+
+class TestMemoryEnergySweep:
+    def test_dram_dominates_host_energy(self):
+        result = memory_energy_sweep()
+        for row in result.rows:
+            assert row[3] > row[2]  # DRAM mJ > MAC+SRAM mJ
+
+    def test_total_overhead_below_core_overhead(self):
+        result = memory_energy_sweep()
+        for row in result.rows:
+            core = float(str(row[6]).rstrip("%"))
+            total = float(str(row[7]).rstrip("%"))
+            assert total < core
+
+    def test_tpu_overhead_sub_percent_with_dram(self):
+        result = memory_energy_sweep()
+        for row in result.rows:
+            if row[0].startswith("TPU"):
+                assert float(str(row[7]).rstrip("%")) < 0.5

@@ -1,0 +1,132 @@
+"""Tests for synthetic datasets, training and the Table I harness."""
+
+import numpy as np
+import pytest
+
+from repro.ml.approx_inference import table1_model_zoo, accuracy_with_softmax
+from repro.ml.datasets import (
+    make_cifar_like,
+    make_mnist_like,
+    make_sentiment_like,
+    make_span_qa_like,
+)
+from repro.ml.layers import InferenceContext
+from repro.ml.models import build_mlp, build_tiny_transformer
+from repro.ml.train import TrainConfig, evaluate_accuracy, train_classifier
+
+
+class TestDatasets:
+    def test_mnist_like_shapes(self):
+        ds = make_mnist_like(n_samples=400)
+        assert ds.x_train.shape[1] == 784
+        assert ds.n_classes == 10
+        assert len(ds.x_train) + len(ds.x_test) == 400
+
+    def test_cifar_like_shapes(self):
+        ds = make_cifar_like(n_samples=200)
+        assert ds.x_train.shape[1:] == (3, 16, 16)
+
+    def test_sentiment_like_tokens_in_vocab(self):
+        ds = make_sentiment_like(n_samples=200, vocab=64)
+        assert ds.x_train.max() < 64 and ds.x_train.min() >= 0
+        assert set(np.unique(ds.y_train)) <= {0, 1}
+
+    def test_span_qa_marker_precedes_answer(self):
+        ds = make_span_qa_like(n_samples=100)
+        # marker token (1) sits immediately before the labelled position
+        for x, y in zip(ds.x_train[:20], ds.y_train[:20]):
+            assert x[y - 1] == 1
+
+    def test_deterministic(self):
+        a = make_mnist_like(n_samples=100, seed=5)
+        b = make_mnist_like(n_samples=100, seed=5)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(n_samples=100, seed=5)
+        b = make_mnist_like(n_samples=100, seed=6)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_all_classes_present(self):
+        ds = make_cifar_like(n_samples=1000)
+        assert len(np.unique(ds.y_train)) == 10
+
+
+class TestTraining:
+    def test_mlp_learns_mnist_like(self):
+        ds = make_mnist_like(n_samples=800, seed=0)
+        model = build_mlp(seed=0)
+        losses = train_classifier(model, ds, TrainConfig(epochs=4, seed=0))
+        assert losses[-1] < losses[0]  # loss decreases
+        acc = evaluate_accuracy(model, ds.x_test, ds.y_test)
+        assert acc > 0.6  # far above the 10% chance level
+
+    def test_transformer_learns_sentiment(self):
+        ds = make_sentiment_like(n_samples=600, seed=1)
+        model = build_tiny_transformer(seed=1)
+        train_classifier(model, ds, TrainConfig(epochs=5, seed=1))
+        acc = evaluate_accuracy(model, ds.x_test, ds.y_test)
+        assert acc > 0.7  # above the 50% chance level
+
+    def test_training_deterministic(self):
+        ds = make_mnist_like(n_samples=300, seed=2)
+        cfg = TrainConfig(epochs=2, seed=3)
+        m1 = build_mlp(seed=4)
+        m2 = build_mlp(seed=4)
+        l1 = train_classifier(m1, ds, cfg)
+        l2 = train_classifier(m2, ds, cfg)
+        assert l1 == l2
+
+    def test_evaluate_accuracy_batching_invariant(self):
+        ds = make_mnist_like(n_samples=300, seed=5)
+        model = build_mlp(seed=6)
+        a = evaluate_accuracy(model, ds.x_test, ds.y_test, batch_size=7)
+        b = evaluate_accuracy(model, ds.x_test, ds.y_test, batch_size=64)
+        assert a == b
+
+
+class TestTable1Harness:
+    def test_zoo_covers_table1(self):
+        zoo = table1_model_zoo()
+        names = [(e.model_name, e.dataset_name) for e in zoo]
+        assert ("MLP", "MNIST") in names
+        assert ("RoBERTa", "SST-2") in names
+        assert ("MobileBERT", "SQUAD") in names
+        assert len(zoo) == 6
+
+    def test_breakpoint_budgets_match_paper(self):
+        # "All models use 16 breakpoints except CIFAR-10 which uses 8"
+        for entry in table1_model_zoo():
+            expected = 8 if entry.dataset_name == "CIFAR-10" else 16
+            assert entry.breakpoints == expected
+
+    def test_mlp_row_zero_accuracy_loss(self):
+        # the headline Table I property on the fastest row
+        entry = table1_model_zoo()[0]
+        result = accuracy_with_softmax(entry)
+        assert result["exact"] > 60.0
+        assert abs(result["approx"] - result["exact"]) <= 1.0
+
+    def test_monotone_softmax_preserves_classifier_argmax(self):
+        # structural reason for the zero deltas: PWL exp is monotone, and
+        # a monotone map cannot change the argmax of the final classifier
+        from repro.approx.softmax import make_softmax_approximator
+
+        sm = make_softmax_approximator(8, use_mlp=False)
+        logits = np.random.default_rng(7).normal(scale=4, size=(200, 10))
+        exact_arg = logits.argmax(axis=-1)
+        approx_arg = sm(logits).argmax(axis=-1)
+        assert np.array_equal(exact_arg, approx_arg)
+
+    def test_approx_context_changes_attention_probs_only_slightly(self):
+        ds = make_sentiment_like(n_samples=300, seed=8)
+        model = build_tiny_transformer(seed=8)
+        train_classifier(model, ds, TrainConfig(epochs=3, seed=8))
+        from repro.ml.approx_inference import _approx_context
+
+        exact = evaluate_accuracy(model, ds.x_test, ds.y_test)
+        approx = evaluate_accuracy(
+            model, ds.x_test, ds.y_test, ctx=_approx_context(16)
+        )
+        assert abs(approx - exact) < 0.05  # within 5 points

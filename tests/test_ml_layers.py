@@ -1,0 +1,285 @@
+"""Gradient and behaviour tests for the tiny NN framework.
+
+Every layer's backward pass is checked against central finite differences
+— the property that makes the Table I training trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Embedding,
+    Flatten,
+    GeLU,
+    InferenceContext,
+    LayerNorm,
+    MaxPool2D,
+    MeanPool1D,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sequential,
+)
+
+TRAIN = InferenceContext(training=True)
+EVAL = InferenceContext()
+
+
+def numeric_grad(f, x, eps=1e-5):
+    """Central finite differences of scalar f at array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_input_grad(layer, x, rtol=1e-4, atol=1e-6):
+    """Compare layer.backward's input gradient against finite differences
+    of sum(forward(x))."""
+    def loss():
+        return float(np.sum(layer.forward(x, TRAIN)))
+
+    out = layer.forward(x, TRAIN)
+    analytic = layer.backward(np.ones_like(out))
+    numeric = numeric_grad(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_grads(layer, x, rtol=1e-4, atol=1e-6):
+    """Compare every parameter gradient against finite differences."""
+    out = layer.forward(x, TRAIN)
+    for p in layer.params():
+        p.grad[...] = 0.0
+    layer.forward(x, TRAIN)
+    layer.backward(np.ones_like(out))
+    for p in layer.params():
+        def loss():
+            return float(np.sum(layer.forward(x, TRAIN)))
+
+        numeric = numeric_grad(loss, p.value)
+        np.testing.assert_allclose(
+            p.grad, numeric, rtol=rtol, atol=atol,
+            err_msg=f"param {p.name}",
+        )
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, seed=0)
+        assert layer.forward(np.zeros((2, 4)), EVAL).shape == (2, 3)
+
+    def test_input_grad(self):
+        layer = Dense(4, 3, seed=1)
+        check_input_grad(layer, np.random.default_rng(0).normal(size=(2, 4)))
+
+    def test_param_grads(self):
+        layer = Dense(4, 3, seed=2)
+        check_param_grads(layer, np.random.default_rng(1).normal(size=(2, 4)))
+
+    def test_3d_input(self):
+        layer = Dense(4, 3, seed=3)
+        check_param_grads(layer, np.random.default_rng(2).normal(size=(2, 5, 4)))
+
+
+class TestConv2D:
+    def test_forward_shape_same_padding(self):
+        layer = Conv2D(3, 8, seed=0)
+        assert layer.forward(np.zeros((2, 3, 8, 8)), EVAL).shape == (2, 8, 8, 8)
+
+    def test_input_grad(self):
+        layer = Conv2D(2, 3, seed=1)
+        check_input_grad(
+            layer, np.random.default_rng(3).normal(size=(1, 2, 4, 4))
+        )
+
+    def test_param_grads(self):
+        layer = Conv2D(2, 3, seed=2)
+        check_param_grads(
+            layer, np.random.default_rng(4).normal(size=(1, 2, 4, 4))
+        )
+
+    def test_identity_kernel(self):
+        layer = Conv2D(1, 1, kernel=1, seed=0)
+        layer.w.value[...] = 1.0
+        layer.b.value[...] = 0.0
+        x = np.random.default_rng(5).normal(size=(1, 1, 4, 4))
+        assert np.allclose(layer.forward(x, EVAL), x)
+
+
+class TestDepthwiseConv2D:
+    def test_forward_shape(self):
+        layer = DepthwiseConv2D(4, seed=0)
+        assert layer.forward(np.zeros((2, 4, 6, 6)), EVAL).shape == (2, 4, 6, 6)
+
+    def test_input_grad(self):
+        layer = DepthwiseConv2D(2, seed=1)
+        check_input_grad(
+            layer, np.random.default_rng(6).normal(size=(1, 2, 4, 4))
+        )
+
+    def test_param_grads(self):
+        layer = DepthwiseConv2D(2, seed=2)
+        check_param_grads(
+            layer, np.random.default_rng(7).normal(size=(1, 2, 4, 4))
+        )
+
+    def test_channel_independence(self):
+        # perturbing channel 0 must not change channel 1's output
+        layer = DepthwiseConv2D(2, seed=3)
+        x = np.random.default_rng(8).normal(size=(1, 2, 4, 4))
+        base = layer.forward(x, EVAL)
+        x2 = x.copy()
+        x2[:, 0] += 1.0
+        bumped = layer.forward(x2, EVAL)
+        assert np.allclose(base[:, 1], bumped[:, 1])
+
+
+class TestPoolingAndShape:
+    def test_maxpool_forward(self):
+        layer = MaxPool2D()
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x, EVAL)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == 5.0  # max of [[0,1],[4,5]]
+
+    def test_maxpool_grad_routes_to_max(self):
+        layer = MaxPool2D()
+        x = np.random.default_rng(9).normal(size=(1, 1, 4, 4))
+        check_input_grad(layer, x)
+
+    def test_maxpool_odd_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool2D().forward(np.zeros((1, 1, 3, 4)), EVAL)
+
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = np.random.default_rng(10).normal(size=(2, 3, 4))
+        out = layer.forward(x, TRAIN)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_meanpool_grad(self):
+        layer = MeanPool1D()
+        check_input_grad(layer, np.random.default_rng(11).normal(size=(2, 5, 3)))
+
+
+class TestActivations:
+    def test_relu_grad(self):
+        layer = ReLU()
+        x = np.random.default_rng(12).normal(size=(3, 4)) + 0.1
+        check_input_grad(layer, x)
+
+    def test_gelu_grad(self):
+        layer = GeLU()
+        check_input_grad(
+            layer, np.random.default_rng(13).normal(size=(3, 4)), rtol=1e-3
+        )
+
+    def test_gelu_uses_context_at_inference(self):
+        layer = GeLU()
+        ctx = InferenceContext(gelu_fn=lambda x: np.zeros_like(x))
+        out = layer.forward(np.ones((2, 2)), ctx)
+        assert np.all(out == 0.0)
+
+
+class TestNormAndEmbedding:
+    def test_layernorm_output_standardised(self):
+        layer = LayerNorm(8)
+        x = np.random.default_rng(14).normal(2.0, 3.0, size=(4, 8))
+        out = layer.forward(x, EVAL)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layernorm_grads(self):
+        layer = LayerNorm(5)
+        check_param_grads(
+            layer, np.random.default_rng(15).normal(size=(3, 5)), rtol=1e-3
+        )
+
+    def test_layernorm_input_grad(self):
+        layer = LayerNorm(5)
+        check_input_grad(
+            layer, np.random.default_rng(16).normal(size=(3, 5)), rtol=1e-3
+        )
+
+    def test_embedding_lookup(self):
+        layer = Embedding(10, 4, seed=0)
+        ids = np.array([[1, 2], [3, 1]])
+        out = layer.forward(ids, EVAL)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 0], layer.table.value[1])
+
+    def test_embedding_grad_scatter(self):
+        layer = Embedding(10, 4, seed=1)
+        ids = np.array([[1, 1]])
+        layer.forward(ids, TRAIN)
+        layer.backward(np.ones((1, 2, 4)))
+        # token 1 used twice -> gradient 2 on its row, 0 elsewhere
+        assert np.allclose(layer.table.grad[1], 2.0)
+        assert np.allclose(layer.table.grad[0], 0.0)
+
+
+class TestAttention:
+    def test_forward_shape(self):
+        layer = MultiHeadSelfAttention(8, 2, seed=0)
+        assert layer.forward(np.zeros((2, 5, 8)), EVAL).shape == (2, 5, 8)
+
+    def test_input_grad(self):
+        layer = MultiHeadSelfAttention(4, 2, seed=1)
+        check_input_grad(
+            layer,
+            np.random.default_rng(17).normal(size=(1, 3, 4)),
+            rtol=1e-3, atol=1e-5,
+        )
+
+    def test_param_grads(self):
+        layer = MultiHeadSelfAttention(4, 2, seed=2)
+        check_param_grads(
+            layer,
+            np.random.default_rng(18).normal(size=(1, 3, 4)),
+            rtol=1e-3, atol=1e-5,
+        )
+
+    def test_softmax_pluggable_at_inference(self):
+        layer = MultiHeadSelfAttention(4, 2, seed=3)
+        x = np.random.default_rng(19).normal(size=(1, 3, 4))
+        exact = layer.forward(x, EVAL)
+
+        def uniform_softmax(scores, axis=-1):
+            n = scores.shape[axis]
+            return np.full_like(scores, 1.0 / n)
+
+        ctx = InferenceContext(softmax_fn=uniform_softmax)
+        approx = layer.forward(x, ctx)
+        assert not np.allclose(exact, approx)
+
+    def test_dim_heads_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(5, 2)
+
+
+class TestSequential:
+    def test_composition_and_zero_grads(self):
+        model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+        x = np.random.default_rng(20).normal(size=(3, 4))
+        out = model.forward(x, TRAIN)
+        model.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in model.params())
+        model.zero_grads()
+        assert all(np.all(p.grad == 0) for p in model.params())
+
+    def test_end_to_end_grad(self):
+        model = Sequential([Dense(3, 4, seed=2), ReLU(), Dense(4, 2, seed=3)])
+        x = np.random.default_rng(21).normal(size=(2, 3))
+        check_param_grads(model, x)

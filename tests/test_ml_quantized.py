@@ -1,0 +1,69 @@
+"""Tests for post-training INT8 quantisation + PWL softmax composition."""
+
+import numpy as np
+import pytest
+
+from repro.ml.datasets import make_mnist_like
+from repro.ml.layers import InferenceContext
+from repro.ml.models import build_mlp
+from repro.ml.quantized import quantize_model
+from repro.ml.train import TrainConfig, evaluate_accuracy, train_classifier
+
+
+@pytest.fixture(scope="module")
+def trained_mlp():
+    dataset = make_mnist_like(n_samples=800, seed=11)
+    model = build_mlp(seed=11)
+    train_classifier(model, dataset, TrainConfig(epochs=5, seed=11))
+    return model, dataset
+
+
+class TestQuantizedInference:
+    def test_close_to_float_model(self, trained_mlp):
+        model, dataset = trained_mlp
+        quantized = quantize_model(model, dataset.x_train[:128])
+        float_logits = model.forward(dataset.x_test[:32], InferenceContext())
+        int8_logits = quantized.forward(dataset.x_test[:32])
+        # INT8 noise is small relative to the logit scale
+        scale = np.max(np.abs(float_logits))
+        assert np.max(np.abs(int8_logits - float_logits)) / scale < 0.1
+
+    def test_accuracy_within_two_points(self, trained_mlp):
+        model, dataset = trained_mlp
+        quantized = quantize_model(model, dataset.x_train[:128])
+        float_acc = evaluate_accuracy(model, dataset.x_test, dataset.y_test)
+        int8_acc = quantized.accuracy(dataset.x_test, dataset.y_test)
+        assert abs(int8_acc - float_acc) < 0.02
+
+    def test_weights_restored_after_forward(self, trained_mlp):
+        model, dataset = trained_mlp
+        before = [p.value.copy() for p in model.params()]
+        quantized = quantize_model(model, dataset.x_train[:64])
+        quantized.forward(dataset.x_test[:8])
+        after = [p.value for p in model.params()]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)
+
+    def test_weight_codes_are_int8_grid(self, trained_mlp):
+        model, dataset = trained_mlp
+        quantized = quantize_model(model, dataset.x_train[:64])
+        for record in quantized._quantized.values():
+            codes = record.w_int
+            assert np.array_equal(codes, np.rint(codes))
+            assert codes.max() <= 127 and codes.min() >= -128
+
+    def test_compound_with_approx_softmax(self, trained_mlp):
+        """The edge deployment setting: INT8 weights + PWL softmax.
+
+        The PWL softmax's argmax invariance means the compound accuracy
+        equals the INT8 accuracy exactly — the Table I property survives
+        quantisation."""
+        from repro.ml.approx_inference import _approx_context
+
+        model, dataset = trained_mlp
+        quantized = quantize_model(model, dataset.x_train[:128])
+        int8_acc = quantized.accuracy(dataset.x_test, dataset.y_test)
+        compound_acc = quantized.accuracy(
+            dataset.x_test, dataset.y_test, ctx=_approx_context(16)
+        )
+        assert compound_acc == pytest.approx(int8_acc, abs=1e-12)

@@ -1,0 +1,91 @@
+"""Unit tests for the multi-clock-domain cycle engine."""
+
+import pytest
+
+from repro.noc.engine import ClockDomain, CycleEngine, Tickable
+
+
+class Recorder(Tickable):
+    """Records the local cycles at which it ticked/committed."""
+
+    def __init__(self):
+        self.ticks = []
+        self.commits = []
+
+    def tick(self, local_cycle):
+        self.ticks.append(local_cycle)
+
+    def commit(self, local_cycle):
+        self.commits.append(local_cycle)
+
+
+class TestClockDomain:
+    def test_period_one_always_active(self):
+        d = ClockDomain("noc", period=1)
+        assert all(d.active(c) for c in range(10))
+
+    def test_period_two_alternates(self):
+        d = ClockDomain("pe", period=2)
+        assert [d.active(c) for c in range(4)] == [True, False, True, False]
+
+    def test_phase_offsets_edges(self):
+        d = ClockDomain("pe", period=2, phase=1)
+        assert [d.active(c) for c in range(4)] == [False, True, False, True]
+
+    def test_local_cycle_counts_own_edges(self):
+        d = ClockDomain("pe", period=4)
+        assert d.local_cycle(0) == 0
+        assert d.local_cycle(4) == 1
+        assert d.local_cycle(8) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ClockDomain("x", period=0)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            ClockDomain("x", period=2, phase=2)
+
+
+class TestCycleEngine:
+    def test_fast_and_slow_domains(self):
+        engine = CycleEngine()
+        fast = Recorder()
+        slow = Recorder()
+        engine.add(ClockDomain("noc", period=1), fast)
+        engine.add(ClockDomain("pe", period=2), slow)
+        engine.run(4)
+        assert fast.ticks == [0, 1, 2, 3]
+        assert slow.ticks == [0, 1]
+
+    def test_tick_before_commit_within_cycle(self):
+        order = []
+
+        class Ordered(Tickable):
+            def __init__(self, name):
+                self.name = name
+
+            def tick(self, c):
+                order.append((self.name, "tick", c))
+
+            def commit(self, c):
+                order.append((self.name, "commit", c))
+
+        engine = CycleEngine()
+        engine.add(ClockDomain("d", period=1), Ordered("a"))
+        engine.add(ClockDomain("d", period=1), Ordered("b"))
+        engine.run(1)
+        # both ticks happen before either commit (two-phase update)
+        assert order == [
+            ("a", "tick", 0), ("b", "tick", 0),
+            ("a", "commit", 0), ("b", "commit", 0),
+        ]
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            CycleEngine().run(-1)
+
+    def test_engine_cycle_advances(self):
+        engine = CycleEngine()
+        engine.run(5)
+        assert engine.engine_cycle == 5

@@ -1,0 +1,66 @@
+"""Unit tests for the SMART repeated-wire timing model."""
+
+import pytest
+
+from repro.noc.link import Link, RepeatedWire
+
+
+class TestRepeatedWire:
+    def test_paper_corner_ten_routers_at_1p5ghz(self):
+        # §V-A: "a maximum of 10 routers with clockless repeaters placed
+        # 1mm apart can be traversed at 1.5 GHz clock"
+        wire = RepeatedWire()
+        assert wire.max_hops_per_cycle(1.5, hop_mm=1.0) == 10
+
+    def test_eleven_hops_do_not_fit(self):
+        wire = RepeatedWire()
+        period_budget = 1000.0 / 1.5 - wire.setup_margin_ps
+        assert wire.path_delay_ps(11, 1.0) > period_budget
+
+    def test_reach_monotone_in_frequency(self):
+        wire = RepeatedWire()
+        reaches = [wire.max_hops_per_cycle(f) for f in (0.5, 1.0, 1.5, 2.0, 3.0)]
+        assert reaches == sorted(reaches, reverse=True)
+
+    def test_reach_monotone_in_hop_length(self):
+        wire = RepeatedWire()
+        assert wire.max_hops_per_cycle(1.5, 0.5) >= wire.max_hops_per_cycle(1.5, 1.0)
+
+    def test_path_delay_linear_in_hops(self):
+        wire = RepeatedWire()
+        d1 = wire.path_delay_ps(1, 1.0)
+        assert wire.path_delay_ps(10, 1.0) == pytest.approx(10 * d1)
+
+    def test_max_frequency_inverse_of_reach(self):
+        wire = RepeatedWire()
+        f10 = wire.max_frequency_ghz(10, 1.0)
+        assert wire.max_hops_per_cycle(f10, 1.0) >= 10
+        assert wire.max_hops_per_cycle(f10 * 1.2, 1.0) < 10
+
+    def test_zero_reach_for_absurd_clock(self):
+        wire = RepeatedWire()
+        assert wire.max_hops_per_cycle(50.0, 1.0) == 0
+
+    def test_invalid_args(self):
+        wire = RepeatedWire()
+        with pytest.raises(ValueError):
+            wire.path_delay_ps(-1, 1.0)
+        with pytest.raises(ValueError):
+            wire.path_delay_ps(1, 0.0)
+        with pytest.raises(ValueError):
+            wire.max_hops_per_cycle(0.0)
+
+    def test_custom_corner(self):
+        slow = RepeatedWire(delay_per_mm_ps=100.0, router_bypass_ps=20.0)
+        assert slow.max_hops_per_cycle(1.5) < RepeatedWire().max_hops_per_cycle(1.5)
+
+
+class TestLink:
+    def test_default_is_257_bits(self):
+        assert Link().width_bits == 257
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Link(width_bits=0)
+        with pytest.raises(ValueError):
+            Link(length_mm=0.0)

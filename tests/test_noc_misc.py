@@ -1,0 +1,132 @@
+"""Unit tests for NoC ports, stats, topology and flits."""
+
+import pytest
+
+from repro.approx.quantize import LinkBeat
+from repro.noc.packet import BroadcastFlit, Flit
+from repro.noc.router import BufferedInputPort, PortState, RouterBase
+from repro.noc.stats import EventCounters
+from repro.noc.topology import LineTopology
+
+
+class TestBufferedInputPort:
+    def test_forward_is_combinational(self):
+        port = BufferedInputPort(state=PortState.FORWARD)
+        flit = Flit(payload="x", source=0, injected_cycle=0)
+        port.accept(flit)
+        assert port.visible() is flit  # bypass: visible same cycle
+
+    def test_buffer_delays_one_cycle(self):
+        port = BufferedInputPort(state=PortState.BUFFER)
+        flit = Flit(payload="x", source=0, injected_cycle=0)
+        port.accept(flit)
+        assert port.visible() is None  # not yet latched
+        port.commit()
+        assert port.present is flit
+
+    def test_commit_clears_incoming(self):
+        port = BufferedInputPort()
+        port.accept(Flit(payload="x", source=0, injected_cycle=0))
+        port.commit()
+        assert port.incoming is None
+
+
+class TestEventCounters:
+    def test_add_and_get(self):
+        c = EventCounters()
+        c.add("mac_op", 3)
+        c.add("mac_op")
+        assert c.get("mac_op") == 4
+        assert c.get("never") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EventCounters().add("x", -1)
+
+    def test_merge_is_nondestructive(self):
+        a = EventCounters({"x": 1})
+        b = EventCounters({"x": 2, "y": 3})
+        merged = a.merge(b)
+        assert merged.get("x") == 3 and merged.get("y") == 3
+        assert a.get("x") == 1
+
+    def test_diff(self):
+        before = EventCounters({"x": 1})
+        after = EventCounters({"x": 4, "y": 2})
+        delta = after.diff(before)
+        assert delta.get("x") == 3 and delta.get("y") == 2
+
+    def test_diff_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            EventCounters({"x": 1}).diff(EventCounters({"x": 2}))
+
+    def test_snapshot_isolated(self):
+        c = EventCounters({"x": 1})
+        snap = c.snapshot()
+        c.add("x")
+        assert snap.get("x") == 1
+
+    def test_total(self):
+        assert EventCounters({"a": 2, "b": 3}).total() == 5
+
+
+class TestLineTopology:
+    def test_basic(self):
+        topo = LineTopology(n_routers=8)
+        assert topo.n_hops == 7
+        assert topo.total_length_mm() == pytest.approx(7.0)
+
+    def test_snake_positions_4x2(self):
+        # the paper's walkthrough grid: even rows L->R, odd rows R->L
+        topo = LineTopology(n_routers=8, grid_shape=(4, 2))
+        positions = [topo.position(i) for i in range(8)]
+        assert positions == [
+            (0, 0), (0, 1), (1, 1), (1, 0), (2, 0), (2, 1), (3, 1), (3, 0),
+        ]
+
+    def test_snake_adjacent_routers_physically_adjacent(self):
+        topo = LineTopology(n_routers=12, grid_shape=(3, 4))
+        for i in range(11):
+            r1, c1 = topo.position(i)
+            r2, c2 = topo.position(i + 1)
+            assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+    def test_grid_shape_must_match(self):
+        with pytest.raises(ValueError):
+            LineTopology(n_routers=8, grid_shape=(3, 3))
+
+    def test_position_bounds(self):
+        topo = LineTopology(n_routers=4)
+        with pytest.raises(ValueError):
+            topo.position(4)
+
+    def test_link_dimensions(self):
+        link = LineTopology(n_routers=2, hop_mm=0.5).link()
+        assert link.width_bits == 257
+        assert link.length_mm == 0.5
+
+
+class TestFlits:
+    def test_flit_validation(self):
+        with pytest.raises(ValueError):
+            Flit(payload=None, source=-1, injected_cycle=0)
+        with pytest.raises(ValueError):
+            Flit(payload=None, source=0, injected_cycle=-1)
+
+    def test_broadcast_flit_typed_beat(self):
+        beat = LinkBeat(tag=0, pairs=((0, 0),) * 8)
+        flit = BroadcastFlit(
+            payload=beat, source=0, injected_cycle=0, broadcast_id=1, beat_index=0
+        )
+        assert flit.beat is beat
+
+    def test_broadcast_flit_wrong_payload(self):
+        flit = BroadcastFlit(payload="junk", source=0, injected_cycle=0)
+        with pytest.raises(TypeError):
+            _ = flit.beat
+
+
+class TestRouterBase:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            RouterBase(router_id=-1)

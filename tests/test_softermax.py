@@ -1,0 +1,115 @@
+"""Tests for the Softermax baseline (base-2 softmax, online normaliser)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.approx.softermax import (
+    OnlineNormalizerState,
+    online_softmax,
+    pow2_table,
+    softermax,
+)
+from repro.approx.softmax import exact_softmax
+
+
+class TestPow2Table:
+    def test_domain_and_accuracy(self):
+        table = pow2_table(16)
+        rs = np.linspace(-1, 0, 512)
+        assert np.max(np.abs(table.evaluate(rs) - np.exp2(rs))) < 2e-3
+
+    def test_range_is_half_to_one(self):
+        table = pow2_table(16)
+        rs = np.linspace(-1, 0, 512)
+        ys = table.evaluate(rs)
+        assert ys.min() > 0.49 and ys.max() < 1.01
+
+
+class TestSoftermax:
+    def test_scaled_mode_matches_softmax(self):
+        # with the log2(e) pre-scale, base-2 softmax IS softmax
+        x = np.random.default_rng(0).normal(0, 3, size=(8, 32))
+        out = softermax(x, scale_scores=True)
+        exact = exact_softmax(x)
+        assert np.max(np.abs(out - exact)) < 0.01
+
+    def test_unscaled_mode_is_softer(self):
+        # raw base-2 spreads probability mass (2^x grows slower than e^x)
+        x = np.random.default_rng(1).normal(0, 3, size=(64, 16))
+        soft = softermax(x, scale_scores=False)
+        exact = exact_softmax(x)
+        peak_soft = soft.max(axis=-1).mean()
+        peak_exact = exact.max(axis=-1).mean()
+        assert peak_soft < peak_exact
+
+    def test_rows_are_distributions(self):
+        x = np.random.default_rng(2).normal(0, 5, size=(4, 64))
+        for mode in (True, False):
+            out = softermax(x, scale_scores=mode)
+            assert np.allclose(out.sum(axis=-1), 1.0)
+            assert np.all(out >= 0)
+
+    def test_argmax_preserved_in_both_modes(self):
+        x = np.random.default_rng(3).normal(0, 3, size=(128, 10))
+        exact = exact_softmax(x)
+        for mode in (True, False):
+            out = softermax(x, scale_scores=mode)
+            assert np.array_equal(out.argmax(-1), exact.argmax(-1))
+
+    def test_custom_pow2_approx_pluggable(self):
+        # the 2^r table can be a NOVA quantised table — same machinery
+        from repro.approx.quantize import QuantizedPwl
+
+        table = QuantizedPwl(pow2_table(16))
+        x = np.random.default_rng(4).normal(0, 2, size=(4, 16))
+        out = softermax(x, pow2_approx=table.evaluate)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_extreme_scores_stable(self):
+        x = np.array([[0.0, -200.0, 50.0]])
+        out = softermax(x)
+        assert np.isfinite(out).all()
+        assert out[0, 2] > 0.99
+
+
+class TestOnlineNormalizer:
+    def test_matches_two_pass(self):
+        x = np.random.default_rng(5).normal(0, 3, size=64)
+        online = online_softmax(x)
+        two_pass = exact_softmax(x)
+        assert np.allclose(online, two_pass, atol=1e-12)
+
+    def test_order_invariance(self):
+        x = np.random.default_rng(6).normal(0, 3, size=32)
+        forward = online_softmax(x)
+        # the running statistics are order-dependent internally but the
+        # final distribution must not be
+        perm = np.random.default_rng(7).permutation(32)
+        permuted = online_softmax(x[perm])
+        assert np.allclose(forward[perm], permuted, atol=1e-12)
+
+    def test_state_update_rescales(self):
+        state = OnlineNormalizerState()
+        state.update(0.0)
+        state.update(10.0)  # new max: old sum must rescale
+        # sum = exp(0-10) + exp(0) = exp(-10) + 1
+        assert state.running_max == 10.0
+        assert state.running_sum == pytest.approx(1.0 + np.exp(-10.0))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            online_softmax(np.zeros((2, 2)))
+
+
+@settings(max_examples=30)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 32),
+        elements=st.floats(min_value=-30, max_value=30, allow_nan=False),
+    )
+)
+def test_online_equals_two_pass_property(x):
+    assert np.allclose(online_softmax(x), exact_softmax(x), atol=1e-10)

@@ -1,0 +1,91 @@
+"""Structural-vs-analytical timing equivalence for the NOVA line.
+
+The StreamingLine clocks BufferedInputPort primitives with the two-phase
+CycleEngine; its observed arrival times must equal NovaNoc's analytical
+``arrival_cycle`` model for every geometry — the repo's RTL-vs-spec check.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl, pack_beats
+from repro.core.mapper import NovaMapper
+from repro.core.noc import NovaNoc
+from repro.core.streaming import StreamingLine
+from repro.noc.topology import LineTopology
+
+
+def make_parts(n_routers, pe_ghz, n_segments=16, hop_mm=1.0):
+    spec = get_function("tanh")
+    table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
+    schedule = NovaMapper().schedule(n_routers, pe_ghz, n_segments, hop_mm)
+    return table, schedule
+
+
+class TestSingleCycleLine:
+    def test_all_routers_observe_in_launch_cycle(self):
+        table, schedule = make_parts(8, 0.24)
+        line = StreamingLine(schedule)
+        log = line.run(pack_beats(table))
+        for router in range(8):
+            assert log.arrival_cycle(router, 0) == 0
+            assert log.arrival_cycle(router, 1) == 1
+
+    def test_observation_count(self):
+        table, schedule = make_parts(8, 0.24)
+        log = StreamingLine(schedule).run(pack_beats(table))
+        # every router observes every beat exactly once
+        assert len(log.observations) == 8 * 2
+
+
+class TestMultiSegmentLine:
+    def test_buffered_stage_adds_one_cycle(self):
+        table, schedule = make_parts(25, 0.75)  # 10 hops/cycle -> 3 stages
+        log = StreamingLine(schedule).run(pack_beats(table))
+        assert log.arrival_cycle(0, 0) == 0
+        assert log.arrival_cycle(9, 0) == 0
+        assert log.arrival_cycle(10, 0) == 1
+        assert log.arrival_cycle(20, 0) == 2
+        assert log.arrival_cycle(24, 1) == 3  # beat 1 launches a cycle later
+
+    def test_beats_pipeline_without_collision(self):
+        table, schedule = make_parts(25, 0.75)
+        log = StreamingLine(schedule).run(pack_beats(table))
+        # a router never observes two beats in the same cycle
+        seen = set()
+        for router, _beat, cycle in log.observations:
+            assert (router, cycle) not in seen
+            seen.add((router, cycle))
+
+    def test_missing_observation_raises(self):
+        table, schedule = make_parts(4, 0.24)
+        log = StreamingLine(schedule).run(pack_beats(table))
+        with pytest.raises(KeyError):
+            log.arrival_cycle(0, 7)
+
+    def test_beat_count_validation(self):
+        table, schedule = make_parts(4, 0.24)
+        with pytest.raises(ValueError):
+            StreamingLine(schedule).run(pack_beats(table)[:1])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_routers=st.integers(min_value=1, max_value=40),
+    pe_ghz=st.sampled_from([0.24, 0.5, 0.75, 1.0]),
+)
+def test_structural_matches_analytical(n_routers, pe_ghz):
+    """StreamingLine's observed arrivals == NovaNoc.arrival_cycle, for any
+    line length and clock."""
+    table, schedule = make_parts(n_routers, pe_ghz)
+    line = StreamingLine(schedule)
+    log = line.run(pack_beats(table))
+    noc = NovaNoc(
+        LineTopology(n_routers=n_routers), schedule, neurons_per_router=1
+    )
+    for router in range(n_routers):
+        for beat_index in range(schedule.n_beats):
+            expected = beat_index + noc.arrival_cycle(router)
+            assert log.arrival_cycle(router, beat_index) == expected

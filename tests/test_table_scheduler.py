@@ -1,0 +1,135 @@
+"""Tests for multi-function table scheduling (reload-stall accounting)."""
+
+import pytest
+
+from repro.approx.functions import get_function
+from repro.approx.pwl import PiecewiseLinear
+from repro.approx.quantize import QuantizedPwl
+from repro.core.table_scheduler import (
+    TableScheduler,
+    reconfiguration_cycles,
+)
+from repro.workloads.bert import bert_graph
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+
+
+def make_tables(n_segments=16):
+    tables = {}
+    for name in ("exp", "gelu", "rsqrt", "reciprocal"):
+        spec = get_function(name)
+        tables[name] = QuantizedPwl(
+            PiecewiseLinear.fit(spec.fn, spec.domain, n_segments)
+        )
+    return tables
+
+
+class TestReconfigurationCost:
+    def test_nova_free(self):
+        assert reconfiguration_cycles("nova", 16) == 0
+
+    def test_lut_pays_two_words_per_entry(self):
+        assert reconfiguration_cycles("per_neuron_lut", 16) == 32
+        assert reconfiguration_cycles("per_core_lut", 8) == 16
+        assert reconfiguration_cycles("nvdla_sdp", 16) == 32
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            reconfiguration_cycles("tpu", 16)
+
+
+class TestScheduler:
+    def simple_graph(self):
+        graph = OpGraph("g")
+        graph.add(NonLinearOp("sm1", "exp", queries=1024))
+        graph.add(MatMulOp("mm", 8, 8, 8))
+        graph.add(NonLinearOp("act", "gelu", queries=512))
+        graph.add(NonLinearOp("sm2", "exp", queries=1024))
+        return graph
+
+    def test_nova_schedule_no_reloads(self):
+        scheduler = TableScheduler(make_tables(), n_lanes=256, unit_kind="nova")
+        report = scheduler.schedule(self.simple_graph())
+        assert report.reload_cycles == 0
+        assert report.compute_cycles == 4 + 2 + 4
+
+    def test_lut_schedule_pays_on_switches(self):
+        scheduler = TableScheduler(
+            make_tables(), n_lanes=256, unit_kind="per_neuron_lut"
+        )
+        report = scheduler.schedule(self.simple_graph())
+        # exp -> gelu -> exp: two switches, 32 cycles each
+        assert report.function_switches() == 2
+        assert report.reload_cycles == 64
+        assert report.total_cycles == report.compute_cycles + 64
+
+    def test_first_phase_needs_no_reload(self):
+        graph = OpGraph("g")
+        graph.add(NonLinearOp("only", "exp", queries=100))
+        scheduler = TableScheduler(
+            make_tables(), n_lanes=100, unit_kind="per_core_lut"
+        )
+        assert scheduler.schedule(graph).reload_cycles == 0
+
+    def test_same_function_runs_need_no_reload(self):
+        graph = OpGraph("g")
+        graph.add(NonLinearOp("a", "exp", queries=100))
+        graph.add(NonLinearOp("b", "exp", queries=100))
+        scheduler = TableScheduler(
+            make_tables(), n_lanes=100, unit_kind="per_neuron_lut"
+        )
+        assert scheduler.schedule(graph).reload_cycles == 0
+
+    def test_relu_is_free_and_tableless(self):
+        graph = OpGraph("g")
+        graph.add(NonLinearOp("r", "relu", queries=100))
+        scheduler = TableScheduler(make_tables(), n_lanes=10, unit_kind="nova")
+        report = scheduler.schedule(graph)
+        assert report.phases == []
+
+    def test_missing_table_raises(self):
+        graph = OpGraph("g")
+        graph.add(NonLinearOp("t", "tanh", queries=10))
+        scheduler = TableScheduler(make_tables(), n_lanes=10)
+        with pytest.raises(KeyError, match="tanh"):
+            scheduler.schedule(graph)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableScheduler(make_tables(), n_lanes=0)
+        with pytest.raises(ValueError):
+            TableScheduler({}, n_lanes=10)
+        with pytest.raises(ValueError):
+            TableScheduler(make_tables(), n_lanes=10, unit_kind="bad")
+
+
+class TestBertScheduling:
+    """The ablation the paper implies: per-layer function switching."""
+
+    def test_bert_layer_switch_pattern(self):
+        # per encoder layer: exp -> recip -> rsqrt -> gelu -> rsqrt
+        tables = make_tables()
+        scheduler = TableScheduler(tables, n_lanes=1024, unit_kind="nova")
+        report = scheduler.schedule(bert_graph("BERT-tiny", seq_len=128))
+        # 2 layers x 5 table-using phases
+        assert len(report.phases) == 10
+        assert report.reload_cycles == 0
+
+    def test_lut_reload_overhead_meaningful_at_short_seq(self):
+        tables = make_tables()
+        nova = TableScheduler(tables, n_lanes=2560, unit_kind="nova")
+        lut = TableScheduler(tables, n_lanes=2560, unit_kind="per_neuron_lut")
+        graph = bert_graph("BERT-tiny", seq_len=128)
+        nova_report = nova.schedule(graph)
+        lut_report = lut.schedule(graph)
+        assert nova_report.compute_cycles == lut_report.compute_cycles
+        assert lut_report.reload_cycles > 0
+        # at REACT's edge geometry (2560 lanes, seq 128) reloads are a
+        # double-digit percentage of the vector unit's work
+        assert lut_report.reload_overhead > 0.1
+
+    def test_reload_overhead_shrinks_with_seq_len(self):
+        tables = make_tables()
+        lut = TableScheduler(tables, n_lanes=1024, unit_kind="per_neuron_lut")
+        short = lut.schedule(bert_graph("BERT-tiny", seq_len=128))
+        long = lut.schedule(bert_graph("BERT-tiny", seq_len=1024))
+        assert long.reload_overhead < short.reload_overhead

@@ -1,0 +1,116 @@
+"""Unit tests for repro.utils.fixed_point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.fixed_point import FixedPointFormat, Q1_14, Q5_10, Q7_8
+
+
+class TestFormatProperties:
+    def test_word_bits(self):
+        assert Q5_10.word_bits == 16
+        assert Q1_14.word_bits == 16
+        assert Q7_8.word_bits == 16
+
+    def test_scale_is_lsb(self):
+        assert Q5_10.scale == 2.0 ** -10
+        assert Q1_14.scale == 2.0 ** -14
+
+    def test_range_bounds(self):
+        assert Q5_10.max_value == pytest.approx(32.0 - 2.0 ** -10)
+        assert Q5_10.min_value == -32.0
+
+    def test_raw_bounds(self):
+        assert Q5_10.max_raw == 2 ** 15 - 1
+        assert Q5_10.min_raw == -(2 ** 15)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=-1, fraction_bits=4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=4, fraction_bits=-1)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=40, fraction_bits=40)
+
+    def test_hashable_for_caching(self):
+        assert hash(Q5_10) == hash(FixedPointFormat(5, 10))
+        assert Q5_10 == FixedPointFormat(5, 10)
+
+
+class TestQuantize:
+    def test_exact_values_unchanged(self):
+        values = np.array([0.0, 1.0, -1.5, 0.25])
+        assert np.array_equal(Q5_10.quantize(values), values)
+
+    def test_rounds_to_nearest(self):
+        lsb = Q5_10.scale
+        assert Q5_10.quantize(0.6 * lsb) == pytest.approx(lsb)
+        assert Q5_10.quantize(0.4 * lsb) == pytest.approx(0.0)
+
+    def test_saturates_high(self):
+        assert Q5_10.quantize(1e9) == pytest.approx(Q5_10.max_value)
+
+    def test_saturates_low(self):
+        assert Q5_10.quantize(-1e9) == pytest.approx(Q5_10.min_value)
+
+    def test_scalar_input_gives_array(self):
+        out = Q5_10.quantize(1.0)
+        assert out.shape == ()
+
+    def test_idempotent(self):
+        values = np.linspace(-40, 40, 101)
+        once = Q5_10.quantize(values)
+        assert np.array_equal(Q5_10.quantize(once), once)
+
+
+class TestRawRoundTrip:
+    def test_round_trip(self):
+        values = np.array([0.0, 1.0, -3.25, Q5_10.max_value, Q5_10.min_value])
+        raw = Q5_10.to_raw(values)
+        assert np.array_equal(Q5_10.from_raw(raw), values)
+
+    def test_from_raw_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Q5_10.from_raw(np.array([2 ** 15]))
+
+    def test_raw_dtype(self):
+        assert Q5_10.to_raw(np.array([1.0])).dtype == np.int64
+
+
+class TestSaturatesMask:
+    def test_mask_shape_and_values(self):
+        values = np.array([0.0, 100.0, -100.0, 31.0])
+        mask = Q5_10.saturates(values)
+        assert mask.tolist() == [False, True, True, False]
+
+
+class TestMac:
+    def test_matches_quantized_product(self):
+        slope = np.array([0.5, -1.0])
+        x = np.array([2.0, 3.0])
+        bias = np.array([0.25, 0.125])
+        out = Q5_10.mac(slope, x, bias)
+        assert np.array_equal(out, Q5_10.quantize(slope * x + bias))
+
+    def test_saturating_mac(self):
+        out = Q5_10.mac(np.array([30.0]), np.array([30.0]), np.array([0.0]))
+        assert out[0] == pytest.approx(Q5_10.max_value)
+
+
+@given(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+def test_quantize_error_bounded_by_half_lsb(value):
+    q = float(Q5_10.quantize(value))
+    if Q5_10.min_value <= value <= Q5_10.max_value:
+        assert abs(q - value) <= Q5_10.scale / 2 + 1e-12
+    else:
+        assert q in (Q5_10.max_value, Q5_10.min_value)
+
+
+@given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+def test_raw_round_trip_exact(raw):
+    assert int(Q5_10.to_raw(Q5_10.from_raw(raw))) == raw

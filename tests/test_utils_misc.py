@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.validation and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_check_positive_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.5)
+
+    def test_check_power_of_two(self):
+        for good in (1, 2, 4, 8, 1024):
+            check_power_of_two("x", good)
+        for bad in (0, 3, 6, -4):
+            with pytest.raises(ValueError):
+                check_power_of_two("x", bad)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        check_in_range("x", 0, 0, 10)
+        check_in_range("x", 10, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(8)
+        b = make_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, "dataset") == derive_seed(7, "dataset")
+
+    def test_derive_seed_distinguishes_components(self):
+        assert derive_seed(7, "dataset") != derive_seed(7, "model")
+
+    def test_derive_seed_distinguishes_base(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_derive_seed_accepts_ints(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)

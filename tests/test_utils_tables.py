@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table, format_value
+
+
+class TestFormatValue:
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.23e-7)
+
+    def test_normal_float(self):
+        assert format_value(3.14159, precision=4) == "3.142"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "val"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert lines[0].startswith("name")
+
+    def test_title_adds_ruler(self):
+        out = format_table(["h"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["n"], [[1], [100]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_ratio_strings_stay_numericish(self):
+        out = format_table(["r"], [["3.34x"], ["1.78x"]])
+        assert "3.34x" in out

@@ -1,0 +1,163 @@
+"""Unit tests for op graphs, transformer lowering and workload registries."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bert import BERT_MODELS, bert_graph
+from repro.workloads.cnn import CNN_MODELS, cnn_graph
+from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
+from repro.workloads.traces import activation_trace, attention_logit_trace
+from repro.workloads.transformer import TransformerConfig, build_encoder_graph
+
+
+class TestOps:
+    def test_matmul_macs(self):
+        assert MatMulOp("g", 2, 3, 4).macs == 24
+        assert MatMulOp("g", 2, 3, 4).output_elements == 8
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MatMulOp("g", 0, 1, 1)
+        with pytest.raises(ValueError):
+            NonLinearOp("n", "exp", queries=0)
+
+    def test_graph_totals(self):
+        graph = OpGraph("g")
+        graph.add(MatMulOp("a", 2, 2, 2))
+        graph.add(NonLinearOp("n", "exp", queries=10))
+        graph.add(NonLinearOp("m", "gelu", queries=5))
+        assert graph.total_macs == 8
+        assert graph.total_nonlinear_queries == 15
+        assert graph.queries_by_function() == {"exp": 10, "gelu": 5}
+
+    def test_nonlinear_fraction(self):
+        graph = OpGraph("g")
+        graph.add(MatMulOp("a", 10, 10, 10))
+        graph.add(NonLinearOp("n", "exp", queries=100))
+        assert graph.nonlinear_fraction() == pytest.approx(0.1)
+
+
+class TestTransformerLowering:
+    def config(self, seq=32):
+        return TransformerConfig("t", layers=2, hidden=64, heads=4,
+                                 intermediate=256, seq_len=seq)
+
+    def test_softmax_query_count(self):
+        # A * S^2 exp queries per layer (the dominant non-linear op)
+        graph = build_encoder_graph(self.config())
+        exp_queries = graph.queries_by_function()["exp"]
+        assert exp_queries == 2 * 4 * 32 * 32
+
+    def test_gelu_query_count(self):
+        graph = build_encoder_graph(self.config())
+        assert graph.queries_by_function()["gelu"] == 2 * 32 * 256
+
+    def test_qkv_macs(self):
+        graph = build_encoder_graph(self.config())
+        qkv = [op for op in graph.matmuls if "_proj" in op.name
+               and "out" not in op.name]
+        assert len(qkv) == 6  # 3 per layer x 2 layers
+        assert all(op.macs == 32 * 64 * 64 for op in qkv)
+
+    def test_per_head_score_gemms(self):
+        graph = build_encoder_graph(self.config())
+        scores = [op for op in graph.matmuls if "scores" in op.name]
+        assert len(scores) == 8  # 4 heads x 2 layers
+        assert all(op.m == 32 and op.k == 16 and op.n == 32 for op in scores)
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", 1, 65, 4, 128, 32)
+
+    def test_quadratic_softmax_scaling(self):
+        short = build_encoder_graph(self.config(seq=32))
+        long = build_encoder_graph(self.config(seq=64))
+        ratio = (long.queries_by_function()["exp"]
+                 / short.queries_by_function()["exp"])
+        assert ratio == pytest.approx(4.0)
+
+
+class TestBertRegistry:
+    def test_all_five_fig8_models(self):
+        assert set(BERT_MODELS) == {
+            "BERT-tiny", "BERT-mini", "MobileBERT-tiny", "MobileBERT-base",
+            "RoBERTa",
+        }
+
+    def test_published_dims(self):
+        tiny = BERT_MODELS["BERT-tiny"]
+        assert (tiny.layers, tiny.hidden, tiny.heads) == (2, 128, 2)
+        roberta = BERT_MODELS["RoBERTa"]
+        assert (roberta.layers, roberta.hidden, roberta.intermediate) == (
+            12, 768, 3072,
+        )
+        mobile = BERT_MODELS["MobileBERT-base"]
+        assert mobile.layers == 24
+
+    def test_seq_len_override(self):
+        graph = bert_graph("BERT-tiny", seq_len=128)
+        scores = [op for op in graph.matmuls if "scores" in op.name]
+        assert scores[0].n == 128
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="BERT-tiny"):
+            bert_graph("GPT-5")
+
+    def test_model_size_ordering(self):
+        # RoBERTa is by far the largest Fig. 8 benchmark
+        macs = {name: bert_graph(name, seq_len=256).total_macs
+                for name in BERT_MODELS}
+        assert macs["RoBERTa"] == max(macs.values())
+        assert macs["BERT-tiny"] == min(macs.values())
+
+
+class TestCnnRegistry:
+    def test_table1_families(self):
+        assert set(CNN_MODELS) == {"MLP", "CNN", "MobileNet v1", "VGG-16"}
+
+    def test_breakpoint_budgets(self):
+        # Table I: CIFAR-10 models use 8 breakpoints, MNIST uses 16
+        assert CNN_MODELS["MLP"].softmax_breakpoints == 16
+        assert CNN_MODELS["CNN"].softmax_breakpoints == 8
+
+    def test_graph_lowering(self):
+        graph = cnn_graph("CNN")
+        assert graph.total_macs > 0
+        assert "exp" in graph.queries_by_function()  # classifier softmax
+
+    def test_depthwise_cheaper_than_dense(self):
+        mobile = CNN_MODELS["MobileNet v1"]
+        dw = [l for l in mobile.layers if l.depthwise]
+        assert dw, "MobileNet spec must contain depthwise layers"
+        for layer in dw:
+            dense_macs = (layer.in_channels * layer.out_channels
+                          * layer.spatial ** 2 * 9)
+            assert layer.macs < dense_macs
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            cnn_graph("ResNet")
+
+
+class TestTraces:
+    def test_attention_trace_non_positive(self):
+        trace = attention_logit_trace(1000, seed=0)
+        assert trace.shape == (1000,)
+        assert np.all(trace <= 0.0)
+
+    def test_attention_trace_has_zero_per_row(self):
+        # every row's max shifts to exactly 0
+        trace = attention_logit_trace(640, seq_len=64, seed=1)
+        rows = trace.reshape(10, 64)
+        assert np.allclose(rows.max(axis=1), 0.0)
+
+    def test_traces_deterministic(self):
+        a = activation_trace(100, seed=3)
+        b = activation_trace(100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            attention_logit_trace(0)
+        with pytest.raises(ValueError):
+            activation_trace(0)
