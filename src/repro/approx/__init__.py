@@ -18,6 +18,9 @@ This package provides:
   its exact extraction into a PWL table,
 * :mod:`repro.approx.quantize` — fixed-point PWL tables and link-word
   packing (16-bit words, 8 slope/bias pairs per 257-bit beat),
+* :mod:`repro.approx.table_cache` — process-wide cache of compiled
+  tables keyed on ``(function, n_segments, seed)`` (train once per
+  process, share everywhere),
 * :mod:`repro.approx.softmax` — softmax / GeLU built on the elementwise
   approximator, as the models in Table I use them,
 * :mod:`repro.approx.error` — approximation error metrics.
@@ -28,6 +31,12 @@ from repro.approx.pwl import PiecewiseLinear
 from repro.approx.breakpoints import uniform_cuts, curvature_cuts, quantile_cuts
 from repro.approx.nnlut_mlp import NnLutMlp, train_nnlut_mlp
 from repro.approx.quantize import QuantizedPwl, pack_beats, unpack_beats, LinkBeat
+from repro.approx.table_cache import (
+    compiled_table,
+    compiled_tables,
+    clear_table_cache,
+    table_cache_info,
+)
 from repro.approx.softmax import (
     exact_softmax,
     approx_softmax,
@@ -62,6 +71,10 @@ __all__ = [
     "pack_beats",
     "unpack_beats",
     "LinkBeat",
+    "compiled_table",
+    "compiled_tables",
+    "clear_table_cache",
+    "table_cache_info",
     "exact_softmax",
     "approx_softmax",
     "approx_gelu",

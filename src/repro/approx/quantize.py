@@ -100,8 +100,20 @@ class QuantizedPwl:
 
     def segment_index(self, x: np.ndarray | float) -> np.ndarray:
         """Comparator model on the quantised input and cuts."""
+        return self.lookup(x)[1]
+
+    def lookup(self, x: np.ndarray | float) -> tuple[np.ndarray, np.ndarray]:
+        """Quantise and address the whole input in one vectorised pass.
+
+        Returns ``(xq, idx)``: the quantised (clamped, representable)
+        inputs and their segment indices, for any input shape.  This is
+        the hot path of the batched serving engine — one ``searchsorted``
+        gather over an entire request batch replaces per-PE-cycle Python
+        iteration — and it is shared with :meth:`evaluate` so the fast
+        path cannot drift from the golden model.
+        """
         xq = self.input_format.quantize(self._quantized.clamp(x))
-        return self._quantized.segment_index(xq)
+        return xq, self._quantized.segment_index(xq)
 
     def evaluate(self, x: np.ndarray | float) -> np.ndarray:
         """Bit-accurate functional evaluation: quantise, look up, MAC.
@@ -109,8 +121,7 @@ class QuantizedPwl:
         This is the golden model that both the cycle-accurate NOVA pipeline
         and the LUT baselines must match exactly.
         """
-        xq = self.input_format.quantize(self._quantized.clamp(x))
-        idx = self._quantized.segment_index(xq)
+        xq, idx = self.lookup(x)
         return self.output_format.mac(
             self._quantized.slopes[idx], xq, self._quantized.biases[idx]
         )

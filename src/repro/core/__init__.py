@@ -45,6 +45,11 @@ from repro.core.table_scheduler import (
     reconfiguration_cycles,
 )
 from repro.core.attention import NovaAttentionEngine, AttentionLayerResult
+from repro.core.batched_attention import (
+    AttentionRequest,
+    BatchedAttentionResult,
+    BatchedNovaAttentionEngine,
+)
 from repro.core.streaming import StreamingLine, ObservationLog
 
 __all__ = [
@@ -68,6 +73,9 @@ __all__ = [
     "reconfiguration_cycles",
     "NovaAttentionEngine",
     "AttentionLayerResult",
+    "AttentionRequest",
+    "BatchedAttentionResult",
+    "BatchedNovaAttentionEngine",
     "StreamingLine",
     "ObservationLog",
 ]

@@ -16,6 +16,31 @@ shows together:
 2. attention outputs stay numerically faithful to the exact layer,
 3. the vector-unit cycle count per layer is exactly the op graph's query
    count divided by the lane count (one query per lane per PE cycle).
+
+Serving model
+-------------
+This engine is the *cycle-accurate reference*: every non-linear query is
+driven beat-by-beat through the NoC simulation, one request at a time.
+Production-style serving lives in
+:class:`repro.core.batched_attention.BatchedNovaAttentionEngine`, which
+packs many requests through one shared overlay and is validated
+bit-exact and cycle-exact against this engine.  The two engines share
+compile-time state rather than rebuilding it:
+
+* **table cache** — PWL tables come from the process-wide
+  :mod:`repro.approx.table_cache`, keyed on
+  ``(function, n_segments, seed)``; constructing N engines trains each
+  table once, not N times, and every engine with the same key holds the
+  *same* table object (so cross-engine output comparisons are exact by
+  construction);
+* **schedule cache** — :class:`repro.core.mapper.NovaMapper` shares one
+  frozen ``BroadcastSchedule`` per ``(n_routers, freq, n_pairs, hop_mm)``
+  geometry across all units in the process.
+
+Per-call results report only the events of that call: the engine
+snapshots its units' lifetime counters around each layer, so invoking
+:meth:`NovaAttentionEngine.attention_layer` repeatedly yields counters
+that sum to the lifetime totals instead of double-counting earlier calls.
 """
 
 from __future__ import annotations
@@ -24,14 +49,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.approx.functions import get_function
-from repro.approx.nnlut_mlp import train_nnlut_mlp
 from repro.approx.quantize import QuantizedPwl
+from repro.approx.table_cache import compiled_table
 from repro.core.table_scheduler import TableScheduler
 from repro.core.vector_unit import NovaVectorUnit
 from repro.noc.stats import EventCounters
 
 __all__ = ["NovaAttentionEngine", "AttentionLayerResult"]
+
+#: The non-linear functions an encoder layer schedules onto the overlay.
+ATTENTION_FUNCTIONS = ("exp", "reciprocal", "gelu")
 
 
 @dataclass(frozen=True)
@@ -45,10 +72,100 @@ class AttentionLayerResult:
     counters: EventCounters
 
 
-def _build_table(function: str, n_segments: int, seed: int) -> QuantizedPwl:
-    spec = get_function(function)
-    mlp = train_nnlut_mlp(spec, n_segments=n_segments, seed=seed)
-    return QuantizedPwl(mlp.to_piecewise_linear(n_segments=n_segments))
+# ----------------------------------------------------------------------
+# Host-side numerics shared by the sequential and batched engines.
+#
+# These are the numerically sensitive steps between the hardware calls;
+# both engines MUST use these exact helpers — the batched engine's
+# bit-exactness contract against this engine holds by construction only
+# because there is a single copy of each step.
+# ----------------------------------------------------------------------
+
+
+def pack_lane_stream(
+    flat: np.ndarray, shape: tuple[int, int]
+) -> tuple[np.ndarray, int]:
+    """Pack a flat query stream into whole lane batches, zero-padding
+    the tail.
+
+    ``shape`` is the lane grid ``(n_routers, n_neurons)``; returns
+    ``(batches, n_batches)`` with ``batches`` shaped
+    ``(n_batches, n_routers, n_neurons)``.  The pad value (0.0) is part
+    of the accounting contract: padded lanes look up the table's
+    zero-address, which the serving engine's per-request closed form
+    reproduces.
+    """
+    lanes = shape[0] * shape[1]
+    n_batches = -(-len(flat) // lanes)
+    padded = np.zeros(n_batches * lanes)
+    padded[: len(flat)] = flat
+    return padded.reshape(n_batches, *shape), n_batches
+
+
+def host_attention_scores(
+    x: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    n_heads: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Projections and scaled attention scores (the host's GEMMs).
+
+    Returns ``(scores, v)`` with ``scores`` of shape
+    ``(heads, seq, seq)`` and ``v`` of shape ``(heads, seq, head_dim)``.
+    """
+    seq, hidden = x.shape
+    head_dim = hidden // n_heads
+
+    def split(m: np.ndarray) -> np.ndarray:
+        return m.reshape(seq, n_heads, head_dim).transpose(1, 0, 2)
+
+    q, k, v = split(x @ wq), split(x @ wk), split(x @ wv)
+    scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
+    return scores, v
+
+
+def shift_scores(scores: np.ndarray) -> np.ndarray:
+    """Max-subtraction for numerical stability (host row max)."""
+    return scores - scores.max(axis=-1, keepdims=True)
+
+
+def softmax_reduction(
+    raw_numer: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Post-exp host stage: clamp, row sums, power-of-two reduction.
+
+    Returns ``(numer, mantissa, exponent)``: the clamped numerators, the
+    normalised mantissas in ``[1, 2)`` to feed the reciprocal table, and
+    the exponents to undo afterwards.
+    """
+    numer = np.maximum(raw_numer, 0.0)
+    denom = numer.sum(axis=-1, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    mantissa, exponent = np.frexp(denom)
+    return numer, mantissa * 2.0, exponent - 1
+
+
+def assemble_probabilities(
+    numer: np.ndarray, inv: np.ndarray, exponent: np.ndarray
+) -> np.ndarray:
+    """Scale numerators by the hardware reciprocal and renormalise.
+
+    The final renormalisation is the host's output scale stage; it keeps
+    rows summing to one exactly despite residual reciprocal error.
+    """
+    probs = numer * inv * np.ldexp(1.0, -exponent)
+    return probs / probs.sum(axis=-1, keepdims=True)
+
+
+def finish_attention_layer(
+    probs: np.ndarray, v: np.ndarray, wo: np.ndarray
+) -> np.ndarray:
+    """Context GEMM, head merge and output projection."""
+    heads, seq, head_dim = v.shape
+    context = probs @ v
+    merged = context.transpose(1, 0, 2).reshape(seq, heads * head_dim)
+    return merged @ wo
 
 
 class NovaAttentionEngine:
@@ -70,8 +187,8 @@ class NovaAttentionEngine:
         seed: int = 0,
     ) -> None:
         self.tables = {
-            name: _build_table(name, n_segments, seed)
-            for name in ("exp", "reciprocal", "gelu")
+            name: compiled_table(name, n_segments=n_segments, seed=seed)
+            for name in ATTENTION_FUNCTIONS
         }
         # one physical unit per function table (same geometry — in
         # hardware it is literally the same unit fed different beats;
@@ -103,12 +220,11 @@ class NovaAttentionEngine:
         """
         unit = self.units[function]
         flat = np.asarray(values, dtype=np.float64).reshape(-1)
-        lanes = self.n_lanes
-        n_batches = -(-len(flat) // lanes)
-        padded = np.zeros(n_batches * lanes)
-        padded[: len(flat)] = flat
-        batches = padded.reshape(n_batches, *self._shape)
-        stream = unit.run_stream(batches)
+        batches, n_batches = pack_lane_stream(flat, self._shape)
+        # simulate=True: this engine is the cycle-accurate reference the
+        # batched serving engine is validated against, so its queries go
+        # through the beat-level NoC model rather than the vectorised path.
+        stream = unit.run_stream(batches, simulate=True)
         out = stream.outputs.reshape(-1)[: len(flat)]
         return out.reshape(np.asarray(values).shape), n_batches
 
@@ -120,19 +236,11 @@ class NovaAttentionEngine:
         reciprocal table with power-of-two range reduction.
         """
         scores = np.asarray(scores, dtype=np.float64)
-        shifted = scores - scores.max(axis=-1, keepdims=True)
-        numer, exp_cycles = self._elementwise("exp", shifted)
-        numer = np.maximum(numer, 0.0)
-        denom = numer.sum(axis=-1, keepdims=True)
-        denom = np.where(denom <= 0, 1.0, denom)
-        mantissa, exponent = np.frexp(denom)
-        mantissa = mantissa * 2.0
-        exponent = exponent - 1
+        shifted = shift_scores(scores)
+        raw_numer, exp_cycles = self._elementwise("exp", shifted)
+        numer, mantissa, exponent = softmax_reduction(raw_numer)
         inv, recip_cycles = self._elementwise("reciprocal", mantissa)
-        probs = numer * inv * np.ldexp(1.0, -exponent)
-        # renormalise residual reciprocal error (the host's output scale
-        # stage); keeps rows summing to one exactly
-        probs = probs / probs.sum(axis=-1, keepdims=True)
+        probs = assemble_probabilities(numer, inv, exponent)
         return probs, exp_cycles + recip_cycles
 
     def gelu(self, values: np.ndarray) -> tuple[np.ndarray, int]:
@@ -163,21 +271,21 @@ class NovaAttentionEngine:
             raise ValueError(
                 f"hidden ({hidden}) must divide by n_heads ({n_heads})"
             )
-        head_dim = hidden // n_heads
-
-        def split(m: np.ndarray) -> np.ndarray:
-            return m.reshape(seq, n_heads, head_dim).transpose(1, 0, 2)
-
-        q, k, v = split(x @ wq), split(x @ wk), split(x @ wv)
-        scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
+        # Snapshot every unit's lifetime counters so the result carries
+        # exactly this layer's events; merging raw lifetime counters would
+        # re-count every earlier call on the same engine.
+        before = {
+            name: unit._lifetime_counters() for name, unit in self.units.items()
+        }
+        scores, v = host_attention_scores(x, wq, wk, wv, n_heads)
         probs, vector_cycles = self.softmax(scores)
-        context = probs @ v
-        merged = context.transpose(1, 0, 2).reshape(seq, hidden)
-        outputs = merged @ wo
+        outputs = finish_attention_layer(probs, v, wo)
 
         counters = EventCounters()
-        for unit in self.units.values():
-            counters = counters.merge(unit._lifetime_counters())
+        for name, unit in self.units.items():
+            counters = counters.merge(
+                unit._lifetime_counters().diff(before[name])
+            )
         return AttentionLayerResult(
             outputs=outputs,
             probabilities=probs,

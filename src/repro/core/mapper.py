@@ -22,6 +22,7 @@ configuration:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.noc.link import RepeatedWire
@@ -84,9 +85,44 @@ class BroadcastSchedule:
         """True when one beat reaches every router in one NoC cycle."""
         return self.traversal_segments == 1
 
+    def broadcast_event_counts(self, n_broadcasts: int = 1) -> dict[str, int]:
+        """Address-independent NoC events of ``n_broadcasts`` broadcasts.
+
+        Per broadcast: one launch per beat, one wire hop per beat per
+        router, and one register write per beat per segment boundary.
+        This is the single source of truth for the deterministic part of
+        the event model — the per-cycle simulator, the vectorised stream
+        accounting and the serving engine's per-request closed form all
+        consume it.
+        """
+        if n_broadcasts < 0:
+            raise ValueError(f"n_broadcasts must be >= 0, got {n_broadcasts}")
+        return {
+            "beat_launch": self.n_beats * n_broadcasts,
+            "wire_hop": self.n_beats * self.n_routers * n_broadcasts,
+            "register_write": (
+                self.n_beats * (self.traversal_segments - 1) * n_broadcasts
+            ),
+        }
+
+
+#: Shared compile-time schedule cache.  A :class:`BroadcastSchedule` is a
+#: frozen value object fully determined by the wire model and the
+#: ``(n_routers, pe_frequency_ghz, n_pairs, hop_mm)`` geometry, so every
+#: mapper in the process can hand out the same instance for the same key
+#: (the serving engine constructs one vector unit per worker, all with
+#: identical geometry).
+_SCHEDULE_CACHE: dict[tuple, BroadcastSchedule] = {}
+_SCHEDULE_LOCK = threading.Lock()
+
 
 class NovaMapper:
-    """Builds :class:`BroadcastSchedule` objects for a wire model."""
+    """Builds :class:`BroadcastSchedule` objects for a wire model.
+
+    Schedules are cached process-wide: identical geometries on identical
+    wire models reuse one frozen :class:`BroadcastSchedule` object rather
+    than re-deriving (and re-allocating) the plan per engine.
+    """
 
     def __init__(
         self, wire: RepeatedWire | None = None, pairs_per_beat: int = 8
@@ -97,6 +133,18 @@ class NovaMapper:
                 f"pairs_per_beat must be >= 1, got {pairs_per_beat}"
             )
         self.pairs_per_beat = pairs_per_beat
+
+    @staticmethod
+    def clear_schedule_cache() -> None:
+        """Drop every cached schedule (test isolation hook)."""
+        with _SCHEDULE_LOCK:
+            _SCHEDULE_CACHE.clear()
+
+    @staticmethod
+    def schedule_cache_size() -> int:
+        """Number of distinct geometries scheduled so far this process."""
+        with _SCHEDULE_LOCK:
+            return len(_SCHEDULE_CACHE)
 
     def n_beats_for(self, n_pairs: int) -> int:
         """Beats per broadcast: ceil(pairs/8) rounded up to a power of two.
@@ -124,6 +172,14 @@ class NovaMapper:
         if n_routers < 1:
             raise ValueError(f"n_routers must be >= 1, got {n_routers}")
         check_positive("pe_frequency_ghz", pe_frequency_ghz)
+        key = (
+            self.wire, self.pairs_per_beat,
+            n_routers, pe_frequency_ghz, n_pairs, hop_mm,
+        )
+        with _SCHEDULE_LOCK:
+            cached = _SCHEDULE_CACHE.get(key)
+        if cached is not None:
+            return cached
         n_beats = self.n_beats_for(n_pairs)
         multiplier = n_beats
         noc_frequency = pe_frequency_ghz * multiplier
@@ -139,7 +195,7 @@ class NovaMapper:
         )
         noc_cycles = n_beats + segments - 1
         fetch_pe_cycles = -(-noc_cycles // multiplier)
-        return BroadcastSchedule(
+        schedule = BroadcastSchedule(
             n_pairs=n_pairs,
             n_beats=n_beats,
             clock_multiplier=multiplier,
@@ -153,6 +209,10 @@ class NovaMapper:
             fetch_pe_cycles=fetch_pe_cycles,
             total_latency_pe_cycles=fetch_pe_cycles + 1,
         )
+        with _SCHEDULE_LOCK:
+            # setdefault keeps the same-object guarantee when two threads
+            # miss concurrently: the first insert wins, both callers get it
+            return _SCHEDULE_CACHE.setdefault(key, schedule)
 
     def max_single_cycle_routers(
         self, pe_frequency_ghz: float, n_pairs: int = 16, hop_mm: float = 1.0

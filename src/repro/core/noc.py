@@ -215,6 +215,55 @@ class NovaNoc:
             captured=captured,
         )
 
+    def charge_broadcasts(
+        self,
+        n_broadcasts: int,
+        tag_matches: np.ndarray,
+        pair_captures: np.ndarray,
+    ) -> None:
+        """Closed-form event accounting for fault-free broadcasts.
+
+        The vectorised stream path computes outputs by whole-batch table
+        gather instead of driving :meth:`broadcast` per PE cycle, but the
+        energy model still needs the events the hardware would have
+        produced.  For a fault-free broadcast those are fully determined
+        by the schedule (``beat_launch``, ``wire_hop``, ``register_write``
+        per broadcast) and by the per-router address mix (``tag_match``,
+        ``pair_capture``), so this method charges them in O(n_routers)
+        instead of O(cycles).  Totals are *exactly* what ``n_broadcasts``
+        calls of :meth:`broadcast` would have accumulated.
+
+        Parameters
+        ----------
+        n_broadcasts:
+            Number of table broadcasts being accounted (one per PE cycle
+            of the stream).
+        tag_matches, pair_captures:
+            Per-router event totals across all ``n_broadcasts`` lookups,
+            shape ``(n_routers,)``.
+        """
+        if n_broadcasts < 0:
+            raise ValueError(f"n_broadcasts must be >= 0, got {n_broadcasts}")
+        tag_matches = np.asarray(tag_matches, dtype=np.int64)
+        pair_captures = np.asarray(pair_captures, dtype=np.int64)
+        for arr, name in ((tag_matches, "tag_matches"),
+                          (pair_captures, "pair_captures")):
+            if arr.shape != (self.n_routers,):
+                raise ValueError(
+                    f"{name} must have shape ({self.n_routers},), got {arr.shape}"
+                )
+        for event, count in self.schedule.broadcast_event_counts(
+            n_broadcasts
+        ).items():
+            if count:
+                self.counters.add(event, count)
+        for router in self.routers:
+            router.counters.add("tag_match", int(tag_matches[router.router_id]))
+            router.counters.add(
+                "pair_capture", int(pair_captures[router.router_id])
+            )
+        self._next_broadcast_id += n_broadcasts
+
     def merged_counters(self) -> EventCounters:
         """Lifetime counters: NoC-level events plus every router's."""
         merged = self.counters.snapshot()

@@ -13,7 +13,10 @@ Two APIs:
   for the paper's Synopsys VCS verification).
 * :meth:`NovaVectorUnit.run_stream` — a pipelined stream of lookups (one
   batch of PE outputs per PE cycle), reporting total PE cycles, per-batch
-  latency and the event counters the energy model consumes.
+  latency and the event counters the energy model consumes.  Fault-free
+  streams are evaluated by a whole-stream vectorised gather whose outputs
+  and counter totals are exact against the beat-level simulation
+  (``simulate=True`` forces the cycle-by-cycle path).
 
 Throughput: one approximation per neuron per PE cycle once the 2-stage
 pipeline (fetch, MAC) is full — identical to the LUT baseline, which is
@@ -27,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.approx.quantize import QuantizedPwl, pack_beats
+from repro.approx.quantize import QuantizedPwl, beat_of_address, pack_beats
 from repro.core.comparator import ComparatorBank
 from repro.core.mac import MacLane
 from repro.core.mapper import BroadcastSchedule, NovaMapper
@@ -85,6 +88,11 @@ class StreamResult:
     total_pe_cycles: int
     batch_latency_pe_cycles: int
     counters: EventCounters
+    #: Per-lane lookup addresses (segment indices), same shape as
+    #: ``outputs``.  Filled by the vectorised path, where they are a free
+    #: by-product of the whole-stream gather; ``None`` on the
+    #: cycle-simulated path (the simulator consumes them beat by beat).
+    addresses: np.ndarray | None = None
 
 
 class NovaVectorUnit:
@@ -100,6 +108,8 @@ class NovaVectorUnit:
         wire: RepeatedWire | None = None,
         grid_shape: tuple[int, int] | None = None,
     ) -> None:
+        if n_routers < 1:
+            raise ValueError(f"n_routers must be >= 1, got {n_routers}")
         if neurons_per_router < 1:
             raise ValueError(
                 f"neurons_per_router must be >= 1, got {neurons_per_router}"
@@ -107,6 +117,7 @@ class NovaVectorUnit:
         self.table = table
         self.neurons_per_router = neurons_per_router
         self.pe_frequency_ghz = pe_frequency_ghz
+        self.hop_mm = hop_mm
         self.mapper = NovaMapper(wire=wire)
         self.schedule: BroadcastSchedule = self.mapper.schedule(
             n_routers=n_routers,
@@ -139,6 +150,38 @@ class NovaVectorUnit:
     def n_routers(self) -> int:
         """Routers (= accelerator cores) served by this unit."""
         return self.topology.n_routers
+
+    def retarget(self, table: QuantizedPwl) -> None:
+        """Switch the active function table in place.
+
+        On NOVA the table is broadcast content, not stored state — the
+        paper's table switching is free — so retargeting the overlay to a
+        different function only swaps what the mapper feeds onto the
+        wires: the serialised beats, the comparator cut points and the
+        MAC output format.  The physical unit (routers, repeaters,
+        comparator banks, MAC lanes) and all lifetime event counters are
+        untouched; if the new table's segment count changes the beat
+        count, the broadcast schedule is re-derived and the buffering
+        switches are re-programmed, exactly as the runtime mapper would.
+        """
+        if table.n_segments != self.table.n_segments:
+            schedule = self.mapper.schedule(
+                n_routers=self.n_routers,
+                pe_frequency_ghz=self.pe_frequency_ghz,
+                n_pairs=table.n_segments,
+                hop_mm=self.hop_mm,
+            )
+            self.schedule = schedule
+            self.noc.schedule = schedule
+            buffering = set(schedule.buffering_routers)
+            for router in self.noc.routers:
+                router.set_buffering(router.router_id in buffering)
+        self.table = table
+        self.beats = pack_beats(table)
+        for bank in self.comparators:
+            bank.table = table
+        for mac in self.macs:
+            mac.output_format = table.output_format
 
     def _check_input(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
@@ -182,12 +225,23 @@ class NovaVectorUnit:
             counters=counters,
         )
 
-    def run_stream(self, xs: np.ndarray) -> StreamResult:
+    def run_stream(self, xs: np.ndarray, simulate: bool = False) -> StreamResult:
         """Run a pipelined stream of batches (one per PE cycle).
 
         ``xs`` has shape ``(n_batches, n_routers, n_neurons)``.  The fetch
         of batch ``t + 1`` overlaps the MAC of batch ``t``, so total time
         is ``n_batches - 1 + total_latency_pe_cycles`` PE cycles.
+
+        By default the stream takes the vectorised path: one whole-stream
+        segment-index gather through the golden table computes every
+        output at once, and event counters are charged in closed form.
+        Both are exact — the outputs are bit-identical to the beat-level
+        simulation (the property the functional-verification tests pin
+        down) and the counter totals equal what per-cycle simulation
+        accumulates, including the address-dependent ``tag_match`` count.
+        Pass ``simulate=True`` to drive every batch through the
+        cycle-level NoC model instead (the reference path, and the one
+        the fault-injection machinery extends).
         """
         xs = np.asarray(xs, dtype=np.float64)
         if xs.ndim != 3:
@@ -197,10 +251,19 @@ class NovaVectorUnit:
         n_batches = xs.shape[0]
         if n_batches < 1:
             raise ValueError("need at least one batch")
+        expected = (self.n_routers, self.neurons_per_router)
+        if xs.shape[1:] != expected:
+            raise ValueError(
+                f"expected batch shape {expected}, got {xs.shape[1:]}"
+            )
         before = self._lifetime_counters()
-        outputs = np.zeros_like(xs)
-        for t in range(n_batches):
-            outputs[t] = self.approximate(xs[t]).outputs
+        addresses = None
+        if simulate:
+            outputs = np.zeros_like(xs)
+            for t in range(n_batches):
+                outputs[t] = self.approximate(xs[t]).outputs
+        else:
+            outputs, addresses = self._stream_vectorized(xs)
         counters = self._lifetime_counters().diff(before)
         latency = self.schedule.total_latency_pe_cycles
         return StreamResult(
@@ -208,7 +271,36 @@ class NovaVectorUnit:
             total_pe_cycles=n_batches - 1 + latency,
             batch_latency_pe_cycles=latency,
             counters=counters,
+            addresses=addresses,
         )
+
+    def _stream_vectorized(
+        self, xs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-stream gather with closed-form event accounting.
+
+        Per lookup, a lane whose address selects beat ``b`` performs one
+        tag comparison on each of beats ``0..b`` (it stays pending until
+        its beat arrives, and beats arrive in tag order), so its exact
+        ``tag_match`` contribution is ``(address & (n_beats - 1)) + 1``.
+        Everything else is address-independent per broadcast.
+        """
+        n_batches, n_routers, n_neurons = xs.shape
+        xq, idx = self.table.lookup(xs)
+        quantized = self.table.quantized_pwl
+        outputs = self.table.output_format.mac(
+            quantized.slopes[idx], xq, quantized.biases[idx]
+        )
+        per_router = n_batches * n_neurons
+        for bank in self.comparators:
+            bank.counters.add("comparator_eval", per_router)
+        for mac in self.macs:
+            mac.counters.add("mac_op", per_router)
+        beat_sel = beat_of_address(idx, self.schedule.n_beats)
+        tag_matches = beat_sel.sum(axis=(0, 2)) + per_router
+        pair_captures = np.full(n_routers, per_router, dtype=np.int64)
+        self.noc.charge_broadcasts(n_batches, tag_matches, pair_captures)
+        return outputs, idx
 
     def golden_reference(self, x: np.ndarray) -> np.ndarray:
         """The bit-exact functional model the hardware must match."""

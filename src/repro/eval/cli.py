@@ -45,6 +45,7 @@ EXTENSION_EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
     "sweep-seqlen": sweeps.seq_len_sweep,
     "sweep-memory": sweeps.memory_energy_sweep,
     "sweep-lanes": sweeps.lane_sizing_sweep,
+    "serving-batched": experiments.batched_serving_throughput,
 }
 
 EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {

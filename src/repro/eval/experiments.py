@@ -31,6 +31,7 @@ __all__ = [
     "fig8_energy",
     "scalability_sweep",
     "nvdla_duty_cycle_estimate",
+    "batched_serving_throughput",
 ]
 
 
@@ -498,6 +499,129 @@ def scalability_sweep() -> ExperimentResult:
         if freq == paper_data.SCALABILITY["noc_clock_ghz"]:
             marker = f"paper: {int(paper_data.SCALABILITY['max_routers_single_cycle'])}"
         result.rows.append([freq, reach, marker])
+    return result
+
+
+def batched_serving_throughput(
+    model_name: str = "BERT-tiny",
+    batch_size: int = 8,
+    seq_len: int = 32,
+    n_routers: int = 2,
+    neurons_per_router: int = 16,
+    pe_frequency_ghz: float = 1.4,
+    hop_mm: float = 0.5,
+    seed: int = 0,
+    warmup: bool = True,
+) -> ExperimentResult:
+    """Sequential vs batched attention serving on one overlay geometry.
+
+    Not a paper figure — this is the ROADMAP's serving direction: the
+    same batch of attention requests is run once through the
+    cycle-accurate single-request engine (looped) and once through the
+    batched serving engine (lane-packed, vectorised), and the table
+    reports wall-clock throughput, per-request vector cycles and the
+    packing win.  Before the table is built, outputs, per-request cycle
+    counts and per-request event counters are checked identical between
+    the two paths (``RuntimeError`` on divergence).  ``warmup`` runs
+    each path once first so the timings are steady-state (first-call
+    allocator growth and table/schedule cache population excluded);
+    this is also the single harness behind
+    ``benchmarks/bench_batched_serving.py``.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.attention import NovaAttentionEngine
+    from repro.core.batched_attention import BatchedNovaAttentionEngine
+    from repro.workloads.bert import bert_attention_batch
+
+    requests = bert_attention_batch(
+        model_name, batch_size, seq_len=seq_len, seed=seed
+    )
+    sequential = NovaAttentionEngine(
+        n_routers=n_routers, neurons_per_router=neurons_per_router,
+        pe_frequency_ghz=pe_frequency_ghz, hop_mm=hop_mm, seed=seed,
+    )
+    batched = BatchedNovaAttentionEngine(
+        n_routers=n_routers, neurons_per_router=neurons_per_router,
+        pe_frequency_ghz=pe_frequency_ghz, hop_mm=hop_mm, seed=seed,
+    )
+
+    if warmup:
+        first = requests[0]
+        sequential.attention_layer(
+            first.x, first.wq, first.wk, first.wv, first.wo,
+            n_heads=first.n_heads,
+        )
+        batched.attention_batch(requests)
+
+    t0 = time.perf_counter()
+    seq_results = [
+        sequential.attention_layer(
+            r.x, r.wq, r.wk, r.wv, r.wo, n_heads=r.n_heads
+        )
+        for r in requests
+    ]
+    t_sequential = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batch = batched.attention_batch(requests)
+    t_batched = time.perf_counter() - t0
+
+    for i, (got, ref) in enumerate(zip(batch.results, seq_results)):
+        if (
+            not np.array_equal(got.outputs, ref.outputs)
+            or got.vector_cycles != ref.vector_cycles
+            or got.counters.as_dict() != ref.counters.as_dict()
+        ):
+            raise RuntimeError(
+                f"batched serving diverged from the sequential engine on "
+                f"request {i}: the bit-exact/cycle-exact contract is broken"
+            )
+    seq_cycles = sum(r.vector_cycles for r in seq_results)
+
+    result = ExperimentResult(
+        experiment_id="Serving",
+        title=(
+            f"Batched attention serving: {batch_size} x {model_name} "
+            f"(seq {seq_len}) on {n_routers}x{neurons_per_router} lanes"
+        ),
+        headers=[
+            "Path", "Wall s", "Requests/s", "Vector cycles",
+            "Cycles/request", "Speedup",
+        ],
+        notes=(
+            "Outputs bit-identical, per-request vector_cycles and event "
+            "counters identical across both paths (checked). Sequential "
+            "drives every query through the beat-level NoC simulation; "
+            "batched packs all requests' queries into one lane stream on "
+            "a single shared overlay with cached tables and schedules. "
+            "Packing saves "
+            f"{batch.sequential_vector_cycles - batch.packed_vector_cycles} "
+            "vector cycles of per-request tail padding across the batch."
+        ),
+    )
+    result.rows.append(
+        [
+            "sequential (cycle-accurate)",
+            round(t_sequential, 4),
+            round(batch_size / t_sequential, 2),
+            seq_cycles,
+            round(seq_cycles / batch_size, 1),
+            "1.00x",
+        ]
+    )
+    result.rows.append(
+        [
+            "batched (lane-packed)",
+            round(t_batched, 4),
+            round(batch_size / t_batched, 2),
+            batch.packed_vector_cycles,
+            round(batch.packed_vector_cycles / batch_size, 1),
+            f"{t_sequential / t_batched:.2f}x",
+        ]
+    )
     return result
 
 

@@ -44,8 +44,15 @@ class ClockDomain:
         return engine_cycle % self.period == self.phase
 
     def local_cycle(self, engine_cycle: int) -> int:
-        """This domain's own cycle count at ``engine_cycle``."""
-        return (engine_cycle - self.phase) // self.period
+        """This domain's own cycle count at ``engine_cycle``.
+
+        Engine cycles before the domain's first rising edge (i.e.
+        ``engine_cycle < phase``) clamp to local cycle 0: a clock that has
+        not ticked yet has no negative history, and a phased domain's
+        first active edge must present local cycle 0 to its components,
+        never ``-1``.
+        """
+        return max(0, (engine_cycle - self.phase) // self.period)
 
 
 class Tickable:

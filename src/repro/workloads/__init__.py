@@ -11,8 +11,18 @@ for driving the cycle simulators.
 """
 
 from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
-from repro.workloads.transformer import TransformerConfig, build_encoder_graph
-from repro.workloads.bert import BERT_MODELS, bert_graph
+from repro.workloads.transformer import (
+    TransformerConfig,
+    attention_request,
+    build_encoder_graph,
+)
+from repro.workloads.bert import (
+    BERT_MODELS,
+    SERVING_MODELS,
+    bert_attention_batch,
+    bert_graph,
+    serving_config,
+)
 from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
 from repro.workloads.traces import attention_logit_trace, activation_trace
 
@@ -21,9 +31,13 @@ __all__ = [
     "NonLinearOp",
     "OpGraph",
     "TransformerConfig",
+    "attention_request",
     "build_encoder_graph",
     "BERT_MODELS",
+    "SERVING_MODELS",
+    "bert_attention_batch",
     "bert_graph",
+    "serving_config",
     "CNN_MODELS",
     "CnnLayerSpec",
     "attention_logit_trace",

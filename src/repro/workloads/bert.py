@@ -10,10 +10,23 @@ MobileBERT from Sun et al. [19] (128-wide tiny / 512-wide base bottleneck,
 
 from __future__ import annotations
 
-from repro.workloads.ops import OpGraph
-from repro.workloads.transformer import TransformerConfig, build_encoder_graph
+from collections.abc import Sequence
+from numbers import Integral
 
-__all__ = ["BERT_MODELS", "bert_graph"]
+from repro.workloads.ops import OpGraph
+from repro.workloads.transformer import (
+    TransformerConfig,
+    attention_request,
+    build_encoder_graph,
+)
+
+__all__ = [
+    "BERT_MODELS",
+    "SERVING_MODELS",
+    "bert_graph",
+    "serving_config",
+    "bert_attention_batch",
+]
 
 BERT_MODELS: dict[str, TransformerConfig] = {
     config.name: config
@@ -40,6 +53,64 @@ BERT_MODELS: dict[str, TransformerConfig] = {
         ),
     ]
 }
+
+
+#: Serving-benchmark configurations: the Fig. 8 zoo plus BERT-base
+#: (Devlin et al.), the canonical serving workload the batched engine's
+#: throughput benchmark is written against.  Kept out of ``BERT_MODELS``
+#: so the Fig. 8 reproduction keeps exactly the paper's five benchmarks.
+SERVING_MODELS: dict[str, TransformerConfig] = {
+    **BERT_MODELS,
+    "BERT-base": TransformerConfig(
+        "BERT-base", layers=12, hidden=768, heads=12, intermediate=3072,
+        seq_len=512,
+    ),
+}
+
+
+def serving_config(model_name: str) -> TransformerConfig:
+    """Look up a serving model (Fig. 8 zoo plus BERT-base)."""
+    try:
+        return SERVING_MODELS[model_name]
+    except KeyError:
+        available = ", ".join(sorted(SERVING_MODELS))
+        raise KeyError(
+            f"unknown model {model_name!r}; available: {available}"
+        ) from None
+
+
+def bert_attention_batch(
+    model_name: str,
+    batch_size: int,
+    seq_len: int | Sequence[int] | None = None,
+    seed: int = 0,
+) -> list:
+    """A batch of independent attention requests for one serving model.
+
+    ``seq_len`` may be a single length for the whole batch, a
+    per-request sequence of lengths (the batched engine supports mixed
+    lengths), or ``None`` for the model's configured length.  Request
+    ``i`` is seeded with ``seed + i`` so batches are reproducible and
+    requests are mutually independent.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    config = serving_config(model_name)
+    # Integral (not int) so numpy integers from sweep arrays count as
+    # scalars rather than being mistaken for per-request length lists.
+    if seq_len is None or isinstance(seq_len, Integral):
+        lengths = [None if seq_len is None else int(seq_len)] * batch_size
+    else:
+        lengths = list(seq_len)
+        if len(lengths) != batch_size:
+            raise ValueError(
+                f"got {len(lengths)} sequence lengths for batch_size "
+                f"{batch_size}"
+            )
+    return [
+        attention_request(config, seq_len=length, seed=seed + i)
+        for i, length in enumerate(lengths)
+    ]
 
 
 def bert_graph(model_name: str, seq_len: int | None = None) -> OpGraph:

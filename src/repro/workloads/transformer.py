@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
 
-__all__ = ["TransformerConfig", "build_encoder_graph"]
+__all__ = ["TransformerConfig", "build_encoder_graph", "attention_request"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +70,40 @@ class TransformerConfig:
         if not self.causal:
             return full
         return self.heads * self.seq_len * (self.seq_len + 1) // 2
+
+
+def attention_request(
+    config: TransformerConfig,
+    seq_len: int | None = None,
+    seed: int = 0,
+):
+    """One synthetic attention request shaped like ``config``.
+
+    Inputs are unit-normal and weights are ``1/sqrt(hidden)``-scaled
+    normal (the standard init), which keeps attention logits in the
+    approximators' calibrated operating range.  Returns an
+    :class:`repro.core.batched_attention.AttentionRequest` for the
+    serving engines; the same seed always yields the same request.
+    """
+    # Imported here so the workloads package stays importable without
+    # pulling in the simulator stack (core already imports workloads.ops).
+    from repro.core.batched_attention import AttentionRequest
+
+    seq = config.seq_len if seq_len is None else seq_len
+    if seq < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq}")
+    hidden = config.hidden
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(hidden)
+    weights = {
+        name: rng.normal(0.0, scale, size=(hidden, hidden))
+        for name in ("wq", "wk", "wv", "wo")
+    }
+    return AttentionRequest(
+        x=rng.normal(0.0, 1.0, size=(seq, hidden)),
+        n_heads=config.heads,
+        **weights,
+    )
 
 
 def build_encoder_graph(config: TransformerConfig) -> OpGraph:

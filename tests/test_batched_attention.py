@@ -1,0 +1,217 @@
+"""Tests for the batched serving engine and the compile-time caches.
+
+The contract under test: batching changes *when* work happens (packed
+lane streams, shared tables, one overlay) but never *what* is computed —
+outputs bit-identical, per-request cycle counts and event counters equal
+to the sequential reference engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.table_cache import (
+    clear_table_cache,
+    compiled_table,
+    table_cache_info,
+)
+from repro.core.attention import NovaAttentionEngine
+from repro.core.batched_attention import (
+    AttentionRequest,
+    BatchedNovaAttentionEngine,
+)
+from repro.core.mapper import NovaMapper
+from repro.workloads.bert import bert_attention_batch
+from repro.workloads.transformer import TransformerConfig, attention_request
+
+GEOMETRY = dict(
+    n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4, hop_mm=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return (
+        NovaAttentionEngine(seed=0, **GEOMETRY),
+        BatchedNovaAttentionEngine(seed=0, **GEOMETRY),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_batch():
+    # variable sequence lengths, including ones that leave a partially
+    # filled final lane batch
+    return bert_attention_batch("BERT-tiny", 4, seq_len=[8, 5, 12, 7], seed=3)
+
+
+@pytest.fixture(scope="module")
+def batch_result(engines, mixed_batch):
+    _, batched = engines
+    return batched.attention_batch(mixed_batch)
+
+
+class TestBatchedEqualsSequential:
+    def test_outputs_bit_identical(self, engines, mixed_batch, batch_result):
+        sequential, _ = engines
+        for req, got in zip(mixed_batch, batch_result.results):
+            ref = sequential.attention_layer(
+                req.x, req.wq, req.wk, req.wv, req.wo, n_heads=req.n_heads
+            )
+            assert np.array_equal(got.outputs, ref.outputs)
+            assert np.array_equal(got.probabilities, ref.probabilities)
+
+    def test_per_request_cycles_match_sequential(
+        self, engines, mixed_batch, batch_result
+    ):
+        sequential, _ = engines
+        for req, got in zip(mixed_batch, batch_result.results):
+            ref = sequential.attention_layer(
+                req.x, req.wq, req.wk, req.wv, req.wo, n_heads=req.n_heads
+            )
+            assert got.vector_cycles == ref.vector_cycles
+            assert got.nonlinear_queries == ref.nonlinear_queries
+
+    def test_per_request_counters_match_sequential(
+        self, engines, mixed_batch, batch_result
+    ):
+        sequential, _ = engines
+        for req, got in zip(mixed_batch, batch_result.results):
+            ref = sequential.attention_layer(
+                req.x, req.wq, req.wk, req.wv, req.wo, n_heads=req.n_heads
+            )
+            assert got.counters.as_dict() == ref.counters.as_dict()
+
+    def test_packing_never_slower_than_sequential(self, batch_result):
+        assert batch_result.packed_vector_cycles <= (
+            batch_result.sequential_vector_cycles
+        )
+        assert batch_result.packing_speedup >= 1.0
+
+    def test_batch_counters_are_the_shared_overlay_events(
+        self, engines, mixed_batch, batch_result
+    ):
+        # lane-local events on the shared overlay equal the packed lane
+        # count exactly: packed cycles x lanes, with only the phase tails
+        # padded (not each request's tail)
+        _, batched = engines
+        packed_lanes = batch_result.packed_vector_cycles * batched.n_lanes
+        for event in ("comparator_eval", "mac_op", "pair_capture"):
+            assert batch_result.counters.get(event) == packed_lanes
+            assert batch_result.counters.get(event) <= sum(
+                r.counters.get(event) for r in batch_result.results
+            )
+
+    def test_empty_batch_rejected(self, engines):
+        _, batched = engines
+        with pytest.raises(ValueError):
+            batched.attention_batch([])
+
+
+class TestTableCache:
+    def test_same_key_returns_same_object(self):
+        a = compiled_table("exp", n_segments=16, seed=0)
+        b = compiled_table("exp", n_segments=16, seed=0)
+        assert a is b
+
+    def test_distinct_seeds_distinct_objects(self):
+        a = compiled_table("exp", n_segments=16, seed=0)
+        b = compiled_table("exp", n_segments=16, seed=7)
+        assert a is not b
+
+    def test_distinct_segment_counts_distinct_objects(self):
+        a = compiled_table("gelu", n_segments=16, seed=0)
+        b = compiled_table("gelu", n_segments=8, seed=0)
+        assert a is not b
+        assert a.n_segments == 16 and b.n_segments == 8
+
+    def test_engines_share_table_objects(self, engines):
+        sequential, batched = engines
+        for name in ("exp", "reciprocal", "gelu"):
+            assert sequential.tables[name] is batched.tables[name]
+
+    def test_cache_info_counts_hits(self):
+        compiled_table("exp", n_segments=16, seed=0)  # prime (hit or miss)
+        info0 = table_cache_info()
+        compiled_table("exp", n_segments=16, seed=0)
+        info1 = table_cache_info()
+        assert info1["hits"] == info0["hits"] + 1
+        assert info1["entries"] == info0["entries"]
+
+    def test_clear_and_rebuild(self):
+        before = compiled_table("reciprocal", n_segments=8, seed=1)
+        clear_table_cache()
+        assert table_cache_info()["entries"] == 0
+        after = compiled_table("reciprocal", n_segments=8, seed=1)
+        assert after is not before
+        # retraining with the same seed is bit-identical
+        assert np.array_equal(
+            after.quantized_pwl.slopes, before.quantized_pwl.slopes
+        )
+        assert np.array_equal(after.quantized_pwl.cuts, before.quantized_pwl.cuts)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            compiled_table("definitely_not_a_function")
+
+
+class TestScheduleCache:
+    def test_identical_geometries_share_schedule(self):
+        a = NovaMapper().schedule(
+            n_routers=3, pe_frequency_ghz=1.1, n_pairs=16, hop_mm=0.5
+        )
+        b = NovaMapper().schedule(
+            n_routers=3, pe_frequency_ghz=1.1, n_pairs=16, hop_mm=0.5
+        )
+        assert a is b
+
+    def test_distinct_geometries_distinct_schedules(self):
+        a = NovaMapper().schedule(
+            n_routers=3, pe_frequency_ghz=1.1, n_pairs=16, hop_mm=0.5
+        )
+        b = NovaMapper().schedule(
+            n_routers=4, pe_frequency_ghz=1.1, n_pairs=16, hop_mm=0.5
+        )
+        assert a is not b
+
+    def test_units_of_both_engines_share_schedules(self, engines):
+        sequential, batched = engines
+        batched.unit.retarget(batched.tables["exp"])
+        assert sequential.units["exp"].schedule is batched.unit.schedule
+
+
+class TestAttentionRequest:
+    def test_builder_produces_valid_request(self):
+        config = TransformerConfig(
+            "toy", layers=1, hidden=16, heads=2, intermediate=32, seq_len=8
+        )
+        req = attention_request(config, seed=5)
+        assert req.seq == 8 and req.hidden == 16 and req.n_heads == 2
+
+    def test_builder_is_deterministic(self):
+        config = TransformerConfig(
+            "toy", layers=1, hidden=16, heads=2, intermediate=32, seq_len=8
+        )
+        a = attention_request(config, seed=5)
+        b = attention_request(config, seed=5)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.wq, b.wq)
+
+    def test_bad_shapes_rejected(self):
+        good = np.zeros((4, 8))
+        w = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            AttentionRequest(x=np.zeros(4), wq=w, wk=w, wv=w, wo=w, n_heads=2)
+        with pytest.raises(ValueError):
+            AttentionRequest(
+                x=good, wq=np.zeros((8, 4)), wk=w, wv=w, wo=w, n_heads=2
+            )
+        with pytest.raises(ValueError):
+            AttentionRequest(x=good, wq=w, wk=w, wv=w, wo=w, n_heads=3)
+        with pytest.raises(ValueError):
+            AttentionRequest(x=good, wq=w, wk=w, wv=w, wo=w, n_heads=0)
+
+    def test_batch_builder_validates(self):
+        with pytest.raises(ValueError):
+            bert_attention_batch("BERT-tiny", 0)
+        with pytest.raises(ValueError):
+            bert_attention_batch("BERT-tiny", 3, seq_len=[8, 8])
+        with pytest.raises(KeyError):
+            bert_attention_batch("no-such-model", 2)

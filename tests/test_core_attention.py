@@ -91,6 +91,36 @@ class TestAttentionLayer:
         assert result.counters.get("wire_hop") > 0
         assert result.counters.get("lut_read") == 0  # no SRAM anywhere
 
+    def test_counters_are_per_call_not_lifetime(self, engine, layer_weights):
+        # regression: results used to merge the units' *lifetime* counters,
+        # double-counting every earlier call on the same engine
+        x = np.random.default_rng(8).normal(size=(8, 16))
+        first = engine.attention_layer(x, n_heads=2, **layer_weights)
+        second = engine.attention_layer(x, n_heads=2, **layer_weights)
+        assert second.counters.as_dict() == first.counters.as_dict()
+
+    def test_counter_totals_exact(self, engine, layer_weights):
+        # one layer's events, in closed form: each elementwise phase pads
+        # to whole lane batches; exp and reciprocal run on separate units
+        # and their counters merge without overlap
+        x = np.random.default_rng(9).normal(size=(8, 16))
+        result = engine.attention_layer(x, n_heads=2, **layer_weights)
+        lanes = engine.n_lanes
+        exp_batches = -(-(2 * 8 * 8) // lanes)
+        recip_batches = -(-(2 * 8) // lanes)
+        total_lanes = (exp_batches + recip_batches) * lanes
+        assert result.vector_cycles == exp_batches + recip_batches
+        assert result.counters.get("mac_op") == total_lanes
+        assert result.counters.get("comparator_eval") == total_lanes
+        assert result.counters.get("pair_capture") == total_lanes
+        n_beats = engine.units["exp"].schedule.n_beats
+        assert result.counters.get("beat_launch") == (
+            (exp_batches + recip_batches) * n_beats
+        )
+        # per-call counters sum to the lifetime ledger across calls
+        repeat = engine.attention_layer(x, n_heads=2, **layer_weights)
+        assert repeat.counters.as_dict() == result.counters.as_dict()
+
     def test_head_divisibility_enforced(self, engine, layer_weights):
         x = np.zeros((8, 16))
         with pytest.raises(ValueError):

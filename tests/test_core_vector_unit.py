@@ -108,6 +108,92 @@ class TestValidation:
         with pytest.raises(ValueError):
             NovaVectorUnit(table, 4, 0, 1.0)
 
+    def test_bad_router_count(self):
+        # regression: a zero/negative router count must fail fast in the
+        # constructor, not deep inside the mapper or topology
+        spec = get_function("gelu")
+        table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+        for n_routers in (0, -1):
+            with pytest.raises(ValueError, match="n_routers"):
+                NovaVectorUnit(table, n_routers, 8, 1.0)
+
+    def test_stream_batch_shape_checked(self):
+        unit = make_unit()
+        with pytest.raises(ValueError):
+            unit.run_stream(np.zeros((2, 3, 8)))
+
+
+class TestVectorizedStream:
+    """The fast path must be indistinguishable from the cycle sim."""
+
+    @pytest.mark.parametrize(
+        "n_routers,neurons,n_segments,pe_ghz",
+        [(4, 8, 16, 1.0), (25, 2, 16, 0.75), (3, 5, 8, 0.5)],
+    )
+    def test_matches_simulated_path(self, n_routers, neurons, n_segments, pe_ghz):
+        xs = np.random.default_rng(7).normal(
+            0, 3, size=(6, n_routers, neurons)
+        )
+        fast = make_unit(n_routers, neurons, n_segments, pe_ghz)
+        slow = make_unit(n_routers, neurons, n_segments, pe_ghz)
+        a = fast.run_stream(xs)
+        b = slow.run_stream(xs, simulate=True)
+        assert np.array_equal(a.outputs, b.outputs)
+        assert a.total_pe_cycles == b.total_pe_cycles
+        assert a.batch_latency_pe_cycles == b.batch_latency_pe_cycles
+        # exact counter parity, including the address-dependent tag_match
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_addresses_reported_on_fast_path(self):
+        unit = make_unit()
+        xs = np.random.default_rng(8).normal(0, 3, size=(3, 4, 8))
+        stream = unit.run_stream(xs)
+        assert stream.addresses is not None
+        assert np.array_equal(stream.addresses, unit.table.segment_index(xs))
+
+    def test_lifetime_counters_consistent_across_modes(self):
+        # interleaving fast streams with per-batch approximate() must keep
+        # one monotonic lifetime ledger
+        unit = make_unit()
+        xs = np.random.default_rng(9).normal(0, 3, size=(2, 4, 8))
+        before = unit._lifetime_counters()
+        unit.run_stream(xs)
+        unit.approximate(xs[0])
+        unit.run_stream(xs, simulate=True)
+        delta = unit._lifetime_counters().diff(before)
+        assert delta.get("mac_op") == 5 * 32  # 2 + 1 + 2 batches of 32 lanes
+        assert delta.get("beat_launch") == 5 * 2
+
+
+class TestRetarget:
+    def test_retarget_switches_function_in_place(self):
+        gelu = make_unit()
+        spec = get_function("exp")
+        exp_table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
+        x = np.random.default_rng(10).normal(0, 2, size=(4, 8))
+        gelu.retarget(exp_table)
+        assert np.array_equal(
+            gelu.approximate(x).outputs, exp_table.evaluate(x)
+        )
+
+    def test_retarget_across_segment_counts_reschedules(self):
+        unit = make_unit(n_segments=16)
+        assert unit.schedule.n_beats == 2
+        spec = get_function("exp")
+        t8 = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 8))
+        unit.retarget(t8)
+        assert unit.schedule.n_beats == 1
+        x = np.random.default_rng(11).normal(0, 2, size=(4, 8))
+        assert np.array_equal(unit.approximate(x).outputs, t8.evaluate(x))
+
+    def test_retarget_preserves_counters(self):
+        unit = make_unit()
+        unit.run_stream(np.zeros((2, 4, 8)))
+        lifetime = unit._lifetime_counters()
+        spec = get_function("exp")
+        unit.retarget(QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16)))
+        assert unit._lifetime_counters().as_dict() == lifetime.as_dict()
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -177,6 +177,20 @@ class TestOthers:
     def test_nvdla_duty_estimate_low(self):
         assert nvdla_duty_cycle_estimate() < 0.1
 
+    def test_batched_serving_throughput_rows(self):
+        from repro.eval.experiments import batched_serving_throughput
+
+        result = batched_serving_throughput(
+            model_name="BERT-tiny", batch_size=2, seq_len=16,
+            n_routers=2, neurons_per_router=16,
+        )
+        assert result.column("Path") == [
+            "sequential (cycle-accurate)", "batched (lane-packed)",
+        ]
+        # the experiment asserts output/cycle equality internally; the
+        # table itself must carry positive throughput on both rows
+        assert all(r > 0 for r in result.column("Requests/s"))
+
     def test_render_experiment(self):
         text = render_experiment(table2_configs())
         assert "Table II" in text

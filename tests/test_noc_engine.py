@@ -38,6 +38,19 @@ class TestClockDomain:
         assert d.local_cycle(4) == 1
         assert d.local_cycle(8) == 2
 
+    def test_local_cycle_clamped_before_first_edge(self):
+        # regression: engine_cycle < phase used to yield local cycle -1.
+        # CycleEngine.step only queries local_cycle on active edges (which
+        # start at `phase`), so the engine loop never saw the -1 — but any
+        # direct caller probing a phased domain out of band did.
+        d = ClockDomain("pe", period=2, phase=1)
+        assert d.local_cycle(0) == 0
+        assert d.local_cycle(1) == 0  # first rising edge
+        assert d.local_cycle(3) == 1
+        wide = ClockDomain("pe", period=4, phase=3)
+        assert [wide.local_cycle(c) for c in range(4)] == [0, 0, 0, 0]
+        assert wide.local_cycle(7) == 1
+
     def test_invalid_period(self):
         with pytest.raises(ValueError):
             ClockDomain("x", period=0)
@@ -80,6 +93,17 @@ class TestCycleEngine:
             ("a", "tick", 0), ("b", "tick", 0),
             ("a", "commit", 0), ("b", "commit", 0),
         ]
+
+    def test_phased_domain_sees_clean_local_cycles(self):
+        # a component on a phased clock must observe local cycles
+        # 0, 1, 2, ... starting at its first rising edge — never -1
+        engine = CycleEngine()
+        phased = Recorder()
+        engine.add(ClockDomain("pe", period=2, phase=1), phased)
+        engine.run(7)
+        assert phased.ticks == [0, 1, 2]
+        assert phased.commits == [0, 1, 2]
+        assert all(c >= 0 for c in phased.ticks)
 
     def test_negative_run_rejected(self):
         with pytest.raises(ValueError):
