@@ -14,10 +14,8 @@ from repro.core.attention import NovaAttentionEngine
 
 @pytest.fixture(scope="module")
 def engine():
-    return NovaAttentionEngine(
-        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
-        hop_mm=0.5, seed=0,
-    )
+    # the Jetson-like Table II geometry (2 routers x 16 lanes @ 1.4 GHz)
+    return NovaAttentionEngine("jetson-nx")
 
 
 @pytest.fixture(scope="module")

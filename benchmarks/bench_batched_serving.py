@@ -18,13 +18,11 @@ import pytest
 
 from repro.eval.experiments import batched_serving_throughput
 
-#: Jetson Xavier NX-like overlay geometry (Table II): 2 routers x 16
-#: neurons.  The small lane count is the interesting serving case — each
-#: request needs thousands of PE cycles, so keeping the unit fed across
-#: request boundaries is where batching pays.
-GEOMETRY = dict(
-    n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4, hop_mm=0.5,
-)
+#: Jetson Xavier NX-like overlay geometry (Table II preset): 2 routers x
+#: 16 neurons.  The small lane count is the interesting serving case —
+#: each request needs thousands of PE cycles, so keeping the unit fed
+#: across request boundaries is where batching pays.
+GEOMETRY = "jetson-nx"
 BATCH_SIZE = 16
 SEQ_LEN = 64  # BERT-base attention at a serving-typical sequence length
 
@@ -35,9 +33,9 @@ def test_batched_serving_throughput(record_experiment):
         model_name="BERT-base",
         batch_size=BATCH_SIZE,
         seq_len=SEQ_LEN,
+        config=GEOMETRY,
         seed=0,
         warmup=True,
-        **GEOMETRY,
     )
     record_experiment(result, "serving_throughput.txt")
 

@@ -30,7 +30,7 @@ def batch():
 
 @pytest.mark.benchmark(group="micro")
 def test_nova_batch_simulation(benchmark, table, batch):
-    unit = NovaVectorUnit(table, 8, 128, pe_frequency_ghz=1.4, hop_mm=0.5)
+    unit = NovaVectorUnit(table, "tpu-v4")  # 8 x 128 @ 1.4 GHz, 0.5 mm hop
     result = benchmark(unit.approximate, batch)
     assert np.array_equal(result.outputs, unit.golden_reference(batch))
 
@@ -51,7 +51,7 @@ def test_per_core_lut_batch_simulation(benchmark, table, batch):
 
 @pytest.mark.benchmark(group="micro")
 def test_broadcast_only(benchmark, table):
-    unit = NovaVectorUnit(table, 10, 256, pe_frequency_ghz=0.24)
+    unit = NovaVectorUnit(table, "react")  # 10 x 256 @ 0.24 GHz, 1 mm hop
     beats = pack_beats(table)
     addresses = np.random.default_rng(1).integers(0, 16, size=(10, 256))
     result = benchmark(unit.noc.broadcast, beats, addresses)

@@ -4,26 +4,25 @@
 Every non-linear operation of a multi-head self-attention layer (the
 softmax's exp, the normaliser's reciprocal) runs through the
 cycle-accurate NOVA hardware model, with the mapper switching function
-tables for free (they live on the wires, not in SRAM).  The example
-compares the hardware layer against the exact float layer and prints the
-vector-unit cycle/event accounting.
+tables for free (they live on the wires, not in SRAM).  The front door
+is a :class:`NovaSession` on a Table II geometry preset; the example
+compares the hardware layer against the exact float layer and prints
+the vector-unit cycle/event accounting.
 
 Run:  python examples/attention_on_nova.py
 """
 
 import numpy as np
 
-from repro.core.attention import NovaAttentionEngine
+from repro import NovaSession
 
 
 def main() -> None:
-    # BERT-tiny-like geometry on a small overlay (2 routers x 16 lanes,
-    # the Jetson configuration of Table II).
+    # BERT-tiny-like layer on the Jetson preset of Table II (2 routers x
+    # 16 lanes at 1.4 GHz) — one session, every execution mode.
     seq, hidden, heads = 16, 32, 2
-    engine = NovaAttentionEngine(
-        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
-        hop_mm=0.5, seed=0,
-    )
+    session = NovaSession("jetson-nx")
+    print(f"session: {session!r}")
 
     rng = np.random.default_rng(42)
     scale = 1.0 / np.sqrt(hidden)
@@ -33,8 +32,8 @@ def main() -> None:
         for name in ("wq", "wk", "wv", "wo")
     }
 
-    result = engine.attention_layer(x, n_heads=heads, **weights)
-    exact = engine.exact_attention_layer(x, n_heads=heads, **weights)
+    result = session.attention_layer(x, n_heads=heads, **weights)
+    exact = session.exact_attention_layer(x, n_heads=heads, **weights)
 
     rel_err = np.max(np.abs(result.outputs - exact)) / np.max(np.abs(exact))
     print(f"attention layer: seq={seq}, hidden={hidden}, heads={heads}")
@@ -43,7 +42,7 @@ def main() -> None:
           f"rows sum to 1: {np.allclose(result.probabilities.sum(-1), 1.0)}")
     print(f"non-linear queries issued: {result.nonlinear_queries}")
     print(f"vector-unit busy cycles:   {result.vector_cycles} "
-          f"(one query per lane per PE cycle, {engine.n_lanes} lanes)")
+          f"(one query per lane per PE cycle, {session.n_lanes} lanes)")
     print("hardware events:",
           {k: v for k, v in sorted(result.counters.as_dict().items())
            if k in ("mac_op", "wire_hop", "pair_capture", "beat_launch")})

@@ -50,9 +50,7 @@ def main() -> None:
 
     # REACT overlay with bypass: half the values skip the approximator
     # (tensor data routed straight through the 6x2 crossbar).
-    unit = NovaVectorUnit(
-        table, n_routers=10, neurons_per_router=256, pe_frequency_ghz=0.24
-    )
+    unit = NovaVectorUnit(table, "react")  # 10 x 256 @ 0.24 GHz, 1 mm hop
     overlay = ReactOverlay(unit=unit)
     rng = np.random.default_rng(11)
     # Draw within the fitted domain; values beyond it would be clamped by

@@ -16,7 +16,13 @@ Run:  python examples/fault_injection.py
 
 import numpy as np
 
-from repro import NovaVectorUnit, PiecewiseLinear, QuantizedPwl, get_function
+from repro import (
+    NovaConfig,
+    NovaVectorUnit,
+    PiecewiseLinear,
+    QuantizedPwl,
+    get_function,
+)
 from repro.approx.bitpack import bit_field_of
 from repro.noc import LinkFault, affected_addresses
 from repro.utils.tables import format_table
@@ -25,8 +31,11 @@ from repro.utils.tables import format_table
 def main() -> None:
     spec = get_function("sigmoid")
     table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
-    unit = NovaVectorUnit(table, n_routers=4, neurons_per_router=32,
-                          pe_frequency_ghz=1.0)
+    unit = NovaVectorUnit(
+        table,
+        NovaConfig(n_routers=4, neurons_per_router=32,
+                   pe_frequency_ghz=1.0, hop_mm=1.0),
+    )
     rng = np.random.default_rng(0)
     x = rng.uniform(*spec.domain, size=(4, 32))
 

@@ -1,37 +1,34 @@
 #!/usr/bin/env python
 """Quickstart: approximate GeLU on a NOVA overlay in ~30 lines.
 
-Builds the compile-time PWL table the NN-LUT way (train a tiny MLP, whose
-ReLU kinks are the breakpoints), overlays a TPU-v4-like configuration
-(8 routers x 128 neurons at 1.4 GHz), pushes a batch of PE outputs through
-the cycle-accurate pipeline and checks it against the golden model.
+One object is the front door to everything: a :class:`NovaSession`,
+configured by a typed :class:`NovaConfig` geometry or a Table II preset
+name.  The session compiles the 16-entry slope/bias table the NN-LUT way
+(train a tiny MLP, whose ReLU kinks are the breakpoints), overlays the
+TPU-v4-like configuration (8 routers x 128 neurons at 1.4 GHz), pushes a
+batch of PE outputs through the cycle-accurate pipeline and checks it
+against the golden model.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    NovaVectorUnit,
-    QuantizedPwl,
-    get_function,
-    train_nnlut_mlp,
-)
+from repro import NovaSession, get_function
 
 
 def main() -> None:
-    # 1. Compile time: learn the 16-entry slope/bias table for GeLU.
-    spec = get_function("gelu")
-    mlp = train_nnlut_mlp(spec, n_segments=16, seed=0)
-    table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
+    # 1. One typed front door: a Table II preset (or any NovaConfig).
+    session = NovaSession("tpu-v4")
+    print(f"session: {session!r}")
+    print(f"config round-trips as JSON: {session.config.to_json()}")
+
+    # 2. Raw vector-unit access: the overlay compiled for GeLU.  The
+    #    PWL table is trained on first use and cached process-wide.
+    unit = session.unit("gelu")
+    table = unit.table
     print(f"table: {table.n_segments} slope/bias pairs "
           f"-> {table.n_beats} beats on the 257-bit link")
-
-    # 2. Overlay a TPU-v4-like host: 8 MXUs, 128 output neurons each.
-    unit = NovaVectorUnit(
-        table, n_routers=8, neurons_per_router=128,
-        pe_frequency_ghz=1.4, hop_mm=0.5,
-    )
     s = unit.schedule
     print(f"mapper: NoC at {s.clock_multiplier}x the PE clock "
           f"({s.noc_frequency_ghz:.1f} GHz), "
@@ -40,11 +37,11 @@ def main() -> None:
 
     # 3. One PE cycle's worth of outputs through the hardware pipeline.
     rng = np.random.default_rng(7)
-    x = rng.normal(0.0, 2.5, size=(8, 128))
+    x = rng.normal(0.0, 2.5, size=session.config.lane_shape)
     result = unit.approximate(x)
     golden = unit.golden_reference(x)
     assert np.array_equal(result.outputs, golden), "hardware != golden model"
-    max_err = np.max(np.abs(result.outputs - spec.fn(x)))
+    max_err = np.max(np.abs(result.outputs - get_function("gelu").fn(x)))
     print(f"bit-exact vs golden model; max |err| vs true GeLU = {max_err:.4f}")
     print(f"events this batch: {dict(sorted(result.counters.as_dict().items()))}")
 

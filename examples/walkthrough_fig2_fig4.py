@@ -14,6 +14,7 @@ Run:  python examples/walkthrough_fig2_fig4.py
 import numpy as np
 
 from repro import (
+    NovaConfig,
     NovaVectorUnit,
     PerNeuronLutUnit,
     PiecewiseLinear,
@@ -47,7 +48,9 @@ def main() -> None:
     print()
     print("=== Fig 4: NOVA NoC (slope/bias 'stored in wires') ===")
     nova = NovaVectorUnit(
-        table, n_routers=8, neurons_per_router=1, pe_frequency_ghz=0.24,
+        table,
+        NovaConfig(n_routers=8, neurons_per_router=1,
+                   pe_frequency_ghz=0.24, hop_mm=1.0),
         grid_shape=(4, 2),
     )
     beats = pack_beats(table)

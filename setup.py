@@ -1,3 +1,18 @@
 #!/usr/bin/env python
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="nova-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of NOVA: NoC-based Vector Unit for Mapping "
+        "Attention Layers on a CNN Accelerator (DATE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["nova-repro = repro.eval.cli:main"],
+    },
+)

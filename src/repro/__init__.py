@@ -8,18 +8,31 @@ bank turns its value into a lookup address, the router tag-matches the
 address against the in-flight 257-bit beat, and a local MAC finishes
 ``slope * x + bias``.
 
-Typical use::
+Typical use — a :class:`~repro.core.session.NovaSession` is the front
+door to every execution mode, configured by a typed
+:class:`~repro.core.config.NovaConfig` (or a Table II preset name)::
 
     import numpy as np
+    from repro import NovaSession
+
+    session = NovaSession("tpu-v4")      # 8 routers x 128 lanes @ 1.4 GHz
+    unit = session.unit("gelu")          # raw vector-unit access
+    y = unit.approximate(np.zeros((8, 128))).outputs
+    result = session.attention_layer(x, wq, wk, wv, wo, n_heads=12)
+    batch = session.serve(requests)      # batched serving engine
+
+Lower-level construction (custom tables on a custom geometry)::
+
     from repro import (
-        get_function, train_nnlut_mlp, QuantizedPwl, NovaVectorUnit,
+        NovaConfig, get_function, train_nnlut_mlp, QuantizedPwl,
+        NovaVectorUnit,
     )
 
     spec = get_function("gelu")
     mlp = train_nnlut_mlp(spec, n_segments=16, seed=0)
     table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
-    unit = NovaVectorUnit(table, n_routers=8, neurons_per_router=128,
-                          pe_frequency_ghz=1.4, hop_mm=0.5)
+    unit = NovaVectorUnit(table, NovaConfig(n_routers=8,
+                                            neurons_per_router=128))
     y = unit.approximate(np.zeros((8, 128))).outputs
 
 Subpackages: :mod:`repro.approx` (PWL machinery), :mod:`repro.core`
@@ -43,6 +56,10 @@ from repro.approx import (
     make_softmax_approximator,
 )
 from repro.core import (
+    NovaConfig,
+    NovaSession,
+    PRESETS,
+    preset,
     NovaVectorUnit,
     NovaMapper,
     NovaNoc,
@@ -77,6 +94,10 @@ __all__ = [
     "exact_softmax",
     "approx_softmax",
     "make_softmax_approximator",
+    "NovaConfig",
+    "NovaSession",
+    "PRESETS",
+    "preset",
     "NovaVectorUnit",
     "NovaMapper",
     "NovaNoc",

@@ -22,6 +22,7 @@ The :class:`NovaVectorUnit` offers a functional API (bit-exact against the
 cycle-accurate streaming API used by the energy evaluation.
 """
 
+from repro.core.config import NovaConfig, PRESETS, preset, as_config
 from repro.core.comparator import ComparatorBank
 from repro.core.mac import MacLane
 from repro.core.router import NovaRouter
@@ -50,9 +51,15 @@ from repro.core.batched_attention import (
     BatchedAttentionResult,
     BatchedNovaAttentionEngine,
 )
+from repro.core.session import NovaSession
 from repro.core.streaming import StreamingLine, ObservationLog
 
 __all__ = [
+    "NovaConfig",
+    "PRESETS",
+    "preset",
+    "as_config",
+    "NovaSession",
     "ComparatorBank",
     "MacLane",
     "NovaRouter",

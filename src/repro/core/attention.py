@@ -24,8 +24,13 @@ driven beat-by-beat through the NoC simulation, one request at a time.
 Production-style serving lives in
 :class:`repro.core.batched_attention.BatchedNovaAttentionEngine`, which
 packs many requests through one shared overlay and is validated
-bit-exact and cycle-exact against this engine.  The two engines share
-compile-time state rather than rebuilding it:
+bit-exact and cycle-exact against this engine.
+
+The recommended entry point to both engines (and to raw vector-unit
+access) is :class:`repro.core.session.NovaSession`, driven by a typed
+:class:`repro.core.config.NovaConfig` geometry — construct engines
+directly only when you need to hold the engine object itself.  The two
+engines share compile-time state rather than rebuilding it:
 
 * **table cache** — PWL tables come from the process-wide
   :mod:`repro.approx.table_cache`, keyed on
@@ -51,6 +56,7 @@ import numpy as np
 
 from repro.approx.quantize import QuantizedPwl
 from repro.approx.table_cache import compiled_table
+from repro.core.config import NovaConfig, resolve_engine_config
 from repro.core.table_scheduler import TableScheduler
 from repro.core.vector_unit import NovaVectorUnit
 from repro.noc.stats import EventCounters
@@ -171,43 +177,59 @@ def finish_attention_layer(
 class NovaAttentionEngine:
     """One NOVA overlay executing attention non-linearities.
 
-    Parameters mirror the Table II geometries: ``n_routers`` cores with
-    ``neurons_per_router`` lanes each.  Tables for exp / reciprocal /
-    gelu are compiled once at construction (the paper's compile-time MLP
-    flow) and broadcast on demand.
+    The primary constructor interface is a
+    :class:`~repro.core.config.NovaConfig` (or a Table II preset name
+    such as ``"jetson-nx"``)::
+
+        NovaAttentionEngine(NovaConfig(n_routers=2, neurons_per_router=16))
+        NovaAttentionEngine("tpu-v4")
+
+    Legacy loose geometry kwargs still build the identical engine but
+    emit a ``DeprecationWarning``.  Tables for exp / reciprocal / gelu
+    are compiled once at construction (the paper's compile-time MLP
+    flow, via the process-wide table cache) and broadcast on demand.
     """
 
     def __init__(
         self,
-        n_routers: int = 8,
-        neurons_per_router: int = 128,
-        pe_frequency_ghz: float = 1.4,
-        hop_mm: float = 0.5,
-        n_segments: int = 16,
-        seed: int = 0,
+        config: NovaConfig | str | None = None,
+        *,
+        n_routers: int | None = None,
+        neurons_per_router: int | None = None,
+        pe_frequency_ghz: float | None = None,
+        hop_mm: float | None = None,
+        n_segments: int | None = None,
+        seed: int | None = None,
     ) -> None:
+        self.config = resolve_engine_config(
+            config,
+            dict(
+                n_routers=n_routers,
+                neurons_per_router=neurons_per_router,
+                pe_frequency_ghz=pe_frequency_ghz,
+                hop_mm=hop_mm,
+                n_segments=n_segments,
+                seed=seed,
+            ),
+            owner="NovaAttentionEngine",
+        )
+        cfg = self.config
         self.tables = {
-            name: compiled_table(name, n_segments=n_segments, seed=seed)
+            name: compiled_table(name, n_segments=cfg.n_segments, seed=cfg.seed)
             for name in ATTENTION_FUNCTIONS
         }
         # one physical unit per function table (same geometry — in
         # hardware it is literally the same unit fed different beats;
         # separate instances keep per-function event counters apart)
         self.units = {
-            name: NovaVectorUnit(
-                table,
-                n_routers=n_routers,
-                neurons_per_router=neurons_per_router,
-                pe_frequency_ghz=pe_frequency_ghz,
-                hop_mm=hop_mm,
-            )
+            name: NovaVectorUnit(table, cfg)
             for name, table in self.tables.items()
         }
-        self.n_lanes = n_routers * neurons_per_router
+        self.n_lanes = cfg.n_lanes
         self.scheduler = TableScheduler(
             self.tables, n_lanes=self.n_lanes, unit_kind="nova"
         )
-        self._shape = (n_routers, neurons_per_router)
+        self._shape = cfg.lane_shape
 
     # ------------------------------------------------------------------
     # Elementwise ops through the hardware (batched over the lane grid).

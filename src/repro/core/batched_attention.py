@@ -32,6 +32,11 @@ output bit or cycle count:
   phase), which is output- and counter-exact against the beat-level
   simulation.
 
+The recommended way to reach this engine is
+:meth:`repro.core.session.NovaSession.serve`, with the geometry
+expressed as a typed :class:`repro.core.config.NovaConfig` (or a Table
+II preset name such as ``"jetson-nx"``).
+
 Accounting semantics
 --------------------
 * Each per-request :class:`~repro.core.attention.AttentionLayerResult`
@@ -59,6 +64,7 @@ import numpy as np
 
 from repro.approx.quantize import beat_of_address
 from repro.approx.table_cache import compiled_table
+from repro.core.config import NovaConfig, resolve_engine_config
 from repro.core.attention import (
     ATTENTION_FUNCTIONS,
     AttentionLayerResult,
@@ -102,7 +108,15 @@ class AttentionRequest:
             raise ValueError(f"x must be (seq, hidden), got shape {x.shape}")
         seq, hidden = x.shape
         if seq < 1:
-            raise ValueError("request must contain at least one token")
+            raise ValueError(
+                "request must contain at least one token (got an empty "
+                f"sequence: x has shape {x.shape})"
+            )
+        if hidden < 1:
+            raise ValueError(
+                "request must have a hidden width >= 1 (got zero-width "
+                f"x of shape {x.shape})"
+            )
         if self.n_heads < 1:
             raise ValueError(f"n_heads must be >= 1, got {self.n_heads}")
         if hidden % self.n_heads != 0:
@@ -161,38 +175,51 @@ class BatchedAttentionResult:
 class BatchedNovaAttentionEngine:
     """One shared NOVA overlay serving batches of attention requests.
 
-    Geometry parameters mirror :class:`NovaAttentionEngine`; the crucial
-    difference is that a *single* :class:`NovaVectorUnit` serves every
-    non-linear function by table switching (``retarget``), as the paper's
-    overlay does, instead of one instance per function.
+    The primary constructor interface is a
+    :class:`~repro.core.config.NovaConfig` (or a Table II preset name),
+    mirroring :class:`NovaAttentionEngine`; legacy loose geometry kwargs
+    still build the identical engine but emit a ``DeprecationWarning``.
+    The crucial difference from the reference engine is that a *single*
+    :class:`NovaVectorUnit` serves every non-linear function by table
+    switching (``retarget``), as the paper's overlay does, instead of
+    one instance per function.
     """
 
     def __init__(
         self,
-        n_routers: int = 8,
-        neurons_per_router: int = 128,
-        pe_frequency_ghz: float = 1.4,
-        hop_mm: float = 0.5,
-        n_segments: int = 16,
-        seed: int = 0,
+        config: NovaConfig | str | None = None,
+        *,
+        n_routers: int | None = None,
+        neurons_per_router: int | None = None,
+        pe_frequency_ghz: float | None = None,
+        hop_mm: float | None = None,
+        n_segments: int | None = None,
+        seed: int | None = None,
     ) -> None:
+        self.config = resolve_engine_config(
+            config,
+            dict(
+                n_routers=n_routers,
+                neurons_per_router=neurons_per_router,
+                pe_frequency_ghz=pe_frequency_ghz,
+                hop_mm=hop_mm,
+                n_segments=n_segments,
+                seed=seed,
+            ),
+            owner="BatchedNovaAttentionEngine",
+        )
+        cfg = self.config
         self.tables = {
-            name: compiled_table(name, n_segments=n_segments, seed=seed)
+            name: compiled_table(name, n_segments=cfg.n_segments, seed=cfg.seed)
             for name in ATTENTION_FUNCTIONS
         }
-        self.unit = NovaVectorUnit(
-            self.tables["exp"],
-            n_routers=n_routers,
-            neurons_per_router=neurons_per_router,
-            pe_frequency_ghz=pe_frequency_ghz,
-            hop_mm=hop_mm,
-        )
-        self.n_routers = n_routers
-        self.neurons_per_router = neurons_per_router
-        self.pe_frequency_ghz = pe_frequency_ghz
-        self.hop_mm = hop_mm
-        self.n_lanes = n_routers * neurons_per_router
-        self._shape = (n_routers, neurons_per_router)
+        self.unit = NovaVectorUnit(self.tables["exp"], cfg)
+        self.n_routers = cfg.n_routers
+        self.neurons_per_router = cfg.neurons_per_router
+        self.pe_frequency_ghz = cfg.pe_frequency_ghz
+        self.hop_mm = cfg.hop_mm
+        self.n_lanes = cfg.n_lanes
+        self._shape = cfg.lane_shape
 
     # ------------------------------------------------------------------
     # Packed elementwise execution.

@@ -1,0 +1,353 @@
+"""Typed NOVA geometry: one configuration object for every engine.
+
+The paper's Table II defines NOVA as a handful of *named* geometries —
+routers x lanes, PE frequency, router pitch — attached to different host
+accelerators.  :class:`NovaConfig` makes that geometry a first-class,
+serializable artifact instead of six loose kwargs repeated at every
+engine constructor:
+
+* **One schema.**  ``n_routers``, ``neurons_per_router``,
+  ``pe_frequency_ghz``, ``hop_mm`` (the overlay geometry) plus
+  ``n_segments`` and ``seed`` (the compile-time table parameters), all
+  validated at construction.
+* **Named presets.**  :data:`PRESETS` carries the Table II
+  configurations (``"jetson-nx"``, ``"react"``, ``"tpu-v3"``,
+  ``"tpu-v4"``), each paired with its host accelerator so
+  :meth:`NovaConfig.build_host` can instantiate the matching
+  :class:`~repro.accelerators.base.HostAccelerator`.
+* **Round-trip serialization.**  :meth:`NovaConfig.to_dict` /
+  :meth:`from_dict` (and the JSON twins) let experiment manifests, CLI
+  overrides and future multi-geometry fleets treat a geometry as data.
+
+Engines (:class:`~repro.core.vector_unit.NovaVectorUnit`,
+:class:`~repro.core.attention.NovaAttentionEngine`,
+:class:`~repro.core.batched_attention.BatchedNovaAttentionEngine`)
+accept a ``NovaConfig`` — or a preset name — as their primary
+constructor interface; the legacy geometry kwargs still work through a
+``DeprecationWarning`` shim that builds the identical engine.  The
+recommended front door for running anything is
+:class:`~repro.core.session.NovaSession`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from numbers import Integral, Real
+
+__all__ = [
+    "NovaConfig",
+    "PRESETS",
+    "preset",
+    "as_config",
+    "resolve_engine_config",
+    "GEOMETRY_FIELDS",
+    "ENGINE_FIELDS",
+]
+
+#: The overlay-geometry fields (what a :class:`NovaVectorUnit` needs).
+GEOMETRY_FIELDS = (
+    "n_routers", "neurons_per_router", "pe_frequency_ghz", "hop_mm",
+)
+
+#: Geometry plus the compile-time table parameters (what the attention
+#: engines need).
+ENGINE_FIELDS = GEOMETRY_FIELDS + ("n_segments", "seed")
+
+#: Fields an override string may set, with their value parsers.
+_FIELD_PARSERS: dict[str, object] = {
+    "n_routers": int,
+    "neurons_per_router": int,
+    "pe_frequency_ghz": float,
+    "hop_mm": float,
+    "n_segments": int,
+    "seed": int,
+    "host": lambda s: None if s.lower() in ("", "none", "null") else s,
+}
+
+
+@dataclass(frozen=True)
+class NovaConfig:
+    """One NOVA overlay configuration (a Table II row, as data).
+
+    Defaults are the TPU v4-like operating point (8 routers x 128
+    lanes at 1.4 GHz, 0.5 mm pitch, 16-segment tables) — the same
+    defaults the engines have always had.
+
+    ``host`` optionally names the Table II host accelerator the geometry
+    belongs to (a :func:`repro.accelerators.build_accelerator` key);
+    :meth:`build_host` instantiates it.  ``seed`` seeds the compile-time
+    MLP table training; units built from an explicit, pre-compiled table
+    ignore it.
+    """
+
+    n_routers: int = 8
+    neurons_per_router: int = 128
+    pe_frequency_ghz: float = 1.4
+    hop_mm: float = 0.5
+    n_segments: int = 16
+    seed: int = 0
+    host: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n_routers", "neurons_per_router", "n_segments"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, Integral):
+                raise TypeError(
+                    f"{name} must be an int, got {type(value).__name__}"
+                )
+            object.__setattr__(self, name, int(value))
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, Integral):
+            raise TypeError(
+                f"seed must be an int, got {type(self.seed).__name__}"
+            )
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        for name in ("pe_frequency_ghz", "hop_mm"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, Real):
+                raise TypeError(
+                    f"{name} must be a number, got {type(value).__name__}"
+                )
+            object.__setattr__(self, name, float(value))
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.host is not None and not isinstance(self.host, str):
+            raise TypeError(
+                "host must be an accelerator name (str) or None, got "
+                f"{type(self.host).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_lanes(self) -> int:
+        """Total approximator lanes (``routers x neurons``)."""
+        return self.n_routers * self.neurons_per_router
+
+    @property
+    def lane_shape(self) -> tuple[int, int]:
+        """The lane grid ``(n_routers, neurons_per_router)``."""
+        return (self.n_routers, self.neurons_per_router)
+
+    def schedule(self, n_pairs: int | None = None):
+        """The (cached) broadcast plan for this geometry.
+
+        ``n_pairs`` defaults to ``n_segments``; the returned
+        :class:`~repro.core.mapper.BroadcastSchedule` comes from the
+        process-wide schedule cache, so identical geometries share one
+        frozen object.
+        """
+        from repro.core.mapper import NovaMapper
+
+        return NovaMapper().schedule(
+            n_routers=self.n_routers,
+            pe_frequency_ghz=self.pe_frequency_ghz,
+            n_pairs=self.n_segments if n_pairs is None else n_pairs,
+            hop_mm=self.hop_mm,
+        )
+
+    def table(self, function: str):
+        """The compiled (process-wide cached) PWL table for ``function``."""
+        from repro.approx.table_cache import compiled_table
+
+        return compiled_table(
+            function, n_segments=self.n_segments, seed=self.seed
+        )
+
+    def build_host(self):
+        """Instantiate this configuration's host accelerator.
+
+        Raises ``ValueError`` when the configuration names no host.
+        """
+        if self.host is None:
+            raise ValueError(
+                "this NovaConfig names no host accelerator; set host= to a "
+                "repro.accelerators.build_accelerator key"
+            )
+        from repro.accelerators import build_accelerator
+
+        return build_accelerator(self.host)
+
+    # ------------------------------------------------------------------
+    # Serialization and derivation.
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "NovaConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, object]:
+        """A plain-JSON-types dict holding every field."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "NovaConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown NovaConfig field(s) {unknown}; "
+                f"known: {sorted(field_names)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict` (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NovaConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def with_overrides(
+        self, overrides: Iterable[str] | Mapping[str, object]
+    ) -> "NovaConfig":
+        """Apply ``FIELD=VALUE`` override strings (the CLI's ``--override``).
+
+        ``overrides`` is either a mapping of field name to value or an
+        iterable of ``"field=value"`` strings; values are parsed to the
+        field's type (``"none"`` clears ``host``).
+        """
+        if isinstance(overrides, Mapping):
+            items = list(overrides.items())
+        else:
+            items = []
+            for text in overrides:
+                key, sep, raw = str(text).partition("=")
+                if not sep or not key:
+                    raise ValueError(
+                        f"override {text!r} is not of the form FIELD=VALUE"
+                    )
+                items.append((key.strip(), raw.strip()))
+        changes: dict[str, object] = {}
+        for key, raw in items:
+            parser = _FIELD_PARSERS.get(key)
+            if parser is None:
+                raise ValueError(
+                    f"unknown NovaConfig field {key!r}; "
+                    f"known: {sorted(_FIELD_PARSERS)}"
+                )
+            try:
+                changes[key] = parser(raw) if isinstance(raw, str) else raw
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad value {raw!r} for NovaConfig field {key!r}: {exc}"
+                ) from None
+        return self.replace(**changes)
+
+    @classmethod
+    def from_accelerator(
+        cls, accelerator, n_segments: int = 16, seed: int = 0
+    ) -> "NovaConfig":
+        """Geometry of one Table II row
+        (:class:`repro.eval.paper_data.AcceleratorConfig`)."""
+        return cls(
+            n_routers=accelerator.n_routers,
+            neurons_per_router=accelerator.neurons_per_router,
+            pe_frequency_ghz=accelerator.frequency_ghz,
+            hop_mm=accelerator.hop_mm,
+            n_segments=n_segments,
+            seed=seed,
+            host=accelerator.name,
+        )
+
+
+#: The Table II geometries by preset name.  Numbers mirror
+#: :data:`repro.eval.paper_data.TABLE2_CONFIGS` (a test pins the two in
+#: sync); ``host`` links each preset to its accelerator factory.
+PRESETS: dict[str, NovaConfig] = {
+    "jetson-nx": NovaConfig(
+        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
+        hop_mm=0.5, host="Jetson Xavier NX",
+    ),
+    "react": NovaConfig(
+        n_routers=10, neurons_per_router=256, pe_frequency_ghz=0.24,
+        hop_mm=1.0, host="REACT",
+    ),
+    "tpu-v3": NovaConfig(
+        n_routers=4, neurons_per_router=128, pe_frequency_ghz=1.4,
+        hop_mm=0.5, host="TPU v3-like",
+    ),
+    "tpu-v4": NovaConfig(
+        n_routers=8, neurons_per_router=128, pe_frequency_ghz=1.4,
+        hop_mm=0.5, host="TPU v4-like",
+    ),
+}
+
+
+def preset(name: str) -> NovaConfig:
+    """Look up a named Table II geometry from :data:`PRESETS`."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        available = ", ".join(sorted(PRESETS))
+        raise KeyError(
+            f"unknown geometry preset {name!r}; available: {available}"
+        ) from None
+
+
+def as_config(
+    config: "NovaConfig | str | Mapping[str, object] | None",
+) -> NovaConfig:
+    """Coerce a config-ish value: ``None`` (defaults), a preset name,
+    a mapping (:meth:`NovaConfig.from_dict`) or a ``NovaConfig``."""
+    if config is None:
+        return NovaConfig()
+    if isinstance(config, NovaConfig):
+        return config
+    if isinstance(config, str):
+        return preset(config)
+    if isinstance(config, Mapping):
+        return NovaConfig.from_dict(config)
+    raise TypeError(
+        "config must be a NovaConfig, a preset name, a mapping or None; "
+        f"got {type(config).__name__}"
+    )
+
+
+def warn_legacy_kwargs(owner: str, stacklevel: int = 3) -> None:
+    """Emit the one deprecation message for loose geometry kwargs."""
+    warnings.warn(
+        f"passing geometry kwargs to {owner} is deprecated; pass a "
+        "NovaConfig (or a preset name such as 'jetson-nx') instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_engine_config(
+    config: "NovaConfig | str | Mapping[str, object] | None",
+    legacy: Mapping[str, object],
+    owner: str,
+) -> NovaConfig:
+    """Shared constructor shim for the attention engines.
+
+    ``legacy`` maps the old kwarg names to their passed values (``None``
+    = not passed).  Passing both a config and legacy kwargs is an error;
+    legacy kwargs alone emit a ``DeprecationWarning`` and build the
+    identical :class:`NovaConfig` (missing kwargs take the config
+    defaults, which equal the engines' historical defaults).
+    """
+    passed = {k: v for k, v in legacy.items() if v is not None}
+    if config is not None:
+        if passed:
+            raise TypeError(
+                f"{owner}: pass geometry either as config= or as legacy "
+                f"kwargs, not both (got config plus {sorted(passed)})"
+            )
+        return as_config(config)
+    if passed:
+        warn_legacy_kwargs(owner, stacklevel=4)
+        return NovaConfig(**passed)
+    return NovaConfig()

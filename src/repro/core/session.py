@@ -1,0 +1,188 @@
+"""NovaSession: the one typed front door to every NOVA execution mode.
+
+A session owns one :class:`~repro.core.config.NovaConfig` geometry and
+exposes the three ways this reproduction executes work on it:
+
+* :meth:`NovaSession.attention_layer` — the cycle-accurate reference
+  (:class:`~repro.core.attention.NovaAttentionEngine`): one request,
+  every non-linear query driven beat-by-beat through the NoC model.
+* :meth:`NovaSession.serve` — the batched serving path
+  (:class:`~repro.core.batched_attention.BatchedNovaAttentionEngine`):
+  many requests lane-packed through one shared overlay, bit-exact and
+  counter-exact against the reference.
+* :meth:`NovaSession.unit` — raw vector-unit access: a
+  :class:`~repro.core.vector_unit.NovaVectorUnit` compiled for any
+  registered non-linear function at the session geometry.
+
+Engines are built lazily and cached per session; the compile-time state
+they share — trained PWL tables (:mod:`repro.approx.table_cache`) and
+frozen broadcast schedules (:class:`~repro.core.mapper.NovaMapper`) —
+lives in the process-wide caches, so any number of sessions at the same
+geometry reuse one copy (:meth:`cache_info` reports both).
+
+Typical use::
+
+    from repro import NovaSession
+
+    session = NovaSession("jetson-nx")          # a Table II preset...
+    session = NovaSession(NovaConfig(n_routers=4, neurons_per_router=64))
+    result = session.attention_layer(x, wq, wk, wv, wo, n_heads=2)
+    batch = session.serve(requests)             # BatchedAttentionResult
+    unit = session.unit("gelu")                 # NovaVectorUnit
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.approx.table_cache import table_cache_info
+from repro.core.attention import AttentionLayerResult, NovaAttentionEngine
+from repro.core.batched_attention import (
+    AttentionRequest,
+    BatchedAttentionResult,
+    BatchedNovaAttentionEngine,
+)
+from repro.core.config import NovaConfig, as_config
+from repro.core.mapper import NovaMapper
+from repro.core.vector_unit import NovaVectorUnit
+
+__all__ = ["NovaSession"]
+
+
+class NovaSession:
+    """One NOVA geometry, every execution mode behind a single API.
+
+    ``config`` is a :class:`NovaConfig`, a preset name from
+    :data:`repro.core.config.PRESETS`, a mapping of fields, or ``None``
+    for the defaults.
+    """
+
+    def __init__(
+        self, config: NovaConfig | str | Mapping[str, object] | None = None
+    ) -> None:
+        self._config = as_config(config)
+        self._reference: NovaAttentionEngine | None = None
+        self._server: BatchedNovaAttentionEngine | None = None
+        self._units: dict[str, NovaVectorUnit] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry.
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> NovaConfig:
+        """The session's immutable geometry."""
+        return self._config
+
+    @property
+    def n_lanes(self) -> int:
+        """Total approximator lanes of the session geometry."""
+        return self._config.n_lanes
+
+    def build_host(self):
+        """The geometry's host accelerator (requires ``config.host``)."""
+        return self._config.build_host()
+
+    # ------------------------------------------------------------------
+    # Mode 1: cycle-accurate reference.
+    # ------------------------------------------------------------------
+
+    @property
+    def reference(self) -> NovaAttentionEngine:
+        """The cycle-accurate single-request engine (built lazily)."""
+        if self._reference is None:
+            self._reference = NovaAttentionEngine(self._config)
+        return self._reference
+
+    def attention_layer(
+        self,
+        x: np.ndarray,
+        wq: np.ndarray,
+        wk: np.ndarray,
+        wv: np.ndarray,
+        wo: np.ndarray,
+        n_heads: int,
+    ) -> AttentionLayerResult:
+        """One multi-head self-attention layer, cycle-accurately."""
+        return self.reference.attention_layer(x, wq, wk, wv, wo, n_heads)
+
+    def exact_attention_layer(
+        self,
+        x: np.ndarray,
+        wq: np.ndarray,
+        wk: np.ndarray,
+        wv: np.ndarray,
+        wo: np.ndarray,
+        n_heads: int,
+    ) -> np.ndarray:
+        """The float reference of :meth:`attention_layer`."""
+        return self.reference.exact_attention_layer(x, wq, wk, wv, wo, n_heads)
+
+    def softmax(self, scores: np.ndarray) -> tuple[np.ndarray, int]:
+        """Hardware softmax over the last axis (reference engine)."""
+        return self.reference.softmax(scores)
+
+    def gelu(self, values: np.ndarray) -> tuple[np.ndarray, int]:
+        """Hardware GeLU (reference engine)."""
+        return self.reference.gelu(values)
+
+    # ------------------------------------------------------------------
+    # Mode 2: batched serving.
+    # ------------------------------------------------------------------
+
+    @property
+    def server(self) -> BatchedNovaAttentionEngine:
+        """The batched serving engine (built lazily)."""
+        if self._server is None:
+            self._server = BatchedNovaAttentionEngine(self._config)
+        return self._server
+
+    def serve(
+        self,
+        requests: Sequence[AttentionRequest] | Iterable[AttentionRequest],
+    ) -> BatchedAttentionResult:
+        """Serve a batch of attention requests on the shared overlay."""
+        return self.server.attention_batch(requests)
+
+    # ------------------------------------------------------------------
+    # Mode 3: raw vector-unit access.
+    # ------------------------------------------------------------------
+
+    def unit(self, function: str) -> NovaVectorUnit:
+        """A vector unit compiled for ``function`` at this geometry.
+
+        ``function`` is any registered non-linear function name
+        (``repro.approx.functions.FUNCTIONS``); its table comes from the
+        process-wide compiled-table cache at the session's ``n_segments``
+        and ``seed``.  One unit is built per function per session and
+        returned again on later calls.
+        """
+        cached = self._units.get(function)
+        if cached is None:
+            cached = NovaVectorUnit(self._config.table(function), self._config)
+            self._units[function] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Shared compile-time caches.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def cache_info() -> dict[str, object]:
+        """Process-wide compile-cache statistics the session relies on."""
+        return {
+            "tables": table_cache_info(),
+            "schedules": NovaMapper.schedule_cache_size(),
+        }
+
+    def __repr__(self) -> str:
+        cfg = self._config
+        return (
+            f"NovaSession({cfg.n_routers}x{cfg.neurons_per_router} lanes @ "
+            f"{cfg.pe_frequency_ghz:g} GHz, hop {cfg.hop_mm:g} mm, "
+            f"{cfg.n_segments} segments"
+            + (f", host={cfg.host!r}" if cfg.host else "")
+            + ")"
+        )

@@ -26,12 +26,15 @@ difference in area/power.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from numbers import Integral
 
 import numpy as np
 
 from repro.approx.quantize import QuantizedPwl, beat_of_address, pack_beats
 from repro.core.comparator import ComparatorBank
+from repro.core.config import NovaConfig, preset, warn_legacy_kwargs
 from repro.core.mac import MacLane
 from repro.core.mapper import BroadcastSchedule, NovaMapper
 from repro.core.noc import NovaNoc
@@ -96,53 +99,115 @@ class StreamResult:
 
 
 class NovaVectorUnit:
-    """A configured NOVA overlay instance."""
+    """A configured NOVA overlay instance.
+
+    The primary constructor interface is a table plus a
+    :class:`~repro.core.config.NovaConfig` (or a preset name)::
+
+        NovaVectorUnit(table, NovaConfig(n_routers=8, neurons_per_router=128))
+        NovaVectorUnit(table, "tpu-v4")
+
+    The legacy loose geometry kwargs (``n_routers``,
+    ``neurons_per_router``, ``pe_frequency_ghz``, ``hop_mm`` — with
+    ``hop_mm`` defaulting to 1.0 as it always has on this constructor)
+    still build the identical unit but emit a ``DeprecationWarning``.
+    The unit only consumes the config's geometry: the table itself fixes
+    the segment count, so ``config.n_segments``/``config.seed`` are
+    recorded on :attr:`config` for provenance, not re-derived.
+    """
 
     def __init__(
         self,
         table: QuantizedPwl,
-        n_routers: int,
-        neurons_per_router: int,
-        pe_frequency_ghz: float,
-        hop_mm: float = 1.0,
+        config: NovaConfig | str | int | None = None,
+        neurons_per_router: int | None = None,
+        pe_frequency_ghz: float | None = None,
+        hop_mm: float | None = None,
         wire: RepeatedWire | None = None,
         grid_shape: tuple[int, int] | None = None,
+        *,
+        n_routers: int | None = None,
     ) -> None:
-        if n_routers < 1:
-            raise ValueError(f"n_routers must be >= 1, got {n_routers}")
-        if neurons_per_router < 1:
-            raise ValueError(
-                f"neurons_per_router must be >= 1, got {neurons_per_router}"
+        if isinstance(config, str):
+            config = preset(config)
+        if isinstance(config, NovaConfig):
+            extra = [
+                name
+                for name, value in (
+                    ("n_routers", n_routers),
+                    ("neurons_per_router", neurons_per_router),
+                    ("pe_frequency_ghz", pe_frequency_ghz),
+                    ("hop_mm", hop_mm),
+                )
+                if value is not None
+            ]
+            if extra:
+                raise TypeError(
+                    "NovaVectorUnit: pass geometry either as a NovaConfig "
+                    f"or as legacy kwargs, not both (got config plus {extra})"
+                )
+            config = dataclasses.replace(config, n_segments=table.n_segments)
+        else:
+            if config is not None:
+                # legacy positional call: the second argument is n_routers
+                if not isinstance(config, Integral):
+                    raise TypeError(
+                        "config must be a NovaConfig, a preset name or the "
+                        f"legacy n_routers int, got {type(config).__name__}"
+                    )
+                if n_routers is not None:
+                    raise TypeError("NovaVectorUnit got n_routers twice")
+                n_routers = int(config)
+            if (
+                n_routers is None
+                or neurons_per_router is None
+                or pe_frequency_ghz is None
+            ):
+                raise TypeError(
+                    "NovaVectorUnit needs a NovaConfig (or the legacy "
+                    "n_routers, neurons_per_router and pe_frequency_ghz "
+                    "kwargs)"
+                )
+            warn_legacy_kwargs("NovaVectorUnit")
+            config = NovaConfig(
+                n_routers=n_routers,
+                neurons_per_router=neurons_per_router,
+                pe_frequency_ghz=pe_frequency_ghz,
+                hop_mm=1.0 if hop_mm is None else hop_mm,
+                n_segments=table.n_segments,
             )
+        self.config = config
         self.table = table
-        self.neurons_per_router = neurons_per_router
-        self.pe_frequency_ghz = pe_frequency_ghz
-        self.hop_mm = hop_mm
+        self.neurons_per_router = config.neurons_per_router
+        self.pe_frequency_ghz = config.pe_frequency_ghz
+        self.hop_mm = config.hop_mm
         self.mapper = NovaMapper(wire=wire)
         self.schedule: BroadcastSchedule = self.mapper.schedule(
-            n_routers=n_routers,
-            pe_frequency_ghz=pe_frequency_ghz,
+            n_routers=config.n_routers,
+            pe_frequency_ghz=config.pe_frequency_ghz,
             n_pairs=table.n_segments,
-            hop_mm=hop_mm,
+            hop_mm=config.hop_mm,
         )
         self.topology = LineTopology(
-            n_routers=n_routers, hop_mm=hop_mm, grid_shape=grid_shape
+            n_routers=config.n_routers,
+            hop_mm=config.hop_mm,
+            grid_shape=grid_shape,
         )
         self.noc = NovaNoc(
             topology=self.topology,
             schedule=self.schedule,
-            neurons_per_router=neurons_per_router,
+            neurons_per_router=config.neurons_per_router,
         )
         self.comparators = [
-            ComparatorBank(table=table, n_neurons=neurons_per_router)
-            for _ in range(n_routers)
+            ComparatorBank(table=table, n_neurons=config.neurons_per_router)
+            for _ in range(config.n_routers)
         ]
         self.macs = [
             MacLane(
-                n_neurons=neurons_per_router,
+                n_neurons=config.neurons_per_router,
                 output_format=table.output_format,
             )
-            for _ in range(n_routers)
+            for _ in range(config.n_routers)
         ]
         self.beats = pack_beats(table)
 
@@ -177,6 +242,9 @@ class NovaVectorUnit:
             for router in self.noc.routers:
                 router.set_buffering(router.router_id in buffering)
         self.table = table
+        self.config = dataclasses.replace(
+            self.config, n_segments=table.n_segments
+        )
         self.beats = pack_beats(table)
         for bank in self.comparators:
             bank.table = table

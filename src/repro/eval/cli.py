@@ -7,6 +7,25 @@ Installed as ``nova-repro``::
     nova-repro all --with-table1 # the full paper evaluation
     nova-repro ablations         # the A1-A6 design-knob studies
     nova-repro sweeps            # the S1-S2 extension sweeps
+    nova-repro geometries        # list the Table II geometry presets
+
+Geometry selection
+------------------
+Config-aware experiments (currently ``serving-batched``) take their
+overlay geometry as a :class:`repro.core.config.NovaConfig`.  Pick a
+Table II preset with ``--geometry`` — one of ``jetson-nx`` (2 routers x
+16 lanes @ 1.4 GHz), ``react`` (10 x 256 @ 0.24 GHz), ``tpu-v3``
+(4 x 128 @ 1.4 GHz) or ``tpu-v4`` (8 x 128 @ 1.4 GHz) — and adjust any
+field with repeatable ``--override FIELD=VALUE`` flags::
+
+    nova-repro serving-batched --geometry jetson-nx --override n_routers=16
+    nova-repro serving-batched --override hop_mm=1.0 --override n_segments=8
+
+Overridable fields: ``n_routers``, ``neurons_per_router``,
+``pe_frequency_ghz``, ``hop_mm``, ``n_segments``, ``seed``, ``host``.
+``nova-repro geometries`` prints every preset with its geometry and
+host accelerator.  Passing ``--geometry``/``--override`` to an
+experiment that has a fixed, paper-defined geometry is an error.
 """
 
 from __future__ import annotations
@@ -15,6 +34,7 @@ import argparse
 import sys
 from collections.abc import Callable
 
+from repro.core.config import NovaConfig, PRESETS, preset
 from repro.eval import ablations, experiments, sweeps
 from repro.eval.report import render_experiment
 
@@ -53,6 +73,61 @@ EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
     **EXTENSION_EXPERIMENTS,
 }
 
+#: Experiments that accept a ``config=NovaConfig`` kwarg, with the
+#: preset each defaults to when only ``--override`` is given.
+CONFIGURABLE_EXPERIMENTS: dict[str, str] = {
+    "serving-batched": "jetson-nx",
+}
+
+
+def render_geometries() -> str:
+    """The ``nova-repro geometries`` listing: every preset, one line."""
+    lines = ["Geometry presets (repro.core.config.PRESETS):", ""]
+    header = (
+        f"  {'name':<10} {'routers':>7} {'neurons':>7} {'PE GHz':>7} "
+        f"{'hop mm':>7} {'segments':>8}  host accelerator"
+    )
+    lines.append(header)
+    for name in sorted(PRESETS):
+        cfg = PRESETS[name]
+        lines.append(
+            f"  {name:<10} {cfg.n_routers:>7} {cfg.neurons_per_router:>7} "
+            f"{cfg.pe_frequency_ghz:>7.2f} {cfg.hop_mm:>7.2f} "
+            f"{cfg.n_segments:>8}  {cfg.host or '-'}"
+        )
+    lines.append("")
+    lines.append(
+        "Use with a config-aware experiment, e.g.:\n"
+        "  nova-repro serving-batched --geometry jetson-nx "
+        "--override n_routers=16"
+    )
+    return "\n".join(lines)
+
+
+def _resolve_config(
+    names: list[str],
+    geometry: str | None,
+    overrides: list[str],
+    parser: argparse.ArgumentParser,
+) -> NovaConfig | None:
+    """Build the run's NovaConfig, or None when no flags were given."""
+    if geometry is None and not overrides:
+        return None
+    unsupported = [n for n in names if n not in CONFIGURABLE_EXPERIMENTS]
+    if unsupported:
+        parser.error(
+            f"--geometry/--override only apply to config-aware experiments "
+            f"({', '.join(sorted(CONFIGURABLE_EXPERIMENTS))}); "
+            f"got: {', '.join(unsupported)}"
+        )
+    base = geometry if geometry is not None else (
+        CONFIGURABLE_EXPERIMENTS[names[0]]
+    )
+    try:
+        return preset(base).with_overrides(overrides)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+
 
 def main(argv: list[str] | None = None) -> int:
     """Run one or all experiments and print their reports."""
@@ -62,15 +137,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "ablations", "sweeps"],
-        help="which table/figure (or group) to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "ablations", "sweeps",
+                                       "geometries"],
+        help="which table/figure (or group) to regenerate; 'geometries' "
+             "lists the NovaConfig presets",
     )
     parser.add_argument(
         "--with-table1",
         action="store_true",
         help="include Table I (trains the model zoo; ~1 minute) in 'all'",
     )
+    parser.add_argument(
+        "--geometry",
+        choices=sorted(PRESETS),
+        help="overlay geometry preset for config-aware experiments "
+             "(see 'nova-repro geometries')",
+    )
+    parser.add_argument(
+        "--override",
+        metavar="FIELD=VALUE",
+        action="append",
+        default=[],
+        help="override one NovaConfig field, e.g. n_routers=16 "
+             "(repeatable; config-aware experiments only)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "geometries":
+        print(render_geometries())
+        return 0
 
     if args.experiment == "all":
         names = [n for n in sorted(PAPER_EXPERIMENTS) if n != "table1"]
@@ -83,8 +178,13 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
+    config = _resolve_config(names, args.geometry, args.override, parser)
+
     for name in names:
-        result = EXPERIMENTS[name]()
+        if config is not None and name in CONFIGURABLE_EXPERIMENTS:
+            result = EXPERIMENTS[name](config=config)
+        else:
+            result = EXPERIMENTS[name]()
         print(render_experiment(result))
         print()
     return 0

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.accelerators import build_accelerator
 from repro.accelerators.nvdla import NvdlaAccelerator
-from repro.core.mapper import NovaMapper
+from repro.core.config import NovaConfig, as_config
 from repro.eval import paper_data
 from repro.hw.calibration import calibrated_cost
 from repro.hw.costs import unit_cost
@@ -117,7 +117,6 @@ def table1_accuracy(max_models: int | None = None) -> ExperimentResult:
 
 def table2_configs() -> ExperimentResult:
     """Accelerator parameters plus the mapper's derived broadcast plan."""
-    mapper = NovaMapper()
     result = ExperimentResult(
         experiment_id="Table II",
         title="Accelerator parameters integrated with NOVA",
@@ -131,12 +130,7 @@ def table2_configs() -> ExperimentResult:
         ),
     )
     for cfg in paper_data.TABLE2_CONFIGS.values():
-        schedule = mapper.schedule(
-            n_routers=cfg.n_routers,
-            pe_frequency_ghz=cfg.frequency_ghz,
-            n_pairs=16,
-            hop_mm=cfg.hop_mm,
-        )
+        schedule = NovaConfig.from_accelerator(cfg).schedule()
         result.rows.append(
             [
                 cfg.name,
@@ -506,11 +500,8 @@ def batched_serving_throughput(
     model_name: str = "BERT-tiny",
     batch_size: int = 8,
     seq_len: int = 32,
-    n_routers: int = 2,
-    neurons_per_router: int = 16,
-    pe_frequency_ghz: float = 1.4,
-    hop_mm: float = 0.5,
-    seed: int = 0,
+    config: "NovaConfig | str" = "jetson-nx",
+    seed: int | None = None,
     warmup: bool = True,
 ) -> ExperimentResult:
     """Sequential vs batched attention serving on one overlay geometry.
@@ -520,7 +511,12 @@ def batched_serving_throughput(
     cycle-accurate single-request engine (looped) and once through the
     batched serving engine (lane-packed, vectorised), and the table
     reports wall-clock throughput, per-request vector cycles and the
-    packing win.  Before the table is built, outputs, per-request cycle
+    packing win.  ``config`` is a :class:`repro.core.config.NovaConfig`
+    or preset name (default: the Jetson-like Table II geometry); ``seed``
+    seeds both the synthetic requests and the engines' compile-time
+    tables and defaults to the config's own seed (so ``--override
+    seed=N`` on the CLI takes effect).  Before the table is built,
+    outputs, per-request cycle
     counts and per-request event counters are checked identical between
     the two paths (``RuntimeError`` on divergence).  ``warmup`` runs
     each path once first so the timings are steady-state (first-call
@@ -532,21 +528,20 @@ def batched_serving_throughput(
 
     import numpy as np
 
-    from repro.core.attention import NovaAttentionEngine
-    from repro.core.batched_attention import BatchedNovaAttentionEngine
+    from repro.core.session import NovaSession
     from repro.workloads.bert import bert_attention_batch
 
+    cfg = as_config(config)
+    if seed is None:
+        seed = cfg.seed
+    elif cfg.seed != seed:
+        cfg = cfg.replace(seed=seed)
     requests = bert_attention_batch(
         model_name, batch_size, seq_len=seq_len, seed=seed
     )
-    sequential = NovaAttentionEngine(
-        n_routers=n_routers, neurons_per_router=neurons_per_router,
-        pe_frequency_ghz=pe_frequency_ghz, hop_mm=hop_mm, seed=seed,
-    )
-    batched = BatchedNovaAttentionEngine(
-        n_routers=n_routers, neurons_per_router=neurons_per_router,
-        pe_frequency_ghz=pe_frequency_ghz, hop_mm=hop_mm, seed=seed,
-    )
+    session = NovaSession(cfg)
+    sequential = session.reference
+    batched = session.server
 
     if warmup:
         first = requests[0]
@@ -585,7 +580,8 @@ def batched_serving_throughput(
         experiment_id="Serving",
         title=(
             f"Batched attention serving: {batch_size} x {model_name} "
-            f"(seq {seq_len}) on {n_routers}x{neurons_per_router} lanes"
+            f"(seq {seq_len}) on {cfg.n_routers}x{cfg.neurons_per_router} "
+            "lanes"
         ),
         headers=[
             "Path", "Wall s", "Requests/s", "Vector cycles",

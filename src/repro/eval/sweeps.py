@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.accelerators import build_accelerator
 from repro.accelerators.memory import MemoryHierarchy
+from repro.core.config import NovaConfig
 from repro.eval.experiments import (
     ExperimentResult,
     HOST_MAC_PJ,
@@ -84,7 +85,7 @@ def lane_sizing_sweep(
 
     cfg = TABLE2_CONFIGS[accelerator]
     host = build_accelerator(accelerator)
-    lanes = cfg.n_routers * cfg.neurons_per_router
+    lanes = NovaConfig.from_accelerator(cfg).n_lanes
     result = ExperimentResult(
         experiment_id="Sweep S3",
         title=f"Vector-lane demand vs the {lanes} lanes of {accelerator}",

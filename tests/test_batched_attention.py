@@ -19,20 +19,22 @@ from repro.core.batched_attention import (
     AttentionRequest,
     BatchedNovaAttentionEngine,
 )
+from repro.core.config import NovaConfig
 from repro.core.mapper import NovaMapper
 from repro.workloads.bert import bert_attention_batch
 from repro.workloads.transformer import TransformerConfig, attention_request
 
-GEOMETRY = dict(
+GEOMETRY = NovaConfig(
     n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4, hop_mm=0.5,
+    seed=0,
 )
 
 
 @pytest.fixture(scope="module")
 def engines():
     return (
-        NovaAttentionEngine(seed=0, **GEOMETRY),
-        BatchedNovaAttentionEngine(seed=0, **GEOMETRY),
+        NovaAttentionEngine(GEOMETRY),
+        BatchedNovaAttentionEngine(GEOMETRY),
     )
 
 

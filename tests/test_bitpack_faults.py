@@ -14,6 +14,7 @@ from repro.approx.bitpack import (
 from repro.approx.functions import get_function
 from repro.approx.pwl import PiecewiseLinear
 from repro.approx.quantize import LinkBeat, QuantizedPwl, pack_beats
+from repro.core.config import NovaConfig
 from repro.core.vector_unit import NovaVectorUnit
 from repro.noc.faults import LinkFault, affected_addresses, apply_fault
 
@@ -21,7 +22,9 @@ from repro.noc.faults import LinkFault, affected_addresses, apply_fault
 def make_unit(n_routers=4, neurons=8, n_segments=16):
     spec = get_function("sigmoid")
     table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
-    return NovaVectorUnit(table, n_routers, neurons, pe_frequency_ghz=0.5), table
+    return NovaVectorUnit(table, NovaConfig(
+        n_routers=n_routers, neurons_per_router=neurons,
+        pe_frequency_ghz=0.5, hop_mm=1.0)), table
 
 
 class TestWireImage:
@@ -168,7 +171,9 @@ def test_single_bit_fault_never_escapes_prediction(bit):
     statically predicted victim set."""
     spec = get_function("sigmoid")
     table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
-    unit = NovaVectorUnit(table, 2, 16, pe_frequency_ghz=0.5)
+    unit = NovaVectorUnit(table, NovaConfig(
+        n_routers=2, neurons_per_router=16, pe_frequency_ghz=0.5,
+        hop_mm=1.0))
     x = np.linspace(-7.9, 7.9, 32).reshape(2, 16)
     addresses = table.segment_index(x)
     fault = LinkFault(beat_index=0, bit=bit)

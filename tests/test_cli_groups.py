@@ -53,3 +53,60 @@ class TestMain:
     def test_fast_ablation(self, capsys):
         assert main(["ablation-hop"]) == 0
         assert "hop" in capsys.readouterr().out.lower()
+
+
+class TestGeometryFlags:
+    def test_geometries_lists_every_preset(self, capsys):
+        from repro.core.config import PRESETS
+
+        assert main(["geometries"]) == 0
+        out = capsys.readouterr().out
+        for name, cfg in PRESETS.items():
+            assert name in out
+            assert (cfg.host or "-") in out
+
+    def test_geometry_flag_rejected_for_fixed_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--geometry", "jetson-nx"])
+        assert "config-aware" in capsys.readouterr().err
+
+    def test_override_flag_rejected_for_fixed_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scalability", "--override", "n_routers=4"])
+        assert "config-aware" in capsys.readouterr().err
+
+    def test_unknown_geometry_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serving-batched", "--geometry", "jetson"])
+
+    def test_bad_override_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serving-batched", "--override", "lanes=4"])
+        assert "unknown" in capsys.readouterr().err
+
+    def test_serving_batched_accepts_geometry_and_override(self, capsys):
+        # tiny workload keeps the cycle-accurate reference loop fast
+        from repro.core.config import preset
+        from repro.eval import cli
+
+        seen = {}
+
+        def fake_serving(config=None):
+            seen["config"] = config
+            return cli.experiments.ExperimentResult(
+                experiment_id="Serving", title="stub",
+                headers=["Path"], rows=[["stub"]],
+            )
+
+        original = cli.EXPERIMENTS["serving-batched"]
+        cli.EXPERIMENTS["serving-batched"] = fake_serving
+        try:
+            assert main([
+                "serving-batched", "--geometry", "jetson-nx",
+                "--override", "n_routers=4",
+            ]) == 0
+        finally:
+            cli.EXPERIMENTS["serving-batched"] = original
+        assert seen["config"] == preset("jetson-nx").with_overrides(
+            ["n_routers=4"]
+        )

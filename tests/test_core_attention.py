@@ -8,11 +8,8 @@ from repro.core.attention import NovaAttentionEngine
 
 @pytest.fixture(scope="module")
 def engine():
-    # small Jetson-like overlay keeps the cycle sim fast
-    return NovaAttentionEngine(
-        n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
-        hop_mm=0.5, seed=0,
-    )
+    # small Jetson-like overlay (Table II preset) keeps the cycle sim fast
+    return NovaAttentionEngine("jetson-nx")
 
 
 @pytest.fixture(scope="module")

@@ -9,6 +9,7 @@ from repro.approx.quantize import QuantizedPwl
 from repro.core.comparator import ComparatorBank
 from repro.core.mac import MacLane
 from repro.core.overlay import NvdlaOverlay, ReactOverlay, SystolicOverlay
+from repro.core.config import NovaConfig
 from repro.core.vector_unit import NovaVectorUnit
 
 
@@ -73,8 +74,9 @@ class TestMacLane:
 class TestOverlays:
     def make_unit(self, n_routers=4, neurons=8):
         return NovaVectorUnit(
-            make_table(), n_routers=n_routers, neurons_per_router=neurons,
-            pe_frequency_ghz=1.0,
+            make_table(),
+            NovaConfig(n_routers=n_routers, neurons_per_router=neurons,
+                       pe_frequency_ghz=1.0, hop_mm=1.0),
         )
 
     def test_generic_process_single_batch(self):

@@ -9,6 +9,7 @@ from repro.approx.functions import get_function
 from repro.approx.nnlut_mlp import train_nnlut_mlp
 from repro.approx.pwl import PiecewiseLinear
 from repro.approx.quantize import QuantizedPwl
+from repro.core.config import NovaConfig
 from repro.core.vector_unit import NovaVectorUnit
 
 
@@ -17,8 +18,9 @@ def make_unit(n_routers=4, neurons=8, n_segments=16, pe_ghz=1.0, name="gelu",
     spec = get_function(name)
     table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, n_segments))
     return NovaVectorUnit(
-        table, n_routers=n_routers, neurons_per_router=neurons,
-        pe_frequency_ghz=pe_ghz, hop_mm=hop_mm,
+        table,
+        NovaConfig(n_routers=n_routers, neurons_per_router=neurons,
+                   pe_frequency_ghz=pe_ghz, hop_mm=hop_mm),
     )
 
 
@@ -103,10 +105,14 @@ class TestValidation:
             unit.run_stream(np.zeros((0, 4, 8)))
 
     def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            NovaConfig(n_routers=4, neurons_per_router=0,
+                       pe_frequency_ghz=1.0)
         spec = get_function("gelu")
         table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
-        with pytest.raises(ValueError):
-            NovaVectorUnit(table, 4, 0, 1.0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                NovaVectorUnit(table, 4, 0, 1.0)
 
     def test_bad_router_count(self):
         # regression: a zero/negative router count must fail fast in the
@@ -115,7 +121,11 @@ class TestValidation:
         table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
         for n_routers in (0, -1):
             with pytest.raises(ValueError, match="n_routers"):
-                NovaVectorUnit(table, n_routers, 8, 1.0)
+                NovaConfig(n_routers=n_routers, neurons_per_router=8,
+                           pe_frequency_ghz=1.0)
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(ValueError, match="n_routers"):
+                    NovaVectorUnit(table, n_routers, 8, 1.0)
 
     def test_stream_batch_shape_checked(self):
         unit = make_unit()
@@ -207,7 +217,8 @@ def test_hardware_equals_golden_property(x):
     """The cycle-accurate pipeline is bit-exact for any input whatsoever."""
     spec = get_function("tanh")
     table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
-    unit = NovaVectorUnit(table, 3, 5, pe_frequency_ghz=0.5)
+    unit = NovaVectorUnit(table, NovaConfig(
+        n_routers=3, neurons_per_router=5, pe_frequency_ghz=0.5, hop_mm=1.0))
     assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))
 
 
@@ -217,6 +228,7 @@ def test_mlp_trained_tables_also_exact(seed):
     spec = get_function("exp")
     mlp = train_nnlut_mlp(spec, n_segments=16, seed=seed, epochs=40)
     table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=16))
-    unit = NovaVectorUnit(table, 2, 4, pe_frequency_ghz=1.0)
+    unit = NovaVectorUnit(table, NovaConfig(
+        n_routers=2, neurons_per_router=4, pe_frequency_ghz=1.0, hop_mm=1.0))
     x = np.random.default_rng(seed).uniform(-20, 4, size=(2, 4))
     assert np.array_equal(unit.approximate(x).outputs, unit.golden_reference(x))

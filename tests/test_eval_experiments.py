@@ -182,7 +182,7 @@ class TestOthers:
 
         result = batched_serving_throughput(
             model_name="BERT-tiny", batch_size=2, seq_len=16,
-            n_routers=2, neurons_per_router=16,
+            config="jetson-nx",
         )
         assert result.column("Path") == [
             "sequential (cycle-accurate)", "batched (lane-packed)",

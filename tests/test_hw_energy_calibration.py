@@ -6,6 +6,7 @@ import pytest
 from repro.approx.functions import get_function
 from repro.approx.pwl import PiecewiseLinear
 from repro.approx.quantize import QuantizedPwl
+from repro.core.config import NovaConfig
 from repro.core.vector_unit import NovaVectorUnit
 from repro.eval.paper_data import TABLE2_CONFIGS, TABLE3_OVERHEAD
 from repro.hw.calibration import CALIBRATION_FACTORS, calibrated_cost
@@ -62,7 +63,9 @@ class TestSimulationVsClosedForm:
         table = QuantizedPwl(PiecewiseLinear.fit(spec.fn, spec.domain, 16))
         n_routers, neurons = 4, 16
         unit = NovaVectorUnit(
-            table, n_routers, neurons, pe_frequency_ghz=1.0, hop_mm=1.0
+            table,
+            NovaConfig(n_routers=n_routers, neurons_per_router=neurons,
+                       pe_frequency_ghz=1.0, hop_mm=1.0),
         )
         n_batches = 10
         xs = np.random.default_rng(0).normal(0, 3, size=(n_batches, n_routers, neurons))

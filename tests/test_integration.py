@@ -14,6 +14,7 @@ from repro.approx.functions import get_function
 from repro.approx.nnlut_mlp import train_nnlut_mlp
 from repro.approx.quantize import QuantizedPwl
 from repro.approx.softmax import approx_softmax, exact_softmax
+from repro.core.config import NovaConfig
 from repro.core.vector_unit import NovaVectorUnit
 from repro.luts.per_core import PerCoreLutUnit
 from repro.luts.per_neuron import PerNeuronLutUnit
@@ -39,7 +40,9 @@ class TestCompileToHardwareFlow:
 
     def test_three_implementations_bit_identical(self, gelu_table):
         x = activation_trace(4 * 32, scale=2.5, seed=1).reshape(4, 32)
-        nova = NovaVectorUnit(gelu_table, 4, 32, pe_frequency_ghz=1.0)
+        nova = NovaVectorUnit(gelu_table, NovaConfig(
+            n_routers=4, neurons_per_router=32, pe_frequency_ghz=1.0,
+            hop_mm=1.0))
         pn = PerNeuronLutUnit(gelu_table, 4, 32)
         pc = PerCoreLutUnit(gelu_table, 4, 32)
         golden = gelu_table.evaluate(x)
@@ -50,8 +53,9 @@ class TestCompileToHardwareFlow:
     def test_equal_latency(self, gelu_table):
         # §V-B: both LUT baselines and NOVA present the same 2-cycle latency
         x = np.zeros((4, 32))
-        nova = NovaVectorUnit(gelu_table, 4, 32, pe_frequency_ghz=1.4,
-                              hop_mm=0.5)
+        nova = NovaVectorUnit(gelu_table, NovaConfig(
+            n_routers=4, neurons_per_router=32, pe_frequency_ghz=1.4,
+            hop_mm=0.5))
         pn = PerNeuronLutUnit(gelu_table, 4, 32)
         assert (nova.approximate(x).latency_pe_cycles
                 == pn.approximate(x).latency_pe_cycles == 2)
@@ -59,8 +63,9 @@ class TestCompileToHardwareFlow:
     def test_accuracy_unaffected_by_implementation(self, exp_table):
         """Softmax through the cycle-accurate NOVA == functional approx."""
         logits = attention_logit_trace(64 * 8, seq_len=64, seed=2).reshape(8, 64)
-        unit = NovaVectorUnit(exp_table, 8, 64, pe_frequency_ghz=1.4,
-                              hop_mm=0.5)
+        unit = NovaVectorUnit(exp_table, NovaConfig(
+            n_routers=8, neurons_per_router=64, pe_frequency_ghz=1.4,
+            hop_mm=0.5))
         hw_exp = unit.approximate(logits).outputs
         hw_softmax = np.maximum(hw_exp, 0.0)
         hw_softmax = hw_softmax / hw_softmax.sum(axis=-1, keepdims=True)
@@ -75,8 +80,9 @@ class TestAttentionOnSystolicHost:
         from repro.core.overlay import SystolicOverlay
 
         n_mxus, cols, rows = 4, 64, 16
-        unit = NovaVectorUnit(exp_table, n_mxus, cols, pe_frequency_ghz=1.4,
-                              hop_mm=0.5)
+        unit = NovaVectorUnit(exp_table, NovaConfig(
+            n_routers=n_mxus, neurons_per_router=cols,
+            pe_frequency_ghz=1.4, hop_mm=0.5))
         overlay = SystolicOverlay(unit=unit, systolic_cols=cols)
         logits = attention_logit_trace(
             rows * n_mxus * cols, seq_len=cols, seed=3
@@ -97,7 +103,9 @@ class TestEnergyAccountingEndToEnd:
     def test_more_queries_more_energy(self, gelu_table):
         from repro.hw.energy import EnergyModel
 
-        unit = NovaVectorUnit(gelu_table, 2, 8, pe_frequency_ghz=1.0)
+        unit = NovaVectorUnit(gelu_table, NovaConfig(
+            n_routers=2, neurons_per_router=8, pe_frequency_ghz=1.0,
+            hop_mm=1.0))
         model = EnergyModel(n_segments=16, hop_mm=1.0)
         short = unit.run_stream(np.zeros((2, 2, 8)))
         long = unit.run_stream(np.zeros((8, 2, 8)))
@@ -106,7 +114,9 @@ class TestEnergyAccountingEndToEnd:
         )
 
     def test_nova_spends_no_lut_read_energy(self, gelu_table):
-        unit = NovaVectorUnit(gelu_table, 2, 8, pe_frequency_ghz=1.0)
+        unit = NovaVectorUnit(gelu_table, NovaConfig(
+            n_routers=2, neurons_per_router=8, pe_frequency_ghz=1.0,
+            hop_mm=1.0))
         stream = unit.run_stream(np.zeros((3, 2, 8)))
         assert stream.counters.get("lut_read") == 0
         assert stream.counters.get("wire_hop") > 0
@@ -153,7 +163,9 @@ def test_equivalence_property_across_geometries(
     rng = np.random.default_rng(seed)
     x = rng.uniform(-10, 10, size=(n_routers, neurons))
     golden = table.evaluate(x)
-    nova = NovaVectorUnit(table, n_routers, neurons, pe_frequency_ghz=0.5)
+    nova = NovaVectorUnit(table, NovaConfig(
+        n_routers=n_routers, neurons_per_router=neurons,
+        pe_frequency_ghz=0.5, hop_mm=1.0))
     pn = PerNeuronLutUnit(table, n_routers, neurons)
     pc = PerCoreLutUnit(table, n_routers, neurons)
     assert np.array_equal(nova.approximate(x).outputs, golden)

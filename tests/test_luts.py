@@ -131,11 +131,14 @@ class TestCrossUnitEquivalence:
     """NOVA and both LUT baselines implement the same function, bit-exact."""
 
     def test_all_three_agree(self):
+        from repro.core.config import NovaConfig
         from repro.core.vector_unit import NovaVectorUnit
 
         table = make_table()
         x = np.random.default_rng(4).normal(0, 3, size=(4, 8))
-        nova = NovaVectorUnit(table, 4, 8, pe_frequency_ghz=1.0)
+        nova = NovaVectorUnit(table, NovaConfig(
+            n_routers=4, neurons_per_router=8, pe_frequency_ghz=1.0,
+            hop_mm=1.0))
         pn = PerNeuronLutUnit(table, 4, 8)
         pc = PerCoreLutUnit(table, 4, 8)
         out_nova = nova.approximate(x).outputs

@@ -34,6 +34,7 @@ def test_top_level_quickstart_path():
     from repro import (
         get_function,
         train_nnlut_mlp,
+        NovaConfig,
         QuantizedPwl,
         NovaVectorUnit,
     )
@@ -41,8 +42,9 @@ def test_top_level_quickstart_path():
     spec = get_function("gelu")
     mlp = train_nnlut_mlp(spec, n_segments=8, seed=0, epochs=20)
     table = QuantizedPwl(mlp.to_piecewise_linear(n_segments=8))
-    unit = NovaVectorUnit(table, n_routers=2, neurons_per_router=4,
-                          pe_frequency_ghz=1.0)
+    unit = NovaVectorUnit(table, NovaConfig(
+        n_routers=2, neurons_per_router=4, pe_frequency_ghz=1.0,
+        hop_mm=1.0))
     import numpy as np
 
     result = unit.approximate(np.zeros((2, 4)))
