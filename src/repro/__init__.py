@@ -61,6 +61,10 @@ from repro.core import (
     PRESETS,
     preset,
     NovaVectorUnit,
+    NovaDecodeEngine,
+    DecodeRequest,
+    KVCache,
+    ContinuousBatchScheduler,
     NovaMapper,
     NovaNoc,
     NovaRouter,
@@ -99,6 +103,10 @@ __all__ = [
     "PRESETS",
     "preset",
     "NovaVectorUnit",
+    "NovaDecodeEngine",
+    "DecodeRequest",
+    "KVCache",
+    "ContinuousBatchScheduler",
     "NovaMapper",
     "NovaNoc",
     "NovaRouter",

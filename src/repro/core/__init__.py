@@ -51,6 +51,19 @@ from repro.core.batched_attention import (
     BatchedAttentionResult,
     BatchedNovaAttentionEngine,
 )
+from repro.core.decode import (
+    KVCache,
+    KVCacheOverflow,
+    DecodeRequest,
+    DecodeState,
+    DecodeStepResult,
+    CausalPrefillResult,
+    DecodeResult,
+    GenerateResult,
+    NovaDecodeEngine,
+    ContinuousBatchScheduler,
+    ContinuousBatchResult,
+)
 from repro.core.session import NovaSession
 from repro.core.streaming import StreamingLine, ObservationLog
 
@@ -83,6 +96,17 @@ __all__ = [
     "AttentionRequest",
     "BatchedAttentionResult",
     "BatchedNovaAttentionEngine",
+    "KVCache",
+    "KVCacheOverflow",
+    "DecodeRequest",
+    "DecodeState",
+    "DecodeStepResult",
+    "CausalPrefillResult",
+    "DecodeResult",
+    "GenerateResult",
+    "NovaDecodeEngine",
+    "ContinuousBatchScheduler",
+    "ContinuousBatchResult",
     "StreamingLine",
     "ObservationLog",
 ]

@@ -46,6 +46,13 @@ Per-call results report only the events of that call: the engine
 snapshots its units' lifetime counters around each layer, so invoking
 :meth:`NovaAttentionEngine.attention_layer` repeatedly yields counters
 that sum to the lifetime totals instead of double-counting earlier calls.
+The same discipline holds across the whole engine family — the batched
+engine's per-request closed-form counters and the decode engine's
+per-step counters (:mod:`repro.core.decode`) sum to their unit's
+lifetime totals, and compile-time work is never re-counted: tables are
+compiled once at construction through the process-wide cache, so a
+decode loop of any length adds zero table-cache misses (pinned by
+``tests/test_decode.py``).
 """
 
 from __future__ import annotations

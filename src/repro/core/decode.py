@@ -1,0 +1,1078 @@
+"""Autoregressive decode on the NOVA overlay: KV cache + continuous batching.
+
+The paper motivates NOVA with attention-heavy inference, and the serving
+regime that dominates such traffic is not full-prefill attention but
+token-by-token *decode* over a KV cache: each new token attends to every
+cached key/value pair, so the softmax runs over exactly one row per head
+per step.  This module opens that workload on the same cycle/event-exact
+hardware model the prefill engines use:
+
+* :class:`KVCache` — a per-request key/value cache with append, optional
+  sliding-window eviction, and page recycling (``reset``).
+* :class:`NovaDecodeEngine` — incremental single-token attention
+  (``decode_step``) plus a causal packed prefill (``prefill``) and a
+  self-feeding ``generate`` loop, built directly on top of
+  :class:`~repro.core.batched_attention.BatchedNovaAttentionEngine`'s
+  shared-table machinery: one physical
+  :class:`~repro.core.vector_unit.NovaVectorUnit` serves the softmax
+  exponential and the normaliser reciprocal by table retargeting, and
+  per-request costs come from the same closed-form sequential-equivalent
+  accounting the batched engine uses.
+* :class:`ContinuousBatchScheduler` — Orca-style continuous batching:
+  every scheduler step packs the prefill rows of newly admitted requests
+  *and* the decode rows of in-flight requests into a single lane stream
+  through the shared overlay; requests join and leave the batch between
+  steps and their cache pages are recycled through a pool.
+
+Bit-exactness contract
+----------------------
+Token-by-token decode, the packed causal prefill and the continuous
+batcher all produce **bit-identical** probabilities and outputs for the
+same causal sequence.  This holds by construction, for the same reason
+the batched engine matches the sequential engine: there is a single copy
+of every numerically sensitive step.  Per token, both paths run
+
+1. :func:`project_token` — the token's q/k/v projections (vector-matrix,
+   the decode-granularity GEMM),
+2. :func:`scores_for_query` — scaled dot-products against the cached
+   keys (same cache layout, hence same strides, in every path),
+3. the hardware exponential (elementwise through the shared table — the
+   output of each query is independent of how queries are packed into
+   lane batches),
+4. :func:`~repro.core.attention.softmax_reduction` /
+   :func:`~repro.core.attention.assemble_probabilities` on the token's
+   own ``(heads, kv_len)`` row, and
+5. :func:`context_for_query` — the context GEMV over a contiguous
+   snapshot of the cached values.
+
+Cycle/counter accounting mirrors the batched engine: each
+prefill/decode *job* reports the sequential-equivalent cost a dedicated
+engine invocation would charge (closed form, including tail padding and
+the address-dependent ``tag_match`` count), while batch-level results
+additionally report what the shared overlay actually spent — the gap is
+the continuous-batching win.
+
+Tables are compiled once at engine construction through the process-wide
+:mod:`repro.approx.table_cache`; decode steps only *retarget* the unit
+(free on NOVA — the table lives on the wires), so running any number of
+steps performs zero additional table compilations
+(:func:`repro.approx.table_cache.table_cache_info` is pinned flat across
+steps by the test suite).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.quantize import beat_of_address
+from repro.core.attention import (
+    assemble_probabilities,
+    shift_scores,
+    softmax_reduction,
+)
+from repro.core.batched_attention import (
+    AttentionRequest,
+    BatchedNovaAttentionEngine,
+)
+from repro.noc.stats import EventCounters
+
+__all__ = [
+    "KVCache",
+    "KVCacheOverflow",
+    "DecodeRequest",
+    "DecodeState",
+    "DecodeStepResult",
+    "CausalPrefillResult",
+    "DecodeResult",
+    "GenerateResult",
+    "NovaDecodeEngine",
+    "ContinuousBatchScheduler",
+    "ContinuousBatchResult",
+    "project_token",
+    "scores_for_query",
+    "context_for_query",
+]
+
+
+class KVCacheOverflow(RuntimeError):
+    """Appending to a full :class:`KVCache` that has no eviction window."""
+
+
+class KVCache:
+    """Per-request key/value cache for autoregressive decode.
+
+    Storage is preallocated at ``(n_heads, capacity, head_dim)`` so an
+    append is a row write, never a reallocation — the software analogue
+    of a fixed cache page.  ``window=None`` (the default) makes the
+    capacity hard: appending to a full cache raises
+    :class:`KVCacheOverflow`.  ``window=w`` caps the cache at the last
+    ``w`` tokens instead (sliding-window attention): the oldest entry is
+    evicted to make room and ``start_position`` advances, so the cache
+    always holds positions ``[start_position, start_position + length)``.
+
+    ``reset()`` returns the page to its empty state without touching the
+    allocation, which is what lets
+    :class:`ContinuousBatchScheduler` recycle pages across requests.
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        head_dim: int,
+        capacity: int,
+        window: int | None = None,
+    ) -> None:
+        if n_heads < 1:
+            raise ValueError(f"n_heads must be >= 1, got {n_heads}")
+        if head_dim < 1:
+            raise ValueError(f"head_dim must be >= 1, got {head_dim}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            if window > capacity:
+                raise ValueError(
+                    f"window ({window}) cannot exceed capacity ({capacity})"
+                )
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.capacity = capacity
+        self.window = window
+        self._k = np.zeros((n_heads, capacity, head_dim))
+        self._v = np.zeros((n_heads, capacity, head_dim))
+        self.length = 0
+        self.start_position = 0
+        self.evictions = 0
+
+    @property
+    def limit(self) -> int:
+        """Maximum entries held at once (``window`` if set, else capacity)."""
+        return self.capacity if self.window is None else self.window
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the valid cached keys, ``(n_heads, length, head_dim)``."""
+        return self._k[:, : self.length]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the valid cached values, ``(n_heads, length, head_dim)``."""
+        return self._v[:, : self.length]
+
+    def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
+        """Append one token's per-head key/value rows.
+
+        ``k_t``/``v_t`` have shape ``(n_heads, head_dim)``.  A full
+        windowed cache evicts its oldest entry first; a full hard-capacity
+        cache raises :class:`KVCacheOverflow`.
+        """
+        expected = (self.n_heads, self.head_dim)
+        k_t = np.asarray(k_t, dtype=np.float64)
+        v_t = np.asarray(v_t, dtype=np.float64)
+        if k_t.shape != expected or v_t.shape != expected:
+            raise ValueError(
+                f"expected per-token k/v of shape {expected}, got "
+                f"{k_t.shape} / {v_t.shape}"
+            )
+        if self.length == self.limit:
+            if self.window is None:
+                raise KVCacheOverflow(
+                    f"KV cache full at capacity {self.capacity} "
+                    f"(position {self.start_position + self.length}); "
+                    "set a window for sliding eviction or raise "
+                    "max_seq_len"
+                )
+            self.evict(1)
+        self._k[:, self.length] = k_t
+        self._v[:, self.length] = v_t
+        self.length += 1
+
+    def evict(self, n: int) -> None:
+        """Drop the ``n`` oldest cached tokens (advances ``start_position``)."""
+        if not 0 <= n <= self.length:
+            raise ValueError(
+                f"cannot evict {n} of {self.length} cached tokens"
+            )
+        if n == 0:
+            return
+        keep = self.length - n
+        self._k[:, :keep] = self._k[:, n : self.length]
+        self._v[:, :keep] = self._v[:, n : self.length]
+        self.length = keep
+        self.start_position += n
+        self.evictions += n
+
+    def reset(self) -> None:
+        """Empty the cache in place (page recycling; allocation kept)."""
+        self.length = 0
+        self.start_position = 0
+        self.evictions = 0
+
+    def matches(self, n_heads: int, head_dim: int, capacity: int,
+                window: int | None) -> bool:
+        """Whether this page can serve a request with the given geometry."""
+        return (
+            self.n_heads == n_heads
+            and self.head_dim == head_dim
+            and self.capacity == capacity
+            and self.window == window
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KVCache({self.n_heads} heads x {self.capacity} x "
+            f"{self.head_dim}, length={self.length}"
+            + (f", window={self.window}" if self.window is not None else "")
+            + ")"
+        )
+
+
+@dataclass(frozen=True)
+class DecodeRequest(AttentionRequest):
+    """One autoregressive decode request: a prompt plus a token budget.
+
+    Extends :class:`~repro.core.batched_attention.AttentionRequest` (its
+    ``x`` is the prompt embedding matrix) with the decode contract:
+
+    * ``max_new_tokens`` — tokens to generate after the prompt,
+    * ``max_seq_len`` — KV-cache capacity (defaults to
+      ``prompt + max_new_tokens``); a request that cannot fit raises at
+      :meth:`NovaDecodeEngine.start`,
+    * ``window`` — optional sliding-window attention span (evicts the
+      oldest cache entry instead of overflowing),
+    * ``causal`` — decode is only defined for causal attention; the
+      engines reject ``causal=False`` requests.
+    """
+
+    max_new_tokens: int = 0
+    max_seq_len: int | None = None
+    window: int | None = None
+    causal: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_new_tokens < 0:
+            raise ValueError(
+                f"max_new_tokens must be >= 0, got {self.max_new_tokens}"
+            )
+        if self.max_seq_len is not None and self.max_seq_len < 1:
+            raise ValueError(
+                f"max_seq_len must be >= 1, got {self.max_seq_len}"
+            )
+        if self.window is not None:
+            if self.window < 1:
+                raise ValueError(f"window must be >= 1, got {self.window}")
+            if self.max_seq_len is not None and self.window > self.max_seq_len:
+                raise ValueError(
+                    f"window ({self.window}) cannot exceed max_seq_len "
+                    f"({self.max_seq_len})"
+                )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head projection width."""
+        return self.hidden // self.n_heads
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt tokens plus the generation budget."""
+        return self.seq + self.max_new_tokens
+
+    @property
+    def capacity(self) -> int:
+        """KV-cache capacity this request needs."""
+        if self.window is not None:
+            return self.window
+        if self.max_seq_len is not None:
+            return self.max_seq_len
+        return self.total_tokens
+
+
+# ----------------------------------------------------------------------
+# Per-token host numerics shared by every decode path.
+#
+# As in repro.core.attention: the decode-vs-prefill (and one-at-a-time
+# vs continuously-batched) bit-exactness contract holds by construction
+# only because there is a single copy of each step, operating on the
+# same shapes in every path.
+# ----------------------------------------------------------------------
+
+
+def project_token(
+    x_t: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    n_heads: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One token's q/k/v projections, split by head.
+
+    ``x_t`` is ``(hidden,)``; returns ``(q, k, v)`` each of shape
+    ``(n_heads, head_dim)``.  This vector-matrix form is the decode
+    granularity; the causal prefill uses it too so that every path
+    produces bit-identical projections.
+    """
+    hidden = x_t.shape[0]
+    head_dim = hidden // n_heads
+    q = (x_t @ wq).reshape(n_heads, head_dim)
+    k = (x_t @ wk).reshape(n_heads, head_dim)
+    v = (x_t @ wv).reshape(n_heads, head_dim)
+    return q, k, v
+
+
+def scores_for_query(q: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Scaled attention scores of one query against the cached keys.
+
+    ``q`` is ``(n_heads, head_dim)``, ``keys`` is
+    ``(n_heads, kv_len, head_dim)``; returns ``(n_heads, kv_len)``.
+    """
+    head_dim = q.shape[-1]
+    return (keys @ q[:, :, None])[:, :, 0] / np.sqrt(head_dim)
+
+
+def context_for_query(probs: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Merged per-token attention context.
+
+    ``probs`` is ``(n_heads, kv_len)``, ``values`` a *contiguous*
+    ``(n_heads, kv_len, head_dim)`` snapshot; returns the head-merged
+    ``(n_heads * head_dim,)`` context row.
+    """
+    context = (probs[:, None, :] @ values)[:, 0, :]
+    return context.reshape(-1)
+
+
+# ----------------------------------------------------------------------
+# Results.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DecodeStepResult:
+    """One decoded token through the overlay.
+
+    ``probabilities`` spans the KV cache at this step
+    (``(n_heads, kv_length)``); ``position`` is the token's absolute
+    index in the sequence.  ``vector_cycles`` / ``counters`` are the
+    sequential-equivalent cost a dedicated engine invocation would
+    charge for exactly this step (tail padding included).
+    """
+
+    output: np.ndarray            # (hidden,)
+    probabilities: np.ndarray     # (n_heads, kv_length)
+    position: int
+    kv_length: int
+    vector_cycles: int
+    nonlinear_queries: int
+    counters: EventCounters
+
+
+@dataclass(frozen=True)
+class CausalPrefillResult:
+    """The packed causal prefill of one prompt.
+
+    ``probabilities[h, t, :]`` holds row ``t``'s attention weights over
+    the cached span, zero elsewhere (upper triangle and, under a sliding
+    window, evicted columns).  ``vector_cycles`` is the packed cost of
+    the whole prefill — one exp stream and one reciprocal stream.
+    """
+
+    outputs: np.ndarray           # (prompt_len, hidden)
+    probabilities: np.ndarray     # (n_heads, prompt_len, prompt_len)
+    vector_cycles: int
+    nonlinear_queries: int
+    counters: EventCounters
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """A sequence decoded token by token (the pure decode regime)."""
+
+    steps: tuple[DecodeStepResult, ...]
+    outputs: np.ndarray           # (n_tokens, hidden)
+    vector_cycles: int
+    counters: EventCounters
+
+    @property
+    def n_tokens(self) -> int:
+        """Tokens decoded."""
+        return len(self.steps)
+
+    @property
+    def cycles_per_token(self) -> float:
+        """Mean vector cycles per decoded token."""
+        return self.vector_cycles / max(1, self.n_tokens)
+
+
+@dataclass(frozen=True)
+class GenerateResult:
+    """Prefill plus autoregressive generation for one request."""
+
+    prefill: CausalPrefillResult
+    steps: tuple[DecodeStepResult, ...]
+    generated: np.ndarray         # (n_generated, hidden)
+    vector_cycles: int            # prefill + every decode step
+    counters: EventCounters
+
+    @property
+    def n_generated(self) -> int:
+        """Tokens generated after the prompt."""
+        return len(self.steps)
+
+    @property
+    def decode_vector_cycles(self) -> int:
+        """Vector cycles spent in decode steps only."""
+        return self.vector_cycles - self.prefill.vector_cycles
+
+    @property
+    def cycles_per_token(self) -> float:
+        """Mean decode vector cycles per generated token."""
+        return self.decode_vector_cycles / max(1, self.n_generated)
+
+
+class DecodeState:
+    """In-flight decode of one request: its cache and position."""
+
+    def __init__(self, request: DecodeRequest, cache: KVCache) -> None:
+        self.request = request
+        self.cache = cache
+        self.position = 0          # absolute index of the next token
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodeState(position={self.position}, cache={self.cache!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Job planning/execution internals.
+# ----------------------------------------------------------------------
+
+
+class _TokenPlan:
+    """Host-side state of one planned token, awaiting the hardware exp."""
+
+    __slots__ = (
+        "position", "span_start", "shifted", "n_exp",
+        "numer", "exponent", "_values", "_cache", "_kv_len",
+    )
+
+    def __init__(self, position, span_start, shifted, *, values=None,
+                 cache=None, kv_len=None):
+        self.position = position
+        self.span_start = span_start
+        self.shifted = shifted      # (heads, kv_len), max-subtracted scores
+        self.n_exp = shifted.size
+        self._values = values       # eager contiguous snapshot (windowed)
+        self._cache = cache         # deferred snapshot source (append-only)
+        self._kv_len = kv_len
+
+    def take_values(self) -> np.ndarray:
+        """The contiguous ``(heads, kv_len, head_dim)`` value snapshot
+        this token attends to.
+
+        Windowed caches shift on eviction, so their snapshot is copied
+        eagerly at plan time.  Append-only caches (``window=None``)
+        never mutate rows ``< kv_len`` between planning and execution
+        (jobs always execute in the same step they were planned), so
+        the copy is deferred to use — one ``O(kv_len)`` allocation live
+        at a time instead of ``O(prompt_len^2)`` held across a whole
+        prefill job.  Both forms produce byte-identical arrays, so the
+        bit-exactness contract is unaffected.
+        """
+        if self._values is not None:
+            return self._values
+        return self._cache._v[:, : self._kv_len].copy()
+
+    def release(self) -> None:
+        self.numer = self.shifted = None
+        self._values = self._cache = None
+
+
+class _Job:
+    """One engine-invocation-equivalent unit of work (prefill or step)."""
+
+    __slots__ = ("state", "kind", "tokens")
+
+    def __init__(self, state: DecodeState, kind: str,
+                 tokens: list[_TokenPlan]):
+        self.state = state
+        self.kind = kind            # "prefill" | "step"
+        self.tokens = tokens
+
+
+class _JobResult:
+    """Per-job outcome: one entry per token plus sequential-equivalent cost."""
+
+    __slots__ = (
+        "job", "probabilities", "outputs", "vector_cycles",
+        "nonlinear_queries", "counters",
+    )
+
+    def __init__(self, job, probabilities, outputs, vector_cycles,
+                 nonlinear_queries, counters):
+        self.job = job
+        self.probabilities = probabilities  # list[(heads, kv_len)]
+        self.outputs = outputs              # list[(hidden,)]
+        self.vector_cycles = vector_cycles
+        self.nonlinear_queries = nonlinear_queries
+        self.counters = counters
+
+
+class NovaDecodeEngine(BatchedNovaAttentionEngine):
+    """KV-cached autoregressive decode on one shared NOVA overlay.
+
+    Built directly on the batched engine's machinery: a single
+    :class:`~repro.core.vector_unit.NovaVectorUnit` serves the softmax
+    exponential and the normaliser reciprocal by table retargeting, the
+    tables come from the process-wide compiled-table cache, and
+    per-request cost accounting reuses the closed-form
+    sequential-equivalent counters.  Constructor interface matches the
+    other engines (a :class:`~repro.core.config.NovaConfig`, a Table II
+    preset name, or legacy kwargs with a ``DeprecationWarning``).
+
+    Three entry points, all bit-exact against one another:
+
+    * :meth:`prefill` — the whole prompt, packed into one exp stream and
+      one reciprocal stream (the efficient way in);
+    * :meth:`decode_step` — one token against the KV cache;
+    * :meth:`generate` — prefill then a self-feeding decode loop (the
+      attention output of the last position is the next token's
+      embedding; with a single attention layer and no vocabulary this is
+      the serving-shaped closed loop the benchmarks measure).
+    """
+
+    # ------------------------------------------------------------------
+    # Request lifecycle.
+    # ------------------------------------------------------------------
+
+    def validate_request(self, request: DecodeRequest) -> None:
+        """Reject requests the decode path cannot serve.
+
+        Raises ``TypeError`` for non-:class:`DecodeRequest` inputs,
+        ``ValueError`` for non-causal requests and
+        :class:`KVCacheOverflow` for a request whose prompt + budget
+        cannot fit its cache capacity (and that has no sliding window).
+        """
+        if not isinstance(request, DecodeRequest):
+            raise TypeError(
+                "decode needs a DecodeRequest (see "
+                "repro.workloads.decode_request); got "
+                f"{type(request).__name__}"
+            )
+        if not request.causal:
+            raise ValueError(
+                "the decode path is causal by definition: token t can only "
+                "attend to the KV cache of tokens <= t; got a request with "
+                "causal=False (build it from a TransformerConfig with "
+                "causal=True)"
+            )
+        if request.window is None and request.total_tokens > request.capacity:
+            raise KVCacheOverflow(
+                f"request needs {request.total_tokens} cache slots "
+                f"({request.seq} prompt + {request.max_new_tokens} new) but "
+                f"max_seq_len is {request.capacity}; shorten the request, "
+                "raise max_seq_len, or set a sliding window"
+            )
+
+    def start(
+        self, request: DecodeRequest, cache: KVCache | None = None
+    ) -> DecodeState:
+        """Open a decode state for ``request``.
+
+        ``cache`` optionally recycles an existing page of matching
+        geometry (it is reset); by default a fresh :class:`KVCache` of
+        ``request.capacity`` entries is allocated.
+        """
+        self.validate_request(request)
+        if cache is None:
+            cache = KVCache(
+                request.n_heads, request.head_dim, request.capacity,
+                window=request.window,
+            )
+        else:
+            if not cache.matches(
+                request.n_heads, request.head_dim, request.capacity,
+                request.window,
+            ):
+                raise ValueError(
+                    f"recycled cache page {cache!r} does not match the "
+                    f"request geometry ({request.n_heads} heads x "
+                    f"{request.capacity} x {request.head_dim}, "
+                    f"window={request.window})"
+                )
+            cache.reset()
+        return DecodeState(request=request, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Planning: host math up to (and excluding) the hardware exp.
+    # ------------------------------------------------------------------
+
+    def _plan_token(self, state: DecodeState, x_t: np.ndarray) -> _TokenPlan:
+        """Project one token, append to the cache, stage its softmax row."""
+        req = state.request
+        x_t = np.asarray(x_t, dtype=np.float64).reshape(-1)
+        if x_t.shape[0] != req.hidden:
+            raise ValueError(
+                f"token embedding must have hidden width {req.hidden}, "
+                f"got {x_t.shape[0]}"
+            )
+        q, k, v = project_token(x_t, req.wq, req.wk, req.wv, req.n_heads)
+        state.cache.append(k, v)
+        scores = scores_for_query(q, state.cache.keys)
+        # The context GEMV runs on a contiguous snapshot of the cached
+        # values (copying pins both the values and the exact memory
+        # layout every path sees); see _TokenPlan.take_values for when
+        # that copy is eager vs deferred.
+        if state.cache.window is None:
+            snapshot = dict(cache=state.cache, kv_len=state.cache.length)
+        else:
+            snapshot = dict(values=state.cache.values.copy())
+        plan = _TokenPlan(
+            position=state.position,
+            span_start=state.cache.start_position,
+            shifted=shift_scores(scores),
+            **snapshot,
+        )
+        state.position += 1
+        return plan
+
+    def _plan_prefill(self, state: DecodeState) -> _Job:
+        """Stage the whole prompt as one job (packed hardware streams)."""
+        if state.position != 0 or state.cache.length != 0:
+            raise RuntimeError(
+                "prefill must run on a fresh DecodeState (position "
+                f"{state.position}, {state.cache.length} cached tokens)"
+            )
+        tokens = [
+            self._plan_token(state, row) for row in state.request.x
+        ]
+        return _Job(state, "prefill", tokens)
+
+    def _plan_step(self, state: DecodeState, x_t: np.ndarray) -> _Job:
+        """Stage one decode token as its own job."""
+        return _Job(state, "step", [self._plan_token(state, x_t)])
+
+    # ------------------------------------------------------------------
+    # Execution: the two packed hardware phases plus host assembly.
+    # ------------------------------------------------------------------
+
+    def _execute(self, jobs: Sequence[_Job]) -> tuple[list[_JobResult], int]:
+        """Run staged jobs through the shared overlay.
+
+        All jobs' exponentials form one packed lane stream, then all
+        jobs' reciprocals form another — this is the fusion that lets
+        the continuous batcher interleave prefill and decode rows across
+        lanes.  Returns ``(results, packed_vector_cycles)``; per-job
+        costs are sequential-equivalent (closed form).
+        """
+        if not jobs:
+            return [], 0
+        lanes = self.n_lanes
+
+        # Phase 1: every job's exponentials in one stream.
+        exp_flat = np.concatenate(
+            [t.shifted.reshape(-1) for j in jobs for t in j.tokens]
+        )
+        exp_out, exp_batches, exp_addr = self._run_packed("exp", exp_flat)
+        exp_n_beats = self._schedule_for("exp").n_beats
+        offset = 0
+        job_exp: list[tuple[int, int]] = []
+        for job in jobs:
+            job_start = offset
+            for token in job.tokens:
+                raw = exp_out[offset : offset + token.n_exp].reshape(
+                    token.shifted.shape
+                )
+                token.numer, mantissa, token.exponent = softmax_reduction(raw)
+                token.shifted = mantissa  # reuse the slot for the mantissas
+                offset += token.n_exp
+            tag_sum = int(
+                beat_of_address(
+                    exp_addr[job_start:offset], exp_n_beats
+                ).sum()
+            )
+            job_exp.append((offset - job_start, tag_sum))
+
+        # Phase 2: every job's normaliser reciprocals in one stream.
+        recip_flat = np.concatenate(
+            [t.shifted.reshape(-1) for j in jobs for t in j.tokens]
+        )
+        recip_out, recip_batches, recip_addr = self._run_packed(
+            "reciprocal", recip_flat
+        )
+        recip_n_beats = self._schedule_for("reciprocal").n_beats
+        offset = 0
+        results: list[_JobResult] = []
+        for job, (n_exp, exp_tag_sum) in zip(jobs, job_exp):
+            probabilities, outputs = [], []
+            job_start = offset
+            for token in job.tokens:
+                mantissa = token.shifted
+                inv = recip_out[offset : offset + mantissa.size].reshape(
+                    mantissa.shape
+                )
+                offset += mantissa.size
+                probs = assemble_probabilities(
+                    token.numer, inv, token.exponent
+                )
+                context = context_for_query(probs, token.take_values())
+                probabilities.append(probs)
+                outputs.append(context @ job.state.request.wo)
+                token.release()
+            n_recip = offset - job_start
+            recip_tag_sum = int(
+                beat_of_address(
+                    recip_addr[job_start:offset], recip_n_beats
+                ).sum()
+            )
+            results.append(
+                _JobResult(
+                    job=job,
+                    probabilities=probabilities,
+                    outputs=outputs,
+                    vector_cycles=(
+                        -(-n_exp // lanes) + -(-n_recip // lanes)
+                    ),
+                    nonlinear_queries=n_exp + n_recip,
+                    counters=self._sequential_request_counters(
+                        {
+                            "exp": (n_exp, exp_tag_sum),
+                            "reciprocal": (n_recip, recip_tag_sum),
+                        }
+                    ),
+                )
+            )
+        return results, exp_batches + recip_batches
+
+    # ------------------------------------------------------------------
+    # Result wrapping.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wrap_prefill(result: _JobResult) -> CausalPrefillResult:
+        job = result.job
+        req = job.state.request
+        prompt_len = len(job.tokens)
+        probabilities = np.zeros((req.n_heads, prompt_len, prompt_len))
+        for token, probs in zip(job.tokens, result.probabilities):
+            span = probs.shape[-1]
+            start = token.span_start
+            probabilities[:, token.position, start : start + span] = probs
+        return CausalPrefillResult(
+            outputs=np.stack(result.outputs),
+            probabilities=probabilities,
+            vector_cycles=result.vector_cycles,
+            nonlinear_queries=result.nonlinear_queries,
+            counters=result.counters,
+        )
+
+    @staticmethod
+    def _wrap_step(result: _JobResult) -> DecodeStepResult:
+        (token,) = result.job.tokens
+        (probs,) = result.probabilities
+        (output,) = result.outputs
+        return DecodeStepResult(
+            output=output,
+            probabilities=probs,
+            position=token.position,
+            kv_length=probs.shape[-1],
+            vector_cycles=result.vector_cycles,
+            nonlinear_queries=result.nonlinear_queries,
+            counters=result.counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Public execution modes.
+    # ------------------------------------------------------------------
+
+    def prefill(self, state: DecodeState) -> CausalPrefillResult:
+        """Run the prompt through the cache as one packed causal job."""
+        (result,), _ = self._execute([self._plan_prefill(state)])
+        return self._wrap_prefill(result)
+
+    def decode_step(
+        self, state: DecodeState, x_t: np.ndarray
+    ) -> DecodeStepResult:
+        """Decode one token: append to the cache, attend, project out."""
+        (result,), _ = self._execute([self._plan_step(state, x_t)])
+        return self._wrap_step(result)
+
+    def decode(self, request: DecodeRequest) -> DecodeResult:
+        """Decode the prompt token by token (the pure decode regime).
+
+        Every prompt token goes through :meth:`decode_step` with its own
+        per-step hardware streams — the path the golden equivalence test
+        compares bit-for-bit against :meth:`prefill`.
+        """
+        state = self.start(request)
+        before = self.unit._lifetime_counters()
+        steps = [self.decode_step(state, row) for row in request.x]
+        return DecodeResult(
+            steps=tuple(steps),
+            outputs=np.stack([s.output for s in steps]),
+            vector_cycles=sum(s.vector_cycles for s in steps),
+            counters=self.unit._lifetime_counters().diff(before),
+        )
+
+    def generate(
+        self,
+        request: DecodeRequest,
+        max_new_tokens: int | None = None,
+        state: DecodeState | None = None,
+    ) -> GenerateResult:
+        """Prefill the prompt, then generate autoregressively.
+
+        The attention output at the last position feeds back as the next
+        token's embedding (deterministic closed loop — there is no
+        vocabulary at the attention-layer level).  ``max_new_tokens``
+        defaults to the request's budget; ``state`` optionally supplies
+        a pre-opened state (e.g. with a recycled cache page).
+        """
+        new_tokens = (
+            request.max_new_tokens
+            if max_new_tokens is None
+            else max_new_tokens
+        )
+        if new_tokens < 0:
+            raise ValueError(
+                f"max_new_tokens must be >= 0, got {new_tokens}"
+            )
+        # An override larger than the request's own budget must fail at
+        # admission like any other over-long request, not mid-generation.
+        if request.window is None and request.seq + new_tokens > request.capacity:
+            raise KVCacheOverflow(
+                f"generate needs {request.seq + new_tokens} cache slots "
+                f"({request.seq} prompt + {new_tokens} new) but the "
+                f"request's capacity is {request.capacity}; shorten "
+                "max_new_tokens, raise max_seq_len, or set a sliding "
+                "window"
+            )
+        if state is None:
+            state = self.start(request)
+        before = self.unit._lifetime_counters()
+        pre = self.prefill(state)
+        steps: list[DecodeStepResult] = []
+        x_t = pre.outputs[-1]
+        for _ in range(new_tokens):
+            step = self.decode_step(state, x_t)
+            steps.append(step)
+            x_t = step.output
+        generated = (
+            np.stack([s.output for s in steps])
+            if steps
+            else np.zeros((0, request.hidden))
+        )
+        return GenerateResult(
+            prefill=pre,
+            steps=tuple(steps),
+            generated=generated,
+            vector_cycles=pre.vector_cycles
+            + sum(s.vector_cycles for s in steps),
+            counters=self.unit._lifetime_counters().diff(before),
+        )
+
+
+# ----------------------------------------------------------------------
+# Continuous batching.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContinuousBatchResult:
+    """Outcome of a continuously batched decode run.
+
+    ``results[i]`` is bit-identical (outputs, probabilities, per-step
+    sequential-equivalent cycles and counters) to
+    ``engine.generate(requests[i])`` run alone.  ``packed_vector_cycles``
+    is what the shared overlay actually spent across all fused scheduler
+    steps; ``sequential_vector_cycles`` is the sum of the per-request
+    costs — the ratio is the continuous-batching win on the cycle side.
+    ``pages_allocated`` / ``pages_recycled`` are this run's cache-page
+    pool activity (per-run deltas: a reused scheduler still reports
+    ``pages_allocated + pages_recycled == n_requests``).
+    """
+
+    results: tuple[GenerateResult, ...]
+    packed_vector_cycles: int
+    sequential_vector_cycles: int
+    scheduler_steps: int
+    counters: EventCounters
+    pages_allocated: int
+    pages_recycled: int
+
+    @property
+    def n_requests(self) -> int:
+        """Requests served."""
+        return len(self.results)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        """Tokens generated across every request (prompts excluded)."""
+        return sum(r.n_generated for r in self.results)
+
+    @property
+    def packing_speedup(self) -> float:
+        """Sequential vector cycles per packed vector cycle (>= 1)."""
+        if self.packed_vector_cycles == 0:
+            return 1.0
+        return self.sequential_vector_cycles / self.packed_vector_cycles
+
+
+class _Sequence:
+    """Scheduler bookkeeping for one in-flight request."""
+
+    __slots__ = (
+        "index", "request", "state", "remaining", "next_x",
+        "prefill_result", "steps",
+    )
+
+    def __init__(self, index: int, request: DecodeRequest) -> None:
+        self.index = index
+        self.request = request
+        self.state: DecodeState | None = None
+        self.remaining = request.max_new_tokens
+        self.next_x: np.ndarray | None = None
+        self.prefill_result: CausalPrefillResult | None = None
+        self.steps: list[DecodeStepResult] = []
+
+
+class ContinuousBatchScheduler:
+    """Orca-style continuous batching over one :class:`NovaDecodeEngine`.
+
+    Per scheduler step, the prefill rows of newly admitted requests and
+    the decode rows of every in-flight request are fused into a single
+    exp stream and a single reciprocal stream through the shared overlay
+    (:meth:`NovaDecodeEngine._execute`), so lanes that one request would
+    leave as tail padding carry another request's queries.  Requests
+    join as slots free up (``max_active``) and leave the moment their
+    budget is exhausted; their cache pages return to a pool keyed on
+    cache geometry and are recycled for later admissions.
+
+    Outputs are bit-identical to running each request alone through
+    :meth:`NovaDecodeEngine.generate` (checked by the serving
+    experiment before any throughput is reported).
+    """
+
+    def __init__(self, engine: NovaDecodeEngine, max_active: int = 8) -> None:
+        if max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {max_active}")
+        self.engine = engine
+        self.max_active = max_active
+        self._pool: dict[tuple[int, int, int, int | None], list[KVCache]] = {}
+        self.pages_allocated = 0
+        self.pages_recycled = 0
+
+    # -- cache page pool ------------------------------------------------
+
+    def _page_key(self, request: DecodeRequest):
+        return (
+            request.n_heads, request.head_dim, request.capacity,
+            request.window,
+        )
+
+    def _acquire_page(self, request: DecodeRequest) -> KVCache | None:
+        """A recycled page for ``request``, or None to allocate fresh."""
+        pages = self._pool.get(self._page_key(request))
+        if pages:
+            self.pages_recycled += 1
+            return pages.pop()
+        self.pages_allocated += 1
+        return None
+
+    def _release_page(self, cache: KVCache) -> None:
+        cache.reset()
+        key = (cache.n_heads, cache.head_dim, cache.capacity, cache.window)
+        self._pool.setdefault(key, []).append(cache)
+
+    # -- the scheduling loop --------------------------------------------
+
+    def run(
+        self, requests: Sequence[DecodeRequest] | Iterable[DecodeRequest]
+    ) -> ContinuousBatchResult:
+        """Serve every request to completion, continuously batched."""
+        requests = tuple(requests)
+        if not requests:
+            raise ValueError("need at least one decode request")
+        for request in requests:
+            self.engine.validate_request(request)
+
+        engine = self.engine
+        before = engine.unit._lifetime_counters()
+        pages_allocated_before = self.pages_allocated
+        pages_recycled_before = self.pages_recycled
+        waiting = deque(
+            _Sequence(i, request) for i, request in enumerate(requests)
+        )
+        active: list[_Sequence] = []
+        slots: list[GenerateResult | None] = [None] * len(requests)
+        packed_cycles = 0
+        scheduler_steps = 0
+
+        while waiting or active:
+            scheduler_steps += 1
+            jobs: list[_Job] = []
+            joining: list[_Sequence] = []
+            # Admission: fill free lanes with waiting requests' prefills.
+            while waiting and len(active) + len(joining) < self.max_active:
+                seq = waiting.popleft()
+                seq.state = engine.start(
+                    seq.request, cache=self._acquire_page(seq.request)
+                )
+                jobs.append(engine._plan_prefill(seq.state))
+                joining.append(seq)
+            # Decode: one token for every already-active sequence.
+            for seq in active:
+                jobs.append(engine._plan_step(seq.state, seq.next_x))
+
+            results, cycles = engine._execute(jobs)
+            packed_cycles += cycles
+
+            for seq, result in zip(joining + active, results):
+                if seq.prefill_result is None:
+                    seq.prefill_result = engine._wrap_prefill(result)
+                    seq.next_x = seq.prefill_result.outputs[-1]
+                else:
+                    step = engine._wrap_step(result)
+                    seq.steps.append(step)
+                    seq.next_x = step.output
+                    seq.remaining -= 1
+
+            survivors: list[_Sequence] = []
+            for seq in joining + active:
+                if seq.remaining > 0:
+                    survivors.append(seq)
+                    continue
+                self._release_page(seq.state.cache)
+                generated = (
+                    np.stack([s.output for s in seq.steps])
+                    if seq.steps
+                    else np.zeros((0, seq.request.hidden))
+                )
+                counters = seq.prefill_result.counters
+                for step in seq.steps:
+                    counters = counters.merge(step.counters)
+                slots[seq.index] = GenerateResult(
+                    prefill=seq.prefill_result,
+                    steps=tuple(seq.steps),
+                    generated=generated,
+                    vector_cycles=seq.prefill_result.vector_cycles
+                    + sum(s.vector_cycles for s in seq.steps),
+                    counters=counters,
+                )
+            active = survivors
+
+        sequential_cycles = sum(r.vector_cycles for r in slots)
+        return ContinuousBatchResult(
+            results=tuple(slots),
+            packed_vector_cycles=packed_cycles,
+            sequential_vector_cycles=sequential_cycles,
+            scheduler_steps=scheduler_steps,
+            counters=engine.unit._lifetime_counters().diff(before),
+            pages_allocated=self.pages_allocated - pages_allocated_before,
+            pages_recycled=self.pages_recycled - pages_recycled_before,
+        )

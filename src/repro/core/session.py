@@ -1,7 +1,7 @@
 """NovaSession: the one typed front door to every NOVA execution mode.
 
 A session owns one :class:`~repro.core.config.NovaConfig` geometry and
-exposes the three ways this reproduction executes work on it:
+exposes the four ways this reproduction executes work on it:
 
 * :meth:`NovaSession.attention_layer` — the cycle-accurate reference
   (:class:`~repro.core.attention.NovaAttentionEngine`): one request,
@@ -10,6 +10,10 @@ exposes the three ways this reproduction executes work on it:
   (:class:`~repro.core.batched_attention.BatchedNovaAttentionEngine`):
   many requests lane-packed through one shared overlay, bit-exact and
   counter-exact against the reference.
+* :meth:`NovaSession.decode` / :meth:`NovaSession.generate` /
+  :meth:`NovaSession.serve_decode` — autoregressive decode over a KV
+  cache (:class:`~repro.core.decode.NovaDecodeEngine`), one-at-a-time
+  or continuously batched, bit-exact against the causal prefill.
 * :meth:`NovaSession.unit` — raw vector-unit access: a
   :class:`~repro.core.vector_unit.NovaVectorUnit` compiled for any
   registered non-linear function at the session geometry.
@@ -45,6 +49,14 @@ from repro.core.batched_attention import (
     BatchedNovaAttentionEngine,
 )
 from repro.core.config import NovaConfig, as_config
+from repro.core.decode import (
+    ContinuousBatchResult,
+    ContinuousBatchScheduler,
+    DecodeRequest,
+    DecodeResult,
+    GenerateResult,
+    NovaDecodeEngine,
+)
 from repro.core.mapper import NovaMapper
 from repro.core.vector_unit import NovaVectorUnit
 
@@ -65,6 +77,7 @@ class NovaSession:
         self._config = as_config(config)
         self._reference: NovaAttentionEngine | None = None
         self._server: BatchedNovaAttentionEngine | None = None
+        self._decoder: NovaDecodeEngine | None = None
         self._units: dict[str, NovaVectorUnit] = {}
 
     # ------------------------------------------------------------------
@@ -147,7 +160,63 @@ class NovaSession:
         return self.server.attention_batch(requests)
 
     # ------------------------------------------------------------------
-    # Mode 3: raw vector-unit access.
+    # Mode 3: autoregressive decode (KV cache + continuous batching).
+    # ------------------------------------------------------------------
+
+    @property
+    def decoder(self) -> NovaDecodeEngine:
+        """The KV-cached decode engine (built lazily).
+
+        Tables are compiled once when the engine is first built; decode
+        steps only retarget the shared unit, so :meth:`cache_info`'s
+        table-cache misses stay flat no matter how many tokens are
+        decoded (the suite pins this).
+        """
+        if self._decoder is None:
+            self._decoder = NovaDecodeEngine(self._config)
+        return self._decoder
+
+    def decode(self, request: DecodeRequest) -> DecodeResult:
+        """Decode ``request``'s prompt token by token over a KV cache.
+
+        Every token runs as its own incremental step — the pure decode
+        regime, bit-exact against :meth:`NovaDecodeEngine.prefill` for
+        the same causal sequence.  Rejects non-causal requests
+        (``ValueError``): decode is only defined when token ``t``
+        attends to the cache of tokens ``<= t``.
+        """
+        return self.decoder.decode(request)
+
+    def generate(
+        self, request: DecodeRequest, max_new_tokens: int | None = None
+    ) -> GenerateResult:
+        """Prefill the prompt, then generate tokens autoregressively.
+
+        ``max_new_tokens`` defaults to the request's own budget.  The
+        attention output at the last position feeds back as the next
+        token's embedding (there is no vocabulary at the
+        attention-layer level).  Rejects non-causal requests.
+        """
+        return self.decoder.generate(request, max_new_tokens=max_new_tokens)
+
+    def serve_decode(
+        self,
+        requests: Sequence[DecodeRequest] | Iterable[DecodeRequest],
+        max_active: int = 8,
+    ) -> ContinuousBatchResult:
+        """Serve decode requests with continuous batching.
+
+        A fresh :class:`ContinuousBatchScheduler` (so page-pool
+        statistics are per call) drives the session's decode engine;
+        results are bit-identical to per-request :meth:`generate`.
+        """
+        scheduler = ContinuousBatchScheduler(
+            self.decoder, max_active=max_active
+        )
+        return scheduler.run(requests)
+
+    # ------------------------------------------------------------------
+    # Mode 4: raw vector-unit access.
     # ------------------------------------------------------------------
 
     def unit(self, function: str) -> NovaVectorUnit:
@@ -171,7 +240,17 @@ class NovaSession:
 
     @staticmethod
     def cache_info() -> dict[str, object]:
-        """Process-wide compile-cache statistics the session relies on."""
+        """Process-wide compile-cache statistics the session relies on.
+
+        ``tables`` reports the compiled-table cache
+        (:func:`repro.approx.table_cache.table_cache_info`): engines
+        compile their tables exactly once at construction, so steady
+        state shows cache *hits*, never new misses — in particular the
+        decode path must not add a miss per decode step (retargeting
+        swaps the table already held by the engine; a test pins the
+        miss count flat across steps).  ``schedules`` is the shared
+        frozen-:class:`~repro.core.mapper.BroadcastSchedule` count.
+        """
         return {
             "tables": table_cache_info(),
             "schedules": NovaMapper.schedule_cache_size(),

@@ -9,10 +9,13 @@ Installed as ``nova-repro``::
     nova-repro sweeps            # the S1-S2 extension sweeps
     nova-repro geometries        # list the Table II geometry presets
 
+    nova-repro serving-batched   # batched full-prefill attention serving
+    nova-repro serve-decode      # KV-cached continuous-batching decode
+
 Geometry selection
 ------------------
-Config-aware experiments (currently ``serving-batched``) take their
-overlay geometry as a :class:`repro.core.config.NovaConfig`.  Pick a
+Config-aware experiments (``serving-batched``, ``serve-decode``) take
+their overlay geometry as a :class:`repro.core.config.NovaConfig`.  Pick a
 Table II preset with ``--geometry`` — one of ``jetson-nx`` (2 routers x
 16 lanes @ 1.4 GHz), ``react`` (10 x 256 @ 0.24 GHz), ``tpu-v3``
 (4 x 128 @ 1.4 GHz) or ``tpu-v4`` (8 x 128 @ 1.4 GHz) — and adjust any
@@ -66,6 +69,7 @@ EXTENSION_EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
     "sweep-memory": sweeps.memory_energy_sweep,
     "sweep-lanes": sweeps.lane_sizing_sweep,
     "serving-batched": experiments.batched_serving_throughput,
+    "serve-decode": experiments.decode_serving_throughput,
 }
 
 EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
@@ -77,6 +81,7 @@ EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
 #: preset each defaults to when only ``--override`` is given.
 CONFIGURABLE_EXPERIMENTS: dict[str, str] = {
     "serving-batched": "jetson-nx",
+    "serve-decode": "jetson-nx",
 }
 
 

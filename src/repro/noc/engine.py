@@ -10,6 +10,14 @@ its inputs and computes, then :meth:`Tickable.commit` latches new state.
 All ticks in a cycle observe the *previous* cycle's outputs, which is what
 makes the simulation order-independent (the same discipline as an RTL
 simulator's non-blocking assignment).
+
+Event counters accumulated by clocked components are *lifetime*
+(monotonically increasing) totals.  Anything that reports per-call or
+per-step events — an attention layer, a batched request, a decode step —
+must snapshot the lifetime counters before the work and report the diff
+after, never merge raw lifetime totals (which would re-count every
+earlier call).  Every engine in :mod:`repro.core` follows this
+snapshot/diff discipline.
 """
 
 from __future__ import annotations

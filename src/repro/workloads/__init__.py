@@ -15,12 +15,14 @@ from repro.workloads.transformer import (
     TransformerConfig,
     attention_request,
     build_encoder_graph,
+    decode_request,
 )
 from repro.workloads.bert import (
     BERT_MODELS,
     SERVING_MODELS,
     bert_attention_batch,
     bert_graph,
+    decode_batch,
     serving_config,
 )
 from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
@@ -33,10 +35,12 @@ __all__ = [
     "TransformerConfig",
     "attention_request",
     "build_encoder_graph",
+    "decode_request",
     "BERT_MODELS",
     "SERVING_MODELS",
     "bert_attention_batch",
     "bert_graph",
+    "decode_batch",
     "serving_config",
     "CNN_MODELS",
     "CnnLayerSpec",

@@ -13,11 +13,14 @@ from __future__ import annotations
 from collections.abc import Sequence
 from numbers import Integral
 
+import numpy as np
+
 from repro.workloads.ops import OpGraph
 from repro.workloads.transformer import (
     TransformerConfig,
     attention_request,
     build_encoder_graph,
+    decode_request,
 )
 
 __all__ = [
@@ -26,6 +29,7 @@ __all__ = [
     "bert_graph",
     "serving_config",
     "bert_attention_batch",
+    "decode_batch",
 ]
 
 BERT_MODELS: dict[str, TransformerConfig] = {
@@ -57,19 +61,26 @@ BERT_MODELS: dict[str, TransformerConfig] = {
 
 #: Serving-benchmark configurations: the Fig. 8 zoo plus BERT-base
 #: (Devlin et al.), the canonical serving workload the batched engine's
-#: throughput benchmark is written against.  Kept out of ``BERT_MODELS``
-#: so the Fig. 8 reproduction keeps exactly the paper's five benchmarks.
+#: throughput benchmark is written against, and GPT-2-small (Radford et
+#: al.), the causal decoder the KV-cached decode path serves.  Kept out
+#: of ``BERT_MODELS`` so the Fig. 8 reproduction keeps exactly the
+#: paper's five benchmarks.
 SERVING_MODELS: dict[str, TransformerConfig] = {
     **BERT_MODELS,
     "BERT-base": TransformerConfig(
         "BERT-base", layers=12, hidden=768, heads=12, intermediate=3072,
         seq_len=512,
     ),
+    "GPT-2-small": TransformerConfig(
+        "GPT-2-small", layers=12, hidden=768, heads=12, intermediate=3072,
+        seq_len=1024, causal=True,
+    ),
 }
 
 
 def serving_config(model_name: str) -> TransformerConfig:
-    """Look up a serving model (Fig. 8 zoo plus BERT-base)."""
+    """Look up a serving model (Fig. 8 zoo plus BERT-base and the
+    causal GPT-2-small)."""
     try:
         return SERVING_MODELS[model_name]
     except KeyError:
@@ -111,6 +122,63 @@ def bert_attention_batch(
         attention_request(config, seq_len=length, seed=seed + i)
         for i, length in enumerate(lengths)
     ]
+
+
+def decode_batch(
+    model_name: str | TransformerConfig,
+    batch_size: int,
+    prompt_len: int | None = None,
+    max_new_tokens: int = 8,
+    seed: int = 0,
+    shared_weights: bool = True,
+) -> list:
+    """A batch of causal decode requests for one serving model.
+
+    ``model_name`` is a causal :data:`SERVING_MODELS` key (or a
+    :class:`TransformerConfig` directly).  With ``shared_weights=True``
+    (the default) every request holds the *same* weight arrays — one
+    deployment serves one model, and sharing the objects keeps the
+    working set of a continuously batched run equal to a single
+    request's, as it is on real hardware — while request ``i``'s prompt
+    is seeded ``seed + i``.  ``shared_weights=False`` gives every
+    request its own weights (seeded ``seed + i``, matching
+    :func:`bert_attention_batch`'s independence convention).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    config = (
+        model_name
+        if isinstance(model_name, TransformerConfig)
+        else serving_config(model_name)
+    )
+    if not shared_weights:
+        return [
+            decode_request(
+                config, prompt_len=prompt_len, max_new_tokens=max_new_tokens,
+                seed=seed + i,
+            )
+            for i in range(batch_size)
+        ]
+    from repro.core.decode import DecodeRequest
+
+    first = decode_request(
+        config, prompt_len=prompt_len, max_new_tokens=max_new_tokens,
+        seed=seed,
+    )
+    requests = [first]
+    for i in range(1, batch_size):
+        rng = np.random.default_rng(seed + i)
+        requests.append(
+            DecodeRequest(
+                x=rng.normal(0.0, 1.0, size=(first.seq, first.hidden)),
+                wq=first.wq, wk=first.wk, wv=first.wv, wo=first.wo,
+                n_heads=first.n_heads,
+                max_new_tokens=first.max_new_tokens,
+                max_seq_len=first.max_seq_len,
+                window=first.window,
+            )
+        )
+    return requests
 
 
 def bert_graph(model_name: str, seq_len: int | None = None) -> OpGraph:

@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.workloads.ops import MatMulOp, NonLinearOp, OpGraph
 
-__all__ = ["TransformerConfig", "build_encoder_graph", "attention_request"]
+__all__ = [
+    "TransformerConfig",
+    "build_encoder_graph",
+    "attention_request",
+    "decode_request",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,55 @@ def attention_request(
         x=rng.normal(0.0, 1.0, size=(seq, hidden)),
         n_heads=config.heads,
         **weights,
+    )
+
+
+def decode_request(
+    config: TransformerConfig,
+    prompt_len: int | None = None,
+    max_new_tokens: int = 8,
+    seed: int = 0,
+    window: int | None = None,
+):
+    """One synthetic autoregressive decode request shaped like ``config``.
+
+    ``config`` must be causal (GPT-style masked attention) — decode over
+    a KV cache is undefined for bidirectional models and this raises
+    ``ValueError`` otherwise.  The prompt defaults to a quarter of the
+    model's context (at least one token); the KV-cache capacity is the
+    model's ``seq_len`` (its context window), so a prompt plus budget
+    longer than the context fails at engine admission.  Same
+    inputs-and-weights construction (and seeding) as
+    :func:`attention_request`, returning a
+    :class:`repro.core.decode.DecodeRequest`.
+    """
+    from repro.core.decode import DecodeRequest
+
+    if not config.causal:
+        raise ValueError(
+            f"decode_request needs a causal model, got {config.name!r} with "
+            "causal=False (decode over a KV cache is GPT-style masked "
+            "attention by definition)"
+        )
+    if max_new_tokens < 0:
+        raise ValueError(
+            f"max_new_tokens must be >= 0, got {max_new_tokens}"
+        )
+    prompt = (
+        max(1, config.seq_len // 4) if prompt_len is None else prompt_len
+    )
+    base = attention_request(config, seq_len=prompt, seed=seed)
+    return DecodeRequest(
+        x=base.x,
+        wq=base.wq,
+        wk=base.wk,
+        wv=base.wv,
+        wo=base.wo,
+        n_heads=base.n_heads,
+        max_new_tokens=max_new_tokens,
+        max_seq_len=config.seq_len,
+        window=window,
+        causal=config.causal,
     )
 
 

@@ -1,0 +1,1 @@
+"""Test package (importable so ``python -m tests.regen_goldens`` works)."""

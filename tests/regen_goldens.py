@@ -1,0 +1,118 @@
+"""Golden-trace fixtures: record each preset's cycle/event/error trace.
+
+``tests/goldens/<preset>.json`` pins, for every Table II geometry
+preset, the cycle counts, event counters and max-abs-error of a
+fixed-seed attention layer on the cycle-accurate reference engine, plus
+the cycle counts and counters of a fixed-seed KV-cached decode run.
+``tests/test_goldens.py`` recomputes the same traces on every run and
+fails on any unexplained drift — a change that legitimately moves these
+numbers (a new schedule derivation, a counter-accounting fix, a table
+training change) must regenerate the fixtures *and say why in the
+commit*:
+
+    PYTHONPATH=src python -m tests.regen_goldens
+
+The workloads are intentionally tiny (seconds across all four presets)
+but exercise the full pipeline: host GEMMs, the beat-level NoC
+simulation for every non-linear query, the closed-form decode
+accounting and the table/schedule caches.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: Fixed attention-layer workload (seeded, preset-independent).
+ATTENTION_WORKLOAD = dict(seq_len=8, hidden=32, heads=4, seed=123)
+
+#: Fixed decode workload (seeded, preset-independent, causal).
+DECODE_WORKLOAD = dict(prompt_len=6, max_new_tokens=4, hidden=16, heads=2,
+                       seed=7)
+
+
+def golden_trace(preset_name: str) -> dict:
+    """Compute one preset's golden trace (the single source of truth —
+    the regression test replays exactly this function)."""
+    from repro.core.config import preset
+    from repro.core.session import NovaSession
+    from repro.workloads.transformer import (
+        TransformerConfig,
+        attention_request,
+        decode_request,
+    )
+
+    session = NovaSession(preset_name)
+
+    # -- cycle-accurate attention layer (beat-level NoC simulation) ----
+    aw = ATTENTION_WORKLOAD
+    model = TransformerConfig(
+        "golden-attn", layers=1, hidden=aw["hidden"], heads=aw["heads"],
+        intermediate=4 * aw["hidden"], seq_len=aw["seq_len"],
+    )
+    request = attention_request(model, seed=aw["seed"])
+    result = session.attention_layer(
+        request.x, request.wq, request.wk, request.wv, request.wo,
+        n_heads=request.n_heads,
+    )
+    exact = session.exact_attention_layer(
+        request.x, request.wq, request.wk, request.wv, request.wo,
+        n_heads=request.n_heads,
+    )
+    attention = {
+        **aw,
+        "vector_cycles": result.vector_cycles,
+        "nonlinear_queries": result.nonlinear_queries,
+        "counters": dict(sorted(result.counters.as_dict().items())),
+        "max_abs_error": float(np.max(np.abs(result.outputs - exact))),
+    }
+
+    # -- KV-cached decode (prefill + generate, closed-form accounting) -
+    dw = DECODE_WORKLOAD
+    causal = TransformerConfig(
+        "golden-decode", layers=1, hidden=dw["hidden"], heads=dw["heads"],
+        intermediate=4 * dw["hidden"], seq_len=64, causal=True,
+    )
+    gen = session.generate(
+        decode_request(
+            causal, prompt_len=dw["prompt_len"],
+            max_new_tokens=dw["max_new_tokens"], seed=dw["seed"],
+        )
+    )
+    decode = {
+        **dw,
+        "prefill_vector_cycles": gen.prefill.vector_cycles,
+        "vector_cycles": gen.vector_cycles,
+        "nonlinear_queries": gen.prefill.nonlinear_queries
+        + sum(s.nonlinear_queries for s in gen.steps),
+        "counters": dict(sorted(gen.counters.as_dict().items())),
+    }
+
+    return {
+        "preset": preset_name,
+        "config": preset(preset_name).to_dict(),
+        "attention": attention,
+        "decode": decode,
+    }
+
+
+def regenerate() -> list[pathlib.Path]:
+    """Write every preset's golden file; returns the paths written."""
+    from repro.core.config import PRESETS
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    written = []
+    for name in sorted(PRESETS):
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(golden_trace(name), indent=2) + "\n")
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(f"wrote {path}")

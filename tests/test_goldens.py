@@ -1,0 +1,90 @@
+"""Golden-trace regression suite: per-preset cycles, counters, error.
+
+Every Table II preset's fixture in ``tests/goldens/`` pins the full
+hardware-model trace of a fixed-seed attention layer (cycle-accurate
+reference engine) and a fixed-seed KV-cached decode run.  Any drift in
+cycle counts, event counters or approximation error fails here; if the
+change is intentional, regenerate with
+
+    PYTHONPATH=src python -m tests.regen_goldens
+
+and explain the drift in the commit message.  The trace computation
+itself lives in :mod:`tests.regen_goldens` — the test replays exactly
+the function the regen script writes with, so fixture and check can
+never disagree about the workload.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import PRESETS
+from tests.regen_goldens import GOLDEN_DIR, golden_trace
+
+#: Integer/structural fields compared exactly, per section.
+EXACT_FIELDS = {
+    "attention": ("vector_cycles", "nonlinear_queries", "counters"),
+    "decode": (
+        "prefill_vector_cycles", "vector_cycles", "nonlinear_queries",
+        "counters",
+    ),
+}
+
+
+def load_golden(preset_name: str) -> dict:
+    path = GOLDEN_DIR / f"{preset_name}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        "`PYTHONPATH=src python -m tests.regen_goldens`"
+    )
+    return json.loads(path.read_text())
+
+
+class TestGoldenCoverage:
+    def test_every_preset_has_a_fixture(self):
+        for name in PRESETS:
+            load_golden(name)
+
+    def test_no_stale_fixtures(self):
+        stale = {
+            p.stem for p in GOLDEN_DIR.glob("*.json")
+        } - set(PRESETS)
+        assert not stale, f"golden fixtures for unknown presets: {stale}"
+
+
+@pytest.mark.parametrize("preset_name", sorted(PRESETS))
+class TestGoldenTraces:
+    def test_trace_matches_fixture(self, preset_name):
+        golden = load_golden(preset_name)
+        current = golden_trace(preset_name)
+
+        assert current["config"] == golden["config"], (
+            f"{preset_name}: the preset geometry itself changed; goldens "
+            "must be regenerated alongside it"
+        )
+        for section, fields in EXACT_FIELDS.items():
+            for name in fields:
+                assert current[section][name] == golden[section][name], (
+                    f"{preset_name}: {section}.{name} drifted from the "
+                    f"golden trace ({golden[section][name]} -> "
+                    f"{current[section][name]}); if intentional, "
+                    "regenerate with `python -m tests.regen_goldens` and "
+                    "document why"
+                )
+        # The approximation error is a float: bit-identical on one
+        # machine, but BLAS summation order may vary across platforms,
+        # so allow a tight relative band rather than exact equality.
+        assert current["attention"]["max_abs_error"] == pytest.approx(
+            golden["attention"]["max_abs_error"], rel=1e-6, abs=1e-9
+        ), f"{preset_name}: attention max_abs_error drifted"
+
+    def test_fixture_workload_is_the_pinned_one(self, preset_name):
+        """The fixture must have been generated from the same workload
+        constants the replay uses (stale fixtures fail loudly)."""
+        from tests.regen_goldens import ATTENTION_WORKLOAD, DECODE_WORKLOAD
+
+        golden = load_golden(preset_name)
+        for key, value in ATTENTION_WORKLOAD.items():
+            assert golden["attention"][key] == value
+        for key, value in DECODE_WORKLOAD.items():
+            assert golden["decode"][key] == value

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the datapath and the decode path.
+
+Four families of invariants, each over randomly drawn inputs rather
+than hand-picked cases:
+
+* fixed-point encode/decode round trips (``utils/fixed_point.py``),
+* softmax row-stochasticity and permutation equivariance — for the
+  exact reference *and* the hardware softmax through the overlay,
+* :class:`NovaConfig` ``with_overrides`` / JSON round-trip identity,
+* decode-vs-prefill bit-exact equivalence over random shapes, seeds
+  and sliding windows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.softmax import exact_softmax
+from repro.core.config import NovaConfig
+from repro.core.decode import DecodeRequest, NovaDecodeEngine
+from repro.core.session import NovaSession
+from repro.utils.fixed_point import FixedPointFormat
+
+#: Small geometry shared by the hardware-backed properties (module
+#: scope: tables/schedules compile once, each example only runs data).
+SMALL = NovaConfig(n_routers=2, neurons_per_router=8)
+SESSION = NovaSession(SMALL)
+DECODER = NovaDecodeEngine(SMALL)
+
+
+formats = st.builds(
+    FixedPointFormat,
+    integer_bits=st.integers(min_value=0, max_value=7),
+    fraction_bits=st.integers(min_value=0, max_value=12),
+)
+
+
+# ----------------------------------------------------------------------
+# Fixed-point round trips.
+# ----------------------------------------------------------------------
+
+
+class TestFixedPointProperties:
+    @given(fmt=formats, data=st.data())
+    @settings(max_examples=60)
+    def test_raw_code_round_trip_is_identity(self, fmt, data):
+        """from_raw then to_raw reproduces every representable code."""
+        raw = data.draw(
+            st.integers(min_value=fmt.min_raw, max_value=fmt.max_raw)
+        )
+        assert fmt.to_raw(fmt.from_raw(raw)) == raw
+
+    @given(fmt=formats, value=st.floats(-1e6, 1e6, allow_nan=False))
+    @settings(max_examples=60)
+    def test_quantize_is_idempotent(self, fmt, value):
+        """A quantised value is exactly representable: re-quantising it
+        (and round-tripping it through raw codes) changes nothing."""
+        q = fmt.quantize(value)
+        assert np.array_equal(fmt.quantize(q), q)
+        assert np.array_equal(fmt.from_raw(fmt.to_raw(q)), q)
+
+    @given(fmt=formats, data=st.data())
+    @settings(max_examples=60)
+    def test_in_range_error_is_at_most_half_an_lsb(self, fmt, data):
+        value = data.draw(
+            st.floats(
+                min_value=fmt.min_value, max_value=fmt.max_value,
+                allow_nan=False,
+            )
+        )
+        q = float(fmt.quantize(value))
+        assert abs(q - value) <= fmt.scale / 2 + 1e-15
+        assert fmt.min_value <= q <= fmt.max_value
+
+    @given(fmt=formats, data=st.data())
+    @settings(max_examples=40)
+    def test_saturation_clamps_to_the_range_ends(self, fmt, data):
+        value = data.draw(
+            st.one_of(
+                st.floats(fmt.max_value + fmt.scale, 1e9, allow_nan=False),
+                st.floats(-1e9, fmt.min_value - fmt.scale, allow_nan=False),
+            )
+        )
+        q = float(fmt.quantize(value))
+        assert q in (fmt.min_value, fmt.max_value)
+        assert bool(fmt.saturates(value))
+
+
+# ----------------------------------------------------------------------
+# Softmax: row-stochastic, permutation-equivariant.
+# ----------------------------------------------------------------------
+
+
+scores_arrays = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.lists(
+        st.floats(min_value=-12.0, max_value=8.0, allow_nan=False),
+        min_size=2 * n, max_size=2 * n,
+    ).map(lambda vals: np.asarray(vals).reshape(2, n))
+)
+
+
+class TestSoftmaxProperties:
+    @given(scores=scores_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_rows_sum_to_one(self, scores):
+        exact = exact_softmax(scores, axis=-1)
+        assert np.allclose(exact.sum(axis=-1), 1.0, atol=1e-12)
+        hardware, _ = SESSION.softmax(scores)
+        assert np.allclose(hardware.sum(axis=-1), 1.0, atol=1e-12)
+        assert np.all(hardware >= 0.0)
+
+    @given(scores=scores_arrays, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_equivariance(self, scores, seed):
+        """softmax(x[perm]) == softmax(x)[perm] along the softmax axis
+        (up to summation-order float noise in the row normaliser)."""
+        perm = np.random.default_rng(seed).permutation(scores.shape[-1])
+        exact = exact_softmax(scores, axis=-1)
+        assert np.allclose(
+            exact_softmax(scores[:, perm], axis=-1), exact[:, perm],
+            rtol=1e-9, atol=1e-12,
+        )
+        hardware, _ = SESSION.softmax(scores)
+        permuted, _ = SESSION.softmax(scores[:, perm])
+        assert np.allclose(
+            permuted, hardware[:, perm], rtol=1e-9, atol=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# NovaConfig round trips.
+# ----------------------------------------------------------------------
+
+
+configs = st.builds(
+    NovaConfig,
+    n_routers=st.integers(min_value=1, max_value=16),
+    neurons_per_router=st.integers(min_value=1, max_value=64),
+    pe_frequency_ghz=st.floats(
+        min_value=0.01, max_value=4.0, allow_nan=False, allow_subnormal=False
+    ),
+    hop_mm=st.floats(
+        min_value=0.05, max_value=4.0, allow_nan=False, allow_subnormal=False
+    ),
+    n_segments=st.sampled_from([2, 4, 8, 16, 32]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    host=st.sampled_from([None, "Jetson Xavier NX", "REACT", "TPU v4-like"]),
+)
+
+
+class TestNovaConfigProperties:
+    @given(cfg=configs)
+    @settings(max_examples=60)
+    def test_json_round_trip_is_identity(self, cfg):
+        assert NovaConfig.from_json(cfg.to_json()) == cfg
+        assert NovaConfig.from_dict(cfg.to_dict()) == cfg
+
+    @given(base=configs, target=configs)
+    @settings(max_examples=60)
+    def test_with_overrides_reaches_any_config(self, base, target):
+        """Overriding every field as the CLI would (`field=value`
+        strings) turns any config into any other config exactly."""
+        overrides = [
+            f"{name}={'none' if value is None else value}"
+            for name, value in target.to_dict().items()
+        ]
+        assert base.with_overrides(overrides) == target
+
+    @given(cfg=configs)
+    @settings(max_examples=30)
+    def test_empty_overrides_are_identity(self, cfg):
+        assert cfg.with_overrides([]) == cfg
+        assert cfg.with_overrides({}) == cfg
+
+
+# ----------------------------------------------------------------------
+# Decode-vs-prefill equivalence over random shapes.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_decode_requests(draw):
+    n_heads = draw(st.integers(min_value=1, max_value=3))
+    head_dim = draw(st.integers(min_value=1, max_value=4))
+    prompt_len = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    window = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=prompt_len))
+    )
+    hidden = n_heads * head_dim
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(hidden)
+    return DecodeRequest(
+        x=rng.normal(0.0, 1.0, size=(prompt_len, hidden)),
+        wq=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wk=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wv=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wo=rng.normal(0.0, scale, size=(hidden, hidden)),
+        n_heads=n_heads,
+        window=window,
+    )
+
+
+class TestDecodeEquivalenceProperties:
+    @given(request=random_decode_requests())
+    @settings(max_examples=25, deadline=None)
+    def test_tokenwise_decode_equals_packed_prefill(self, request):
+        decoded = DECODER.decode(request)
+        prefill = DECODER.prefill(DECODER.start(request))
+        assert np.array_equal(decoded.outputs, prefill.outputs)
+        for t, step in enumerate(decoded.steps):
+            span = step.probabilities.shape[-1]
+            start = t + 1 - span
+            assert np.array_equal(
+                step.probabilities,
+                prefill.probabilities[:, t, start : t + 1],
+            )
+            # each probability row is itself a distribution
+            assert np.allclose(
+                step.probabilities.sum(axis=-1), 1.0, atol=1e-12
+            )
