@@ -64,6 +64,8 @@ from repro.core import (
     NovaDecodeEngine,
     DecodeRequest,
     KVCache,
+    BlockPool,
+    PagedKVCache,
     ContinuousBatchScheduler,
     NovaMapper,
     NovaNoc,
@@ -106,6 +108,8 @@ __all__ = [
     "NovaDecodeEngine",
     "DecodeRequest",
     "KVCache",
+    "BlockPool",
+    "PagedKVCache",
     "ContinuousBatchScheduler",
     "NovaMapper",
     "NovaNoc",

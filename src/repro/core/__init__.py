@@ -51,6 +51,13 @@ from repro.core.batched_attention import (
     BatchedAttentionResult,
     BatchedNovaAttentionEngine,
 )
+from repro.core.paging import (
+    BlockPool,
+    BlockPoolExhausted,
+    BlockTable,
+    PagedKVCache,
+    pool_cache_info,
+)
 from repro.core.decode import (
     KVCache,
     KVCacheOverflow,
@@ -96,6 +103,11 @@ __all__ = [
     "AttentionRequest",
     "BatchedAttentionResult",
     "BatchedNovaAttentionEngine",
+    "BlockPool",
+    "BlockPoolExhausted",
+    "BlockTable",
+    "PagedKVCache",
+    "pool_cache_info",
     "KVCache",
     "KVCacheOverflow",
     "DecodeRequest",

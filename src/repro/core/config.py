@@ -65,6 +65,7 @@ _FIELD_PARSERS: dict[str, object] = {
     "hop_mm": float,
     "n_segments": int,
     "seed": int,
+    "kv_block_size": int,
     "host": lambda s: None if s.lower() in ("", "none", "null") else s,
 }
 
@@ -81,7 +82,12 @@ class NovaConfig:
     belongs to (a :func:`repro.accelerators.build_accelerator` key);
     :meth:`build_host` instantiates it.  ``seed`` seeds the compile-time
     MLP table training; units built from an explicit, pre-compiled table
-    ignore it.
+    ignore it.  ``kv_block_size`` is the decode memory layer's paged-KV
+    granularity — tokens per :class:`repro.core.paging.BlockPool` block
+    (presets size it to their on-chip memory: small hosts get small
+    blocks so short requests waste fewer slots, large hosts amortise
+    block-table overhead with bigger blocks).  It never affects
+    numerics, cycles or counters — only where K/V rows live.
     """
 
     n_routers: int = 8
@@ -90,10 +96,12 @@ class NovaConfig:
     hop_mm: float = 0.5
     n_segments: int = 16
     seed: int = 0
+    kv_block_size: int = 16
     host: str | None = None
 
     def __post_init__(self) -> None:
-        for name in ("n_routers", "neurons_per_router", "n_segments"):
+        for name in ("n_routers", "neurons_per_router", "n_segments",
+                     "kv_block_size"):
             value = getattr(self, name)
             if isinstance(value, bool) or not isinstance(value, Integral):
                 raise TypeError(
@@ -269,19 +277,19 @@ class NovaConfig:
 PRESETS: dict[str, NovaConfig] = {
     "jetson-nx": NovaConfig(
         n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
-        hop_mm=0.5, host="Jetson Xavier NX",
+        hop_mm=0.5, kv_block_size=16, host="Jetson Xavier NX",
     ),
     "react": NovaConfig(
         n_routers=10, neurons_per_router=256, pe_frequency_ghz=0.24,
-        hop_mm=1.0, host="REACT",
+        hop_mm=1.0, kv_block_size=64, host="REACT",
     ),
     "tpu-v3": NovaConfig(
         n_routers=4, neurons_per_router=128, pe_frequency_ghz=1.4,
-        hop_mm=0.5, host="TPU v3-like",
+        hop_mm=0.5, kv_block_size=32, host="TPU v3-like",
     ),
     "tpu-v4": NovaConfig(
         n_routers=8, neurons_per_router=128, pe_frequency_ghz=1.4,
-        hop_mm=0.5, host="TPU v4-like",
+        hop_mm=0.5, kv_block_size=32, host="TPU v4-like",
     ),
 }
 

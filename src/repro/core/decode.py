@@ -22,7 +22,12 @@ hardware model the prefill engines use:
   every scheduler step packs the prefill rows of newly admitted requests
   *and* the decode rows of in-flight requests into a single lane stream
   through the shared overlay; requests join and leave the batch between
-  steps and their cache pages are recycled through a pool.
+  steps.  Two memory models back it: contiguous per-request pages
+  recycled through a best-fit pool (any page with ``capacity >=
+  requested`` serves), or — with ``paged=True`` — a vLLM-style
+  :class:`~repro.core.paging.BlockPool` of fixed-size blocks shared by
+  every request, with lazy block allocation, first-block-fit admission
+  and a deferral/preemption policy under memory pressure.
 
 Bit-exactness contract
 ----------------------
@@ -207,20 +212,42 @@ class KVCache:
         self.start_position += n
         self.evictions += n
 
+    def values_snapshot(self, kv_len: int) -> np.ndarray:
+        """Contiguous copy of the first ``kv_len`` cached values.
+
+        The deferred-snapshot hook shared with
+        :class:`~repro.core.paging.PagedKVCache` (which gathers through
+        its block table): both return byte-identical
+        ``(n_heads, kv_len, head_dim)`` arrays for the same appended
+        tokens, which is what keeps the paged and contiguous decode
+        paths bit-exact.
+        """
+        return self._v[:, :kv_len].copy()
+
     def reset(self) -> None:
         """Empty the cache in place (page recycling; allocation kept)."""
         self.length = 0
         self.start_position = 0
         self.evictions = 0
 
-    def matches(self, n_heads: int, head_dim: int, capacity: int,
-                window: int | None) -> bool:
-        """Whether this page can serve a request with the given geometry."""
+    @property
+    def fragmentation_slots(self) -> int:
+        """Reserved-but-unused token slots (the contiguous layout's
+        stranded memory: a whole worst-case page minus the live span)."""
+        return self.capacity - self.length
+
+    def can_serve(self, n_heads: int, head_dim: int, capacity: int) -> bool:
+        """Whether this page can hold a request of the given geometry.
+
+        Capacity is a *lower bound*, not an exact match: a recycled
+        2048-token page serves a 512-token request fine (the request's
+        ``window``/overflow limits are enforced logically, against its
+        own capacity, by the engine).
+        """
         return (
             self.n_heads == n_heads
             and self.head_dim == head_dim
-            and self.capacity == capacity
-            and self.window == window
+            and self.capacity >= capacity
         )
 
     def __repr__(self) -> str:
@@ -475,18 +502,20 @@ class _TokenPlan:
         """The contiguous ``(heads, kv_len, head_dim)`` value snapshot
         this token attends to.
 
-        Windowed caches shift on eviction, so their snapshot is copied
-        eagerly at plan time.  Append-only caches (``window=None``)
-        never mutate rows ``< kv_len`` between planning and execution
-        (jobs always execute in the same step they were planned), so
-        the copy is deferred to use — one ``O(kv_len)`` allocation live
-        at a time instead of ``O(prompt_len^2)`` held across a whole
-        prefill job.  Both forms produce byte-identical arrays, so the
-        bit-exactness contract is unaffected.
+        Windowed caches evict between appends, so their snapshot is
+        copied eagerly at plan time.  Append-only caches
+        (``window=None``) never mutate rows ``< kv_len`` between
+        planning and execution (jobs always execute in the same step
+        they were planned), so the copy is deferred to use — one
+        ``O(kv_len)`` allocation live at a time instead of
+        ``O(prompt_len^2)`` held across a whole prefill job.  Both
+        forms produce byte-identical arrays — via
+        ``values_snapshot`` on either the contiguous or the paged
+        cache — so the bit-exactness contract is unaffected.
         """
         if self._values is not None:
             return self._values
-        return self._cache._v[:, : self._kv_len].copy()
+        return self._cache.values_snapshot(self._kv_len)
 
     def release(self) -> None:
         self.numer = self.shifted = None
@@ -580,32 +609,57 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
             )
 
     def start(
-        self, request: DecodeRequest, cache: KVCache | None = None
+        self,
+        request: DecodeRequest,
+        cache=None,
+        pool=None,
     ) -> DecodeState:
         """Open a decode state for ``request``.
 
-        ``cache`` optionally recycles an existing page of matching
-        geometry (it is reset); by default a fresh :class:`KVCache` of
+        ``cache`` optionally recycles an existing page that
+        :meth:`KVCache.can_serve` the request — any page with matching
+        head geometry and ``capacity >= request.capacity`` (it is reset
+        and adopts the request's sliding window).  ``pool`` instead
+        opens a :class:`~repro.core.paging.PagedKVCache` drawing blocks
+        lazily from the given :class:`~repro.core.paging.BlockPool`.
+        By default a fresh contiguous :class:`KVCache` of
         ``request.capacity`` entries is allocated.
         """
         self.validate_request(request)
-        if cache is None:
+        if cache is not None and pool is not None:
+            raise ValueError(
+                "pass either a recycled cache page or a block pool, not both"
+            )
+        if pool is not None:
+            if (pool.n_heads, pool.head_dim) != (
+                request.n_heads, request.head_dim,
+            ):
+                raise ValueError(
+                    f"block pool geometry ({pool.n_heads} heads x "
+                    f"{pool.head_dim}) does not match the request "
+                    f"({request.n_heads} heads x {request.head_dim})"
+                )
+            from repro.core.paging import PagedKVCache
+
+            cache = PagedKVCache(
+                pool, request.capacity, window=request.window
+            )
+        elif cache is None:
             cache = KVCache(
                 request.n_heads, request.head_dim, request.capacity,
                 window=request.window,
             )
         else:
-            if not cache.matches(
-                request.n_heads, request.head_dim, request.capacity,
-                request.window,
+            if not cache.can_serve(
+                request.n_heads, request.head_dim, request.capacity
             ):
                 raise ValueError(
                     f"recycled cache page {cache!r} does not match the "
                     f"request geometry ({request.n_heads} heads x "
-                    f"{request.capacity} x {request.head_dim}, "
-                    f"window={request.window})"
+                    f">={request.capacity} x {request.head_dim})"
                 )
             cache.reset()
+            cache.window = request.window
         return DecodeState(request=request, cache=cache)
 
     # ------------------------------------------------------------------
@@ -631,7 +685,9 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
         if state.cache.window is None:
             snapshot = dict(cache=state.cache, kv_len=state.cache.length)
         else:
-            snapshot = dict(values=state.cache.values.copy())
+            snapshot = dict(
+                values=state.cache.values_snapshot(state.cache.length)
+            )
         plan = _TokenPlan(
             position=state.position,
             span_start=state.cache.start_position,
@@ -894,7 +950,19 @@ class ContinuousBatchResult:
     costs — the ratio is the continuous-batching win on the cycle side.
     ``pages_allocated`` / ``pages_recycled`` are this run's cache-page
     pool activity (per-run deltas: a reused scheduler still reports
-    ``pages_allocated + pages_recycled == n_requests``).
+    ``pages_allocated + pages_recycled == n_requests``; both are zero
+    in paged mode, where the block pool replaces whole-page recycling).
+
+    Memory-side accounting: ``peak_active`` is the most requests ever
+    in flight at once (the admission-capacity metric the paged-vs-
+    contiguous benchmark compares at a fixed pool byte budget);
+    ``peak_kv_slots`` the most KV token slots reserved at once (whole
+    worst-case pages in contiguous mode, allocated blocks in paged
+    mode); ``peak_fragmentation_slots`` the worst reserved-but-unused
+    slot count observed; ``deferrals`` / ``preemptions`` the paged
+    scheduler's out-of-memory actions (always zero in contiguous mode);
+    ``paging`` the final :meth:`~repro.core.paging.BlockPool.pool_info`
+    snapshot (``None`` in contiguous mode).
     """
 
     results: tuple[GenerateResult, ...]
@@ -904,6 +972,12 @@ class ContinuousBatchResult:
     counters: EventCounters
     pages_allocated: int
     pages_recycled: int
+    peak_active: int = 0
+    peak_kv_slots: int = 0
+    peak_fragmentation_slots: int = 0
+    deferrals: int = 0
+    preemptions: int = 0
+    paging: dict | None = None
 
     @property
     def n_requests(self) -> int:
@@ -928,7 +1002,7 @@ class _Sequence:
 
     __slots__ = (
         "index", "request", "state", "remaining", "next_x",
-        "prefill_result", "steps",
+        "prefill_result", "steps", "admitted_at",
     )
 
     def __init__(self, index: int, request: DecodeRequest) -> None:
@@ -939,6 +1013,18 @@ class _Sequence:
         self.next_x: np.ndarray | None = None
         self.prefill_result: CausalPrefillResult | None = None
         self.steps: list[DecodeStepResult] = []
+        self.admitted_at = -1
+
+    def reset_progress(self) -> None:
+        """Forget all progress (preemption by recomputation): the
+        sequence restarts from its prompt when readmitted, reproducing
+        bit-identical results because every step is deterministic."""
+        self.state = None
+        self.remaining = self.request.max_new_tokens
+        self.next_x = None
+        self.prefill_result = None
+        self.steps = []
+        self.admitted_at = -1
 
 
 class ContinuousBatchScheduler:
@@ -950,51 +1036,205 @@ class ContinuousBatchScheduler:
     (:meth:`NovaDecodeEngine._execute`), so lanes that one request would
     leave as tail padding carry another request's queries.  Requests
     join as slots free up (``max_active``) and leave the moment their
-    budget is exhausted; their cache pages return to a pool keyed on
-    cache geometry and are recycled for later admissions.
+    budget is exhausted.
+
+    Two memory models govern admission:
+
+    * **Contiguous (default)** — every request gets a whole
+      :class:`KVCache` page sized for its worst case; retired pages go
+      to a pool keyed on head geometry and any page with
+      ``capacity >= requested`` is recycled (best fit).  An optional
+      ``pool_bytes`` budget caps total page bytes: admission defers
+      until a page frees when the budget is exhausted.
+    * **Paged** (``paged=True``) — all KV storage is fixed-size blocks
+      (``block_size`` tokens, default
+      ``engine.config.kv_block_size``) in one
+      :class:`~repro.core.paging.BlockPool` shared by every request.
+      Admission needs only the request's *first* block to fit; later
+      blocks allocate lazily on append.  When the pool runs dry
+      mid-step, the starved sequences **defer** (skip the step, retry
+      after other sequences free blocks), and if *no* sequence can make
+      progress the most recently admitted one is **preempted**: its
+      blocks are freed and it restarts from its prompt later
+      (recomputation is deterministic, so its final results are still
+      bit-identical; the wasted work shows up only in
+      ``packed_vector_cycles``).  The pool is sized from
+      ``pool_blocks``, ``pool_bytes`` or — by default — large enough
+      that no request ever defers.
 
     Outputs are bit-identical to running each request alone through
-    :meth:`NovaDecodeEngine.generate` (checked by the serving
-    experiment before any throughput is reported).
+    :meth:`NovaDecodeEngine.generate` in **both** modes (checked by the
+    serving experiments before any throughput is reported): paging and
+    preemption change where K/V rows live and when work happens, never
+    the numerics.
     """
 
-    def __init__(self, engine: NovaDecodeEngine, max_active: int = 8) -> None:
+    def __init__(
+        self,
+        engine: NovaDecodeEngine,
+        max_active: int = 8,
+        *,
+        paged: bool = False,
+        block_size: int | None = None,
+        pool_blocks: int | None = None,
+        pool_bytes: int | None = None,
+    ) -> None:
         if max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {max_active}")
+        if not paged:
+            if block_size is not None or pool_blocks is not None:
+                raise ValueError(
+                    "block_size/pool_blocks only apply to the paged "
+                    "scheduler (pass paged=True)"
+                )
+        if pool_blocks is not None and pool_bytes is not None:
+            raise ValueError("pass pool_blocks or pool_bytes, not both")
         self.engine = engine
         self.max_active = max_active
-        self._pool: dict[tuple[int, int, int, int | None], list[KVCache]] = {}
+        self.paged = bool(paged)
+        self.block_size = (
+            engine.config.kv_block_size if block_size is None else block_size
+        )
+        if self.block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        self.pool_blocks = pool_blocks
+        self.pool_bytes = pool_bytes
+        #: The paged run's block pool (the last one, when reused).
+        self.block_pool = None
+        self._pool: dict[tuple[int, int], list[KVCache]] = {}
+        self._page_bytes_allocated = 0
         self.pages_allocated = 0
         self.pages_recycled = 0
+        self.deferrals = 0
+        self.preemptions = 0
 
-    # -- cache page pool ------------------------------------------------
+    # -- contiguous cache-page pool -------------------------------------
 
-    def _page_key(self, request: DecodeRequest):
-        return (
-            request.n_heads, request.head_dim, request.capacity,
-            request.window,
-        )
+    @staticmethod
+    def _page_bytes(n_heads: int, head_dim: int, tokens: int) -> int:
+        """Bytes of one contiguous K+V page (float64)."""
+        return 2 * 8 * n_heads * head_dim * tokens
 
     def _acquire_page(self, request: DecodeRequest) -> KVCache | None:
-        """A recycled page for ``request``, or None to allocate fresh."""
-        pages = self._pool.get(self._page_key(request))
+        """The best-fitting recycled page for ``request``, or None.
+
+        Any pooled page with matching head geometry and
+        ``capacity >= request.capacity`` can serve (the smallest such
+        page is chosen) — exact-capacity keying stranded every page
+        whose geometry didn't match the next request precisely.
+        """
+        pages = self._pool.get((request.n_heads, request.head_dim))
         if pages:
-            self.pages_recycled += 1
-            return pages.pop()
-        self.pages_allocated += 1
+            fits = [
+                i for i, page in enumerate(pages)
+                if page.capacity >= request.capacity
+            ]
+            if fits:
+                best = min(fits, key=lambda i: pages[i].capacity)
+                self.pages_recycled += 1
+                return pages.pop(best)
         return None
 
-    def _release_page(self, cache: KVCache) -> None:
+    def _release_page(self, cache) -> None:
         cache.reset()
-        key = (cache.n_heads, cache.head_dim, cache.capacity, cache.window)
-        self._pool.setdefault(key, []).append(cache)
+        self._pool.setdefault(
+            (cache.n_heads, cache.head_dim), []
+        ).append(cache)
+
+    def _reclaim_page_bytes(self, need: int) -> None:
+        """Deallocate idle pooled pages until ``need`` more bytes fit.
+
+        A recycled page only serves a request its capacity covers, so a
+        pool full of too-small (or wrong-geometry) pages would strand
+        budget bytes forever; under pressure those idle pages are
+        simply freed — their bytes return to the budget, exactly as a
+        real allocator would release cached pages.  Smallest pages go
+        first (they are the least likely to serve a future request).
+        """
+        idle = [
+            (page.capacity, key, page)
+            for key, pages in self._pool.items()
+            for page in pages
+        ]
+        idle.sort(key=lambda entry: entry[0])
+        for _, key, page in idle:
+            if self._page_bytes_allocated + need <= self.pool_bytes:
+                return
+            self._pool[key].remove(page)
+            self._page_bytes_allocated -= self._page_bytes(
+                page.n_heads, page.head_dim, page.capacity
+            )
+
+    def _open_contiguous(self, request: DecodeRequest) -> DecodeState | None:
+        """Admit one request in contiguous mode (None = defer: the page
+        budget is exhausted until an in-flight request retires)."""
+        page = self._acquire_page(request)
+        if page is not None:
+            return self.engine.start(request, cache=page)
+        need = self._page_bytes(
+            request.n_heads, request.head_dim, request.capacity
+        )
+        if self.pool_bytes is not None:
+            if self._page_bytes_allocated + need > self.pool_bytes:
+                self._reclaim_page_bytes(need)
+            if self._page_bytes_allocated + need > self.pool_bytes:
+                return None
+        self._page_bytes_allocated += need
+        self.pages_allocated += 1
+        return self.engine.start(request)
 
     # -- the scheduling loop --------------------------------------------
+
+    def _build_pool(self, requests: Sequence[DecodeRequest]):
+        """The paged run's :class:`~repro.core.paging.BlockPool`."""
+        from repro.core.paging import (
+            BlockPool,
+            BlockPoolExhausted,
+            worst_case_blocks,
+        )
+
+        n_heads = requests[0].n_heads
+        head_dim = requests[0].head_dim
+        for request in requests:
+            if (request.n_heads, request.head_dim) != (n_heads, head_dim):
+                raise ValueError(
+                    "paged serving shares one block pool, so every request "
+                    f"must agree on head geometry; got {n_heads}x{head_dim} "
+                    f"and {request.n_heads}x{request.head_dim}"
+                )
+        bs = self.block_size
+        worst = [
+            worst_case_blocks(r.total_tokens, r.window, bs)
+            for r in requests
+        ]
+        if self.pool_blocks is not None:
+            pool = BlockPool(n_heads, head_dim, bs, self.pool_blocks)
+        elif self.pool_bytes is not None:
+            pool = BlockPool.from_bytes(
+                n_heads, head_dim, bs, self.pool_bytes
+            )
+        else:
+            # Auto-size: room for every request's worst case at once, so
+            # the default path never defers or preempts.
+            pool = BlockPool(n_heads, head_dim, bs, sum(worst))
+        for request, need in zip(requests, worst):
+            if need > pool.n_blocks:
+                raise BlockPoolExhausted(
+                    f"request needs {need} blocks of {bs} tokens even "
+                    f"running alone, but the pool only has "
+                    f"{pool.n_blocks}; raise pool_blocks/pool_bytes or "
+                    "the block size"
+                )
+        return pool
 
     def run(
         self, requests: Sequence[DecodeRequest] | Iterable[DecodeRequest]
     ) -> ContinuousBatchResult:
         """Serve every request to completion, continuously batched."""
+        from repro.core.paging import BlockPoolExhausted
+
         requests = tuple(requests)
         if not requests:
             raise ValueError("need at least one decode request")
@@ -1002,9 +1242,27 @@ class ContinuousBatchScheduler:
             self.engine.validate_request(request)
 
         engine = self.engine
+        paged = self.paged
+        pool = None
+        if paged:
+            pool = self._build_pool(requests)
+            self.block_pool = pool
+        elif self.pool_bytes is not None:
+            for request in requests:
+                need = self._page_bytes(
+                    request.n_heads, request.head_dim, request.capacity
+                )
+                if need > self.pool_bytes:
+                    raise BlockPoolExhausted(
+                        f"request needs a {need}-byte page even running "
+                        f"alone, but pool_bytes is {self.pool_bytes}"
+                    )
+
         before = engine.unit._lifetime_counters()
         pages_allocated_before = self.pages_allocated
         pages_recycled_before = self.pages_recycled
+        deferrals_before = self.deferrals
+        preemptions_before = self.preemptions
         waiting = deque(
             _Sequence(i, request) for i, request in enumerate(requests)
         )
@@ -1012,27 +1270,106 @@ class ContinuousBatchScheduler:
         slots: list[GenerateResult | None] = [None] * len(requests)
         packed_cycles = 0
         scheduler_steps = 0
+        admission_clock = 0
+        peak_active = 0
+        peak_kv_slots = 0
+        peak_fragmentation = 0
 
         while waiting or active:
-            scheduler_steps += 1
             jobs: list[_Job] = []
             joining: list[_Sequence] = []
-            # Admission: fill free lanes with waiting requests' prefills.
-            while waiting and len(active) + len(joining) < self.max_active:
-                seq = waiting.popleft()
-                seq.state = engine.start(
-                    seq.request, cache=self._acquire_page(seq.request)
-                )
-                jobs.append(engine._plan_prefill(seq.state))
-                joining.append(seq)
-            # Decode: one token for every already-active sequence.
+            stepping: list[_Sequence] = []
+            # Decode first: running sequences have priority over
+            # admission for whatever blocks are free (otherwise a
+            # preempted-then-readmitted request could steal the very
+            # blocks its preemption freed and starve older sequences —
+            # a livelock).  A dry pool defers the starved sequence to
+            # the next step.
             for seq in active:
-                jobs.append(engine._plan_step(seq.state, seq.next_x))
+                if paged:
+                    try:
+                        job = engine._plan_step(seq.state, seq.next_x)
+                    except BlockPoolExhausted:
+                        self.deferrals += 1
+                        continue
+                else:
+                    job = engine._plan_step(seq.state, seq.next_x)
+                jobs.append(job)
+                stepping.append(seq)
+            # Admission: fill the remaining slots with waiting requests'
+            # prefills.  Paged mode admits whenever the request's first
+            # block fits (free blocks >= 1) and rolls the prefill back —
+            # deferring the request — if the pool runs dry mid-prompt.
+            while waiting and len(active) + len(joining) < self.max_active:
+                seq = waiting[0]
+                if paged:
+                    if pool.free_blocks < 1:
+                        break
+                    state = engine.start(seq.request, pool=pool)
+                else:
+                    state = self._open_contiguous(seq.request)
+                    if state is None:
+                        break
+                waiting.popleft()
+                seq.state = state
+                admission_clock += 1
+                seq.admitted_at = admission_clock
+                if paged:
+                    try:
+                        job = engine._plan_prefill(state)
+                    except BlockPoolExhausted:
+                        state.cache.reset()
+                        seq.reset_progress()
+                        self.deferrals += 1
+                        waiting.appendleft(seq)
+                        break
+                else:
+                    job = engine._plan_prefill(state)
+                jobs.append(job)
+                joining.append(seq)
+
+            if not jobs:
+                if active:
+                    # Every in-flight sequence is starved: preempt the
+                    # most recently admitted one (recomputation — its
+                    # blocks free now, it restarts from the prompt).
+                    victim = max(active, key=lambda s: s.admitted_at)
+                    active.remove(victim)
+                    victim.state.cache.reset()
+                    victim.reset_progress()
+                    self.preemptions += 1
+                    waiting.appendleft(victim)
+                    continue
+                raise BlockPoolExhausted(
+                    "scheduler wedged: no request fits the memory budget "
+                    "even with nothing in flight"
+                )
+
+            scheduler_steps += 1
+            in_flight = joining + active
+            peak_active = max(peak_active, len(in_flight))
+            if paged:
+                peak_kv_slots = max(
+                    peak_kv_slots, pool.in_use * pool.block_size
+                )
+                peak_fragmentation = max(
+                    peak_fragmentation, pool.fragmentation_slots
+                )
+            else:
+                peak_kv_slots = max(
+                    peak_kv_slots,
+                    sum(s.state.cache.capacity for s in in_flight),
+                )
+                peak_fragmentation = max(
+                    peak_fragmentation,
+                    sum(s.state.cache.fragmentation_slots
+                        for s in in_flight),
+                )
 
             results, cycles = engine._execute(jobs)
             packed_cycles += cycles
 
-            for seq, result in zip(joining + active, results):
+            for seq, result in zip(stepping + joining, results):
                 if seq.prefill_result is None:
                     seq.prefill_result = engine._wrap_prefill(result)
                     seq.next_x = seq.prefill_result.outputs[-1]
@@ -1047,7 +1384,10 @@ class ContinuousBatchScheduler:
                 if seq.remaining > 0:
                     survivors.append(seq)
                     continue
-                self._release_page(seq.state.cache)
+                if paged:
+                    seq.state.cache.reset()  # blocks back to the pool
+                else:
+                    self._release_page(seq.state.cache)
                 generated = (
                     np.stack([s.output for s in seq.steps])
                     if seq.steps
@@ -1075,4 +1415,10 @@ class ContinuousBatchScheduler:
             counters=engine.unit._lifetime_counters().diff(before),
             pages_allocated=self.pages_allocated - pages_allocated_before,
             pages_recycled=self.pages_recycled - pages_recycled_before,
+            peak_active=peak_active,
+            peak_kv_slots=peak_kv_slots,
+            peak_fragmentation_slots=peak_fragmentation,
+            deferrals=self.deferrals - deferrals_before,
+            preemptions=self.preemptions - preemptions_before,
+            paging=pool.pool_info() if pool is not None else None,
         )

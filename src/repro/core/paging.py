@@ -1,0 +1,518 @@
+"""Paged KV cache: a global block pool plus per-request block tables.
+
+PR 3's decode memory model was "one contiguous page per request, sized
+for the worst case": admission reserved ``max_seq_len`` slots up front,
+so short requests stranded memory and heterogeneous batches could not
+share the pool.  This module replaces that with the vLLM-style layout
+the ROADMAP names:
+
+* :class:`BlockPool` — owns **all** KV storage as fixed-size blocks of
+  ``block_size`` token slots (``NovaConfig.kv_block_size`` sets the
+  default).  Blocks are allocated and freed by id; the pool never
+  reallocates, so an append is always a row write into a live block.
+* :class:`BlockTable` — one per request: the ordered list of physical
+  block ids holding the request's logical token positions, plus the
+  offset of the first live token inside the first block (sliding-window
+  eviction advances the offset and frees whole head blocks).
+* :class:`PagedKVCache` — presents the exact
+  :class:`~repro.core.decode.KVCache` API (``append`` / ``evict`` /
+  ``keys`` / ``values`` / ``values_snapshot`` / ``reset``) on top of the
+  block-table indirection, so the decode engines run unchanged on
+  either cache.
+
+Numerics contract
+-----------------
+Paging changes **where** K/V rows live, never their values: ``keys`` /
+``values`` / ``values_snapshot`` gather the live span into a fresh
+contiguous array holding bit-identical floats in the same order a
+contiguous :class:`~repro.core.decode.KVCache` would present, so every
+downstream GEMV (scores, context) is bit-exact between the two layouts.
+The equivalence gate in ``tests/test_paging.py`` pins this per Table II
+preset, and the golden traces prove the cycle/counter accounting is
+untouched.
+
+Accounting
+----------
+The pool tracks cumulative ``blocks_allocated`` / ``blocks_freed``,
+current ``in_use`` / ``free``, ``peak_in_use`` and the fragmentation
+metric (allocated-but-unused token slots: block slots held by live
+caches that no cached token occupies).  :meth:`BlockPool.pool_info`
+reports them all, :func:`pool_cache_info` aggregates across every live
+pool in the process (surfaced through
+:meth:`repro.core.session.NovaSession.cache_info`), and the invariants
+``n_blocks == in_use + free`` and
+``blocks_allocated - blocks_freed == in_use`` are pinned by the suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+__all__ = [
+    "BlockPool",
+    "BlockPoolExhausted",
+    "BlockTable",
+    "PagedKVCache",
+    "blocks_needed",
+    "worst_case_blocks",
+    "pool_cache_info",
+]
+
+
+class BlockPoolExhausted(RuntimeError):
+    """Allocating from a :class:`BlockPool` with no free blocks."""
+
+
+#: Every live pool in the process, for :func:`pool_cache_info`.
+_LIVE_POOLS: "weakref.WeakSet[BlockPool]" = weakref.WeakSet()
+_POOLS_LOCK = threading.Lock()
+_POOLS_CREATED = 0
+
+
+def blocks_needed(tokens: int, block_size: int) -> int:
+    """Blocks required to hold ``tokens`` consecutive token slots."""
+    return -(-tokens // block_size)
+
+
+def worst_case_blocks(
+    total_tokens: int, window: int | None, block_size: int
+) -> int:
+    """Most blocks one request can hold at once over its lifetime.
+
+    Windowless requests keep every appended token.  Windowed requests
+    keep at most ``window`` tokens, which can straddle one extra block
+    while the head offset walks through the first block — but never
+    more than the unwindowed bound.
+    """
+    if window is None or total_tokens <= window:
+        return blocks_needed(total_tokens, block_size)
+    return min(
+        blocks_needed(window, block_size) + 1,
+        blocks_needed(total_tokens, block_size),
+    )
+
+
+class BlockPool:
+    """All KV storage for one geometry, as fixed-size blocks.
+
+    Storage is two preallocated ``(n_blocks, n_heads, block_size,
+    head_dim)`` float64 arrays (keys and values); a block id indexes the
+    leading axis.  :meth:`allocate` pops a free id (raising
+    :class:`BlockPoolExhausted` when the pool is dry — the caller's
+    deferral/preemption policy decides what happens next), :meth:`free`
+    returns it (double-free raises ``ValueError``).
+
+    ``live_tokens`` is maintained by the :class:`PagedKVCache` instances
+    drawing from the pool; ``fragmentation_slots`` — the paged analogue
+    of the contiguous layout's stranded worst-case pages — is the gap
+    between the slots held (``in_use * block_size``) and the tokens
+    actually cached.
+    """
+
+    def __init__(
+        self, n_heads: int, head_dim: int, block_size: int, n_blocks: int
+    ) -> None:
+        if n_heads < 1:
+            raise ValueError(f"n_heads must be >= 1, got {n_heads}")
+        if head_dim < 1:
+            raise ValueError(f"head_dim must be >= 1, got {head_dim}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.n_blocks = n_blocks
+        self._k = np.zeros((n_blocks, n_heads, block_size, head_dim))
+        self._v = np.zeros((n_blocks, n_heads, block_size, head_dim))
+        self._free: list[int] = list(range(n_blocks - 1, -1, -1))
+        self._live = np.zeros(n_blocks, dtype=bool)
+        self.blocks_allocated = 0
+        self.blocks_freed = 0
+        self.peak_in_use = 0
+        self.live_tokens = 0
+        global _POOLS_CREATED
+        with _POOLS_LOCK:
+            _POOLS_CREATED += 1
+            _LIVE_POOLS.add(self)
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes one block occupies (keys plus values, float64)."""
+        return 2 * 8 * self.n_heads * self.block_size * self.head_dim
+
+    @classmethod
+    def from_bytes(
+        cls, n_heads: int, head_dim: int, block_size: int, pool_bytes: int
+    ) -> "BlockPool":
+        """The largest pool fitting a byte budget (>= 1 block required)."""
+        block_bytes = 2 * 8 * n_heads * block_size * head_dim
+        n_blocks = pool_bytes // block_bytes
+        if n_blocks < 1:
+            raise ValueError(
+                f"pool_bytes ({pool_bytes}) smaller than one "
+                f"{block_size}-token block ({block_bytes} bytes)"
+            )
+        return cls(n_heads, head_dim, block_size, n_blocks)
+
+    # -- allocation -----------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks available for allocation right now."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Blocks currently held by block tables."""
+        return self.n_blocks - len(self._free)
+
+    def allocate(self) -> int:
+        """Pop a free block id; raises :class:`BlockPoolExhausted` dry."""
+        if not self._free:
+            raise BlockPoolExhausted(
+                f"block pool dry: all {self.n_blocks} blocks of "
+                f"{self.block_size} tokens are in use (defer the request "
+                "or preempt a sequence to free blocks)"
+            )
+        block = self._free.pop()
+        self._live[block] = True
+        self.blocks_allocated += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        return block
+
+    def free(self, block: int) -> None:
+        """Return a block to the pool; double-free raises ``ValueError``."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"block id {block} outside pool of {self.n_blocks} blocks"
+            )
+        if not self._live[block]:
+            raise ValueError(
+                f"double free of block {block}: it is already in the free "
+                "list"
+            )
+        self._live[block] = False
+        self._free.append(block)
+        self.blocks_freed += 1
+
+    # -- storage views --------------------------------------------------
+
+    def keys_of(self, block: int) -> np.ndarray:
+        """Key storage of one live block, ``(n_heads, block_size, head_dim)``."""
+        return self._k[block]
+
+    def values_of(self, block: int) -> np.ndarray:
+        """Value storage of one live block, same shape as :meth:`keys_of`."""
+        return self._v[block]
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def fragmentation_slots(self) -> int:
+        """Allocated-but-unused token slots across all live block tables."""
+        return self.in_use * self.block_size - self.live_tokens
+
+    def pool_info(self) -> dict[str, int]:
+        """Every accounting counter, as one plain dict.
+
+        Invariants (pinned by the suite): ``n_blocks == in_use + free``
+        and ``blocks_allocated - blocks_freed == in_use``.
+        """
+        return {
+            "block_size": self.block_size,
+            "block_bytes": self.block_bytes,
+            "n_blocks": self.n_blocks,
+            "in_use": self.in_use,
+            "free": self.free_blocks,
+            "blocks_allocated": self.blocks_allocated,
+            "blocks_freed": self.blocks_freed,
+            "peak_in_use": self.peak_in_use,
+            "live_tokens": self.live_tokens,
+            "fragmentation_slots": self.fragmentation_slots,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockPool({self.n_blocks} x {self.block_size} tokens, "
+            f"{self.n_heads} heads x {self.head_dim}, "
+            f"{self.in_use} in use)"
+        )
+
+
+def pool_cache_info() -> dict[str, int]:
+    """Process-wide block-pool statistics (every live pool aggregated).
+
+    The paging analogue of
+    :func:`repro.approx.table_cache.table_cache_info`, surfaced through
+    :meth:`repro.core.session.NovaSession.cache_info`.
+    """
+    with _POOLS_LOCK:
+        pools = list(_LIVE_POOLS)
+    return {
+        "pools_created": _POOLS_CREATED,
+        "live_pools": len(pools),
+        "n_blocks": sum(p.n_blocks for p in pools),
+        "in_use": sum(p.in_use for p in pools),
+        "free": sum(p.free_blocks for p in pools),
+        "live_tokens": sum(p.live_tokens for p in pools),
+        "fragmentation_slots": sum(p.fragmentation_slots for p in pools),
+    }
+
+
+class BlockTable:
+    """Logical-to-physical mapping of one request's cached tokens.
+
+    ``blocks[i]`` is the physical block holding logical slots
+    ``[i * block_size, (i + 1) * block_size)`` of the table's own slot
+    space; ``first_offset`` is the slot index of the oldest live token
+    (sliding-window eviction advances it instead of shifting rows).
+    """
+
+    __slots__ = ("blocks", "first_offset")
+
+    def __init__(self) -> None:
+        self.blocks: list[int] = []
+        self.first_offset = 0
+
+    @property
+    def n_blocks(self) -> int:
+        """Physical blocks currently mapped."""
+        return len(self.blocks)
+
+    def physical(self, slot: int, block_size: int) -> tuple[int, int]:
+        """``(block_id, offset)`` of one absolute table slot."""
+        return self.blocks[slot // block_size], slot % block_size
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockTable({self.n_blocks} blocks, "
+            f"first_offset={self.first_offset})"
+        )
+
+
+class PagedKVCache:
+    """The :class:`~repro.core.decode.KVCache` API over a block table.
+
+    Drop-in for the contiguous cache: same constructor-equivalent fields
+    (``n_heads`` / ``head_dim`` come from the pool), same ``append`` /
+    ``evict`` / ``reset`` semantics, same ``keys`` / ``values`` /
+    ``values_snapshot`` shapes and values.  The differences are all on
+    the memory side:
+
+    * storage is borrowed from the shared :class:`BlockPool`, one block
+      at a time, **lazily on append** — an idle request holds zero
+      blocks, a short request holds ``ceil(tokens / block_size)``, never
+      a worst-case page;
+    * a full pool makes ``append`` raise
+      :class:`BlockPoolExhausted` *before any state changes*, so the
+      scheduler can defer the token and retry the same step later;
+    * sliding-window eviction advances ``first_offset`` and frees whole
+      head blocks back to the pool instead of shifting arrays;
+    * ``reset`` frees every block (page recycling is the pool itself).
+    """
+
+    def __init__(
+        self,
+        pool: BlockPool,
+        capacity: int,
+        window: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            if window > capacity:
+                raise ValueError(
+                    f"window ({window}) cannot exceed capacity ({capacity})"
+                )
+        self.pool = pool
+        self.capacity = capacity
+        self.window = window
+        self.table = BlockTable()
+        self.length = 0
+        self.start_position = 0
+        self.evictions = 0
+
+    # -- KVCache-compatible geometry -----------------------------------
+
+    @property
+    def n_heads(self) -> int:
+        """Per-token head count (the pool's)."""
+        return self.pool.n_heads
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width (the pool's)."""
+        return self.pool.head_dim
+
+    @property
+    def block_size(self) -> int:
+        """Tokens per block (the pool's)."""
+        return self.pool.block_size
+
+    @property
+    def limit(self) -> int:
+        """Maximum entries held at once (``window`` if set, else capacity)."""
+        return self.capacity if self.window is None else self.window
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Physical blocks this cache currently holds."""
+        return self.table.n_blocks
+
+    @property
+    def fragmentation_slots(self) -> int:
+        """Slots this cache holds that no live token occupies."""
+        return self.table.n_blocks * self.block_size - self.length
+
+    def can_serve(self, n_heads: int, head_dim: int, capacity: int) -> bool:
+        """Whether this cache can hold a request of the given geometry."""
+        return (
+            self.n_heads == n_heads
+            and self.head_dim == head_dim
+            and self.capacity >= capacity
+        )
+
+    # -- gathered views -------------------------------------------------
+
+    def _gather(self, storage_of, kv_len: int) -> np.ndarray:
+        """First ``kv_len`` live rows as one fresh contiguous array."""
+        out = np.empty((self.n_heads, kv_len, self.head_dim))
+        bs = self.block_size
+        start = self.table.first_offset
+        stop = start + kv_len
+        for i, block in enumerate(self.table.blocks):
+            lo = max(start, i * bs)
+            hi = min(stop, (i + 1) * bs)
+            if lo >= hi:
+                continue
+            out[:, lo - start : hi - start] = storage_of(block)[
+                :, lo - i * bs : hi - i * bs
+            ]
+        return out
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The live cached keys, ``(n_heads, length, head_dim)``
+        (gathered copy — bit-identical to the contiguous layout's view)."""
+        return self._gather(self.pool.keys_of, self.length)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The live cached values, ``(n_heads, length, head_dim)``."""
+        return self._gather(self.pool.values_of, self.length)
+
+    def values_snapshot(self, kv_len: int) -> np.ndarray:
+        """Contiguous copy of the first ``kv_len`` live values (the
+        decode engines' deferred-snapshot hook; see
+        ``KVCache.values_snapshot``)."""
+        return self._gather(self.pool.values_of, kv_len)
+
+    # -- mutation -------------------------------------------------------
+
+    def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
+        """Append one token's per-head key/value rows.
+
+        Identical contract to ``KVCache.append`` plus the pool
+        dimension: a new block is allocated lazily when the tail slot
+        crosses a block boundary, and :class:`BlockPoolExhausted`
+        propagates *before any cache state changes* (no partial evict,
+        no length change), so a scheduler can treat it as "defer this
+        token and retry after blocks free up".
+        """
+        from repro.core.decode import KVCacheOverflow
+
+        expected = (self.n_heads, self.head_dim)
+        k_t = np.asarray(k_t, dtype=np.float64)
+        v_t = np.asarray(v_t, dtype=np.float64)
+        if k_t.shape != expected or v_t.shape != expected:
+            raise ValueError(
+                f"expected per-token k/v of shape {expected}, got "
+                f"{k_t.shape} / {v_t.shape}"
+            )
+        bs = self.block_size
+        if self.length == self.limit:
+            if self.window is None:
+                raise KVCacheOverflow(
+                    f"KV cache full at capacity {self.capacity} "
+                    f"(position {self.start_position + self.length}); "
+                    "set a window for sliding eviction or raise "
+                    "max_seq_len"
+                )
+            # Atomicity: the evicting append needs a tail block exactly
+            # when the tail slot sits on the block grid; eviction frees
+            # the head block exactly when the head offset reaches the
+            # grid.  Check the pool *before* mutating so exhaustion
+            # leaves the cache untouched.
+            tail = self.table.first_offset + self.length
+            needs_block = tail == self.table.n_blocks * bs
+            evict_frees = self.table.first_offset + 1 == bs
+            if needs_block and not evict_frees and not self.pool.free_blocks:
+                raise BlockPoolExhausted(
+                    f"block pool dry: windowed append needs a tail block "
+                    f"but all {self.pool.n_blocks} blocks are in use"
+                )
+            self.evict(1)
+        if self.table.first_offset + self.length == self.table.n_blocks * bs:
+            self.table.blocks.append(self.pool.allocate())
+        block, offset = self.table.physical(
+            self.table.first_offset + self.length, bs
+        )
+        self.pool.keys_of(block)[:, offset] = k_t
+        self.pool.values_of(block)[:, offset] = v_t
+        self.length += 1
+        self.pool.live_tokens += 1
+
+    def evict(self, n: int) -> None:
+        """Drop the ``n`` oldest cached tokens, freeing whole head
+        blocks back to the pool (``start_position`` advances exactly as
+        in the contiguous cache; no rows are shifted)."""
+        if not 0 <= n <= self.length:
+            raise ValueError(
+                f"cannot evict {n} of {self.length} cached tokens"
+            )
+        if n == 0:
+            return
+        bs = self.block_size
+        self.table.first_offset += n
+        self.length -= n
+        self.start_position += n
+        self.evictions += n
+        self.pool.live_tokens -= n
+        while self.table.first_offset >= bs and self.table.blocks:
+            self.pool.free(self.table.blocks.pop(0))
+            self.table.first_offset -= bs
+        if self.length == 0:
+            # nothing live: release the (dead-slot-only) tail block too
+            for block in self.table.blocks:
+                self.pool.free(block)
+            self.table.blocks.clear()
+            self.table.first_offset = 0
+
+    def reset(self) -> None:
+        """Empty the cache and return every block to the pool."""
+        for block in self.table.blocks:
+            self.pool.free(block)
+        self.table.blocks.clear()
+        self.table.first_offset = 0
+        self.pool.live_tokens -= self.length
+        self.length = 0
+        self.start_position = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedKVCache({self.n_heads} heads x {self.capacity} x "
+            f"{self.head_dim}, length={self.length}, "
+            f"blocks={self.table.n_blocks} x {self.block_size}"
+            + (f", window={self.window}" if self.window is not None else "")
+            + ")"
+        )

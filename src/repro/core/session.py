@@ -203,15 +203,28 @@ class NovaSession:
         self,
         requests: Sequence[DecodeRequest] | Iterable[DecodeRequest],
         max_active: int = 8,
+        *,
+        paged: bool = False,
+        block_size: int | None = None,
+        pool_blocks: int | None = None,
+        pool_bytes: int | None = None,
     ) -> ContinuousBatchResult:
         """Serve decode requests with continuous batching.
 
-        A fresh :class:`ContinuousBatchScheduler` (so page-pool
-        statistics are per call) drives the session's decode engine;
-        results are bit-identical to per-request :meth:`generate`.
+        A fresh :class:`ContinuousBatchScheduler` (so pool statistics
+        are per call) drives the session's decode engine; results are
+        bit-identical to per-request :meth:`generate` in either memory
+        mode.  ``paged=True`` swaps the per-request worst-case cache
+        pages for a shared :class:`~repro.core.paging.BlockPool` of
+        fixed-size blocks (``block_size`` defaults to the session
+        config's ``kv_block_size``); ``pool_blocks`` / ``pool_bytes``
+        cap the pool, enabling deferral/preemption under memory
+        pressure — by default it is sized so nothing ever defers.
         """
         scheduler = ContinuousBatchScheduler(
-            self.decoder, max_active=max_active
+            self.decoder, max_active=max_active, paged=paged,
+            block_size=block_size, pool_blocks=pool_blocks,
+            pool_bytes=pool_bytes,
         )
         return scheduler.run(requests)
 
@@ -250,10 +263,18 @@ class NovaSession:
         swaps the table already held by the engine; a test pins the
         miss count flat across steps).  ``schedules`` is the shared
         frozen-:class:`~repro.core.mapper.BroadcastSchedule` count.
+        ``paging`` aggregates every live KV
+        :class:`~repro.core.paging.BlockPool`
+        (:func:`repro.core.paging.pool_cache_info`): block residency,
+        live tokens and the fragmentation metric
+        (allocated-but-unused token slots).
         """
+        from repro.core.paging import pool_cache_info
+
         return {
             "tables": table_cache_info(),
             "schedules": NovaMapper.schedule_cache_size(),
+            "paging": pool_cache_info(),
         }
 
     def __repr__(self) -> str:

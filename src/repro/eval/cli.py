@@ -11,6 +11,7 @@ Installed as ``nova-repro``::
 
     nova-repro serving-batched   # batched full-prefill attention serving
     nova-repro serve-decode      # KV-cached continuous-batching decode
+    nova-repro serve-decode --paged  # paged-KV admission capacity study
 
 Geometry selection
 ------------------
@@ -25,10 +26,18 @@ field with repeatable ``--override FIELD=VALUE`` flags::
     nova-repro serving-batched --override hop_mm=1.0 --override n_segments=8
 
 Overridable fields: ``n_routers``, ``neurons_per_router``,
-``pe_frequency_ghz``, ``hop_mm``, ``n_segments``, ``seed``, ``host``.
-``nova-repro geometries`` prints every preset with its geometry and
-host accelerator.  Passing ``--geometry``/``--override`` to an
-experiment that has a fixed, paper-defined geometry is an error.
+``pe_frequency_ghz``, ``hop_mm``, ``n_segments``, ``seed``,
+``kv_block_size``, ``host``.  ``nova-repro geometries`` prints every
+preset with its geometry and host accelerator.  Passing
+``--geometry``/``--override`` to an experiment that has a fixed,
+paper-defined geometry is an error.
+
+``serve-decode --paged`` swaps the throughput harness for the paged-KV
+memory-utilization study
+(:func:`repro.eval.experiments.paged_decode_utilization`): contiguous
+worst-case pages vs fixed-size blocks from one shared pool, compared at
+the same pool byte budget (``--override kv_block_size=N`` picks the
+block granularity).
 """
 
 from __future__ import annotations
@@ -166,7 +175,17 @@ def main(argv: list[str] | None = None) -> int:
         help="override one NovaConfig field, e.g. n_routers=16 "
              "(repeatable; config-aware experiments only)",
     )
+    parser.add_argument(
+        "--paged",
+        action="store_true",
+        help="with serve-decode: run the paged-KV admission-capacity "
+             "study (contiguous pages vs block pool at a fixed byte "
+             "budget) instead of the throughput harness",
+    )
     args = parser.parse_args(argv)
+
+    if args.paged and args.experiment != "serve-decode":
+        parser.error("--paged only applies to serve-decode")
 
     if args.experiment == "geometries":
         print(render_geometries())
@@ -186,10 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     config = _resolve_config(names, args.geometry, args.override, parser)
 
     for name in names:
+        runner = EXPERIMENTS[name]
+        if name == "serve-decode" and args.paged:
+            runner = experiments.paged_decode_utilization
         if config is not None and name in CONFIGURABLE_EXPERIMENTS:
-            result = EXPERIMENTS[name](config=config)
+            result = runner(config=config)
         else:
-            result = EXPERIMENTS[name]()
+            result = runner()
         print(render_experiment(result))
         print()
     return 0

@@ -23,6 +23,7 @@ from repro.workloads.bert import (
     bert_attention_batch,
     bert_graph,
     decode_batch,
+    mixed_decode_batch,
     serving_config,
 )
 from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
@@ -41,6 +42,7 @@ __all__ = [
     "bert_attention_batch",
     "bert_graph",
     "decode_batch",
+    "mixed_decode_batch",
     "serving_config",
     "CNN_MODELS",
     "CnnLayerSpec",

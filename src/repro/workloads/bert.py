@@ -30,6 +30,7 @@ __all__ = [
     "serving_config",
     "bert_attention_batch",
     "decode_batch",
+    "mixed_decode_batch",
 ]
 
 BERT_MODELS: dict[str, TransformerConfig] = {
@@ -176,6 +177,55 @@ def decode_batch(
                 max_new_tokens=first.max_new_tokens,
                 max_seq_len=first.max_seq_len,
                 window=first.window,
+            )
+        )
+    return requests
+
+
+def mixed_decode_batch(
+    model_name: str | TransformerConfig,
+    batch_size: int,
+    prompt_lens: Sequence[int] = (4, 8, 12, 16),
+    new_tokens: Sequence[int] = (4, 8, 12),
+    seed: int = 0,
+) -> list:
+    """A heterogeneous batch of causal decode requests (shared weights).
+
+    The serving-realistic mix the paged-KV experiments use: request
+    ``i`` takes ``prompt_lens[i % len]`` prompt tokens and
+    ``new_tokens[i % len]`` generation budget, so lengths vary across
+    the batch while every request still carries the model's full
+    ``max_seq_len`` worst case — exactly the regime where contiguous
+    worst-case pages strand memory and fixed-size blocks don't.
+    Prompts are seeded ``seed + i``; weights are shared (seeded
+    ``seed``), matching :func:`decode_batch`.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if not prompt_lens or not new_tokens:
+        raise ValueError("prompt_lens and new_tokens must be non-empty")
+    config = (
+        model_name
+        if isinstance(model_name, TransformerConfig)
+        else serving_config(model_name)
+    )
+    from repro.core.decode import DecodeRequest
+
+    first = decode_request(
+        config, prompt_len=prompt_lens[0], max_new_tokens=new_tokens[0],
+        seed=seed,
+    )
+    requests = [first]
+    for i in range(1, batch_size):
+        rng = np.random.default_rng(seed + i)
+        prompt = prompt_lens[i % len(prompt_lens)]
+        requests.append(
+            DecodeRequest(
+                x=rng.normal(0.0, 1.0, size=(prompt, first.hidden)),
+                wq=first.wq, wk=first.wk, wv=first.wv, wo=first.wo,
+                n_heads=first.n_heads,
+                max_new_tokens=new_tokens[i % len(new_tokens)],
+                max_seq_len=config.seq_len,
             )
         )
     return requests

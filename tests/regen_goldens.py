@@ -77,12 +77,11 @@ def golden_trace(preset_name: str) -> dict:
         "golden-decode", layers=1, hidden=dw["hidden"], heads=dw["heads"],
         intermediate=4 * dw["hidden"], seq_len=64, causal=True,
     )
-    gen = session.generate(
-        decode_request(
-            causal, prompt_len=dw["prompt_len"],
-            max_new_tokens=dw["max_new_tokens"], seed=dw["seed"],
-        )
+    request = decode_request(
+        causal, prompt_len=dw["prompt_len"],
+        max_new_tokens=dw["max_new_tokens"], seed=dw["seed"],
     )
+    gen = session.generate(request)
     decode = {
         **dw,
         "prefill_vector_cycles": gen.prefill.vector_cycles,
@@ -92,9 +91,41 @@ def golden_trace(preset_name: str) -> dict:
         "counters": dict(sorted(gen.counters.as_dict().items())),
     }
 
+    # -- the same generate over a paged KV cache (block-pool accounting)
+    # Paging moves K/V rows into fixed-size pool blocks but must never
+    # change the numerics or the hardware accounting: the fixture pins
+    # the pool counters AND re-records the cycle/counter trace, which
+    # has to stay byte-identical to the contiguous section above.
+    from repro.core.paging import BlockPool, worst_case_blocks
+
+    cfg = preset(preset_name)
+    engine = session.decoder
+    pool = BlockPool(
+        request.n_heads, request.head_dim, cfg.kv_block_size,
+        n_blocks=worst_case_blocks(
+            request.total_tokens, request.window, cfg.kv_block_size
+        ),
+    )
+    paged_gen = engine.generate(
+        request, state=engine.start(request, pool=pool)
+    )
+    assert np.array_equal(paged_gen.generated, gen.generated), (
+        f"{preset_name}: paged generate diverged from contiguous"
+    )
+    decode["paged"] = {
+        "kv_block_size": cfg.kv_block_size,
+        "vector_cycles": paged_gen.vector_cycles,
+        "counters": dict(sorted(paged_gen.counters.as_dict().items())),
+        "blocks_allocated": pool.blocks_allocated,
+        "blocks_freed": pool.blocks_freed,
+        "peak_blocks_in_use": pool.peak_in_use,
+        "end_live_tokens": pool.live_tokens,
+        "end_fragmentation_slots": pool.fragmentation_slots,
+    }
+
     return {
         "preset": preset_name,
-        "config": preset(preset_name).to_dict(),
+        "config": cfg.to_dict(),
         "attention": attention,
         "decode": decode,
     }

@@ -84,6 +84,32 @@ class TestGeometryFlags:
             main(["serving-batched", "--override", "lanes=4"])
         assert "unknown" in capsys.readouterr().err
 
+    def test_paged_flag_only_applies_to_serve_decode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serving-batched", "--paged"])
+        assert "serve-decode" in capsys.readouterr().err
+
+    def test_serve_decode_paged_routes_to_utilization(self, capsys):
+        from repro.eval import cli
+
+        seen = {}
+
+        def fake_utilization(config=None):
+            seen["config"] = config
+            return cli.experiments.ExperimentResult(
+                experiment_id="Paged KV", title="stub",
+                headers=["Memory model"], rows=[["stub"]],
+            )
+
+        original = cli.experiments.paged_decode_utilization
+        cli.experiments.paged_decode_utilization = fake_utilization
+        try:
+            assert main(["serve-decode", "--paged"]) == 0
+        finally:
+            cli.experiments.paged_decode_utilization = original
+        assert "config" in seen
+        assert "Paged KV" in capsys.readouterr().out
+
     def test_serving_batched_accepts_geometry_and_override(self, capsys):
         # tiny workload keeps the cycle-accurate reference loop fast
         from repro.core.config import preset

@@ -491,6 +491,29 @@ class TestDecodeWorkloads:
         with pytest.raises(ValueError, match="batch_size"):
             decode_batch(toy_model(), 0)
 
+    def test_mixed_decode_batch_varies_lengths(self):
+        from repro.workloads.bert import mixed_decode_batch
+
+        model = toy_model(seq_len=64)
+        requests = mixed_decode_batch(
+            model, 5, prompt_lens=(2, 4), new_tokens=(1, 2, 3), seed=0
+        )
+        assert [r.seq for r in requests] == [2, 4, 2, 4, 2]
+        assert [r.max_new_tokens for r in requests] == [1, 2, 3, 1, 2]
+        # every request still declares the model's worst case
+        assert all(r.max_seq_len == 64 for r in requests)
+        # shared weights, independent prompts
+        assert requests[1].wq is requests[0].wq
+        assert not np.array_equal(requests[2].x, requests[0].x)
+
+    def test_mixed_decode_batch_validation(self):
+        from repro.workloads.bert import mixed_decode_batch
+
+        with pytest.raises(ValueError, match="batch_size"):
+            mixed_decode_batch(toy_model(), 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            mixed_decode_batch(toy_model(), 2, prompt_lens=())
+
     def test_decode_serving_experiment_rejects_zero_budget(self):
         from repro.eval.experiments import decode_serving_throughput
 

@@ -191,6 +191,35 @@ class TestOthers:
         # table itself must carry positive throughput on both rows
         assert all(r > 0 for r in result.column("Requests/s"))
 
+    def test_paged_decode_utilization_rows(self):
+        from repro.eval.experiments import paged_decode_utilization
+        from repro.workloads.transformer import TransformerConfig
+
+        model = TransformerConfig(
+            "paged-smoke", layers=1, hidden=16, heads=2, intermediate=64,
+            seq_len=32, causal=True,
+        )
+        result = paged_decode_utilization(
+            model_name=model, batch_size=4, config="jetson-nx",
+            pool_pages=2, block_size=4, prompt_lens=(2, 3),
+            new_tokens=(1, 2), warmup=False,
+        )
+        assert result.column("Memory model") == [
+            "contiguous pages", "paged KV blocks",
+        ]
+        contiguous, paged = result.column("Peak concurrent")
+        # the experiment asserts bit-exactness internally; the table
+        # must show the admission-capacity win at the same byte budget
+        assert contiguous == 2
+        assert paged > contiguous
+        assert result.column("Admission gain")[0] == "1.00x"
+
+    def test_paged_decode_utilization_validation(self):
+        from repro.eval.experiments import paged_decode_utilization
+
+        with pytest.raises(ValueError, match="pool_pages"):
+            paged_decode_utilization(pool_pages=0)
+
     def test_render_experiment(self):
         text = render_experiment(table2_configs())
         assert "Table II" in text

@@ -21,12 +21,17 @@ import pytest
 from repro.core.config import PRESETS
 from tests.regen_goldens import GOLDEN_DIR, golden_trace
 
-#: Integer/structural fields compared exactly, per section.
+#: Integer/structural fields compared exactly, per section.  The
+#: ``decode.paged`` sub-dict pins the block-pool accounting of the same
+#: generate run over a paged KV cache — and its ``vector_cycles`` /
+#: ``counters``, which must equal the contiguous section's (paging is
+#: numerics- and accounting-neutral; the regen script asserts the
+#: outputs match bit for bit before writing the fixture).
 EXACT_FIELDS = {
     "attention": ("vector_cycles", "nonlinear_queries", "counters"),
     "decode": (
         "prefill_vector_cycles", "vector_cycles", "nonlinear_queries",
-        "counters",
+        "counters", "paged",
     ),
 }
 
@@ -77,6 +82,13 @@ class TestGoldenTraces:
         assert current["attention"]["max_abs_error"] == pytest.approx(
             golden["attention"]["max_abs_error"], rel=1e-6, abs=1e-9
         ), f"{preset_name}: attention max_abs_error drifted"
+
+    def test_paged_decode_accounting_is_neutral(self, preset_name):
+        """The fixture's paged run must charge exactly the contiguous
+        run's cycles and counters: paging moves K/V rows, nothing else."""
+        decode = load_golden(preset_name)["decode"]
+        assert decode["paged"]["vector_cycles"] == decode["vector_cycles"]
+        assert decode["paged"]["counters"] == decode["counters"]
 
     def test_fixture_workload_is_the_pinned_one(self, preset_name):
         """The fixture must have been generated from the same workload

@@ -1,0 +1,632 @@
+"""Tests for the paged KV cache (repro.core.paging) and its scheduler.
+
+The headline contracts:
+
+* a :class:`PagedKVCache` presents byte-identical ``keys`` / ``values``
+  to a contiguous :class:`KVCache` for the same appended tokens, for
+  every block size, including ones that do not divide the window;
+* decode over a paged cache is **bit-, cycle- and counter-exact**
+  against the contiguous cache on every Table II preset (the
+  equivalence gate: paging moves K/V rows, nothing else);
+* the paged :class:`ContinuousBatchScheduler` admits by free blocks,
+  defers starved sequences instead of crashing when the pool runs dry
+  mid-step, preempts (by deterministic recomputation) when nothing can
+  progress, and still returns bit-identical per-request results;
+* pool accounting obeys ``n_blocks == in_use + free`` and
+  ``blocks_allocated - blocks_freed == in_use`` at every point, and
+  double-frees fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PRESETS, NovaConfig
+from repro.core.decode import (
+    ContinuousBatchScheduler,
+    KVCache,
+    KVCacheOverflow,
+    NovaDecodeEngine,
+)
+from repro.core.paging import (
+    BlockPool,
+    BlockPoolExhausted,
+    BlockTable,
+    PagedKVCache,
+    blocks_needed,
+    pool_cache_info,
+    worst_case_blocks,
+)
+from repro.core.session import NovaSession
+from repro.workloads.bert import decode_batch, mixed_decode_batch
+from repro.workloads.transformer import TransformerConfig, decode_request
+
+#: Small geometry for fast unit-level checks.
+SMALL = NovaConfig(n_routers=2, neurons_per_router=8)
+
+
+def toy_model(hidden=16, heads=2, seq_len=64):
+    return TransformerConfig(
+        "toy", layers=1, hidden=hidden, heads=heads,
+        intermediate=4 * hidden, seq_len=seq_len, causal=True,
+    )
+
+
+def token(i, n_heads=2, head_dim=4):
+    """A distinguishable per-token (k, v) pair."""
+    base = np.arange(n_heads * head_dim, dtype=float).reshape(
+        n_heads, head_dim
+    )
+    return base + 100.0 * i, base - 100.0 * i
+
+
+# ----------------------------------------------------------------------
+# BlockPool.
+# ----------------------------------------------------------------------
+
+
+class TestBlockPool:
+    def test_allocate_free_roundtrip_and_accounting(self):
+        pool = BlockPool(2, 4, block_size=8, n_blocks=3)
+        a = pool.allocate()
+        b = pool.allocate()
+        assert a != b
+        assert pool.in_use == 2 and pool.free_blocks == 1
+        assert pool.blocks_allocated == 2 and pool.blocks_freed == 0
+        pool.free(a)
+        assert pool.in_use == 1 and pool.free_blocks == 2
+        assert pool.blocks_freed == 1
+        assert pool.peak_in_use == 2
+        info = pool.pool_info()
+        assert info["n_blocks"] == info["in_use"] + info["free"]
+        assert info["blocks_allocated"] - info["blocks_freed"] == info["in_use"]
+
+    def test_exhaustion_raises(self):
+        pool = BlockPool(1, 1, block_size=2, n_blocks=1)
+        pool.allocate()
+        with pytest.raises(BlockPoolExhausted, match="dry"):
+            pool.allocate()
+
+    def test_double_free_raises(self):
+        pool = BlockPool(1, 1, block_size=2, n_blocks=2)
+        block = pool.allocate()
+        pool.free(block)
+        with pytest.raises(ValueError, match="double free"):
+            pool.free(block)
+        with pytest.raises(ValueError, match="outside pool"):
+            pool.free(99)
+
+    def test_constructor_validation(self):
+        for field, kwargs in [
+            ("n_heads", dict(n_heads=0, head_dim=1, block_size=1, n_blocks=1)),
+            ("head_dim", dict(n_heads=1, head_dim=0, block_size=1, n_blocks=1)),
+            ("block_size", dict(n_heads=1, head_dim=1, block_size=0, n_blocks=1)),
+            ("n_blocks", dict(n_heads=1, head_dim=1, block_size=1, n_blocks=0)),
+        ]:
+            with pytest.raises(ValueError, match=field):
+                BlockPool(**kwargs)
+
+    def test_from_bytes_sizes_the_pool(self):
+        # one block = 2 * 8 * 2 heads * 4 tokens * 3 dim = 384 bytes
+        pool = BlockPool.from_bytes(2, 3, block_size=4, pool_bytes=1000)
+        assert pool.block_bytes == 384
+        assert pool.n_blocks == 2
+        with pytest.raises(ValueError, match="smaller than one"):
+            BlockPool.from_bytes(2, 3, block_size=4, pool_bytes=100)
+
+    def test_pool_cache_info_aggregates_live_pools(self):
+        before = pool_cache_info()
+        pool = BlockPool(1, 2, block_size=4, n_blocks=5)
+        pool.allocate()
+        after = pool_cache_info()
+        assert after["pools_created"] == before["pools_created"] + 1
+        assert after["n_blocks"] >= before["n_blocks"] + 5
+        assert after["n_blocks"] == after["in_use"] + after["free"]
+
+    def test_blocks_needed_and_worst_case(self):
+        assert blocks_needed(1, 16) == 1
+        assert blocks_needed(16, 16) == 1
+        assert blocks_needed(17, 16) == 2
+        assert worst_case_blocks(20, None, 16) == 2
+        # windowed: window straddle costs at most one extra block...
+        assert worst_case_blocks(100, 5, 4) == 3
+        # ...but never more than holding every token would
+        assert worst_case_blocks(6, 5, 4) == 2
+
+
+# ----------------------------------------------------------------------
+# PagedKVCache vs the contiguous KVCache.
+# ----------------------------------------------------------------------
+
+
+def paired_caches(n_heads=2, head_dim=4, capacity=32, window=None,
+                  block_size=3, n_blocks=32):
+    pool = BlockPool(n_heads, head_dim, block_size, n_blocks)
+    return (
+        KVCache(n_heads, head_dim, capacity, window=window),
+        PagedKVCache(pool, capacity, window=window),
+        pool,
+    )
+
+
+class TestPagedKVCache:
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 5, 8])
+    def test_gather_matches_contiguous(self, block_size):
+        ref, paged, _ = paired_caches(block_size=block_size)
+        for i in range(13):
+            k, v = token(i)
+            ref.append(k, v)
+            paged.append(k, v)
+        assert np.array_equal(ref.keys, paged.keys)
+        assert np.array_equal(ref.values, paged.values)
+        assert np.array_equal(
+            ref.values_snapshot(7), paged.values_snapshot(7)
+        )
+        assert paged.length == ref.length == 13
+        assert paged.blocks_in_use == blocks_needed(13, block_size)
+
+    @pytest.mark.parametrize("block_size", [2, 3, 4])
+    def test_window_eviction_matches_and_frees_blocks(self, block_size):
+        # window 5 with block sizes that do and do not divide it
+        ref, paged, pool = paired_caches(window=5, block_size=block_size)
+        for i in range(17):
+            k, v = token(i)
+            ref.append(k, v)
+            paged.append(k, v)
+            assert np.array_equal(ref.keys, paged.keys)
+            assert np.array_equal(ref.values, paged.values)
+            assert ref.length == paged.length
+            assert ref.start_position == paged.start_position
+            assert ref.evictions == paged.evictions
+            assert paged.blocks_in_use <= worst_case_blocks(
+                17, 5, block_size
+            )
+        # eviction returned head blocks to the pool
+        assert pool.blocks_freed > 0
+        assert pool.in_use == paged.blocks_in_use
+
+    def test_explicit_evict_and_drain(self):
+        ref, paged, pool = paired_caches(block_size=4)
+        for i in range(10):
+            k, v = token(i)
+            ref.append(k, v)
+            paged.append(k, v)
+        ref.evict(6)
+        paged.evict(6)
+        assert np.array_equal(ref.keys, paged.keys)
+        assert paged.start_position == 6
+        # evicting everything releases every block
+        paged.evict(paged.length)
+        assert paged.blocks_in_use == 0
+        assert pool.in_use == 0
+        with pytest.raises(ValueError, match="cannot evict"):
+            paged.evict(1)
+
+    def test_append_after_drain_restarts_cleanly(self):
+        ref, paged, _ = paired_caches(block_size=4)
+        for i in range(6):
+            k, v = token(i)
+            ref.append(k, v)
+            paged.append(k, v)
+        ref.evict(6)
+        paged.evict(6)
+        for i in range(6, 9):
+            k, v = token(i)
+            ref.append(k, v)
+            paged.append(k, v)
+        assert np.array_equal(ref.keys, paged.keys)
+        assert ref.start_position == paged.start_position == 6
+
+    def test_reset_frees_all_blocks(self):
+        _, paged, pool = paired_caches(block_size=2)
+        for i in range(7):
+            paged.append(*token(i))
+        assert pool.in_use == 4
+        paged.reset()
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
+        assert paged.length == 0 and paged.start_position == 0
+        info = pool.pool_info()
+        assert info["blocks_allocated"] - info["blocks_freed"] == 0
+
+    def test_overflow_matches_contiguous_contract(self):
+        _, paged, _ = paired_caches(capacity=3, n_blocks=4)
+        for i in range(3):
+            paged.append(*token(i))
+        with pytest.raises(KVCacheOverflow, match="full at capacity 3"):
+            paged.append(*token(3))
+
+    def test_append_is_atomic_on_pool_exhaustion(self):
+        pool = BlockPool(2, 4, block_size=2, n_blocks=1)
+        paged = PagedKVCache(pool, capacity=32)
+        paged.append(*token(0))
+        paged.append(*token(1))
+        before = (paged.length, paged.blocks_in_use, pool.live_tokens)
+        with pytest.raises(BlockPoolExhausted):
+            paged.append(*token(2))
+        assert (paged.length, paged.blocks_in_use, pool.live_tokens) == before
+        # the cache is still usable once blocks free up elsewhere
+        other = PagedKVCache(pool, capacity=32)
+        with pytest.raises(BlockPoolExhausted):
+            other.append(*token(9))
+
+    def test_windowed_append_is_atomic_on_pool_exhaustion(self):
+        # two caches share a 2-block pool; the windowed one needs its
+        # straddle block while the other holds the last free block
+        pool = BlockPool(2, 4, block_size=4, n_blocks=2)
+        windowed = PagedKVCache(pool, capacity=16, window=4)
+        hog = PagedKVCache(pool, capacity=16)
+        for i in range(4):
+            windowed.append(*token(i))
+        hog.append(*token(99))
+        ref_keys = windowed.keys
+        before = (windowed.length, windowed.start_position,
+                  windowed.evictions, pool.live_tokens)
+        with pytest.raises(BlockPoolExhausted):
+            windowed.append(*token(4))  # tail crosses into a new block
+        assert (windowed.length, windowed.start_position,
+                windowed.evictions, pool.live_tokens) == before
+        assert np.array_equal(windowed.keys, ref_keys)
+
+    def test_validation(self):
+        pool = BlockPool(2, 4, block_size=2, n_blocks=2)
+        with pytest.raises(ValueError, match="capacity"):
+            PagedKVCache(pool, capacity=0)
+        with pytest.raises(ValueError, match="window"):
+            PagedKVCache(pool, capacity=4, window=0)
+        with pytest.raises(ValueError, match="window"):
+            PagedKVCache(pool, capacity=4, window=8)
+        paged = PagedKVCache(pool, capacity=4)
+        with pytest.raises(ValueError, match="shape"):
+            paged.append(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_can_serve(self):
+        pool = BlockPool(2, 4, block_size=2, n_blocks=2)
+        paged = PagedKVCache(pool, capacity=8)
+        assert paged.can_serve(2, 4, 8)
+        assert paged.can_serve(2, 4, 4)
+        assert not paged.can_serve(2, 4, 9)
+        assert not paged.can_serve(3, 4, 4)
+
+    def test_block_table_physical_mapping(self):
+        table = BlockTable()
+        table.blocks.extend([7, 3, 9])
+        assert table.physical(0, 4) == (7, 0)
+        assert table.physical(5, 4) == (3, 1)
+        assert table.physical(11, 4) == (9, 3)
+        assert table.n_blocks == 3
+
+
+# ----------------------------------------------------------------------
+# The equivalence gate: paged decode vs contiguous decode, per preset.
+# ----------------------------------------------------------------------
+
+
+class TestPagedDecodeEquivalence:
+    @pytest.mark.parametrize("preset_name", sorted(PRESETS))
+    def test_bit_cycle_counter_exact_on_every_preset(self, preset_name):
+        """Paging must change *where* K/V rows live, never the numerics
+        or the hardware accounting — on every Table II geometry."""
+        session = NovaSession(preset_name)
+        engine = session.decoder
+        request = decode_request(
+            toy_model(), prompt_len=6, max_new_tokens=4, seed=11
+        )
+        contiguous = engine.generate(request)
+        pool = BlockPool(
+            request.n_heads, request.head_dim,
+            session.config.kv_block_size,
+            n_blocks=worst_case_blocks(
+                request.total_tokens, request.window,
+                session.config.kv_block_size,
+            ),
+        )
+        paged = engine.generate(
+            request, state=engine.start(request, pool=pool)
+        )
+        assert np.array_equal(contiguous.generated, paged.generated)
+        assert np.array_equal(
+            contiguous.prefill.outputs, paged.prefill.outputs
+        )
+        assert np.array_equal(
+            contiguous.prefill.probabilities, paged.prefill.probabilities
+        )
+        assert contiguous.vector_cycles == paged.vector_cycles
+        assert contiguous.counters.as_dict() == paged.counters.as_dict()
+        for a, b in zip(contiguous.steps, paged.steps):
+            assert np.array_equal(a.probabilities, b.probabilities)
+            assert a.vector_cycles == b.vector_cycles
+            assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_windowed_paged_decode_matches(self):
+        engine = NovaDecodeEngine(SMALL)
+        request = decode_request(
+            toy_model(), prompt_len=7, max_new_tokens=4, seed=3, window=5
+        )
+        contiguous = engine.generate(request)
+        pool = BlockPool(request.n_heads, request.head_dim, 2, n_blocks=4)
+        paged = engine.generate(
+            request, state=engine.start(request, pool=pool)
+        )
+        assert np.array_equal(contiguous.generated, paged.generated)
+        assert contiguous.counters.as_dict() == paged.counters.as_dict()
+
+    def test_start_rejects_pool_geometry_mismatch(self):
+        engine = NovaDecodeEngine(SMALL)
+        request = decode_request(toy_model(), prompt_len=3)
+        wrong = BlockPool(
+            request.n_heads + 1, request.head_dim, 4, n_blocks=4
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            engine.start(request, pool=wrong)
+        good = BlockPool(request.n_heads, request.head_dim, 4, n_blocks=4)
+        cache = KVCache(request.n_heads, request.head_dim, request.capacity)
+        with pytest.raises(ValueError, match="not both"):
+            engine.start(request, cache=cache, pool=good)
+
+
+# ----------------------------------------------------------------------
+# Paged continuous batching.
+# ----------------------------------------------------------------------
+
+
+class TestPagedScheduler:
+    def test_bit_exact_vs_one_at_a_time(self):
+        model = toy_model()
+        requests = decode_batch(model, 5, prompt_len=3, max_new_tokens=4,
+                                seed=0)
+        engine = NovaDecodeEngine(SMALL)
+        solo = [engine.generate(r) for r in requests]
+        batch = ContinuousBatchScheduler(
+            engine, max_active=3, paged=True, block_size=4
+        ).run(requests)
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(ref.generated, got.generated)
+            assert ref.vector_cycles == got.vector_cycles
+            assert ref.counters.as_dict() == got.counters.as_dict()
+        assert batch.paging is not None
+        assert batch.paging["in_use"] == 0  # every block returned
+        assert batch.pages_allocated == 0 and batch.pages_recycled == 0
+
+    def test_pool_exhaustion_mid_step_defers_not_crashes(self):
+        """A pool too small for every sequence's next block must defer
+        the starved sequences and still finish bit-exact."""
+        model = toy_model()
+        requests = decode_batch(model, 5, prompt_len=3, max_new_tokens=4,
+                                seed=0)
+        engine = NovaDecodeEngine(SMALL)
+        solo = [engine.generate(r) for r in requests]
+        scheduler = ContinuousBatchScheduler(
+            engine, max_active=5, paged=True, block_size=4, pool_blocks=4
+        )
+        batch = scheduler.run(requests)
+        assert batch.deferrals > 0
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(ref.generated, got.generated)
+            assert ref.counters.as_dict() == got.counters.as_dict()
+
+    def test_preemption_recomputes_bit_exact(self):
+        """With only enough blocks for one sequence's worst case at a
+        time, the scheduler must preempt and still converge on
+        bit-identical results."""
+        model = toy_model()
+        requests = decode_batch(model, 4, prompt_len=3, max_new_tokens=4,
+                                seed=0)
+        engine = NovaDecodeEngine(SMALL)
+        solo = [engine.generate(r) for r in requests]
+        scheduler = ContinuousBatchScheduler(
+            engine, max_active=4, paged=True, block_size=4, pool_blocks=2
+        )
+        batch = scheduler.run(requests)
+        assert batch.preemptions > 0
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(ref.generated, got.generated)
+            assert ref.vector_cycles == got.vector_cycles
+            assert ref.counters.as_dict() == got.counters.as_dict()
+        # preempted work was recomputed: the overlay spent more than the
+        # per-request sequential-equivalent total
+        assert batch.counters.as_dict() != ContinuousBatchScheduler(
+            engine, max_active=4, paged=True
+        ).run(requests).counters.as_dict()
+
+    def test_infeasible_request_raises_up_front(self):
+        model = toy_model()
+        requests = decode_batch(model, 2, prompt_len=6, max_new_tokens=4,
+                                seed=0)
+        engine = NovaDecodeEngine(SMALL)
+        scheduler = ContinuousBatchScheduler(
+            engine, max_active=2, paged=True, block_size=4, pool_blocks=1
+        )
+        before = engine.unit._lifetime_counters()
+        with pytest.raises(BlockPoolExhausted, match="running alone"):
+            scheduler.run(requests)
+        assert engine.unit._lifetime_counters().as_dict() == before.as_dict()
+
+    def test_heterogeneous_head_geometry_rejected(self):
+        engine = NovaDecodeEngine(SMALL)
+        a = decode_request(toy_model(hidden=16, heads=2), prompt_len=3)
+        b = decode_request(toy_model(hidden=16, heads=4), prompt_len=3)
+        scheduler = ContinuousBatchScheduler(engine, paged=True)
+        with pytest.raises(ValueError, match="head geometry"):
+            scheduler.run([a, b])
+
+    def test_paged_only_knobs_rejected_in_contiguous_mode(self):
+        engine = NovaDecodeEngine(SMALL)
+        with pytest.raises(ValueError, match="paged"):
+            ContinuousBatchScheduler(engine, block_size=8)
+        with pytest.raises(ValueError, match="paged"):
+            ContinuousBatchScheduler(engine, pool_blocks=8)
+        with pytest.raises(ValueError, match="not both"):
+            ContinuousBatchScheduler(
+                engine, paged=True, pool_blocks=4, pool_bytes=1024
+            )
+        with pytest.raises(ValueError, match="block_size"):
+            ContinuousBatchScheduler(engine, paged=True, block_size=0)
+
+    def test_block_size_defaults_to_config(self):
+        engine = NovaDecodeEngine(SMALL)
+        scheduler = ContinuousBatchScheduler(engine, paged=True)
+        assert scheduler.block_size == SMALL.kv_block_size
+
+    def test_admits_more_than_contiguous_at_same_bytes(self):
+        """The tentpole claim, in miniature: mixed-length requests at a
+        fixed byte budget — paged admission beats whole pages."""
+        model = toy_model(seq_len=64)
+        requests = mixed_decode_batch(
+            model, 8, prompt_lens=(2, 3, 4), new_tokens=(2, 3), seed=0
+        )
+        engine = NovaDecodeEngine(SMALL)
+        page_bytes = 2 * 8 * model.hidden * model.seq_len
+        budget = 2 * page_bytes
+        contiguous = ContinuousBatchScheduler(
+            engine, max_active=8, pool_bytes=budget
+        ).run(requests)
+        paged = ContinuousBatchScheduler(
+            engine, max_active=8, paged=True, block_size=4,
+            pool_bytes=budget,
+        ).run(requests)
+        assert contiguous.peak_active == 2
+        assert paged.peak_active >= 1.5 * contiguous.peak_active
+        assert paged.peak_fragmentation_slots < \
+            contiguous.peak_fragmentation_slots
+        for ref, got in zip(contiguous.results, paged.results):
+            assert np.array_equal(ref.generated, got.generated)
+
+    def test_contiguous_budget_reclaims_retired_page_bytes(self):
+        """Regression: a retired small page's bytes must return to the
+        budget when they cannot serve the next request — otherwise a
+        feasible larger request wedges the scheduler."""
+        engine = NovaDecodeEngine(SMALL)
+        small = decode_request(toy_model(seq_len=8), prompt_len=2,
+                               max_new_tokens=1, seed=0)
+        big = decode_request(toy_model(seq_len=64), prompt_len=3,
+                             max_new_tokens=2, seed=1)
+        page_bytes = 2 * 8 * big.hidden * 64
+        scheduler = ContinuousBatchScheduler(
+            engine, max_active=2, pool_bytes=page_bytes
+        )
+        batch = scheduler.run([small, big])  # must not wedge
+        assert batch.n_requests == 2
+        assert np.array_equal(
+            batch.results[1].generated, engine.generate(big).generated
+        )
+
+    def test_contiguous_budget_defers_then_raises_when_infeasible(self):
+        model = toy_model(seq_len=64)
+        engine = NovaDecodeEngine(SMALL)
+        request = decode_request(model, prompt_len=3, max_new_tokens=2)
+        page_bytes = 2 * 8 * model.hidden * model.seq_len
+        tight = ContinuousBatchScheduler(
+            engine, max_active=4, pool_bytes=page_bytes - 1
+        )
+        with pytest.raises(BlockPoolExhausted, match="running alone"):
+            tight.run([request])
+
+    def test_session_serve_decode_paged(self):
+        model = toy_model()
+        requests = decode_batch(model, 3, prompt_len=3, max_new_tokens=2,
+                                seed=0)
+        session = NovaSession(SMALL)
+        batch = session.serve_decode(requests, max_active=2, paged=True)
+        solo = session.generate(requests[1])
+        assert np.array_equal(batch.results[1].generated, solo.generated)
+        assert batch.paging is not None
+        assert batch.paging["n_blocks"] == (
+            batch.paging["in_use"] + batch.paging["free"]
+        )
+
+    def test_cache_info_reports_paging(self):
+        info = NovaSession.cache_info()
+        paging = info["paging"]
+        assert paging["n_blocks"] == paging["in_use"] + paging["free"]
+        assert {"pools_created", "live_pools", "fragmentation_slots"} <= set(
+            paging
+        )
+
+
+# ----------------------------------------------------------------------
+# NovaConfig.kv_block_size.
+# ----------------------------------------------------------------------
+
+
+class TestKvBlockSizeConfig:
+    def test_zero_negative_rejected(self):
+        for bad in (0, -1, -16):
+            with pytest.raises(ValueError, match="kv_block_size"):
+                NovaConfig(kv_block_size=bad)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError, match="kv_block_size"):
+            NovaConfig(kv_block_size=2.5)
+        with pytest.raises(TypeError, match="kv_block_size"):
+            NovaConfig(kv_block_size=True)
+        with pytest.raises(TypeError, match="kv_block_size"):
+            NovaConfig(kv_block_size="16")
+
+    def test_presets_carry_defaults_and_override_works(self):
+        for name, cfg in PRESETS.items():
+            assert cfg.kv_block_size >= 1, name
+        assert PRESETS["jetson-nx"].kv_block_size == 16
+        cfg = NovaConfig().with_overrides(["kv_block_size=64"])
+        assert cfg.kv_block_size == 64
+        assert NovaConfig.from_dict(cfg.to_dict()) == cfg
+
+
+# ----------------------------------------------------------------------
+# Legacy contiguous pool: capacity >= reuse (regression).
+# ----------------------------------------------------------------------
+
+
+class TestLegacyPoolReuse:
+    def test_bigger_recycled_page_serves_smaller_request(self):
+        """Regression: the pool used to key on exact capacity, so a pool
+        full of 2048-token pages could not serve a 512-token request."""
+        engine = NovaDecodeEngine(SMALL)
+        scheduler = ContinuousBatchScheduler(engine, max_active=1)
+        big = decode_request(
+            toy_model(seq_len=64), prompt_len=4, max_new_tokens=2, seed=0
+        )
+        small = decode_request(
+            toy_model(seq_len=16), prompt_len=3, max_new_tokens=1, seed=1
+        )
+        first = scheduler.run([big])
+        assert (first.pages_allocated, first.pages_recycled) == (1, 0)
+        second = scheduler.run([small])
+        assert (second.pages_allocated, second.pages_recycled) == (0, 1)
+        # and the recycled page produces the right numerics
+        assert np.array_equal(
+            second.results[0].generated, engine.generate(small).generated
+        )
+
+    def test_best_fit_prefers_the_smallest_sufficient_page(self):
+        engine = NovaDecodeEngine(SMALL)
+        scheduler = ContinuousBatchScheduler(engine, max_active=2)
+        reqs = [
+            decode_request(toy_model(seq_len=64), prompt_len=3,
+                           max_new_tokens=1, seed=0),
+            decode_request(toy_model(seq_len=16), prompt_len=3,
+                           max_new_tokens=1, seed=1),
+        ]
+        scheduler.run(reqs)  # pools a 64-page and a 16-page
+        pages = scheduler._pool[(reqs[0].n_heads, reqs[0].head_dim)]
+        assert sorted(p.capacity for p in pages) == [16, 64]
+        small = decode_request(toy_model(seq_len=16), prompt_len=2,
+                               max_new_tokens=1, seed=2)
+        page = scheduler._acquire_page(small)
+        assert page.capacity == 16  # best fit, not the 64-page
+
+    def test_recycled_page_adopts_the_new_window(self):
+        engine = NovaDecodeEngine(SMALL)
+        request = decode_request(
+            toy_model(), prompt_len=4, max_new_tokens=2, seed=0
+        )
+        windowed = decode_request(
+            toy_model(), prompt_len=4, max_new_tokens=2, seed=0, window=3
+        )
+        page = KVCache(request.n_heads, request.head_dim, 64)
+        state = engine.start(windowed, cache=page)
+        assert state.cache is page
+        assert page.window == 3
+        gen = engine.generate(windowed, state=state)
+        assert np.array_equal(
+            gen.generated, engine.generate(windowed).generated
+        )

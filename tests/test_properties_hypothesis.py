@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the datapath and the decode path.
 
-Four families of invariants, each over randomly drawn inputs rather
+Five families of invariants, each over randomly drawn inputs rather
 than hand-picked cases:
 
 * fixed-point encode/decode round trips (``utils/fixed_point.py``),
@@ -8,7 +8,10 @@ than hand-picked cases:
   exact reference *and* the hardware softmax through the overlay,
 * :class:`NovaConfig` ``with_overrides`` / JSON round-trip identity,
 * decode-vs-prefill bit-exact equivalence over random shapes, seeds
-  and sliding windows.
+  and sliding windows,
+* paged-vs-contiguous :class:`KVCache` equivalence over random
+  append/evict/reset sequences, block sizes and window lengths
+  (including block sizes that do not divide the window).
 """
 
 import numpy as np
@@ -17,7 +20,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.approx.softmax import exact_softmax
 from repro.core.config import NovaConfig
-from repro.core.decode import DecodeRequest, NovaDecodeEngine
+from repro.core.decode import DecodeRequest, KVCache, NovaDecodeEngine
+from repro.core.paging import BlockPool, PagedKVCache, blocks_needed
 from repro.core.session import NovaSession
 from repro.utils.fixed_point import FixedPointFormat
 
@@ -199,6 +203,99 @@ def random_decode_requests(draw):
         n_heads=n_heads,
         window=window,
     )
+
+
+# ----------------------------------------------------------------------
+# Paged vs contiguous KV cache over random operation sequences.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def cache_scenarios(draw):
+    """A cache geometry plus a random append/evict/reset program."""
+    n_heads = draw(st.integers(min_value=1, max_value=3))
+    head_dim = draw(st.integers(min_value=1, max_value=4))
+    capacity = draw(st.integers(min_value=1, max_value=12))
+    window = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=capacity))
+    )
+    # block sizes deliberately include values that do not divide the
+    # window (or the capacity) so partial tail/head blocks are exercised
+    block_size = draw(st.integers(min_value=1, max_value=7))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.just(("append",)),
+                st.tuples(st.just("evict"), st.integers(0, 4)),
+                st.just(("reset",)),
+            ),
+            min_size=1, max_size=30,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return n_heads, head_dim, capacity, window, block_size, ops, seed
+
+
+class TestPagedCacheEquivalenceProperties:
+    @given(scenario=cache_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_paged_cache_mirrors_contiguous_cache(self, scenario):
+        """Any program of appends, evictions and resets leaves the paged
+        and contiguous caches with identical observable state, and the
+        paged cache never holds more than its worst-case block count."""
+        n_heads, head_dim, capacity, window, block_size, ops, seed = scenario
+        rng = np.random.default_rng(seed)
+        ref = KVCache(n_heads, head_dim, capacity, window=window)
+        # Size the pool for the true worst case: a windowless cache
+        # tops out at capacity tokens, but a windowed one accepts
+        # unbounded appends and can straddle one extra block while the
+        # head offset walks through its first block.
+        n_blocks = (
+            blocks_needed(capacity, block_size)
+            if window is None
+            else blocks_needed(window, block_size) + 1
+        )
+        pool = BlockPool(n_heads, head_dim, block_size, n_blocks=n_blocks)
+        paged = PagedKVCache(pool, capacity, window=window)
+        from repro.core.decode import KVCacheOverflow
+
+        for op in ops:
+            if op[0] == "append":
+                k = rng.normal(size=(n_heads, head_dim))
+                v = rng.normal(size=(n_heads, head_dim))
+                try:
+                    ref.append(k, v)
+                    ref_overflow = False
+                except KVCacheOverflow:
+                    ref_overflow = True
+                try:
+                    paged.append(k, v)
+                    paged_overflow = False
+                except KVCacheOverflow:
+                    paged_overflow = True
+                assert ref_overflow == paged_overflow
+            elif op[0] == "evict":
+                n = min(op[1], ref.length)
+                ref.evict(n)
+                paged.evict(n)
+            else:
+                ref.reset()
+                paged.reset()
+            assert ref.length == paged.length
+            assert ref.start_position == paged.start_position
+            assert ref.evictions == paged.evictions
+            assert np.array_equal(ref.keys, paged.keys)
+            assert np.array_equal(ref.values, paged.values)
+            if ref.length:
+                assert np.array_equal(
+                    ref.values_snapshot(ref.length),
+                    paged.values_snapshot(paged.length),
+                )
+            assert paged.blocks_in_use <= pool.n_blocks
+            assert pool.in_use == paged.blocks_in_use
+            assert (
+                pool.blocks_allocated - pool.blocks_freed == pool.in_use
+            )
 
 
 class TestDecodeEquivalenceProperties:
