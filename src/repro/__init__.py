@@ -67,6 +67,10 @@ from repro.core import (
     BlockPool,
     PagedKVCache,
     ContinuousBatchScheduler,
+    SpeculativeDecodeEngine,
+    NGramDraft,
+    TruncatedTableDraft,
+    build_draft,
     NovaMapper,
     NovaNoc,
     NovaRouter,
@@ -111,6 +115,10 @@ __all__ = [
     "BlockPool",
     "PagedKVCache",
     "ContinuousBatchScheduler",
+    "SpeculativeDecodeEngine",
+    "NGramDraft",
+    "TruncatedTableDraft",
+    "build_draft",
     "NovaMapper",
     "NovaNoc",
     "NovaRouter",

@@ -71,6 +71,15 @@ from repro.core.decode import (
     ContinuousBatchScheduler,
     ContinuousBatchResult,
 )
+from repro.core.speculative import (
+    DraftModel,
+    NGramDraft,
+    TruncatedTableDraft,
+    ScheduledDraft,
+    build_draft,
+    SpeculativeDecodeEngine,
+    SpeculativeGenerateResult,
+)
 from repro.core.session import NovaSession
 from repro.core.streaming import StreamingLine, ObservationLog
 
@@ -119,6 +128,13 @@ __all__ = [
     "NovaDecodeEngine",
     "ContinuousBatchScheduler",
     "ContinuousBatchResult",
+    "DraftModel",
+    "NGramDraft",
+    "TruncatedTableDraft",
+    "ScheduledDraft",
+    "build_draft",
+    "SpeculativeDecodeEngine",
+    "SpeculativeGenerateResult",
     "StreamingLine",
     "ObservationLog",
 ]

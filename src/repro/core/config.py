@@ -46,7 +46,14 @@ __all__ = [
     "resolve_engine_config",
     "GEOMETRY_FIELDS",
     "ENGINE_FIELDS",
+    "DRAFT_KINDS",
 ]
+
+#: The draft models :func:`repro.core.speculative.build_draft` knows how
+#: to construct from a configuration (``NovaConfig.draft_kind``).  The
+#: canonical tuple lives here rather than in :mod:`repro.core.speculative`
+#: so config validation needs no import of the engine stack.
+DRAFT_KINDS = ("truncated-table", "ngram")
 
 #: The overlay-geometry fields (what a :class:`NovaVectorUnit` needs).
 GEOMETRY_FIELDS = (
@@ -66,6 +73,8 @@ _FIELD_PARSERS: dict[str, object] = {
     "n_segments": int,
     "seed": int,
     "kv_block_size": int,
+    "spec_k": int,
+    "draft_kind": str,
     "host": lambda s: None if s.lower() in ("", "none", "null") else s,
 }
 
@@ -88,6 +97,15 @@ class NovaConfig:
     blocks so short requests waste fewer slots, large hosts amortise
     block-table overhead with bigger blocks).  It never affects
     numerics, cycles or counters — only where K/V rows live.
+
+    ``spec_k`` / ``draft_kind`` are the speculative-decode defaults
+    (:mod:`repro.core.speculative`): how many draft tokens one
+    verification pass may carry (``spec_k >= 1``; wider overlays
+    amortise deeper speculation) and which :data:`DRAFT_KINDS` entry
+    builds the default draft model.  Like ``kv_block_size``, they never
+    change what tokens are generated — speculative decode is bit-exact
+    against plain decode by construction — only how many overlay passes
+    it takes to generate them.
     """
 
     n_routers: int = 8
@@ -97,11 +115,13 @@ class NovaConfig:
     n_segments: int = 16
     seed: int = 0
     kv_block_size: int = 16
+    spec_k: int = 4
+    draft_kind: str = "truncated-table"
     host: str | None = None
 
     def __post_init__(self) -> None:
         for name in ("n_routers", "neurons_per_router", "n_segments",
-                     "kv_block_size"):
+                     "kv_block_size", "spec_k"):
             value = getattr(self, name)
             if isinstance(value, bool) or not isinstance(value, Integral):
                 raise TypeError(
@@ -126,6 +146,16 @@ class NovaConfig:
             object.__setattr__(self, name, float(value))
             if getattr(self, name) <= 0.0:
                 raise ValueError(f"{name} must be > 0, got {value}")
+        if not isinstance(self.draft_kind, str):
+            raise TypeError(
+                "draft_kind must be a draft-model name (str), got "
+                f"{type(self.draft_kind).__name__}"
+            )
+        if self.draft_kind not in DRAFT_KINDS:
+            raise ValueError(
+                f"unknown draft_kind {self.draft_kind!r}; "
+                f"known: {sorted(DRAFT_KINDS)}"
+            )
         if self.host is not None and not isinstance(self.host, str):
             raise TypeError(
                 "host must be an accelerator name (str) or None, got "
@@ -277,19 +307,19 @@ class NovaConfig:
 PRESETS: dict[str, NovaConfig] = {
     "jetson-nx": NovaConfig(
         n_routers=2, neurons_per_router=16, pe_frequency_ghz=1.4,
-        hop_mm=0.5, kv_block_size=16, host="Jetson Xavier NX",
+        hop_mm=0.5, kv_block_size=16, spec_k=4, host="Jetson Xavier NX",
     ),
     "react": NovaConfig(
         n_routers=10, neurons_per_router=256, pe_frequency_ghz=0.24,
-        hop_mm=1.0, kv_block_size=64, host="REACT",
+        hop_mm=1.0, kv_block_size=64, spec_k=8, host="REACT",
     ),
     "tpu-v3": NovaConfig(
         n_routers=4, neurons_per_router=128, pe_frequency_ghz=1.4,
-        hop_mm=0.5, kv_block_size=32, host="TPU v3-like",
+        hop_mm=0.5, kv_block_size=32, spec_k=4, host="TPU v3-like",
     ),
     "tpu-v4": NovaConfig(
         n_routers=8, neurons_per_router=128, pe_frequency_ghz=1.4,
-        hop_mm=0.5, kv_block_size=32, host="TPU v4-like",
+        hop_mm=0.5, kv_block_size=32, spec_k=8, host="TPU v4-like",
     ),
 }
 

@@ -22,7 +22,10 @@ hardware model the prefill engines use:
   every scheduler step packs the prefill rows of newly admitted requests
   *and* the decode rows of in-flight requests into a single lane stream
   through the shared overlay; requests join and leave the batch between
-  steps.  Two memory models back it: contiguous per-request pages
+  steps.  With ``speculative=True`` each in-flight decode row becomes a
+  whole draft-and-verify pass (:mod:`repro.core.speculative`): drafted
+  tokens ride the same fused streams and rejected suffixes roll back by
+  cache truncation, with results still bit-identical per request.  Two memory models back it: contiguous per-request pages
   recycled through a best-fit pool (any page with ``capacity >=
   requested`` serves), or — with ``paged=True`` — a vLLM-style
   :class:`~repro.core.paging.BlockPool` of fixed-size blocks shared by
@@ -211,6 +214,20 @@ class KVCache:
         self.length = keep
         self.start_position += n
         self.evictions += n
+
+    def truncate(self, n: int) -> None:
+        """Drop the ``n`` *newest* cached tokens (speculative rollback).
+
+        The tail-side complement of :meth:`evict`: rolling back
+        rejected draft tokens just shortens the live span
+        (``start_position`` is untouched) — the next append overwrites
+        the rolled-back rows.
+        """
+        if not 0 <= n <= self.length:
+            raise ValueError(
+                f"cannot truncate {n} of {self.length} cached tokens"
+            )
+        self.length -= n
 
     def values_snapshot(self, kv_len: int) -> np.ndarray:
         """Contiguous copy of the first ``kv_len`` cached values.
@@ -1003,6 +1020,7 @@ class _Sequence:
     __slots__ = (
         "index", "request", "state", "remaining", "next_x",
         "prefill_result", "steps", "admitted_at",
+        "draft", "passes", "pending_pass",
     )
 
     def __init__(self, index: int, request: DecodeRequest) -> None:
@@ -1014,6 +1032,11 @@ class _Sequence:
         self.prefill_result: CausalPrefillResult | None = None
         self.steps: list[DecodeStepResult] = []
         self.admitted_at = -1
+        # Speculative-mode state: the per-sequence draft model, the
+        # completed verification passes, and the pass staged this step.
+        self.draft = None
+        self.passes: list = []
+        self.pending_pass = None
 
     def reset_progress(self) -> None:
         """Forget all progress (preemption by recomputation): the
@@ -1025,6 +1048,10 @@ class _Sequence:
         self.prefill_result = None
         self.steps = []
         self.admitted_at = -1
+        self.passes = []
+        self.pending_pass = None
+        if self.draft is not None:
+            self.draft.reset()
 
 
 class ContinuousBatchScheduler:
@@ -1067,6 +1094,17 @@ class ContinuousBatchScheduler:
     serving experiments before any throughput is reported): paging and
     preemption change where K/V rows live and when work happens, never
     the numerics.
+
+    ``speculative=True`` composes with either memory model: each active
+    sequence's step becomes one draft-and-verify pass
+    (:class:`~repro.core.speculative.SpeculativeDecodeEngine`, at the
+    engine config's ``spec_k``/``draft_kind`` unless overridden; one
+    draft model per sequence via ``draft_factory``).  Verification
+    passes of different requests fuse into the shared lane streams
+    exactly like decode rows; a pass that cannot get provisional blocks
+    degrades to draft-free before it defers, and per-request results
+    (:class:`~repro.core.speculative.SpeculativeGenerateResult`) stay
+    identical to solo speculative generation.
     """
 
     def __init__(
@@ -1078,6 +1116,10 @@ class ContinuousBatchScheduler:
         block_size: int | None = None,
         pool_blocks: int | None = None,
         pool_bytes: int | None = None,
+        speculative: bool = False,
+        spec_k: int | None = None,
+        draft_kind: str | None = None,
+        draft_factory=None,
     ) -> None:
         if max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {max_active}")
@@ -1089,7 +1131,38 @@ class ContinuousBatchScheduler:
                 )
         if pool_blocks is not None and pool_bytes is not None:
             raise ValueError("pass pool_blocks or pool_bytes, not both")
+        if not speculative and (
+            spec_k is not None
+            or draft_kind is not None
+            or draft_factory is not None
+        ):
+            raise ValueError(
+                "spec_k/draft_kind/draft_factory only apply to the "
+                "speculative scheduler (pass speculative=True)"
+            )
         self.engine = engine
+        self.speculative = bool(speculative)
+        self._speculator = None
+        if self.speculative:
+            from repro.core.speculative import (
+                SpeculativeDecodeEngine,
+                build_draft,
+            )
+
+            self._speculator = SpeculativeDecodeEngine(
+                engine, spec_k=spec_k
+            )
+            kind = (
+                engine.config.draft_kind if draft_kind is None else draft_kind
+            )
+            #: One draft model per admitted sequence (drafts are
+            #: stateful; sharing one across interleaved requests would
+            #: break the solo-equivalence contract).
+            self.draft_factory = (
+                (lambda: build_draft(kind, engine.config))
+                if draft_factory is None
+                else draft_factory
+            )
         self.max_active = max_active
         self.paged = bool(paged)
         self.block_size = (
@@ -1284,9 +1357,22 @@ class ContinuousBatchScheduler:
             # preempted-then-readmitted request could steal the very
             # blocks its preemption freed and starve older sequences —
             # a livelock).  A dry pool defers the starved sequence to
-            # the next step.
+            # the next step.  In speculative mode an in-flight
+            # sequence's "step" is a whole verification pass (drafts
+            # appended provisionally, planned atomically); it degrades
+            # to a draft-free pass before it defers.
             for seq in active:
-                if paged:
+                if self.speculative:
+                    try:
+                        seq.pending_pass = self._speculator.plan_with_fallback(
+                            seq.state, seq.next_x, seq.remaining,
+                            draft=seq.draft,
+                        )
+                    except BlockPoolExhausted:
+                        self.deferrals += 1
+                        continue
+                    job = seq.pending_pass.job
+                elif paged:
                     try:
                         job = engine._plan_step(seq.state, seq.next_x)
                     except BlockPoolExhausted:
@@ -1312,6 +1398,8 @@ class ContinuousBatchScheduler:
                         break
                 waiting.popleft()
                 seq.state = state
+                if self.speculative and seq.draft is None:
+                    seq.draft = self.draft_factory()
                 admission_clock += 1
                 seq.admitted_at = admission_clock
                 if paged:
@@ -1373,6 +1461,24 @@ class ContinuousBatchScheduler:
                 if seq.prefill_result is None:
                     seq.prefill_result = engine._wrap_prefill(result)
                     seq.next_x = seq.prefill_result.outputs[-1]
+                    if self.speculative:
+                        # Seed the draft with the prompt trajectory, in
+                        # the exact order solo speculative generate does.
+                        for position, (x_row, out_row) in enumerate(
+                            zip(seq.request.x, seq.prefill_result.outputs)
+                        ):
+                            seq.draft.observe(x_row, out_row, position)
+                elif self.speculative:
+                    new_steps, pass_result = (
+                        self._speculator.finish_verify_pass(
+                            seq.pending_pass, result, draft=seq.draft
+                        )
+                    )
+                    seq.pending_pass = None
+                    seq.steps.extend(new_steps)
+                    seq.passes.append(pass_result)
+                    seq.next_x = new_steps[-1].output
+                    seq.remaining -= len(new_steps)
                 else:
                     step = engine._wrap_step(result)
                     seq.steps.append(step)
@@ -1393,6 +1499,28 @@ class ContinuousBatchScheduler:
                     if seq.steps
                     else np.zeros((0, seq.request.hidden))
                 )
+                if self.speculative:
+                    from repro.core.speculative import (
+                        SpeculativeGenerateResult,
+                    )
+
+                    counters = seq.prefill_result.counters
+                    for pass_result in seq.passes:
+                        counters = counters.merge(pass_result.counters)
+                    slots[seq.index] = SpeculativeGenerateResult(
+                        prefill=seq.prefill_result,
+                        steps=tuple(seq.steps),
+                        passes=tuple(seq.passes),
+                        generated=generated,
+                        vector_cycles=seq.prefill_result.vector_cycles
+                        + sum(p.vector_cycles for p in seq.passes),
+                        sequential_vector_cycles=(
+                            seq.prefill_result.vector_cycles
+                            + sum(s.vector_cycles for s in seq.steps)
+                        ),
+                        counters=counters,
+                    )
+                    continue
                 counters = seq.prefill_result.counters
                 for step in seq.steps:
                     counters = counters.merge(step.counters)

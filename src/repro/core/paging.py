@@ -16,9 +16,11 @@ the ROADMAP names:
   eviction advances the offset and frees whole head blocks).
 * :class:`PagedKVCache` — presents the exact
   :class:`~repro.core.decode.KVCache` API (``append`` / ``evict`` /
-  ``keys`` / ``values`` / ``values_snapshot`` / ``reset``) on top of the
-  block-table indirection, so the decode engines run unchanged on
-  either cache.
+  ``truncate`` / ``keys`` / ``values`` / ``values_snapshot`` /
+  ``reset``) on top of the block-table indirection, so the decode
+  engines run unchanged on either cache.  ``truncate`` is the
+  speculative-decode rollback path: rejected draft tokens free whole
+  tail blocks back to the pool.
 
 Numerics contract
 -----------------
@@ -261,6 +263,16 @@ def pool_cache_info() -> dict[str, int]:
         "n_blocks": sum(p.n_blocks for p in pools),
         "in_use": sum(p.in_use for p in pools),
         "free": sum(p.free_blocks for p in pools),
+        # Cumulative totals.  Every free path — window eviction
+        # (:meth:`PagedKVCache.evict`), speculative rollback
+        # (:meth:`PagedKVCache.truncate`) and page recycling
+        # (:meth:`PagedKVCache.reset`) — goes through
+        # :meth:`BlockPool.free`, so ``blocks_freed`` counts them
+        # identically (the suite pins ``blocks_allocated - blocks_freed
+        # == in_use`` across all three).
+        "blocks_allocated": sum(p.blocks_allocated for p in pools),
+        "blocks_freed": sum(p.blocks_freed for p in pools),
+        "peak_in_use": sum(p.peak_in_use for p in pools),
         "live_tokens": sum(p.live_tokens for p in pools),
         "fragmentation_slots": sum(p.fragmentation_slots for p in pools),
     }
@@ -496,6 +508,37 @@ class PagedKVCache:
                 self.pool.free(block)
             self.table.blocks.clear()
             self.table.first_offset = 0
+
+    def truncate(self, n: int) -> None:
+        """Drop the ``n`` *newest* cached tokens (speculative rollback).
+
+        The tail-side complement of :meth:`evict`: rejected draft
+        tokens are rolled back by truncating the live span and freeing
+        whole tail blocks — through the same :meth:`BlockPool.free`
+        path window eviction uses, so ``blocks_freed`` / ``live_tokens``
+        accounting cannot drift between the two.  ``start_position``
+        (the head side) is untouched; an append after a truncate writes
+        over the rolled-back slots exactly as the contiguous cache does.
+        """
+        if not 0 <= n <= self.length:
+            raise ValueError(
+                f"cannot truncate {n} of {self.length} cached tokens"
+            )
+        if n == 0:
+            return
+        bs = self.block_size
+        self.length -= n
+        self.pool.live_tokens -= n
+        if self.length == 0:
+            # nothing live: release every block (as evict-to-empty does)
+            for block in self.table.blocks:
+                self.pool.free(block)
+            self.table.blocks.clear()
+            self.table.first_offset = 0
+            return
+        keep = blocks_needed(self.table.first_offset + self.length, bs)
+        while self.table.n_blocks > keep:
+            self.pool.free(self.table.blocks.pop())
 
     def reset(self) -> None:
         """Empty the cache and return every block to the pool."""

@@ -78,6 +78,7 @@ class NovaSession:
         self._reference: NovaAttentionEngine | None = None
         self._server: BatchedNovaAttentionEngine | None = None
         self._decoder: NovaDecodeEngine | None = None
+        self._speculator = None
         self._units: dict[str, NovaVectorUnit] = {}
 
     # ------------------------------------------------------------------
@@ -187,17 +188,63 @@ class NovaSession:
         """
         return self.decoder.decode(request)
 
+    @property
+    def speculator(self):
+        """The speculative draft-and-verify engine (built lazily).
+
+        A :class:`~repro.core.speculative.SpeculativeDecodeEngine`
+        wrapping :attr:`decoder` (same unit, tables and caches) at the
+        session config's ``spec_k`` / ``draft_kind`` defaults.
+        """
+        if self._speculator is None:
+            from repro.core.speculative import SpeculativeDecodeEngine
+
+            self._speculator = SpeculativeDecodeEngine(self.decoder)
+        return self._speculator
+
     def generate(
-        self, request: DecodeRequest, max_new_tokens: int | None = None
-    ) -> GenerateResult:
+        self,
+        request: DecodeRequest,
+        max_new_tokens: int | None = None,
+        *,
+        speculative: bool = False,
+        spec_k: int | None = None,
+        draft=None,
+    ):
         """Prefill the prompt, then generate tokens autoregressively.
 
         ``max_new_tokens`` defaults to the request's own budget.  The
         attention output at the last position feeds back as the next
         token's embedding (there is no vocabulary at the
         attention-layer level).  Rejects non-causal requests.
+
+        ``speculative=True`` generates the **bit-identical** tokens by
+        draft-and-verify instead (:mod:`repro.core.speculative`): the
+        config's ``draft_kind`` drafts up to ``spec_k`` tokens per
+        packed verification pass (both defaulting from the session
+        config; ``draft`` substitutes any
+        :class:`~repro.core.speculative.DraftModel`), returning a
+        :class:`~repro.core.speculative.SpeculativeGenerateResult` with
+        acceptance and rollback accounting.
         """
-        return self.decoder.generate(request, max_new_tokens=max_new_tokens)
+        if not speculative:
+            if spec_k is not None or draft is not None:
+                raise ValueError(
+                    "spec_k/draft only apply to speculative generation "
+                    "(pass speculative=True)"
+                )
+            return self.decoder.generate(
+                request, max_new_tokens=max_new_tokens
+            )
+        if spec_k is None and draft is None:
+            engine = self.speculator
+        else:
+            from repro.core.speculative import SpeculativeDecodeEngine
+
+            engine = SpeculativeDecodeEngine(
+                self.decoder, draft=draft, spec_k=spec_k
+            )
+        return engine.generate(request, max_new_tokens=max_new_tokens)
 
     def serve_decode(
         self,
@@ -208,6 +255,10 @@ class NovaSession:
         block_size: int | None = None,
         pool_blocks: int | None = None,
         pool_bytes: int | None = None,
+        speculative: bool = False,
+        spec_k: int | None = None,
+        draft_kind: str | None = None,
+        draft_factory=None,
     ) -> ContinuousBatchResult:
         """Serve decode requests with continuous batching.
 
@@ -220,11 +271,18 @@ class NovaSession:
         config's ``kv_block_size``); ``pool_blocks`` / ``pool_bytes``
         cap the pool, enabling deferral/preemption under memory
         pressure — by default it is sized so nothing ever defers.
+        ``speculative=True`` replaces each in-flight decode row with a
+        draft-and-verify pass (``spec_k`` drafts per pass, one
+        ``draft_kind`` model per sequence — or ``draft_factory()``
+        models), composing with either memory mode and still
+        bit-identical to solo :meth:`generate` per request.
         """
         scheduler = ContinuousBatchScheduler(
             self.decoder, max_active=max_active, paged=paged,
             block_size=block_size, pool_blocks=pool_blocks,
-            pool_bytes=pool_bytes,
+            pool_bytes=pool_bytes, speculative=speculative,
+            spec_k=spec_k, draft_kind=draft_kind,
+            draft_factory=draft_factory,
         )
         return scheduler.run(requests)
 

@@ -1,0 +1,792 @@
+"""Speculative decode on the NOVA overlay: draft-and-verify over paged KV.
+
+Every output token of the plain decode path costs one full pass through
+the overlay — one exp stream, one reciprocal stream, one table retarget
+each — even though a single decode row rarely fills the lane grid.
+Speculative decode amortises that per-step overhead the same way the
+prefill path amortises a whole prompt: a cheap **draft model** proposes
+the next ``k`` token embeddings, the engine appends them to the KV cache
+as *provisional* tokens, and one **packed verification pass** scores all
+``k + 1`` positions in a single overlay traversal (the fold-small-ops-
+into-one-pass idea the ROADMAP names).  Accepted drafts commit; the
+rejected suffix rolls back atomically by truncating the cache — on a
+:class:`~repro.core.paging.PagedKVCache` that frees whole tail blocks
+back to the shared pool.
+
+Why this is bit-exact by construction
+-------------------------------------
+The decode loop is deterministic: the next token's embedding *is* the
+attention output at the last position.  A verification pass feeds the
+chain ``u_0 = x_t, u_1 = d_1, ..., u_k = d_k`` (``d_i`` drafted) through
+the exact per-token numerics of :class:`~repro.core.decode.
+NovaDecodeEngine` and obtains the true outputs ``o_0 ... o_k``.  Draft
+``d_i`` is **accepted only when it equals ``o_{i-1}`` bit for bit** — in
+which case position ``i``'s input was exactly what plain decode would
+have fed, so ``o_i`` is exactly what plain decode would have produced.
+The first mismatch truncates: positions past it attended to a wrong
+input, so their cache rows and outputs are discarded.  Committed outputs
+are therefore *always* the plain-decode outputs, for **any** draft model
+— a bad draft costs cycles (rolled-back work), never correctness.  The
+property suite pins this under arbitrary accept/reject programs
+(:class:`ScheduledDraft`), and ``u_0`` guarantees at least one committed
+token per pass.
+
+Draft models
+------------
+:class:`TruncatedTableDraft` re-runs the per-token host numerics through
+the *same compiled LUT objects* the engine holds (``QuantizedPwl.
+evaluate`` is the golden model the hardware is bit-exact against), so at
+``fidelity=1.0`` every proposal verifies bit-identically with zero
+overlay cost.  ``fidelity < 1.0`` drafts a seeded, per-position fraction
+of tokens through the same LUTs at *reduced output precision* instead —
+those proposals disagree and are rejected, making ``fidelity`` the
+long-run acceptance-rate knob the serving studies sweep (the simulator
+stand-in for draft-model quality).  :class:`NGramDraft` is the
+model-free alternative: it replays the output last seen after a
+matching (reduced-precision-keyed) input, which starts paying off once
+a self-fed trajectory revisits states.  :class:`ScheduledDraft` follows
+an explicit accept/reject program — the test and golden-trace
+instrument.
+
+Accounting
+----------
+Each verification pass is charged what the overlay actually spends (the
+packed closed form over *all* pass tokens, rolled-back ones included);
+:class:`SpeculativeGenerateResult` additionally reports the closed-form
+**sequential-equivalent** cycles — exactly what plain ``generate`` would
+have charged for the same committed tokens (a pinned invariant) — plus
+drafted / accepted / rolled-back token counts per pass and in total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.attention import (
+    assemble_probabilities,
+    shift_scores,
+    softmax_reduction,
+)
+from repro.core.config import DRAFT_KINDS, NovaConfig, as_config
+from repro.core.decode import (
+    CausalPrefillResult,
+    DecodeRequest,
+    DecodeState,
+    KVCacheOverflow,
+    NovaDecodeEngine,
+    _Job,
+    context_for_query,
+    project_token,
+    scores_for_query,
+)
+from repro.noc.stats import EventCounters
+
+__all__ = [
+    "DraftModel",
+    "NGramDraft",
+    "TruncatedTableDraft",
+    "ScheduledDraft",
+    "build_draft",
+    "host_step_output",
+    "SpeculativeStepResult",
+    "VerifyPassResult",
+    "SpeculativeGenerateResult",
+    "SpeculativeDecodeEngine",
+]
+
+
+# ----------------------------------------------------------------------
+# The exact per-token step on the host (the draft models' substrate).
+# ----------------------------------------------------------------------
+
+
+def host_step_output(
+    request: DecodeRequest,
+    cache,
+    x_t: np.ndarray,
+    exp_table,
+    recip_table,
+    drop_to_bits: int | None = None,
+) -> np.ndarray:
+    """One decode step's attention output, computed entirely on the host.
+
+    ``cache`` must already hold ``x_t``'s k/v row (the engine appends
+    before asking for a proposal).  With the engine's own compiled
+    tables and ``drop_to_bits=None`` this reproduces the verification
+    pass **bit for bit**: the helpers are the single shared copies the
+    engine executes (:func:`~repro.core.decode.project_token`,
+    :func:`~repro.core.attention.softmax_reduction`, ...) and
+    ``QuantizedPwl.evaluate`` is the golden model the overlay is
+    bit-exact against.  ``drop_to_bits=b`` rounds both non-linear
+    results to ``b`` fraction bits — the same LUTs at reduced
+    precision, which is how :class:`TruncatedTableDraft` models a
+    lower-fidelity draft.
+    """
+    x_t = np.asarray(x_t, dtype=np.float64).reshape(-1)
+    q, _, _ = project_token(
+        x_t, request.wq, request.wk, request.wv, request.n_heads
+    )
+    scores = scores_for_query(q, cache.keys)
+    raw = exp_table.evaluate(shift_scores(scores))
+    if drop_to_bits is not None:
+        raw = np.ldexp(np.round(np.ldexp(raw, drop_to_bits)), -drop_to_bits)
+    numer, mantissa, exponent = softmax_reduction(raw)
+    inv = recip_table.evaluate(mantissa)
+    if drop_to_bits is not None:
+        inv = np.ldexp(np.round(np.ldexp(inv, drop_to_bits)), -drop_to_bits)
+    probs = assemble_probabilities(numer, inv, exponent)
+    context = context_for_query(probs, cache.values_snapshot(cache.length))
+    return context @ request.wo
+
+
+# ----------------------------------------------------------------------
+# Draft models.
+# ----------------------------------------------------------------------
+
+
+@runtime_checkable
+class DraftModel(Protocol):
+    """What the speculative engine needs from a draft.
+
+    ``propose(request, cache, x_t, position)`` predicts the attention
+    output of token ``x_t`` at absolute ``position`` (the cache already
+    holds ``x_t``'s k/v row); the prediction becomes the next drafted
+    input.  ``observe(x_t, output, position)`` feeds back every
+    *committed* (input, true output) pair so stateful drafts can learn
+    the trajectory; ``reset()`` clears per-request state.  Proposals
+    must be deterministic in ``(cache state, x_t, position)`` — the
+    continuous batcher relies on that to stay result-identical to
+    one-at-a-time speculative decode.
+    """
+
+    def propose(
+        self, request: DecodeRequest, cache, x_t: np.ndarray, position: int
+    ) -> np.ndarray: ...
+
+    def observe(
+        self, x_t: np.ndarray, output: np.ndarray, position: int
+    ) -> None: ...
+
+    def reset(self) -> None: ...
+
+
+class TruncatedTableDraft:
+    """Draft by re-running the engine's compiled LUTs on the host.
+
+    At ``fidelity=1.0`` (the default) every proposal runs the exact
+    per-token numerics through the very table objects the engine
+    compiled — bit-identical to the verification output, so every draft
+    is accepted: the draft pays host arithmetic, the overlay pays one
+    packed pass per ``spec_k + 1`` tokens.  At ``fidelity < 1.0`` a
+    seeded per-position coin drafts the complementary fraction through
+    the same LUTs truncated to ``reduced_bits`` output fraction bits;
+    those proposals miss verification, so ``fidelity`` is the long-run
+    acceptance rate of a uniformly-mixed workload — the knob standing
+    in for draft-model quality in the serving studies.  The coin is
+    keyed on ``(seed, absolute position)``, never on pass boundaries,
+    so acceptance decisions are identical no matter how steps are
+    grouped into passes or scheduler steps.
+    """
+
+    def __init__(
+        self,
+        config: NovaConfig | str | None = None,
+        fidelity: float = 1.0,
+        seed: int = 0,
+        reduced_bits: int = 4,
+    ) -> None:
+        if not 0.0 <= fidelity <= 1.0:
+            raise ValueError(f"fidelity must be in [0, 1], got {fidelity}")
+        if reduced_bits < 0:
+            raise ValueError(
+                f"reduced_bits must be >= 0, got {reduced_bits}"
+            )
+        cfg = as_config(config)
+        self.fidelity = float(fidelity)
+        self.seed = int(seed)
+        self.reduced_bits = int(reduced_bits)
+        self._exp = cfg.table("exp")
+        self._recip = cfg.table("reciprocal")
+
+    def _exact(self, position: int) -> bool:
+        if self.fidelity >= 1.0:
+            return True
+        if self.fidelity <= 0.0:
+            return False
+        coin = np.random.default_rng((self.seed, position)).random()
+        return bool(coin < self.fidelity)
+
+    def propose(self, request, cache, x_t, position):
+        return host_step_output(
+            request, cache, x_t, self._exp, self._recip,
+            drop_to_bits=None if self._exact(position) else self.reduced_bits,
+        )
+
+    def observe(self, x_t, output, position) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedTableDraft(fidelity={self.fidelity:g}, "
+            f"seed={self.seed}, reduced_bits={self.reduced_bits})"
+        )
+
+
+class NGramDraft:
+    """Model-free draft: replay the output last seen after this input.
+
+    Committed ``(input, output)`` pairs are memoised under a
+    reduced-precision key of the input embedding
+    (``round(x * 2**key_bits)``); a proposal is the stored follower of
+    the matching key, falling back to persistence (propose ``x_t``
+    itself) on a miss.  Deterministic and overlay-free; it starts
+    earning acceptances when a self-fed trajectory converges or revisits
+    states bit-exactly — otherwise every pass still commits its one
+    guaranteed token and the engine degrades gracefully toward plain
+    decode (plus the rolled-back draft work).
+    """
+
+    def __init__(self, key_bits: int = 10, max_history: int = 65536) -> None:
+        if key_bits < 0:
+            raise ValueError(f"key_bits must be >= 0, got {key_bits}")
+        if max_history < 1:
+            raise ValueError(f"max_history must be >= 1, got {max_history}")
+        self.key_bits = int(key_bits)
+        self.max_history = int(max_history)
+        self._history: dict[bytes, np.ndarray] = {}
+
+    def _key(self, x: np.ndarray) -> bytes:
+        return (
+            np.round(np.ldexp(np.asarray(x, dtype=np.float64), self.key_bits))
+            .astype(np.int64)
+            .tobytes()
+        )
+
+    def propose(self, request, cache, x_t, position):
+        hit = self._history.get(self._key(x_t))
+        return np.array(x_t if hit is None else hit, dtype=np.float64)
+
+    def observe(self, x_t, output, position) -> None:
+        if len(self._history) >= self.max_history:
+            self._history.clear()
+        self._history[self._key(x_t)] = np.array(output, dtype=np.float64)
+
+    def reset(self) -> None:
+        self._history.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"NGramDraft(key_bits={self.key_bits}, "
+            f"history={len(self._history)})"
+        )
+
+
+class ScheduledDraft:
+    """Follow an explicit accept/reject program (test/golden instrument).
+
+    Entry ``i`` of ``program`` decides draft ``i`` of the run (cycling):
+    ``True`` proposes through the exact host numerics (bit-identical —
+    accepted at verification), ``False`` through the reduced-precision
+    path (rejected).  This turns "arbitrary accept/reject/rollback
+    sequences" into data the property suite can draw with hypothesis and
+    the golden fixtures can pin per preset.
+    """
+
+    def __init__(
+        self,
+        config: NovaConfig | str | None,
+        program,
+        reduced_bits: int = 4,
+    ) -> None:
+        cfg = as_config(config)
+        self.program = tuple(bool(p) for p in program)
+        if not self.program:
+            raise ValueError("program must contain at least one decision")
+        self.reduced_bits = int(reduced_bits)
+        self._exp = cfg.table("exp")
+        self._recip = cfg.table("reciprocal")
+        self._cursor = 0
+
+    def propose(self, request, cache, x_t, position):
+        exact = self.program[self._cursor % len(self.program)]
+        self._cursor += 1
+        return host_step_output(
+            request, cache, x_t, self._exp, self._recip,
+            drop_to_bits=None if exact else self.reduced_bits,
+        )
+
+    def observe(self, x_t, output, position) -> None:
+        pass
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def __repr__(self) -> str:
+        bits = "".join("1" if p else "0" for p in self.program)
+        return f"ScheduledDraft(program={bits}, cursor={self._cursor})"
+
+
+def build_draft(
+    kind: str,
+    config: NovaConfig | str | None = None,
+    **kwargs,
+) -> DraftModel:
+    """Construct one of the named :data:`~repro.core.config.DRAFT_KINDS`.
+
+    ``"truncated-table"`` forwards ``config`` plus any
+    :class:`TruncatedTableDraft` kwargs (``fidelity`` / ``seed`` /
+    ``reduced_bits``); ``"ngram"`` takes :class:`NGramDraft` kwargs.
+    """
+    if kind == "truncated-table":
+        return TruncatedTableDraft(config, **kwargs)
+    if kind == "ngram":
+        return NGramDraft(**kwargs)
+    raise ValueError(
+        f"unknown draft kind {kind!r}; known: {sorted(DRAFT_KINDS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Results.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeculativeStepResult:
+    """One *committed* token of a speculative run.
+
+    ``vector_cycles`` / ``nonlinear_queries`` are the closed-form
+    sequential equivalent — exactly what a dedicated
+    :meth:`~repro.core.decode.NovaDecodeEngine.decode_step` would have
+    charged for this token (the overlay's real spend lives on the pass,
+    see :class:`VerifyPassResult`).  ``drafted`` marks tokens whose
+    *input* came from an accepted draft rather than the previous
+    committed output directly.
+    """
+
+    output: np.ndarray            # (hidden,)
+    probabilities: np.ndarray     # (n_heads, kv_length)
+    position: int
+    kv_length: int
+    drafted: bool
+    vector_cycles: int
+    nonlinear_queries: int
+
+
+@dataclass(frozen=True)
+class VerifyPassResult:
+    """One draft-and-verify round trip through the overlay.
+
+    ``tokens`` positions went through the packed pass (``drafted`` of
+    them provisional); ``committed = accepted + 1`` survived (``u_0`` is
+    always committed), ``rolled_back`` were truncated from the cache.
+    ``vector_cycles`` / ``counters`` are what the overlay actually
+    charged for the whole pass, rolled-back work included.
+    """
+
+    tokens: int
+    drafted: int
+    accepted: int
+    committed: int
+    rolled_back: int
+    vector_cycles: int
+    nonlinear_queries: int
+    counters: EventCounters
+
+
+@dataclass(frozen=True)
+class SpeculativeGenerateResult:
+    """Prefill plus speculative draft-and-verify generation.
+
+    ``generated`` is **bit-identical** to plain
+    :meth:`~repro.core.decode.NovaDecodeEngine.generate` of the same
+    request — for any draft model.  ``vector_cycles`` is the overlay's
+    real spend (prefill + every packed verification pass, rolled-back
+    work included); ``sequential_vector_cycles`` the closed-form cost
+    plain generate would have charged for the same tokens (a pinned
+    invariant: it equals the plain run's ``vector_cycles`` exactly), so
+    ``cycle_speedup`` isolates the speculation win on the cycle side.
+    """
+
+    prefill: CausalPrefillResult
+    steps: tuple[SpeculativeStepResult, ...]
+    passes: tuple[VerifyPassResult, ...]
+    generated: np.ndarray         # (n_generated, hidden)
+    vector_cycles: int
+    sequential_vector_cycles: int
+    counters: EventCounters
+
+    @property
+    def n_generated(self) -> int:
+        """Tokens generated after the prompt."""
+        return len(self.steps)
+
+    @property
+    def verify_passes(self) -> int:
+        """Verification passes run."""
+        return len(self.passes)
+
+    @property
+    def drafted_tokens(self) -> int:
+        """Draft proposals made across every pass."""
+        return sum(p.drafted for p in self.passes)
+
+    @property
+    def accepted_tokens(self) -> int:
+        """Draft proposals that verified bit-exactly."""
+        return sum(p.accepted for p in self.passes)
+
+    @property
+    def rolled_back_tokens(self) -> int:
+        """Provisional tokens truncated from the cache."""
+        return sum(p.rolled_back for p in self.passes)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted fraction of drafted tokens (0.0 with no drafts)."""
+        drafted = self.drafted_tokens
+        return self.accepted_tokens / drafted if drafted else 0.0
+
+    @property
+    def tokens_per_pass(self) -> float:
+        """Mean committed tokens per verification pass (>= 1)."""
+        return self.n_generated / max(1, self.verify_passes)
+
+    @property
+    def decode_vector_cycles(self) -> int:
+        """Overlay cycles spent in verification passes only."""
+        return self.vector_cycles - self.prefill.vector_cycles
+
+    @property
+    def cycle_speedup(self) -> float:
+        """Sequential-equivalent cycles per actually-charged cycle."""
+        if self.vector_cycles == 0:
+            return 1.0
+        return self.sequential_vector_cycles / self.vector_cycles
+
+
+class _SpecPass:
+    """One planned verification pass awaiting execution."""
+
+    __slots__ = ("job", "x0", "drafts", "state")
+
+    def __init__(self, job: _Job, x0: np.ndarray, drafts: list[np.ndarray]):
+        self.job = job
+        self.x0 = x0
+        self.drafts = drafts
+        self.state = job.state
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+
+
+class SpeculativeDecodeEngine:
+    """Draft-and-verify decode wrapping one :class:`NovaDecodeEngine`.
+
+    ``engine`` is an existing decode engine (shared with the plain
+    paths — same unit, same tables, same caches) or anything its
+    constructor accepts (a :class:`~repro.core.config.NovaConfig`, a
+    preset name, ``None``).  ``spec_k`` / ``draft`` default from the
+    engine's config (``config.spec_k`` drafts through
+    :func:`build_draft`'s ``config.draft_kind``).
+
+    The primitive pair :meth:`plan_verify_pass` /
+    :meth:`finish_verify_pass` is what the continuous batcher fuses
+    with in-flight plain decodes; :meth:`generate` is the solo loop.
+    """
+
+    def __init__(
+        self,
+        engine: NovaDecodeEngine | NovaConfig | str | None = None,
+        draft: DraftModel | None = None,
+        spec_k: int | None = None,
+    ) -> None:
+        if not isinstance(engine, NovaDecodeEngine):
+            engine = NovaDecodeEngine(engine)
+        self.engine = engine
+        cfg = engine.config
+        self.spec_k = cfg.spec_k if spec_k is None else int(spec_k)
+        if self.spec_k < 1:
+            raise ValueError(
+                f"spec_k must be >= 1 (a pass of one draft), got "
+                f"{self.spec_k}; use the plain decode engine for "
+                "non-speculative serving"
+            )
+        self._draft = draft
+
+    @property
+    def draft(self) -> DraftModel:
+        """The engine's default draft model.
+
+        Built lazily from ``config.draft_kind`` when none was passed:
+        callers that supply their own draft on every call (the
+        continuous batcher holds one per sequence) never construct the
+        default.
+        """
+        if self._draft is None:
+            cfg = self.engine.config
+            self._draft = build_draft(cfg.draft_kind, cfg)
+        return self._draft
+
+    @property
+    def config(self) -> NovaConfig:
+        """The wrapped engine's geometry."""
+        return self.engine.config
+
+    @property
+    def unit(self):
+        """The wrapped engine's shared vector unit."""
+        return self.engine.unit
+
+    def start(self, request: DecodeRequest, cache=None, pool=None) -> DecodeState:
+        """Open a decode state (delegates to the wrapped engine)."""
+        return self.engine.start(request, cache=cache, pool=pool)
+
+    # ------------------------------------------------------------------
+    # The draft-and-verify primitives.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _rollback(state: DecodeState, n: int) -> None:
+        if n:
+            state.cache.truncate(n)
+            state.position -= n
+
+    def plan_verify_pass(
+        self,
+        state: DecodeState,
+        x_t: np.ndarray,
+        budget: int,
+        draft: DraftModel | None = None,
+        max_drafts: int | None = None,
+    ) -> _SpecPass:
+        """Stage one verification pass: ``x_t`` plus up to ``spec_k``
+        provisional draft tokens, all appended to the cache.
+
+        ``budget`` caps the pass at the tokens still owed (a pass never
+        commits more than it plans).  Drafting stops early at the
+        cache's window limit — provisional tokens must never evict,
+        because eviction cannot be rolled back.  The plan is **atomic**:
+        any failure (draft shape mismatch, ``BlockPoolExhausted`` on a
+        provisional block, a raising draft model) rolls the cache, the
+        pool and the position back to their pre-pass state before the
+        exception propagates.
+        """
+        draft = self.draft if draft is None else draft
+        if budget < 1:
+            raise ValueError(f"pass budget must be >= 1, got {budget}")
+        engine = self.engine
+        request = state.request
+        cache = state.cache
+        x_t = np.asarray(x_t, dtype=np.float64).reshape(-1)
+        # Shape-checked before any state change (the engine's own check
+        # inside _plan_token would fire too, but only after reshaping).
+        if x_t.shape[0] != request.hidden:
+            raise ValueError(
+                f"token embedding must have hidden width {request.hidden}, "
+                f"got {x_t.shape[0]}"
+            )
+        limit = (
+            self.spec_k if max_drafts is None else min(self.spec_k, max_drafts)
+        )
+        tokens = []
+        drafts: list[np.ndarray] = []
+        try:
+            tokens.append(engine._plan_token(state, x_t))
+            x_i = x_t
+            while (
+                len(drafts) < limit
+                and len(tokens) < budget
+                and cache.length < cache.limit
+            ):
+                d = np.asarray(
+                    draft.propose(request, cache, x_i, state.position - 1),
+                    dtype=np.float64,
+                ).reshape(-1)
+                if d.shape[0] != request.hidden:
+                    raise ValueError(
+                        f"draft proposed an embedding of width {d.shape[0]}, "
+                        f"expected {request.hidden}"
+                    )
+                drafts.append(d)
+                tokens.append(engine._plan_token(state, d))
+                x_i = d
+        except BaseException:
+            # Atomic rollback.  Only u_0's append can have evicted (and
+            # only when the cache sat exactly at its window limit, in
+            # which case the draft loop never ran, so nothing can raise
+            # after it), so truncating the appended tokens restores
+            # cache, pool and position exactly.
+            self._rollback(state, len(tokens))
+            raise
+        return _SpecPass(_Job(state, "verify", tokens), x_t, drafts)
+
+    def finish_verify_pass(
+        self,
+        spec_pass: _SpecPass,
+        result,
+        draft: DraftModel | None = None,
+    ) -> tuple[list[SpeculativeStepResult], VerifyPassResult]:
+        """Accept the longest bit-exact draft prefix, roll back the rest.
+
+        ``result`` is the pass's ``_JobResult`` from
+        :meth:`NovaDecodeEngine._execute`.  Returns the committed steps
+        (at least one — ``u_0``'s input is the true previous output by
+        construction) and the pass accounting; the rejected suffix is
+        truncated from the cache before returning.
+        """
+        draft = self.draft if draft is None else draft
+        state = spec_pass.state
+        tokens = spec_pass.job.tokens
+        outputs = result.outputs
+        accepted = 0
+        while accepted < len(spec_pass.drafts) and np.array_equal(
+            spec_pass.drafts[accepted], outputs[accepted]
+        ):
+            accepted += 1
+        committed = accepted + 1
+        rolled_back = len(tokens) - committed
+        self._rollback(state, rolled_back)
+        lanes = self.engine.n_lanes
+        heads = state.request.n_heads
+        inputs = [spec_pass.x0, *spec_pass.drafts]
+        steps: list[SpeculativeStepResult] = []
+        for i in range(committed):
+            probs = result.probabilities[i]
+            kv_len = probs.shape[-1]
+            n_exp = heads * kv_len
+            steps.append(
+                SpeculativeStepResult(
+                    output=outputs[i],
+                    probabilities=probs,
+                    position=tokens[i].position,
+                    kv_length=kv_len,
+                    drafted=i > 0,
+                    vector_cycles=-(-n_exp // lanes) + -(-heads // lanes),
+                    nonlinear_queries=n_exp + heads,
+                )
+            )
+            draft.observe(inputs[i], outputs[i], tokens[i].position)
+        return steps, VerifyPassResult(
+            tokens=len(tokens),
+            drafted=len(spec_pass.drafts),
+            accepted=accepted,
+            committed=committed,
+            rolled_back=rolled_back,
+            vector_cycles=result.vector_cycles,
+            nonlinear_queries=result.nonlinear_queries,
+            counters=result.counters,
+        )
+
+    def plan_with_fallback(
+        self,
+        state: DecodeState,
+        x_t: np.ndarray,
+        budget: int,
+        draft: DraftModel | None = None,
+    ) -> _SpecPass:
+        """Plan a pass, degrading to draft-free on pool exhaustion.
+
+        Speculation is opportunistic: when the block pool cannot hold
+        the provisional tokens, a pass of just ``u_0`` (one plain decode
+        step's worth of memory) still makes progress.  Only when even
+        that cannot allocate does :class:`~repro.core.paging.
+        BlockPoolExhausted` propagate (with cache and pool untouched) —
+        the scheduler's cue to defer or preempt.
+        """
+        from repro.core.paging import BlockPoolExhausted
+
+        try:
+            return self.plan_verify_pass(state, x_t, budget, draft=draft)
+        except BlockPoolExhausted:
+            return self.plan_verify_pass(
+                state, x_t, budget, draft=draft, max_drafts=0
+            )
+
+    # ------------------------------------------------------------------
+    # The solo loop.
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        request: DecodeRequest,
+        max_new_tokens: int | None = None,
+        state: DecodeState | None = None,
+        draft: DraftModel | None = None,
+    ) -> SpeculativeGenerateResult:
+        """Prefill, then generate speculatively until the budget is met.
+
+        Bit-identical outputs to the wrapped engine's
+        :meth:`~repro.core.decode.NovaDecodeEngine.generate` for the
+        same request, with the same admission-time validation.
+        """
+        engine = self.engine
+        new_tokens = (
+            request.max_new_tokens
+            if max_new_tokens is None
+            else max_new_tokens
+        )
+        if new_tokens < 0:
+            raise ValueError(
+                f"max_new_tokens must be >= 0, got {new_tokens}"
+            )
+        if request.window is None and request.seq + new_tokens > request.capacity:
+            raise KVCacheOverflow(
+                f"generate needs {request.seq + new_tokens} cache slots "
+                f"({request.seq} prompt + {new_tokens} new) but the "
+                f"request's capacity is {request.capacity}; shorten "
+                "max_new_tokens, raise max_seq_len, or set a sliding "
+                "window"
+            )
+        draft = self.draft if draft is None else draft
+        draft.reset()
+        if state is None:
+            state = engine.start(request)
+        before = engine.unit._lifetime_counters()
+        pre = engine.prefill(state)
+        # Seed stateful drafts with the prompt's own (input, output)
+        # trajectory, exactly as the committed steps will extend it.
+        for position, (x_row, out_row) in enumerate(
+            zip(request.x, pre.outputs)
+        ):
+            draft.observe(x_row, out_row, position)
+        steps: list[SpeculativeStepResult] = []
+        passes: list[VerifyPassResult] = []
+        x_t = pre.outputs[-1]
+        actual_cycles = pre.vector_cycles
+        sequential_cycles = pre.vector_cycles
+        while len(steps) < new_tokens:
+            spec_pass = self.plan_with_fallback(
+                state, x_t, new_tokens - len(steps), draft=draft
+            )
+            (result,), _ = engine._execute([spec_pass.job])
+            new_steps, pass_result = self.finish_verify_pass(
+                spec_pass, result, draft=draft
+            )
+            steps.extend(new_steps)
+            passes.append(pass_result)
+            x_t = new_steps[-1].output
+            actual_cycles += pass_result.vector_cycles
+            sequential_cycles += sum(s.vector_cycles for s in new_steps)
+        generated = (
+            np.stack([s.output for s in steps])
+            if steps
+            else np.zeros((0, request.hidden))
+        )
+        return SpeculativeGenerateResult(
+            prefill=pre,
+            steps=tuple(steps),
+            passes=tuple(passes),
+            generated=generated,
+            vector_cycles=actual_cycles,
+            sequential_vector_cycles=sequential_cycles,
+            counters=engine.unit._lifetime_counters().diff(before),
+        )

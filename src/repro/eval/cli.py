@@ -12,6 +12,7 @@ Installed as ``nova-repro``::
     nova-repro serving-batched   # batched full-prefill attention serving
     nova-repro serve-decode      # KV-cached continuous-batching decode
     nova-repro serve-decode --paged  # paged-KV admission capacity study
+    nova-repro serve-decode --speculative  # draft-and-verify speedup study
 
 Geometry selection
 ------------------
@@ -27,17 +28,21 @@ field with repeatable ``--override FIELD=VALUE`` flags::
 
 Overridable fields: ``n_routers``, ``neurons_per_router``,
 ``pe_frequency_ghz``, ``hop_mm``, ``n_segments``, ``seed``,
-``kv_block_size``, ``host``.  ``nova-repro geometries`` prints every
-preset with its geometry and host accelerator.  Passing
-``--geometry``/``--override`` to an experiment that has a fixed,
-paper-defined geometry is an error.
+``kv_block_size``, ``spec_k``, ``draft_kind``, ``host``.
+``nova-repro geometries`` prints every preset with its geometry and
+host accelerator.  Passing ``--geometry``/``--override`` to an
+experiment that has a fixed, paper-defined geometry is an error.
 
 ``serve-decode --paged`` swaps the throughput harness for the paged-KV
 memory-utilization study
 (:func:`repro.eval.experiments.paged_decode_utilization`): contiguous
 worst-case pages vs fixed-size blocks from one shared pool, compared at
 the same pool byte budget (``--override kv_block_size=N`` picks the
-block granularity).
+block granularity).  ``serve-decode --speculative`` swaps in the
+draft-and-verify study
+(:func:`repro.eval.experiments.speculative_decode_speedup`): plain vs
+speculative decode, solo and continuously batched, bit-identical tokens
+on every path (``--override spec_k=N`` picks the draft depth).
 """
 
 from __future__ import annotations
@@ -182,10 +187,24 @@ def main(argv: list[str] | None = None) -> int:
              "study (contiguous pages vs block pool at a fixed byte "
              "budget) instead of the throughput harness",
     )
+    parser.add_argument(
+        "--speculative",
+        action="store_true",
+        help="with serve-decode: run the speculative draft-and-verify "
+             "study (plain vs speculative decode, solo and continuously "
+             "batched; --override spec_k=N picks the draft depth) "
+             "instead of the throughput harness",
+    )
     args = parser.parse_args(argv)
 
     if args.paged and args.experiment != "serve-decode":
         parser.error("--paged only applies to serve-decode")
+    if args.speculative and args.experiment != "serve-decode":
+        parser.error("--speculative only applies to serve-decode")
+    if args.paged and args.speculative:
+        parser.error(
+            "pass --paged or --speculative, not both (one study at a time)"
+        )
 
     if args.experiment == "geometries":
         print(render_geometries())
@@ -208,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
         runner = EXPERIMENTS[name]
         if name == "serve-decode" and args.paged:
             runner = experiments.paged_decode_utilization
+        elif name == "serve-decode" and args.speculative:
+            runner = experiments.speculative_decode_speedup
         if config is not None and name in CONFIGURABLE_EXPERIMENTS:
             result = runner(config=config)
         else:

@@ -23,8 +23,10 @@ from repro.workloads.bert import (
     bert_attention_batch,
     bert_graph,
     decode_batch,
+    fidelity_for_acceptance,
     mixed_decode_batch,
     serving_config,
+    speculative_decode_batch,
 )
 from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
 from repro.workloads.traces import attention_logit_trace, activation_trace
@@ -42,8 +44,10 @@ __all__ = [
     "bert_attention_batch",
     "bert_graph",
     "decode_batch",
+    "fidelity_for_acceptance",
     "mixed_decode_batch",
     "serving_config",
+    "speculative_decode_batch",
     "CNN_MODELS",
     "CnnLayerSpec",
     "attention_logit_trace",

@@ -231,6 +231,91 @@ def mixed_decode_batch(
     return requests
 
 
+def fidelity_for_acceptance(acceptance_rate: float, spec_k: int) -> float:
+    """Per-draft fidelity yielding a target long-run acceptance rate.
+
+    With the position-wise fidelity coin of
+    :class:`repro.core.speculative.TruncatedTableDraft`, a full pass of
+    ``spec_k`` drafts accepts the leading exact prefix only — a draft
+    after the first miss fails regardless of its own coin (its input was
+    already wrong) — so the expected accepted fraction at fidelity ``f``
+    is ``sum(f**i for i in 1..k) / k``.  This inverts that by bisection
+    so workload builders can speak in the quantity the studies sweep
+    (the acceptance rate) instead of the mechanism knob.
+    """
+    if not 0.0 <= acceptance_rate <= 1.0:
+        raise ValueError(
+            f"acceptance_rate must be in [0, 1], got {acceptance_rate}"
+        )
+    if spec_k < 1:
+        raise ValueError(f"spec_k must be >= 1, got {spec_k}")
+    if acceptance_rate in (0.0, 1.0):
+        return acceptance_rate
+
+    def expected(f: float) -> float:
+        return sum(f ** i for i in range(1, spec_k + 1)) / spec_k
+
+    lo, hi = 0.0, 1.0
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if expected(mid) < acceptance_rate:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def speculative_decode_batch(
+    model_name: str | TransformerConfig,
+    batch_size: int,
+    acceptance_rate: float = 0.8,
+    prompt_len: int | None = None,
+    max_new_tokens: int = 16,
+    seed: int = 0,
+    config=None,
+    spec_k: int | None = None,
+):
+    """A decode batch plus a draft factory tuned to an acceptance rate.
+
+    The speculative-serving workload builder: the requests are a plain
+    :func:`decode_batch` (shared weights, per-request seeded prompts)
+    and the second return value is a zero-argument factory producing one
+    :class:`repro.core.speculative.TruncatedTableDraft` per sequence,
+    its fidelity solved from ``acceptance_rate`` via
+    :func:`fidelity_for_acceptance` at the geometry's ``spec_k``.
+    Successive factory calls draw successive draft seeds (``seed``,
+    ``seed + 1``, ...): the fidelity coin is keyed on
+    ``(draft seed, position)``, so seeding every request's draft
+    identically would make the whole batch replay one short coin
+    sequence and the measured acceptance a single sample instead of the
+    long-run rate the fidelity was solved for.  ``config`` names the
+    serving geometry (a :class:`repro.core.config.NovaConfig` or
+    preset; its compiled LUTs back the draft) and defaults to the stock
+    configuration.  Returns ``(requests, draft_factory)``.
+    """
+    import itertools
+
+    from repro.core.config import as_config
+
+    cfg = as_config(config)
+    k = cfg.spec_k if spec_k is None else spec_k
+    fidelity = fidelity_for_acceptance(acceptance_rate, k)
+    requests = decode_batch(
+        model_name, batch_size, prompt_len=prompt_len,
+        max_new_tokens=max_new_tokens, seed=seed,
+    )
+    draft_seeds = itertools.count(seed)
+
+    def draft_factory():
+        from repro.core.speculative import TruncatedTableDraft
+
+        return TruncatedTableDraft(
+            cfg, fidelity=fidelity, seed=next(draft_seeds)
+        )
+
+    return requests, draft_factory
+
+
 def bert_graph(model_name: str, seq_len: int | None = None) -> OpGraph:
     """Op graph for one registered model, optionally at another sequence
     length (REACT is evaluated at 128, the systolic configs at 1024)."""

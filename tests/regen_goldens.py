@@ -3,14 +3,20 @@
 ``tests/goldens/<preset>.json`` pins, for every Table II geometry
 preset, the cycle counts, event counters and max-abs-error of a
 fixed-seed attention layer on the cycle-accurate reference engine, plus
-the cycle counts and counters of a fixed-seed KV-cached decode run.
-``tests/test_goldens.py`` recomputes the same traces on every run and
-fails on any unexplained drift — a change that legitimately moves these
-numbers (a new schedule derivation, a counter-accounting fix, a table
-training change) must regenerate the fixtures *and say why in the
-commit*:
+the cycle counts and counters of a fixed-seed KV-cached decode run
+(contiguous, paged, and speculative draft-and-verify under a fixed
+acceptance schedule).  ``tests/test_goldens.py`` recomputes the same
+traces on every run and fails on any unexplained drift — a change that
+legitimately moves these numbers (a new schedule derivation, a
+counter-accounting fix, a table training change) must regenerate the
+fixtures *and say why in the commit*:
 
     PYTHONPATH=src python -m tests.regen_goldens
+
+A change scoped to one section regenerates just that section, so it
+cannot silently rewrite the others' pinned numbers:
+
+    PYTHONPATH=src python -m tests.regen_goldens --section decode.speculative
 
 The workloads are intentionally tiny (seconds across all four presets)
 but exercise the full pipeline: host GEMMs, the beat-level NoC
@@ -33,6 +39,23 @@ ATTENTION_WORKLOAD = dict(seq_len=8, hidden=32, heads=4, seed=123)
 #: Fixed decode workload (seeded, preset-independent, causal).
 DECODE_WORKLOAD = dict(prompt_len=6, max_new_tokens=4, hidden=16, heads=2,
                        seed=7)
+
+#: Fixed accept/reject schedule for the speculative section: draft i of
+#: the run verifies exactly when entry ``i % len`` is 1, so the
+#: acceptance trace — committed tokens per pass, rollbacks, pass count —
+#: is fully pinned per preset (spec_k varies by preset).
+SPECULATIVE_PROGRAM = (True, True, False)
+
+#: The regenerable fixture sections (``--section`` targets).  Narrower
+#: paths replace only that sub-dict, so regenerating the speculative
+#: section cannot silently rewrite the pinned attention / decode /
+#: paged numbers (and vice versa).
+SECTIONS = {
+    "attention": ("attention",),
+    "decode": ("decode",),
+    "decode.paged": ("decode", "paged"),
+    "decode.speculative": ("decode", "speculative"),
+}
 
 
 def golden_trace(preset_name: str) -> dict:
@@ -123,6 +146,69 @@ def golden_trace(preset_name: str) -> dict:
         "end_fragmentation_slots": pool.fragmentation_slots,
     }
 
+    # -- speculative draft-and-verify under a fixed acceptance schedule
+    # The same generate run once more through the speculative engine
+    # (preset spec_k, ScheduledDraft accepting per SPECULATIVE_PROGRAM):
+    # outputs must stay bit-identical and the closed-form sequential
+    # equivalent must equal the plain run's cycles, while the pinned
+    # acceptance trace (passes, drafted/accepted/rolled-back, actually
+    # charged cycles and counters including rolled-back work) catches
+    # any drift in pass planning, acceptance or rollback.  A second,
+    # paged run pins the pool accounting of rollback frees.
+    from repro.core.speculative import ScheduledDraft, SpeculativeDecodeEngine
+
+    speculator = SpeculativeDecodeEngine(engine)
+    spec_gen = speculator.generate(
+        request, draft=ScheduledDraft(cfg, SPECULATIVE_PROGRAM)
+    )
+    assert np.array_equal(spec_gen.generated, gen.generated), (
+        f"{preset_name}: speculative generate diverged from plain"
+    )
+    assert spec_gen.sequential_vector_cycles == gen.vector_cycles, (
+        f"{preset_name}: speculative sequential-equivalent cycles drifted"
+    )
+    spec_pool = BlockPool(
+        request.n_heads, request.head_dim, cfg.kv_block_size,
+        n_blocks=worst_case_blocks(
+            request.total_tokens + cfg.spec_k, request.window,
+            cfg.kv_block_size,
+        ),
+    )
+    spec_state = speculator.start(request, pool=spec_pool)
+    spec_paged = speculator.generate(
+        request,
+        state=spec_state,
+        draft=ScheduledDraft(cfg, SPECULATIVE_PROGRAM),
+    )
+    assert np.array_equal(spec_paged.generated, gen.generated), (
+        f"{preset_name}: paged speculative generate diverged from plain"
+    )
+    assert spec_paged.vector_cycles == spec_gen.vector_cycles, (
+        f"{preset_name}: paged speculative charged different cycles"
+    )
+    # Retire the request (blocks home) so the pinned pool totals cover
+    # the whole lifecycle: rollback frees + retirement frees must drain
+    # the pool exactly (allocated == freed, nothing leaked).
+    spec_state.cache.reset()
+    decode["speculative"] = {
+        "spec_k": cfg.spec_k,
+        "program": "".join("1" if p else "0" for p in SPECULATIVE_PROGRAM),
+        "vector_cycles": spec_gen.vector_cycles,
+        "sequential_vector_cycles": spec_gen.sequential_vector_cycles,
+        "verify_passes": spec_gen.verify_passes,
+        "drafted": spec_gen.drafted_tokens,
+        "accepted": spec_gen.accepted_tokens,
+        "rolled_back": spec_gen.rolled_back_tokens,
+        "counters": dict(sorted(spec_gen.counters.as_dict().items())),
+        "paged": {
+            "blocks_allocated": spec_pool.blocks_allocated,
+            "blocks_freed": spec_pool.blocks_freed,
+            "peak_blocks_in_use": spec_pool.peak_in_use,
+            "end_in_use": spec_pool.in_use,
+            "end_live_tokens": spec_pool.live_tokens,
+        },
+    }
+
     return {
         "preset": preset_name,
         "config": cfg.to_dict(),
@@ -131,19 +217,60 @@ def golden_trace(preset_name: str) -> dict:
     }
 
 
-def regenerate() -> list[pathlib.Path]:
-    """Write every preset's golden file; returns the paths written."""
+def regenerate(section: str | None = None) -> list[pathlib.Path]:
+    """Write every preset's golden file; returns the paths written.
+
+    ``section`` (a :data:`SECTIONS` key such as ``"decode.speculative"``)
+    replaces only that sub-dict of each existing fixture, leaving every
+    other pinned number byte-identical — the guard rail that keeps a
+    speculative-only regeneration from silently rewriting the
+    attention / decode / paged sections.  ``None`` rewrites whole files
+    (required when the preset config itself changes).
+    """
     from repro.core.config import PRESETS
 
+    if section is not None and section not in SECTIONS:
+        raise ValueError(
+            f"unknown section {section!r}; known: {sorted(SECTIONS)}"
+        )
     GOLDEN_DIR.mkdir(exist_ok=True)
     written = []
     for name in sorted(PRESETS):
         path = GOLDEN_DIR / f"{name}.json"
-        path.write_text(json.dumps(golden_trace(name), indent=2) + "\n")
+        trace = golden_trace(name)
+        if section is None:
+            data = trace
+        else:
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"cannot regenerate section {section!r} of a missing "
+                    f"fixture {path}; run without --section first"
+                )
+            data = json.loads(path.read_text())
+            keys = SECTIONS[section]
+            target, source = data, trace
+            for key in keys[:-1]:
+                target, source = target[key], source[key]
+            target[keys[-1]] = source[keys[-1]]
+        path.write_text(json.dumps(data, indent=2) + "\n")
         written.append(path)
     return written
 
 
 if __name__ == "__main__":
-    for path in regenerate():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate the per-preset golden-trace fixtures."
+    )
+    parser.add_argument(
+        "--section",
+        choices=sorted(SECTIONS),
+        default=None,
+        help="replace only this fixture section (e.g. decode.speculative), "
+             "leaving every other pinned number untouched; omit to rewrite "
+             "whole files",
+    )
+    args = parser.parse_args()
+    for path in regenerate(section=args.section):
         print(f"wrote {path}")

@@ -110,6 +110,37 @@ class TestGeometryFlags:
         assert "config" in seen
         assert "Paged KV" in capsys.readouterr().out
 
+    def test_speculative_flag_only_applies_to_serve_decode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serving-batched", "--speculative"])
+        assert "serve-decode" in capsys.readouterr().err
+
+    def test_paged_and_speculative_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-decode", "--paged", "--speculative"])
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_decode_speculative_routes_to_speedup_study(self, capsys):
+        from repro.eval import cli
+
+        seen = {}
+
+        def fake_speedup(config=None):
+            seen["config"] = config
+            return cli.experiments.ExperimentResult(
+                experiment_id="Speculative decode", title="stub",
+                headers=["Path"], rows=[["stub"]],
+            )
+
+        original = cli.experiments.speculative_decode_speedup
+        cli.experiments.speculative_decode_speedup = fake_speedup
+        try:
+            assert main(["serve-decode", "--speculative"]) == 0
+        finally:
+            cli.experiments.speculative_decode_speedup = original
+        assert "config" in seen
+        assert "Speculative decode" in capsys.readouterr().out
+
     def test_serving_batched_accepts_geometry_and_override(self, capsys):
         # tiny workload keeps the cycle-accurate reference loop fast
         from repro.core.config import preset

@@ -184,10 +184,12 @@ class TestEngineShim:
                     is via_kwargs.units[fn].schedule)
         assert via_config.n_lanes == via_kwargs.n_lanes
         assert via_config._shape == via_kwargs._shape
-        # host and kv_block_size are not engine geometry (no legacy kwarg
-        # ever carried them), so normalise them before comparing
+        # host, kv_block_size and the speculative defaults are not
+        # engine geometry (no legacy kwarg ever carried them), so
+        # normalise them before comparing
         assert via_config.config == via_kwargs.config.replace(
-            host=cfg.host, kv_block_size=cfg.kv_block_size
+            host=cfg.host, kv_block_size=cfg.kv_block_size,
+            spec_k=cfg.spec_k, draft_kind=cfg.draft_kind,
         )
 
     def test_config_plus_kwargs_rejected(self):

@@ -31,7 +31,7 @@ EXACT_FIELDS = {
     "attention": ("vector_cycles", "nonlinear_queries", "counters"),
     "decode": (
         "prefill_vector_cycles", "vector_cycles", "nonlinear_queries",
-        "counters", "paged",
+        "counters", "paged", "speculative",
     ),
 }
 
@@ -89,6 +89,32 @@ class TestGoldenTraces:
         decode = load_golden(preset_name)["decode"]
         assert decode["paged"]["vector_cycles"] == decode["vector_cycles"]
         assert decode["paged"]["counters"] == decode["counters"]
+
+    def test_speculative_decode_is_sequential_equivalent(self, preset_name):
+        """The fixture's speculative run must report a closed-form
+        sequential equivalent identical to the plain decode run's cycles
+        (speculation repacks work, never changes it), its acceptance
+        trace must balance (one committed token per pass plus the
+        accepted drafts; rollbacks are the drafted remainder), and the
+        paged twin must leak no blocks (rollback frees count exactly
+        like eviction frees: allocated - freed == end in_use == 0)."""
+        golden = load_golden(preset_name)
+        decode = golden["decode"]
+        spec = decode["speculative"]
+        assert spec["sequential_vector_cycles"] == decode["vector_cycles"]
+        assert spec["spec_k"] == golden["config"]["spec_k"]
+        generated = decode["max_new_tokens"]
+        assert spec["verify_passes"] + spec["accepted"] == generated
+        assert (
+            spec["drafted"] == spec["accepted"] + spec["rolled_back"]
+        )
+        paged = spec["paged"]
+        assert paged["end_in_use"] == 0
+        assert paged["end_live_tokens"] == 0
+        assert (
+            paged["blocks_allocated"] - paged["blocks_freed"]
+            == paged["end_in_use"]
+        )
 
     def test_fixture_workload_is_the_pinned_one(self, preset_name):
         """The fixture must have been generated from the same workload

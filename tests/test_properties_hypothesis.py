@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the datapath and the decode path.
 
-Five families of invariants, each over randomly drawn inputs rather
+Six families of invariants, each over randomly drawn inputs rather
 than hand-picked cases:
 
 * fixed-point encode/decode round trips (``utils/fixed_point.py``),
@@ -10,8 +10,13 @@ than hand-picked cases:
 * decode-vs-prefill bit-exact equivalence over random shapes, seeds
   and sliding windows,
 * paged-vs-contiguous :class:`KVCache` equivalence over random
-  append/evict/reset sequences, block sizes and window lengths
-  (including block sizes that do not divide the window).
+  append/evict/truncate/reset sequences, block sizes and window
+  lengths (including block sizes that do not divide the window),
+* speculative-vs-plain generate equivalence under **arbitrary
+  accept/reject/rollback programs** (a :class:`ScheduledDraft` driven
+  by a random boolean program): bit-identical output tokens, identical
+  final KV state, identical closed-form sequential-equivalent cycles,
+  and a block pool that leaks nothing after rollback.
 """
 
 import numpy as np
@@ -23,6 +28,7 @@ from repro.core.config import NovaConfig
 from repro.core.decode import DecodeRequest, KVCache, NovaDecodeEngine
 from repro.core.paging import BlockPool, PagedKVCache, blocks_needed
 from repro.core.session import NovaSession
+from repro.core.speculative import ScheduledDraft, SpeculativeDecodeEngine
 from repro.utils.fixed_point import FixedPointFormat
 
 #: Small geometry shared by the hardware-backed properties (module
@@ -212,7 +218,8 @@ def random_decode_requests(draw):
 
 @st.composite
 def cache_scenarios(draw):
-    """A cache geometry plus a random append/evict/reset program."""
+    """A cache geometry plus a random append/evict/truncate/reset
+    program (truncate is the speculative rollback path)."""
     n_heads = draw(st.integers(min_value=1, max_value=3))
     head_dim = draw(st.integers(min_value=1, max_value=4))
     capacity = draw(st.integers(min_value=1, max_value=12))
@@ -227,6 +234,7 @@ def cache_scenarios(draw):
             st.one_of(
                 st.just(("append",)),
                 st.tuples(st.just("evict"), st.integers(0, 4)),
+                st.tuples(st.just("truncate"), st.integers(0, 4)),
                 st.just(("reset",)),
             ),
             min_size=1, max_size=30,
@@ -278,6 +286,10 @@ class TestPagedCacheEquivalenceProperties:
                 n = min(op[1], ref.length)
                 ref.evict(n)
                 paged.evict(n)
+            elif op[0] == "truncate":
+                n = min(op[1], ref.length)
+                ref.truncate(n)
+                paged.truncate(n)
             else:
                 ref.reset()
                 paged.reset()
@@ -296,6 +308,102 @@ class TestPagedCacheEquivalenceProperties:
             assert (
                 pool.blocks_allocated - pool.blocks_freed == pool.in_use
             )
+
+
+# ----------------------------------------------------------------------
+# Speculative vs plain generate under arbitrary accept/reject programs.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def speculative_scenarios(draw):
+    """A decode request, a draft depth and an accept/reject program."""
+    n_heads = draw(st.integers(min_value=1, max_value=3))
+    head_dim = draw(st.integers(min_value=1, max_value=4))
+    prompt_len = draw(st.integers(min_value=1, max_value=5))
+    new_tokens = draw(st.integers(min_value=0, max_value=6))
+    window = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=prompt_len))
+    )
+    spec_k = draw(st.integers(min_value=1, max_value=4))
+    program = draw(
+        st.lists(st.booleans(), min_size=1, max_size=16)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    hidden = n_heads * head_dim
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(hidden)
+    request = DecodeRequest(
+        x=rng.normal(0.0, 1.0, size=(prompt_len, hidden)),
+        wq=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wk=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wv=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wo=rng.normal(0.0, scale, size=(hidden, hidden)),
+        n_heads=n_heads,
+        max_new_tokens=new_tokens,
+        window=window,
+    )
+    return request, spec_k, program
+
+
+class TestSpeculativeEquivalenceProperties:
+    @given(scenario=speculative_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_speculative_equals_plain_under_any_program(self, scenario):
+        """Any accept/reject/rollback program yields bit-identical
+        generated tokens, an identical final KV state, the plain run's
+        exact closed-form cycle bill, and a drained block pool."""
+        from repro.core.paging import worst_case_blocks
+
+        request, spec_k, program = scenario
+        plain_state = DECODER.start(request)
+        plain = DECODER.generate(request, state=plain_state)
+
+        speculator = SpeculativeDecodeEngine(DECODER, spec_k=spec_k)
+        pool = BlockPool(
+            request.n_heads, request.head_dim, 3,
+            n_blocks=worst_case_blocks(
+                request.total_tokens + spec_k, request.window, 3
+            ),
+        )
+        spec_state = speculator.start(request, pool=pool)
+        spec = speculator.generate(
+            request, state=spec_state, draft=ScheduledDraft(SMALL, program)
+        )
+
+        assert np.array_equal(spec.generated, plain.generated)
+        assert spec.sequential_vector_cycles == plain.vector_cycles
+
+        # Final KV state bit-exact: same span, same rows, no leftover
+        # provisional tokens after the last rollback.
+        assert spec_state.cache.length == plain_state.cache.length
+        assert (
+            spec_state.cache.start_position
+            == plain_state.cache.start_position
+        )
+        assert np.array_equal(spec_state.cache.keys, plain_state.cache.keys)
+        assert np.array_equal(
+            spec_state.cache.values, plain_state.cache.values
+        )
+
+        # Acceptance bookkeeping balances.
+        assert spec.n_generated == request.max_new_tokens
+        assert spec.verify_passes + spec.accepted_tokens == spec.n_generated
+        assert (
+            spec.drafted_tokens
+            == spec.accepted_tokens + spec.rolled_back_tokens
+        )
+
+        # Pool accounting: rollback freed every rejected block; what
+        # remains in use is exactly the live cache, and resetting
+        # returns the pool to baseline (no leaked blocks).
+        assert pool.in_use == spec_state.cache.blocks_in_use
+        assert pool.blocks_allocated - pool.blocks_freed == pool.in_use
+        assert pool.live_tokens == spec_state.cache.length
+        spec_state.cache.reset()
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
+        assert pool.blocks_allocated == pool.blocks_freed
 
 
 class TestDecodeEquivalenceProperties:

@@ -1,0 +1,671 @@
+"""Speculative decode: draft-and-verify over paged KV, pinned end to end.
+
+The contract under test (see :mod:`repro.core.speculative`): for *any*
+draft model, speculative generation produces bit-identical tokens, an
+identical final KV state and the identical closed-form
+sequential-equivalent cycle bill as plain
+:meth:`~repro.core.decode.NovaDecodeEngine.generate` — drafts only
+change how many overlay passes it takes.  Around that sit the rollback
+mechanics (``truncate`` on both cache layouts, atomic
+``BlockPoolExhausted`` handling mid-draft), the acceptance accounting,
+the continuous batcher's speculative mode (solo-equivalent per request)
+and the config/session/workload/experiment wiring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DRAFT_KINDS, NovaConfig, PRESETS, preset
+from repro.core.decode import (
+    ContinuousBatchScheduler,
+    DecodeRequest,
+    KVCache,
+    KVCacheOverflow,
+    NovaDecodeEngine,
+)
+from repro.core.paging import (
+    BlockPool,
+    BlockPoolExhausted,
+    PagedKVCache,
+    pool_cache_info,
+    worst_case_blocks,
+)
+from repro.core.session import NovaSession
+from repro.core.speculative import (
+    DraftModel,
+    NGramDraft,
+    ScheduledDraft,
+    SpeculativeDecodeEngine,
+    TruncatedTableDraft,
+    build_draft,
+    host_step_output,
+)
+from repro.workloads.bert import fidelity_for_acceptance, speculative_decode_batch
+from repro.workloads.transformer import TransformerConfig, decode_request
+
+#: Small shared geometry: tables/schedules compile once per module.
+SMALL = NovaConfig(n_routers=2, neurons_per_router=8)
+ENGINE = NovaDecodeEngine(SMALL)
+
+
+def toy_model(hidden=16, heads=2, seq_len=64):
+    return TransformerConfig(
+        "spec-toy", layers=1, hidden=hidden, heads=heads,
+        intermediate=4 * hidden, seq_len=seq_len, causal=True,
+    )
+
+
+def toy_request(prompt_len=5, max_new_tokens=6, seed=0, window=None,
+                **model_kwargs):
+    return decode_request(
+        toy_model(**model_kwargs), prompt_len=prompt_len,
+        max_new_tokens=max_new_tokens, seed=seed, window=window,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rollback primitive: truncate on both cache layouts.
+# ----------------------------------------------------------------------
+
+
+class TestTruncate:
+    def test_contiguous_truncate_drops_newest(self):
+        cache = KVCache(2, 3, capacity=8)
+        rows = [
+            (np.full((2, 3), i), np.full((2, 3), -i)) for i in range(5)
+        ]
+        for k, v in rows:
+            cache.append(k, v)
+        cache.truncate(2)
+        assert cache.length == 3
+        assert cache.start_position == 0
+        assert np.array_equal(cache.keys[0, -1], rows[2][0][0])
+        # the next append overwrites the rolled-back slot
+        cache.append(*rows[0])
+        assert cache.length == 4
+        assert np.array_equal(cache.keys[0, -1], rows[0][0][0])
+
+    def test_paged_truncate_frees_tail_blocks(self):
+        pool = BlockPool(1, 2, block_size=2, n_blocks=4)
+        cache = PagedKVCache(pool, capacity=8)
+        for i in range(5):
+            cache.append(np.full((1, 2), i), np.full((1, 2), i))
+        assert cache.blocks_in_use == 3    # 5 tokens over 2-slot blocks
+        cache.truncate(1)                  # 4 tokens -> 2 blocks
+        assert cache.blocks_in_use == 2
+        assert pool.in_use == 2
+        assert pool.live_tokens == 4
+        cache.truncate(3)                  # 1 token -> 1 block
+        assert cache.blocks_in_use == 1
+        assert np.array_equal(cache.keys, np.zeros((1, 1, 2)))
+        cache.truncate(1)                  # empty -> everything freed
+        assert cache.blocks_in_use == 0
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
+
+    def test_truncate_validation(self):
+        cache = KVCache(1, 1, capacity=2)
+        cache.append(np.ones((1, 1)), np.ones((1, 1)))
+        with pytest.raises(ValueError, match="cannot truncate"):
+            cache.truncate(2)
+        pool = BlockPool(1, 1, 2, 2)
+        paged = PagedKVCache(pool, capacity=2)
+        with pytest.raises(ValueError, match="cannot truncate"):
+            paged.truncate(1)
+        paged.truncate(0)  # no-op
+        assert pool.in_use == 0
+
+    def test_rollback_and_eviction_frees_count_identically(self):
+        """The satellite bugfix pin: blocks freed by speculative
+        rollback (truncate) and by window eviction go through the same
+        pool accounting — cumulative totals, live_tokens and the
+        ``allocated - freed == in_use`` invariant agree whichever path
+        freed the block."""
+        def drive(free_via_truncate: bool) -> dict:
+            pool = BlockPool(1, 1, block_size=2, n_blocks=4)
+            cache = PagedKVCache(
+                pool, capacity=8, window=4 if not free_via_truncate else None
+            )
+            one = np.ones((1, 1))
+            for _ in range(6):
+                if free_via_truncate and cache.length == 4:
+                    cache.truncate(2)
+                cache.append(one, one)
+            info = pool.pool_info()
+            assert (
+                info["blocks_allocated"] - info["blocks_freed"]
+                == info["in_use"]
+            )
+            return info
+
+        evicted = drive(free_via_truncate=False)
+        truncated = drive(free_via_truncate=True)
+        assert evicted["blocks_freed"] >= 1
+        assert truncated["blocks_freed"] >= 1
+        for info in (evicted, truncated):
+            assert info["live_tokens"] <= info["in_use"] * info["block_size"]
+
+    def test_pool_cache_info_reports_cumulative_totals(self):
+        before = pool_cache_info()
+        for key in ("blocks_allocated", "blocks_freed", "peak_in_use"):
+            assert key in before
+        pool = BlockPool(1, 1, 2, 2)
+        cache = PagedKVCache(pool, capacity=4)
+        cache.append(np.ones((1, 1)), np.ones((1, 1)))
+        cache.truncate(1)
+        after = pool_cache_info()
+        assert after["blocks_allocated"] >= before["blocks_allocated"] + 1
+        assert after["blocks_freed"] >= before["blocks_freed"] + 1
+        assert after["blocks_allocated"] - after["blocks_freed"] == after["in_use"]
+
+
+# ----------------------------------------------------------------------
+# Draft models.
+# ----------------------------------------------------------------------
+
+
+class TestDraftModels:
+    def test_shipped_drafts_satisfy_the_protocol(self):
+        for draft in (
+            TruncatedTableDraft(SMALL),
+            NGramDraft(),
+            ScheduledDraft(SMALL, [True]),
+        ):
+            assert isinstance(draft, DraftModel)
+
+    def test_exact_truncated_table_draft_matches_the_overlay(self):
+        """fidelity=1.0 proposals are bit-identical to the verification
+        outputs, so every draft is accepted."""
+        request = toy_request()
+        spec = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL, fidelity=1.0)
+        ).generate(request)
+        assert spec.acceptance_rate == 1.0
+        assert spec.rolled_back_tokens == 0
+        assert spec.verify_passes < request.max_new_tokens
+
+    def test_zero_fidelity_draft_rejects_everything_but_stays_exact(self):
+        request = toy_request()
+        plain = ENGINE.generate(request)
+        spec = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL, fidelity=0.0)
+        ).generate(request)
+        assert spec.accepted_tokens == 0
+        assert spec.rolled_back_tokens == spec.drafted_tokens
+        assert spec.verify_passes == request.max_new_tokens
+        assert np.array_equal(spec.generated, plain.generated)
+
+    def test_host_step_output_matches_decode_step(self):
+        """The draft substrate reproduces one decode step bit-exactly."""
+        request = toy_request()
+        state = ENGINE.start(request)
+        pre = ENGINE.prefill(state)
+        x_t = pre.outputs[-1]
+        # mirror the engine: append first, then compute on the cache
+        shadow = ENGINE.start(request)
+        ENGINE.prefill(shadow)
+        from repro.core.decode import project_token
+
+        _, k, v = project_token(
+            x_t, request.wq, request.wk, request.wv, request.n_heads
+        )
+        shadow.cache.append(k, v)
+        predicted = host_step_output(
+            request, shadow.cache, x_t,
+            SMALL.table("exp"), SMALL.table("reciprocal"),
+        )
+        step = ENGINE.decode_step(state, x_t)
+        assert np.array_equal(predicted, step.output)
+
+    def test_ngram_draft_replays_observed_followers(self):
+        draft = NGramDraft()
+        x = np.array([0.25, -1.5])
+        y = np.array([1.0, 2.0])
+        request = None
+        assert np.array_equal(draft.propose(request, None, x, 0), x)
+        draft.observe(x, y, 0)
+        assert np.array_equal(draft.propose(request, None, x, 1), y)
+        draft.reset()
+        assert np.array_equal(draft.propose(request, None, x, 2), x)
+
+    def test_draft_validation(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            TruncatedTableDraft(SMALL, fidelity=1.5)
+        with pytest.raises(ValueError, match="reduced_bits"):
+            TruncatedTableDraft(SMALL, reduced_bits=-1)
+        with pytest.raises(ValueError, match="key_bits"):
+            NGramDraft(key_bits=-1)
+        with pytest.raises(ValueError, match="max_history"):
+            NGramDraft(max_history=0)
+        with pytest.raises(ValueError, match="at least one decision"):
+            ScheduledDraft(SMALL, [])
+        with pytest.raises(ValueError, match="unknown draft kind"):
+            build_draft("oracle", SMALL)
+
+    def test_build_draft_constructs_every_registered_kind(self):
+        for kind in DRAFT_KINDS:
+            assert isinstance(build_draft(kind, SMALL), DraftModel)
+
+    def test_draft_reprs_are_informative(self):
+        assert "fidelity=0.5" in repr(TruncatedTableDraft(SMALL, fidelity=0.5))
+        assert "history=0" in repr(NGramDraft())
+        assert "program=101" in repr(
+            ScheduledDraft(SMALL, (True, False, True))
+        )
+
+    def test_ngram_history_is_bounded(self):
+        draft = NGramDraft(max_history=2)
+        for i in range(3):
+            draft.observe(np.array([float(i)]), np.array([float(-i)]), i)
+        assert len(draft._history) <= 2
+
+
+# ----------------------------------------------------------------------
+# The engine: bit-exactness, accounting, windows.
+# ----------------------------------------------------------------------
+
+
+class TestSpeculativeEngine:
+    @pytest.mark.parametrize("preset_name", sorted(PRESETS))
+    def test_bit_exact_vs_plain_generate_on_every_preset(self, preset_name):
+        session = NovaSession(preset_name)
+        request = toy_request(prompt_len=4, max_new_tokens=5, seed=3)
+        plain = session.generate(request)
+        spec = session.generate(
+            request, speculative=True,
+            draft=ScheduledDraft(session.config, (True, False, True)),
+        )
+        assert np.array_equal(spec.generated, plain.generated)
+        assert np.array_equal(spec.prefill.outputs, plain.prefill.outputs)
+        assert spec.sequential_vector_cycles == plain.vector_cycles
+
+    def test_exact_draft_saves_overlay_cycles(self):
+        request = toy_request(prompt_len=4, max_new_tokens=8)
+        plain = ENGINE.generate(request)
+        spec = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL), spec_k=4
+        ).generate(request)
+        assert spec.vector_cycles < plain.vector_cycles
+        assert spec.cycle_speedup > 1.0
+        assert spec.tokens_per_pass > 1.0
+
+    def test_windowed_request_stays_exact_and_never_evicts_drafts(self):
+        request = toy_request(prompt_len=5, max_new_tokens=6, window=4)
+        plain_state = ENGINE.start(request)
+        plain = ENGINE.generate(request, state=plain_state)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL), spec_k=3
+        )
+        spec_state = spec_engine.start(request)
+        spec = spec_engine.generate(request, state=spec_state)
+        assert np.array_equal(spec.generated, plain.generated)
+        assert spec.sequential_vector_cycles == plain.vector_cycles
+        assert spec_state.cache.start_position == plain_state.cache.start_position
+        assert np.array_equal(spec_state.cache.keys, plain_state.cache.keys)
+        # at the window limit every pass is draft-free (provisional
+        # tokens may never evict), so the run degrades gracefully
+        assert all(p.tokens == 1 for p in spec.passes[1:])
+
+    def test_committed_steps_mirror_plain_step_accounting(self):
+        request = toy_request(prompt_len=3, max_new_tokens=4)
+        plain = ENGINE.generate(request)
+        spec = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL)
+        ).generate(request)
+        for plain_step, spec_step in zip(plain.steps, spec.steps):
+            assert spec_step.position == plain_step.position
+            assert spec_step.kv_length == plain_step.kv_length
+            assert spec_step.vector_cycles == plain_step.vector_cycles
+            assert spec_step.nonlinear_queries == plain_step.nonlinear_queries
+            assert np.array_equal(spec_step.output, plain_step.output)
+            assert np.array_equal(
+                spec_step.probabilities, plain_step.probabilities
+            )
+
+    def test_zero_budget_runs_prefill_only(self):
+        request = toy_request(max_new_tokens=0)
+        spec = SpeculativeDecodeEngine(ENGINE).generate(request)
+        assert spec.n_generated == 0
+        assert spec.verify_passes == 0
+        assert spec.vector_cycles == spec.prefill.vector_cycles
+
+    def test_spec_k_validation(self):
+        with pytest.raises(ValueError, match="spec_k must be >= 1"):
+            SpeculativeDecodeEngine(ENGINE, spec_k=0)
+        with pytest.raises(ValueError, match="spec_k must be >= 1"):
+            NovaConfig(spec_k=0)
+        with pytest.raises(ValueError, match="unknown draft_kind"):
+            NovaConfig(draft_kind="oracle")
+        with pytest.raises(TypeError, match="draft_kind"):
+            NovaConfig(draft_kind=3)
+
+    def test_config_overrides_reach_the_speculative_fields(self):
+        cfg = preset("jetson-nx").with_overrides(
+            ["spec_k=7", "draft_kind=ngram"]
+        )
+        assert cfg.spec_k == 7
+        assert cfg.draft_kind == "ngram"
+        engine = SpeculativeDecodeEngine(cfg)
+        assert engine.spec_k == 7
+        assert isinstance(engine.draft, NGramDraft)
+
+    def test_budget_overflow_rejected_at_admission(self):
+        request = toy_request(prompt_len=4, max_new_tokens=2)
+        with pytest.raises(KVCacheOverflow):
+            SpeculativeDecodeEngine(ENGINE).generate(
+                request, max_new_tokens=10 ** 6
+            )
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            SpeculativeDecodeEngine(ENGINE).generate(
+                request, max_new_tokens=-1
+            )
+
+
+# ----------------------------------------------------------------------
+# Error paths: atomicity of the verification-pass plan.
+# ----------------------------------------------------------------------
+
+
+class _WrongShapeDraft:
+    def propose(self, request, cache, x_t, position):
+        return np.zeros(3)
+
+    def observe(self, x_t, output, position):
+        pass
+
+    def reset(self):
+        pass
+
+
+class TestErrorPaths:
+    def _paged_state_after_prefill(self, spec_engine, request, n_blocks):
+        pool = BlockPool(
+            request.n_heads, request.head_dim, 2, n_blocks=n_blocks
+        )
+        state = spec_engine.start(request, pool=pool)
+        spec_engine.engine.prefill(state)
+        return state, pool
+
+    def test_pool_exhaustion_mid_draft_is_atomic(self):
+        """Running out of blocks while appending *provisional* tokens
+        rolls the whole pass back: cache, position and pool return to
+        their pre-pass state before the exception propagates."""
+        request = toy_request(prompt_len=2, max_new_tokens=6)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL), spec_k=4
+        )
+        # prompt fills 1 block; 1 spare block holds u_0 + one draft,
+        # the second draft's block allocation must fail mid-pass
+        state, pool = self._paged_state_after_prefill(
+            spec_engine, request, n_blocks=2
+        )
+        x_t = np.zeros(request.hidden)
+        baseline = (state.cache.length, state.position, pool.in_use,
+                    pool.live_tokens)
+        with pytest.raises(BlockPoolExhausted):
+            spec_engine.plan_verify_pass(state, x_t, budget=6)
+        assert (state.cache.length, state.position, pool.in_use,
+                pool.live_tokens) == baseline
+
+    def test_fallback_degrades_to_a_draft_free_pass(self):
+        request = toy_request(prompt_len=2, max_new_tokens=6)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL), spec_k=4
+        )
+        state, pool = self._paged_state_after_prefill(
+            spec_engine, request, n_blocks=2
+        )
+        spec_pass = spec_engine.plan_with_fallback(
+            state, np.zeros(request.hidden), budget=6
+        )
+        assert len(spec_pass.job.tokens) >= 1
+        assert len(spec_pass.drafts) < 4  # could not fit the full depth
+
+    def test_wrong_shape_draft_raises_with_no_net_state_change(self):
+        request = toy_request(prompt_len=3, max_new_tokens=4)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, draft=_WrongShapeDraft(), spec_k=2
+        )
+        state = spec_engine.start(request)
+        ENGINE.prefill(state)
+        baseline = (state.cache.length, state.position)
+        with pytest.raises(ValueError, match="draft proposed"):
+            spec_engine.plan_verify_pass(
+                state, np.zeros(request.hidden), budget=4
+            )
+        assert (state.cache.length, state.position) == baseline
+
+    def test_bad_input_embedding_raises_before_any_state_change(self):
+        request = toy_request(prompt_len=3, max_new_tokens=4)
+        spec_engine = SpeculativeDecodeEngine(ENGINE)
+        state = spec_engine.start(request)
+        ENGINE.prefill(state)
+        baseline = (state.cache.length, state.position)
+        with pytest.raises(ValueError, match="hidden width"):
+            spec_engine.plan_verify_pass(state, np.zeros(3), budget=4)
+        assert (state.cache.length, state.position) == baseline
+
+    def test_pass_budget_validation(self):
+        request = toy_request()
+        spec_engine = SpeculativeDecodeEngine(ENGINE)
+        state = spec_engine.start(request)
+        ENGINE.prefill(state)
+        with pytest.raises(ValueError, match="budget"):
+            spec_engine.plan_verify_pass(
+                state, np.zeros(request.hidden), budget=0
+            )
+
+    def test_fallback_propagates_when_even_u0_cannot_allocate(self):
+        """When the committed token itself cannot get a block, the
+        draft-free fallback fails too and the exhaustion propagates
+        with cache and pool untouched — the scheduler's defer signal."""
+        request = toy_request(prompt_len=2, max_new_tokens=4)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, draft=TruncatedTableDraft(SMALL)
+        )
+        state, pool = self._paged_state_after_prefill(
+            spec_engine, request, n_blocks=1
+        )
+        assert pool.free_blocks == 0
+        baseline = (state.cache.length, state.position, pool.in_use)
+        with pytest.raises(BlockPoolExhausted):
+            spec_engine.plan_with_fallback(
+                state, np.zeros(request.hidden), budget=4
+            )
+        assert (state.cache.length, state.position, pool.in_use) == baseline
+
+
+# ----------------------------------------------------------------------
+# Continuous batching with verification passes in the stream.
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerSpeculative:
+    def _requests(self, budgets=(5, 2, 7), prompts=(3, 5, 4), seed=0):
+        return [
+            toy_request(prompt_len=p, max_new_tokens=b, seed=seed + i)
+            for i, (p, b) in enumerate(zip(prompts, budgets))
+        ]
+
+    def _factory(self, fidelity=0.8, seed=9):
+        def factory():
+            return TruncatedTableDraft(SMALL, fidelity=fidelity, seed=seed)
+
+        return factory
+
+    def _solo(self, requests, factory):
+        speculator = SpeculativeDecodeEngine(ENGINE)
+        return [
+            speculator.generate(r, draft=factory()) for r in requests
+        ]
+
+    def assert_solo_equivalent(self, solo, batch):
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(got.generated, ref.generated)
+            assert got.vector_cycles == ref.vector_cycles
+            assert got.sequential_vector_cycles == ref.sequential_vector_cycles
+            assert got.verify_passes == ref.verify_passes
+            assert got.drafted_tokens == ref.drafted_tokens
+            assert got.accepted_tokens == ref.accepted_tokens
+            assert got.rolled_back_tokens == ref.rolled_back_tokens
+            assert got.counters.as_dict() == ref.counters.as_dict()
+
+    def test_interleaved_passes_match_solo_exactly(self):
+        """Requests joining and leaving mid-stream (mixed prompts and
+        budgets, max_active below the batch size) stay token-, cycle-
+        and counter-exact against solo speculative generation."""
+        requests = self._requests(budgets=(5, 2, 7, 3), prompts=(3, 5, 4, 2))
+        factory = self._factory()
+        solo = self._solo(requests, factory)
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=2, speculative=True, draft_factory=factory
+        )
+        batch = scheduler.run(requests)
+        self.assert_solo_equivalent(solo, batch)
+        assert batch.scheduler_steps < sum(r.verify_passes for r in solo) + len(
+            requests
+        )
+
+    def test_paged_speculative_serving_matches_solo(self):
+        requests = self._requests()
+        factory = self._factory()
+        solo = self._solo(requests, factory)
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=3, speculative=True, paged=True,
+            block_size=4, draft_factory=factory,
+        )
+        batch = scheduler.run(requests)
+        self.assert_solo_equivalent(solo, batch)
+        assert batch.paging is not None
+        assert batch.paging["in_use"] == 0
+        assert (
+            batch.paging["blocks_allocated"] == batch.paging["blocks_freed"]
+        )
+
+    def test_tight_pool_defers_but_stays_exact(self):
+        """A pool too small for every sequence's drafts forces
+        draft-free passes and deferrals; results stay solo-exact (the
+        per-request pass structure may differ, so only tokens and the
+        sequential-equivalent bill are compared)."""
+        requests = self._requests(budgets=(6, 6), prompts=(3, 3))
+        factory = self._factory(fidelity=1.0)
+        solo = self._solo(requests, factory)
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=2, speculative=True, paged=True,
+            block_size=2, pool_blocks=6, draft_factory=factory,
+        )
+        batch = scheduler.run(requests)
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(got.generated, ref.generated)
+            assert (
+                got.sequential_vector_cycles == ref.sequential_vector_cycles
+            )
+
+    def test_preemption_under_speculation_recomputes_exactly(self):
+        """A pool that cannot hold two speculating sequences forces
+        deferrals and a preemption-by-recomputation; the preempted
+        request restarts from its prompt (draft reset included) and
+        still finishes bit-identical to solo speculative generation."""
+        requests = self._requests(budgets=(6, 6), prompts=(3, 3))
+        factory = self._factory(fidelity=1.0)
+        solo = self._solo(requests, factory)
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=2, speculative=True, paged=True,
+            block_size=2, pool_blocks=5, draft_factory=factory,
+        )
+        batch = scheduler.run(requests)
+        assert batch.deferrals > 0
+        assert batch.preemptions > 0
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(got.generated, ref.generated)
+            assert (
+                got.sequential_vector_cycles == ref.sequential_vector_cycles
+            )
+
+    def test_speculative_kwargs_need_speculative_mode(self):
+        with pytest.raises(ValueError, match="speculative scheduler"):
+            ContinuousBatchScheduler(ENGINE, spec_k=4)
+        with pytest.raises(ValueError, match="speculative scheduler"):
+            ContinuousBatchScheduler(ENGINE, draft_kind="ngram")
+        with pytest.raises(ValueError, match="speculative scheduler"):
+            ContinuousBatchScheduler(ENGINE, draft_factory=lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Session, workloads, experiment wiring.
+# ----------------------------------------------------------------------
+
+
+class TestSessionAndWorkloads:
+    def test_session_generate_speculative_kwargs_validated(self):
+        session = NovaSession(SMALL)
+        request = toy_request()
+        with pytest.raises(ValueError, match="speculative=True"):
+            session.generate(request, spec_k=4)
+        with pytest.raises(ValueError, match="speculative=True"):
+            session.generate(request, draft=NGramDraft())
+
+    def test_session_speculator_is_cached_and_shares_the_decoder(self):
+        session = NovaSession(SMALL)
+        speculator = session.speculator
+        assert speculator is session.speculator
+        assert speculator.engine is session.decoder
+
+    def test_session_serve_decode_speculative(self):
+        session = NovaSession(SMALL)
+        requests = [
+            toy_request(prompt_len=3, max_new_tokens=4, seed=i)
+            for i in range(3)
+        ]
+        batch = session.serve_decode(requests, speculative=True)
+        for request, result in zip(requests, batch.results):
+            plain = session.generate(request)
+            assert np.array_equal(result.generated, plain.generated)
+            assert result.sequential_vector_cycles == plain.vector_cycles
+
+    def test_fidelity_for_acceptance_inverts_the_pass_model(self):
+        for target, k in ((0.5, 4), (0.8, 8), (0.95, 2)):
+            f = fidelity_for_acceptance(target, k)
+            expected = sum(f ** i for i in range(1, k + 1)) / k
+            assert expected == pytest.approx(target, abs=1e-9)
+        assert fidelity_for_acceptance(0.0, 4) == 0.0
+        assert fidelity_for_acceptance(1.0, 4) == 1.0
+        with pytest.raises(ValueError, match="acceptance_rate"):
+            fidelity_for_acceptance(1.5, 4)
+        with pytest.raises(ValueError, match="spec_k"):
+            fidelity_for_acceptance(0.5, 0)
+
+    def test_speculative_decode_batch_builds_tuned_drafts(self):
+        requests, factory = speculative_decode_batch(
+            toy_model(), 3, acceptance_rate=0.9, prompt_len=4,
+            max_new_tokens=5, seed=1, config=SMALL, spec_k=4,
+        )
+        assert len(requests) == 3
+        draft = factory()
+        assert isinstance(draft, TruncatedTableDraft)
+        assert draft.fidelity == pytest.approx(
+            fidelity_for_acceptance(0.9, 4)
+        )
+        # one fresh draft per sequence, each with its own coin seed (a
+        # shared seed would replay one short coin sequence batch-wide
+        # and make the measured acceptance a single sample)
+        second = factory()
+        assert second is not draft
+        assert draft.seed == 1
+        assert second.seed == 2
+
+    def test_speculative_experiment_smoke(self):
+        from repro.eval.experiments import speculative_decode_speedup
+
+        result = speculative_decode_speedup(
+            model_name=toy_model(), batch_size=2, prompt_len=3,
+            max_new_tokens=4, config=SMALL, spec_k=3, warmup=False,
+        )
+        assert len(result.rows) == 3
+        assert result.rows[0][0].startswith("plain")
+
+    def test_speculative_experiment_rejects_zero_budget(self):
+        from repro.eval.experiments import speculative_decode_speedup
+
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            speculative_decode_speedup(max_new_tokens=0)
