@@ -1,0 +1,39 @@
+"""novalint: a custom AST invariant analyzer for the NOVA serving stack.
+
+The serving stack's speedups (batched attention, paged KV, speculative
+decode) are only trustworthy because each stays bit/cycle/counter-exact
+against a reference.  Those invariants used to live in tests and
+reviewer memory; this package checks them statically, on every file,
+in CI.  See :mod:`repro.analysis.engine` for the machinery and
+:mod:`repro.analysis.rules` for the NV001–NV008 rule set.
+
+Run it with ``nova-repro lint`` or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    discover_files,
+    render_json,
+    render_text,
+    run_lint,
+    summarize,
+)
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "discover_files",
+    "main",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "summarize",
+]

@@ -1,0 +1,281 @@
+"""The novalint rule engine: file discovery, AST walking, reporting.
+
+The serving stack's correctness story rests on invariants that the test
+suite can only check by example — determinism (every RNG seeded), pool
+conservation (block accounting stays inside the paging layer), frozen
+config integrity, atomic rollback.  This engine checks them *by
+construction*: each :class:`Rule` walks a module's AST and emits
+structured :class:`Finding`\\ s, and the CI gate fails on any new one.
+
+Layout
+------
+* :class:`Finding` — one diagnostic: rule id, severity, file:line:col,
+  message, and whether a ``# novalint: disable=RULE`` comment on the
+  offending line suppressed it.
+* :class:`ModuleContext` — one parsed module: path, dotted module name
+  (when the file lives under a ``repro`` package root), source, AST and
+  the per-line suppression table.
+* :class:`Rule` — base class; subclasses set ``rule_id`` / ``title`` /
+  ``severity`` and implement :meth:`Rule.check`.
+* :func:`run_lint` — discover files, parse, run every applicable rule,
+  return findings sorted by location.
+* :func:`render_text` / :func:`render_json` — the two reporters.
+
+Suppressions are line-scoped and explicit: a trailing comment
+``# novalint: disable=NV003`` (comma-separate several ids, or
+``disable=all``) keeps the finding in the report — marked suppressed —
+but removes it from the failure count.  There is no file-level opt-out;
+a module that needs one is a module whose invariant story should be
+fixed instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "discover_files",
+    "load_module",
+    "run_lint",
+    "render_text",
+    "render_json",
+]
+
+#: Severities, in increasing order of concern.  ``error`` findings fail
+#: every lint run; ``warning`` findings fail only under ``--strict``.
+SEVERITIES = ("warning", "error")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*novalint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    ``path`` is as given on the command line (kept relative when the
+    input was relative, so reports are stable across checkouts);
+    ``line``/``col`` are 1-based/0-based as in CPython tracebacks.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+class ModuleContext:
+    """A parsed module plus everything rules need to judge it."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_of(path)
+        self._suppressions = _parse_suppressions(source)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` carries a disable comment for ``rule_id``."""
+        ids = self._suppressions.get(line)
+        return ids is not None and (rule_id in ids or "all" in ids)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` at ``node``, resolving suppression."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.rule_id,
+            severity=rule.severity,
+            path=str(self.path),
+            line=line,
+            col=col,
+            message=message,
+            suppressed=self.is_suppressed(rule.rule_id, line),
+        )
+
+
+class Rule:
+    """Base class for novalint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to the modules whose invariant
+    it guards (e.g. NV002 exempts the paging layer, which *is* the
+    accounting it protects).
+    """
+
+    rule_id: str = "NV000"
+    title: str = ""
+    severity: str = "error"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def module_name_of(path: Path) -> str | None:
+    """Dotted module name for files under a ``repro`` package root.
+
+    ``src/repro/core/paging.py`` -> ``repro.core.paging``; files outside
+    the package (benchmarks, examples, tests) return ``None`` and rules
+    fall back to path-based scoping.
+    """
+    parts = path.resolve().parts
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    dotted = list(parts[idx:])
+    if not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is not None:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",")
+            )
+            table[lineno] = ids
+    return table
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand ``paths`` into a sorted, de-duplicated list of .py files."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def load_module(path: Path) -> ModuleContext | Finding:
+    """Parse one file; a syntax error becomes an ``NV999`` finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule="NV999",
+            severity="error",
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleContext(path, source, tree)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Iterable[Rule],
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over every file under ``paths``.
+
+    Returns ``(findings, n_files)`` with findings sorted by location.
+    """
+    rule_list = list(rules)
+    findings: list[Finding] = []
+    files = discover_files(paths)
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        for rule in rule_list:
+            if rule.applies_to(loaded):
+                findings.extend(rule.check(loaded))
+    findings.sort(key=Finding.sort_key)
+    return findings, len(files)
+
+
+def summarize(findings: Sequence[Finding]) -> dict[str, int]:
+    """Counts the reporters and exit-code logic share."""
+    active = [f for f in findings if not f.suppressed]
+    return {
+        "findings": len(active),
+        "suppressed": len(findings) - len(active),
+        "errors": sum(1 for f in active if f.severity == "error"),
+        "warnings": sum(1 for f in active if f.severity == "warning"),
+    }
+
+
+def render_text(findings: Sequence[Finding], n_files: int) -> str:
+    """One ``path:line:col: RULE message`` row per finding."""
+    lines: list[str] = []
+    for f in findings:
+        tag = " (suppressed)" if f.suppressed else ""
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] "
+            f"{f.message}{tag}"
+        )
+    counts = summarize(findings)
+    lines.append(
+        f"{n_files} file(s) checked: {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s), "
+        f"{counts['suppressed']} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], n_files: int) -> str:
+    """Stable machine-readable report (the CI artifact format)."""
+    payload = {
+        "version": 1,
+        "files_checked": n_files,
+        "summary": summarize(findings),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

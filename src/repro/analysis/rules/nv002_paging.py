@@ -1,0 +1,55 @@
+"""NV002 — block accounting stays inside the paging layer.
+
+``BlockPool`` conservation (``blocks_allocated - blocks_freed ==
+len(in use)``, every ``free`` matched to one ``allocate``) is what the
+paged-KV goldens pin down.  Callers hold pools, but only the paging
+layer's own structures (:class:`BlockTable` / :class:`PagedKVCache`)
+may call ``allocate``/``free`` — a scheduler or engine reaching into
+the pool directly can double-free or leak a block in a way no golden
+trace would localise.
+
+The check is name-based: a method call ``X.allocate(...)`` or
+``X.free(...)`` is flagged when the receiver expression mentions
+``pool`` (``pool``, ``self.block_pool``, ``seq.pool``...), in any
+module other than ``repro.core.paging``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules._common import dotted_name, receiver_of
+
+__all__ = ["BlockPoolAccessRule"]
+
+
+class BlockPoolAccessRule(Rule):
+    rule_id = "NV002"
+    title = "BlockPool allocate/free only inside repro.core.paging"
+    severity = "error"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module != "repro.core.paging"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("allocate", "free"):
+                continue
+            receiver = receiver_of(node)
+            if receiver is None:
+                continue
+            name = dotted_name(receiver)
+            if name is not None and "pool" in name.lower():
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"direct pool call {name}.{node.func.attr}() outside "
+                    "repro.core.paging breaks block conservation; go "
+                    "through BlockTable/PagedKVCache",
+                )

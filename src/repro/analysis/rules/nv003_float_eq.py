@@ -1,0 +1,58 @@
+"""NV003 — no float-literal ``==``/``!=`` in numeric code.
+
+The stack's equality claims are *fixed-point* claims: quantized table
+words, integer cycle counts, bit-packed beats.  A float literal on
+either side of ``==`` is a smell that a tolerance (or an integer
+representation) was skipped — and a comparison that holds on one
+platform's FMA contraction and fails on another is exactly the class
+of bug the golden traces cannot localise.
+
+Flagged: any ``==``/``!=`` where a comparator is a float constant
+(including ``-0.5`` style negations).  Integer comparisons, ``is``
+checks and ``<``/``<=`` range tests are untouched.  Use
+``np.isclose``/``math.isclose`` with an explicit tolerance, or compare
+the underlying integer representation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "NV003"
+    title = "no float-literal == / != comparisons"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"float literal compared with {symbol}; use "
+                        "np.isclose with an explicit tolerance or compare "
+                        "the integer representation",
+                    )

@@ -1,0 +1,53 @@
+"""NV004 — frozen means frozen: no ``object.__setattr__`` on foreign objects.
+
+``NovaConfig`` is a frozen dataclass precisely so a geometry, once
+validated, can be shared across engines, schedule caches and sessions
+without defensive copying.  ``object.__setattr__`` is the documented
+loophole frozen dataclasses use in their **own** ``__post_init__`` —
+and the only place that loophole is legitimate.
+
+Flagged: ``object.__setattr__(X, ...)`` where ``X`` is anything other
+than ``self``, outside ``repro.core.config`` (which owns the config
+coercion machinery).  A frozen instance's own ``__post_init__``
+normalising its own fields passes; code mutating a config (or any
+frozen object) it merely holds does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules._common import dotted_name
+
+__all__ = ["FrozenConfigRule"]
+
+
+class FrozenConfigRule(Rule):
+    rule_id = "NV004"
+    title = "object.__setattr__ on non-self outside repro.core.config"
+    severity = "error"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module != "repro.core.config"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Name) and target.id == "self":
+                continue
+            shown = dotted_name(target) or "<expr>"
+            yield ctx.finding(
+                self,
+                node,
+                f"object.__setattr__ on {shown} mutates a frozen instance "
+                "from outside; build a new config with replace()/"
+                "with_overrides() instead",
+            )

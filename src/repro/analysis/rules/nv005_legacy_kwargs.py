@@ -1,0 +1,68 @@
+"""NV005 — no deprecated raw-geometry kwargs at engine construction.
+
+PR 2 introduced :class:`~repro.core.config.NovaConfig` as the single
+geometry currency; the loose kwargs (``n_routers=``,
+``neurons_per_router=``, ``pe_frequency_ghz=``, ``hop_mm=``) survive on
+the engine constructors only as a ``DeprecationWarning`` shim.  This
+rule turns the runtime warning into a static one, so the migration
+stays complete: every in-repo construction site passes a ``NovaConfig``
+or a preset name.
+
+Flagged: a call to any engine class (``NovaVectorUnit``,
+``NovaAttentionEngine``, ``BatchedNovaAttentionEngine``,
+``NovaDecodeEngine``, ``SpeculativeDecodeEngine``) carrying one of the
+geometry field names as a keyword.  ``NovaConfig(n_routers=8)`` itself
+is of course fine — that is the migration target.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules._common import call_name
+
+__all__ = ["LegacyGeometryKwargsRule"]
+
+_ENGINE_CLASSES = {
+    "NovaVectorUnit",
+    "NovaAttentionEngine",
+    "BatchedNovaAttentionEngine",
+    "NovaDecodeEngine",
+    "SpeculativeDecodeEngine",
+}
+
+_GEOMETRY_KWARGS = {
+    "n_routers",
+    "neurons_per_router",
+    "pe_frequency_ghz",
+    "hop_mm",
+}
+
+
+class LegacyGeometryKwargsRule(Rule):
+    rule_id = "NV005"
+    title = "deprecated raw-geometry kwargs at engine construction"
+    severity = "warning"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in _ENGINE_CLASSES:
+                continue
+            legacy = sorted(
+                kw.arg
+                for kw in node.keywords
+                if kw.arg in _GEOMETRY_KWARGS
+            )
+            if legacy:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}({', '.join(k + '=' for k in legacy)}...) uses "
+                    "deprecated geometry kwargs; pass a NovaConfig or "
+                    "preset name instead",
+                )

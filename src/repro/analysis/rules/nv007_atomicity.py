@@ -1,0 +1,102 @@
+"""NV007 — methods documented atomic must validate before they mutate.
+
+The scheduler's contract with ``append``/``truncate``/``start`` and the
+speculative verify pass is *all-or-nothing*: when a call raises
+(overflow, pool exhaustion, bad shape), the object must be exactly as it
+was, so the caller can defer and retry.  That property is easy to break
+silently — one early ``self.length += 1`` before a capacity check and a
+failed append leaves a phantom token no golden will attribute.
+
+A method opts into the check by saying so: any method whose docstring
+contains the word "atomic" is scanned, and every store to ``self`` (or
+through ``self.<attr>...``) that lexically precedes the method's **last**
+``raise`` statement is flagged.  Raises inside ``except`` handlers are
+ignored — re-raising after cleanup is not validation — as are nested
+function/class scopes.
+
+The fix is the paging layer's pattern: hoist every precondition (shape,
+capacity, pool headroom) above the first mutation, then mutate
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules._common import walk_code
+
+__all__ = ["AtomicityRule"]
+
+
+def _roots_at_self(node: ast.expr) -> bool:
+    """True when an attribute/subscript chain starts at ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _last_raise_line(func: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+    """Line of the last statement-level raise (0 when there is none)."""
+    last = 0
+    handler_spans: list[tuple[int, int]] = []
+    for node in walk_code(func):
+        if isinstance(node, ast.ExceptHandler):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            handler_spans.append((node.lineno, end))
+    for node in walk_code(func):
+        if not isinstance(node, ast.Raise):
+            continue
+        if any(lo <= node.lineno <= hi for lo, hi in handler_spans):
+            continue
+        last = max(last, node.lineno)
+    return last
+
+
+class AtomicityRule(Rule):
+    rule_id = "NV007"
+    title = "no self-mutation before validation in atomic methods"
+    severity = "error"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            doc = ast.get_docstring(node)
+            if doc is None or "atomic" not in doc.lower():
+                continue
+            yield from self._check_method(ctx, node)
+
+    def _check_method(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        last_raise = _last_raise_line(func)
+        if last_raise == 0:
+            return
+        for node in walk_code(func):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            if node.lineno >= last_raise:
+                continue
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and _roots_at_self(target):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"store to self at line {node.lineno} precedes the "
+                        f"last validation raise (line {last_raise}) in "
+                        f"atomic method {func.name}(); hoist validation "
+                        "above every mutation",
+                    )

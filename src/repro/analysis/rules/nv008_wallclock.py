@@ -1,0 +1,82 @@
+"""NV008 — simulated time only: no wall clock or entropy in the model.
+
+Every latency, throughput and energy number the simulator reports is
+derived from *modelled* cycles (``ClockDomain`` periods, NoC beat
+arithmetic, PE pipeline depth).  A ``time.time()`` or
+``datetime.now()`` inside a simulation path couples results to the
+host machine — the one dependency the whole methodology exists to
+remove — and breaks run-to-run reproducibility to boot.
+
+Flagged, inside simulation packages (``repro.core``, ``repro.noc``,
+``repro.accelerators``, ``repro.hw``, ``repro.approx``,
+``repro.luts``): calls to ``time.time``/``monotonic``/
+``perf_counter``/``process_time``, ``datetime.now``/``utcnow``/
+``today``, and ``os.urandom``/``uuid.uuid4`` (entropy).
+
+Out of scope by design: ``repro.eval`` benchmarks host wall-time on
+purpose (it measures the simulator itself), and drivers/tests may time
+whatever they like.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules._common import ImportMap
+
+__all__ = ["WallClockRule"]
+
+_SIMULATION_PREFIXES = (
+    "repro.core",
+    "repro.noc",
+    "repro.accelerators",
+    "repro.hw",
+    "repro.approx",
+    "repro.luts",
+)
+
+_BANNED = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "host-clock read",
+    "time.monotonic_ns": "host-clock read",
+    "time.perf_counter": "host-clock read",
+    "time.perf_counter_ns": "host-clock read",
+    "time.process_time": "host-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy draw",
+    "uuid.uuid4": "entropy-based id",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "NV008"
+    title = "no wall-clock/entropy calls in simulation code"
+    severity = "error"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        module = ctx.module or ""
+        return module.startswith(_SIMULATION_PREFIXES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call(node)
+            if target is None:
+                continue
+            kind = _BANNED.get(target)
+            if kind is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{kind} {target}() in simulation code; derive time "
+                    "from modelled cycles and randomness from the "
+                    "config seed",
+                )

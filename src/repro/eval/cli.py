@@ -14,6 +14,9 @@ Installed as ``nova-repro``::
     nova-repro serve-decode --paged  # paged-KV admission capacity study
     nova-repro serve-decode --speculative  # draft-and-verify speedup study
 
+    nova-repro lint              # novalint static analysis (NV001-NV008)
+    nova-repro lint --strict --format json  # the CI gate invocation
+
 Geometry selection
 ------------------
 Config-aware experiments (``serving-batched``, ``serve-decode``) take
@@ -148,11 +151,39 @@ def _resolve_config(
         parser.error(str(exc))
 
 
+def _lint_main(argv: list[str]) -> int:
+    """The ``nova-repro lint`` subcommand (novalint front end).
+
+    Imported lazily so the experiment paths never pay for it; the
+    argument surface is defined once in :mod:`repro.analysis.cli` and
+    shared with ``python -m repro.analysis``.
+    """
+    from repro.analysis.cli import add_lint_arguments, run_from_args
+
+    parser = argparse.ArgumentParser(
+        prog="nova-repro lint",
+        description=(
+            "novalint: AST invariant analyzer for the NOVA stack "
+            "(rules NV001-NV008; see README 'Static analysis')."
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one or all experiments and print their reports."""
+    args_in = list(sys.argv[1:]) if argv is None else list(argv)
+    if args_in and args_in[0] == "lint":
+        return _lint_main(args_in[1:])
+    argv = args_in
     parser = argparse.ArgumentParser(
         prog="nova-repro",
-        description="Regenerate the NOVA paper's tables and figures.",
+        description=(
+            "Regenerate the NOVA paper's tables and figures.  "
+            "('nova-repro lint' runs the novalint static analyzer; "
+            "see 'nova-repro lint --help'.)"
+        ),
     )
     parser.add_argument(
         "experiment",
