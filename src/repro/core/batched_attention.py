@@ -59,6 +59,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -77,6 +78,9 @@ from repro.core.attention import (
 )
 from repro.core.vector_unit import NovaVectorUnit
 from repro.noc.stats import EventCounters
+
+if TYPE_CHECKING:
+    from repro.core.mapper import BroadcastSchedule
 
 __all__ = [
     "AttentionRequest",
@@ -244,7 +248,7 @@ class BatchedNovaAttentionEngine:
             stream.addresses.reshape(-1)[: len(flat)],
         )
 
-    def _schedule_for(self, function: str):
+    def _schedule_for(self, function: str) -> "BroadcastSchedule":
         """The (cached) broadcast plan for one function's table."""
         return self.unit.mapper.schedule(
             n_routers=self.n_routers,

@@ -34,9 +34,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import warnings
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 from numbers import Integral, Real
+from typing import TYPE_CHECKING, Any, cast
+
+if TYPE_CHECKING:
+    from repro.accelerators import HostAccelerator
+    from repro.approx.quantize import QuantizedPwl
+    from repro.core.mapper import BroadcastSchedule
+    from repro.eval.paper_data import AcceleratorConfig
 
 __all__ = [
     "NovaConfig",
@@ -65,7 +72,7 @@ GEOMETRY_FIELDS = (
 ENGINE_FIELDS = GEOMETRY_FIELDS + ("n_segments", "seed")
 
 #: Fields an override string may set, with their value parsers.
-_FIELD_PARSERS: dict[str, object] = {
+_FIELD_PARSERS: dict[str, Callable[[str], object]] = {
     "n_routers": int,
     "neurons_per_router": int,
     "pe_frequency_ghz": float,
@@ -176,7 +183,7 @@ class NovaConfig:
         """The lane grid ``(n_routers, neurons_per_router)``."""
         return (self.n_routers, self.neurons_per_router)
 
-    def schedule(self, n_pairs: int | None = None):
+    def schedule(self, n_pairs: int | None = None) -> "BroadcastSchedule":
         """The (cached) broadcast plan for this geometry.
 
         ``n_pairs`` defaults to ``n_segments``; the returned
@@ -193,7 +200,7 @@ class NovaConfig:
             hop_mm=self.hop_mm,
         )
 
-    def table(self, function: str):
+    def table(self, function: str) -> "QuantizedPwl":
         """The compiled (process-wide cached) PWL table for ``function``."""
         from repro.approx.table_cache import compiled_table
 
@@ -201,7 +208,7 @@ class NovaConfig:
             function, n_segments=self.n_segments, seed=self.seed
         )
 
-    def build_host(self):
+    def build_host(self) -> "HostAccelerator":
         """Instantiate this configuration's host accelerator.
 
         Raises ``ValueError`` when the configuration names no host.
@@ -219,9 +226,9 @@ class NovaConfig:
     # Serialization and derivation.
     # ------------------------------------------------------------------
 
-    def replace(self, **changes) -> "NovaConfig":
+    def replace(self, **changes: object) -> "NovaConfig":
         """A copy with ``changes`` applied (validation re-runs)."""
-        return dataclasses.replace(self, **changes)
+        return dataclasses.replace(self, **cast("dict[str, Any]", changes))
 
     def to_dict(self) -> dict[str, object]:
         """A plain-JSON-types dict holding every field."""
@@ -237,7 +244,7 @@ class NovaConfig:
                 f"unknown NovaConfig field(s) {unknown}; "
                 f"known: {sorted(field_names)}"
             )
-        return cls(**dict(data))
+        return cls(**cast("dict[str, Any]", dict(data)))
 
     def to_json(self) -> str:
         """JSON form of :meth:`to_dict` (stable key order)."""
@@ -286,7 +293,10 @@ class NovaConfig:
 
     @classmethod
     def from_accelerator(
-        cls, accelerator, n_segments: int = 16, seed: int = 0
+        cls,
+        accelerator: "AcceleratorConfig",
+        n_segments: int = 16,
+        seed: int = 0,
     ) -> "NovaConfig":
         """Geometry of one Table II row
         (:class:`repro.eval.paper_data.AcceleratorConfig`)."""
@@ -387,5 +397,5 @@ def resolve_engine_config(
         return as_config(config)
     if passed:
         warn_legacy_kwargs(owner, stacklevel=4)
-        return NovaConfig(**passed)
+        return NovaConfig(**cast("dict[str, Any]", passed))
     return NovaConfig()

@@ -71,8 +71,9 @@ steps by the test suite).
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, TypeAlias
 
 import numpy as np
 
@@ -87,6 +88,21 @@ from repro.core.batched_attention import (
     BatchedNovaAttentionEngine,
 )
 from repro.noc.stats import EventCounters
+
+if TYPE_CHECKING:
+    from repro.core.paging import BlockPool, PagedKVCache
+    from repro.core.speculative import (
+        DraftModel,
+        SpeculativeDecodeEngine,
+        SpeculativeGenerateResult,
+        VerifyPassResult,
+        _SpecPass,
+    )
+
+    #: The cache duck type every decode path accepts: the contiguous
+    #: per-request page or the block-pool-backed paged cache.  Both
+    #: expose the same append/evict/truncate/snapshot surface.
+    KVCacheLike: TypeAlias = "KVCache | PagedKVCache"
 
 __all__ = [
     "KVCache",
@@ -177,7 +193,9 @@ class KVCache:
 
         ``k_t``/``v_t`` have shape ``(n_heads, head_dim)``.  A full
         windowed cache evicts its oldest entry first; a full hard-capacity
-        cache raises :class:`KVCacheOverflow`.
+        cache raises :class:`KVCacheOverflow`.  Atomic: a raising
+        append leaves the cache byte-identical (no partial evict, no
+        length change), so callers can defer the token and retry.
         """
         expected = (self.n_heads, self.head_dim)
         k_t = np.asarray(k_t, dtype=np.float64)
@@ -201,7 +219,10 @@ class KVCache:
         self.length += 1
 
     def evict(self, n: int) -> None:
-        """Drop the ``n`` oldest cached tokens (advances ``start_position``)."""
+        """Drop the ``n`` oldest cached tokens (advances ``start_position``).
+
+        Atomic: an out-of-range ``n`` raises before any state changes.
+        """
         if not 0 <= n <= self.length:
             raise ValueError(
                 f"cannot evict {n} of {self.length} cached tokens"
@@ -221,7 +242,8 @@ class KVCache:
         The tail-side complement of :meth:`evict`: rolling back
         rejected draft tokens just shortens the live span
         (``start_position`` is untouched) — the next append overwrites
-        the rolled-back rows.
+        the rolled-back rows.  Atomic: an out-of-range ``n`` raises
+        before the length changes.
         """
         if not 0 <= n <= self.length:
             raise ValueError(
@@ -481,7 +503,7 @@ class GenerateResult:
 class DecodeState:
     """In-flight decode of one request: its cache and position."""
 
-    def __init__(self, request: DecodeRequest, cache: KVCache) -> None:
+    def __init__(self, request: DecodeRequest, cache: KVCacheLike) -> None:
         self.request = request
         self.cache = cache
         self.position = 0          # absolute index of the next token
@@ -505,8 +527,29 @@ class _TokenPlan:
         "numer", "exponent", "_values", "_cache", "_kv_len",
     )
 
-    def __init__(self, position, span_start, shifted, *, values=None,
-                 cache=None, kv_len=None):
+    # ``shifted``/``numer``/``_values``/``_cache`` are ``Any`` rather
+    # than Optional ndarrays: ``release()`` nulls them after execution,
+    # and the planning/execution code touches them without narrowing.
+    position: int
+    span_start: int
+    shifted: Any
+    n_exp: int
+    numer: Any
+    exponent: int
+    _values: Any
+    _cache: Any
+    _kv_len: int | None
+
+    def __init__(
+        self,
+        position: int,
+        span_start: int,
+        shifted: np.ndarray,
+        *,
+        values: np.ndarray | None = None,
+        cache: KVCacheLike | None = None,
+        kv_len: int | None = None,
+    ) -> None:
         self.position = position
         self.span_start = span_start
         self.shifted = shifted      # (heads, kv_len), max-subtracted scores
@@ -545,7 +588,7 @@ class _Job:
     __slots__ = ("state", "kind", "tokens")
 
     def __init__(self, state: DecodeState, kind: str,
-                 tokens: list[_TokenPlan]):
+                 tokens: list[_TokenPlan]) -> None:
         self.state = state
         self.kind = kind            # "prefill" | "step"
         self.tokens = tokens
@@ -559,8 +602,15 @@ class _JobResult:
         "nonlinear_queries", "counters",
     )
 
-    def __init__(self, job, probabilities, outputs, vector_cycles,
-                 nonlinear_queries, counters):
+    def __init__(
+        self,
+        job: _Job,
+        probabilities: list[np.ndarray],
+        outputs: list[np.ndarray],
+        vector_cycles: int,
+        nonlinear_queries: int,
+        counters: EventCounters,
+    ) -> None:
         self.job = job
         self.probabilities = probabilities  # list[(heads, kv_len)]
         self.outputs = outputs              # list[(hidden,)]
@@ -628,8 +678,8 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
     def start(
         self,
         request: DecodeRequest,
-        cache=None,
-        pool=None,
+        cache: KVCacheLike | None = None,
+        pool: BlockPool | None = None,
     ) -> DecodeState:
         """Open a decode state for ``request``.
 
@@ -640,7 +690,9 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
         opens a :class:`~repro.core.paging.PagedKVCache` drawing blocks
         lazily from the given :class:`~repro.core.paging.BlockPool`.
         By default a fresh contiguous :class:`KVCache` of
-        ``request.capacity`` entries is allocated.
+        ``request.capacity`` entries is allocated.  Admission is
+        atomic: every validation raise fires before any engine or
+        cache state changes.
         """
         self.validate_request(request)
         if cache is not None and pool is not None:
@@ -982,7 +1034,7 @@ class ContinuousBatchResult:
     snapshot (``None`` in contiguous mode).
     """
 
-    results: tuple[GenerateResult, ...]
+    results: tuple[GenerateResult | SpeculativeGenerateResult, ...]
     packed_vector_cycles: int
     sequential_vector_cycles: int
     scheduler_steps: int
@@ -994,7 +1046,7 @@ class ContinuousBatchResult:
     peak_fragmentation_slots: int = 0
     deferrals: int = 0
     preemptions: int = 0
-    paging: dict | None = None
+    paging: dict[str, int] | None = None
 
     @property
     def n_requests(self) -> int:
@@ -1034,9 +1086,27 @@ class _Sequence:
         self.admitted_at = -1
         # Speculative-mode state: the per-sequence draft model, the
         # completed verification passes, and the pass staged this step.
-        self.draft = None
-        self.passes: list = []
-        self.pending_pass = None
+        self.draft: DraftModel | None = None
+        self.passes: list[VerifyPassResult] = []
+        self.pending_pass: _SpecPass | None = None
+
+    @property
+    def live_state(self) -> DecodeState:
+        """The admitted sequence's decode state (set at admission)."""
+        assert self.state is not None
+        return self.state
+
+    @property
+    def step_input(self) -> np.ndarray:
+        """The next token embedding (set once the prefill lands)."""
+        assert self.next_x is not None
+        return self.next_x
+
+    @property
+    def finished_prefill(self) -> CausalPrefillResult:
+        """The prefill result (set after the sequence's first step)."""
+        assert self.prefill_result is not None
+        return self.prefill_result
 
     def reset_progress(self) -> None:
         """Forget all progress (preemption by recomputation): the
@@ -1119,7 +1189,7 @@ class ContinuousBatchScheduler:
         speculative: bool = False,
         spec_k: int | None = None,
         draft_kind: str | None = None,
-        draft_factory=None,
+        draft_factory: Callable[[], DraftModel] | None = None,
     ) -> None:
         if max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {max_active}")
@@ -1142,7 +1212,7 @@ class ContinuousBatchScheduler:
             )
         self.engine = engine
         self.speculative = bool(speculative)
-        self._speculator = None
+        self._speculator: SpeculativeDecodeEngine | None = None
         if self.speculative:
             from repro.core.speculative import (
                 SpeculativeDecodeEngine,
@@ -1158,7 +1228,7 @@ class ContinuousBatchScheduler:
             #: One draft model per admitted sequence (drafts are
             #: stateful; sharing one across interleaved requests would
             #: break the solo-equivalence contract).
-            self.draft_factory = (
+            self.draft_factory: Callable[[], DraftModel] = (
                 (lambda: build_draft(kind, engine.config))
                 if draft_factory is None
                 else draft_factory
@@ -1175,13 +1245,18 @@ class ContinuousBatchScheduler:
         self.pool_blocks = pool_blocks
         self.pool_bytes = pool_bytes
         #: The paged run's block pool (the last one, when reused).
-        self.block_pool = None
+        self.block_pool: BlockPool | None = None
         self._pool: dict[tuple[int, int], list[KVCache]] = {}
         self._page_bytes_allocated = 0
         self.pages_allocated = 0
         self.pages_recycled = 0
         self.deferrals = 0
         self.preemptions = 0
+
+    def _require_speculator(self) -> SpeculativeDecodeEngine:
+        """The speculative engine (constructed iff ``speculative=True``)."""
+        assert self._speculator is not None
+        return self._speculator
 
     # -- contiguous cache-page pool -------------------------------------
 
@@ -1210,7 +1285,10 @@ class ContinuousBatchScheduler:
                 return pages.pop(best)
         return None
 
-    def _release_page(self, cache) -> None:
+    def _release_page(self, cache: KVCacheLike) -> None:
+        # Only the contiguous scheduler retires pages here; paged-mode
+        # caches hand their blocks back through ``reset()`` instead.
+        assert isinstance(cache, KVCache)
         cache.reset()
         self._pool.setdefault(
             (cache.n_heads, cache.head_dim), []
@@ -1226,6 +1304,8 @@ class ContinuousBatchScheduler:
         real allocator would release cached pages.  Smallest pages go
         first (they are the least likely to serve a future request).
         """
+        budget = self.pool_bytes
+        assert budget is not None  # only called under a byte budget
         idle = [
             (page.capacity, key, page)
             for key, pages in self._pool.items()
@@ -1233,7 +1313,7 @@ class ContinuousBatchScheduler:
         ]
         idle.sort(key=lambda entry: entry[0])
         for _, key, page in idle:
-            if self._page_bytes_allocated + need <= self.pool_bytes:
+            if self._page_bytes_allocated + need <= budget:
                 return
             self._pool[key].remove(page)
             self._page_bytes_allocated -= self._page_bytes(
@@ -1260,7 +1340,7 @@ class ContinuousBatchScheduler:
 
     # -- the scheduling loop --------------------------------------------
 
-    def _build_pool(self, requests: Sequence[DecodeRequest]):
+    def _build_pool(self, requests: Sequence[DecodeRequest]) -> BlockPool:
         """The paged run's :class:`~repro.core.paging.BlockPool`."""
         from repro.core.paging import (
             BlockPool,
@@ -1303,25 +1383,25 @@ class ContinuousBatchScheduler:
         return pool
 
     def run(
-        self, requests: Sequence[DecodeRequest] | Iterable[DecodeRequest]
+        self, requests: Iterable[DecodeRequest]
     ) -> ContinuousBatchResult:
         """Serve every request to completion, continuously batched."""
         from repro.core.paging import BlockPoolExhausted
 
-        requests = tuple(requests)
-        if not requests:
+        request_list = tuple(requests)
+        if not request_list:
             raise ValueError("need at least one decode request")
-        for request in requests:
+        for request in request_list:
             self.engine.validate_request(request)
 
         engine = self.engine
         paged = self.paged
-        pool = None
+        pool: BlockPool | None = None
         if paged:
-            pool = self._build_pool(requests)
+            pool = self._build_pool(request_list)
             self.block_pool = pool
         elif self.pool_bytes is not None:
-            for request in requests:
+            for request in request_list:
                 need = self._page_bytes(
                     request.n_heads, request.head_dim, request.capacity
                 )
@@ -1337,10 +1417,12 @@ class ContinuousBatchScheduler:
         deferrals_before = self.deferrals
         preemptions_before = self.preemptions
         waiting = deque(
-            _Sequence(i, request) for i, request in enumerate(requests)
+            _Sequence(i, request) for i, request in enumerate(request_list)
         )
         active: list[_Sequence] = []
-        slots: list[GenerateResult | None] = [None] * len(requests)
+        slots: list[GenerateResult | SpeculativeGenerateResult | None] = (
+            [None] * len(request_list)
+        )
         packed_cycles = 0
         scheduler_steps = 0
         admission_clock = 0
@@ -1364,22 +1446,23 @@ class ContinuousBatchScheduler:
             for seq in active:
                 if self.speculative:
                     try:
-                        seq.pending_pass = self._speculator.plan_with_fallback(
-                            seq.state, seq.next_x, seq.remaining,
+                        pending = self._require_speculator().plan_with_fallback(
+                            seq.live_state, seq.step_input, seq.remaining,
                             draft=seq.draft,
                         )
                     except BlockPoolExhausted:
                         self.deferrals += 1
                         continue
-                    job = seq.pending_pass.job
+                    seq.pending_pass = pending
+                    job = pending.job
                 elif paged:
                     try:
-                        job = engine._plan_step(seq.state, seq.next_x)
+                        job = engine._plan_step(seq.live_state, seq.step_input)
                     except BlockPoolExhausted:
                         self.deferrals += 1
                         continue
                 else:
-                    job = engine._plan_step(seq.state, seq.next_x)
+                    job = engine._plan_step(seq.live_state, seq.step_input)
                 jobs.append(job)
                 stepping.append(seq)
             # Admission: fill the remaining slots with waiting requests'
@@ -1388,7 +1471,7 @@ class ContinuousBatchScheduler:
             # deferring the request — if the pool runs dry mid-prompt.
             while waiting and len(active) + len(joining) < self.max_active:
                 seq = waiting[0]
-                if paged:
+                if pool is not None:
                     if pool.free_blocks < 1:
                         break
                     state = engine.start(seq.request, pool=pool)
@@ -1423,7 +1506,7 @@ class ContinuousBatchScheduler:
                     # blocks free now, it restarts from the prompt).
                     victim = max(active, key=lambda s: s.admitted_at)
                     active.remove(victim)
-                    victim.state.cache.reset()
+                    victim.live_state.cache.reset()
                     victim.reset_progress()
                     self.preemptions += 1
                     waiting.appendleft(victim)
@@ -1436,7 +1519,7 @@ class ContinuousBatchScheduler:
             scheduler_steps += 1
             in_flight = joining + active
             peak_active = max(peak_active, len(in_flight))
-            if paged:
+            if pool is not None:
                 peak_kv_slots = max(
                     peak_kv_slots, pool.in_use * pool.block_size
                 )
@@ -1446,11 +1529,11 @@ class ContinuousBatchScheduler:
             else:
                 peak_kv_slots = max(
                     peak_kv_slots,
-                    sum(s.state.cache.capacity for s in in_flight),
+                    sum(s.live_state.cache.capacity for s in in_flight),
                 )
                 peak_fragmentation = max(
                     peak_fragmentation,
-                    sum(s.state.cache.fragmentation_slots
+                    sum(s.live_state.cache.fragmentation_slots
                         for s in in_flight),
                 )
 
@@ -1459,19 +1542,24 @@ class ContinuousBatchScheduler:
 
             for seq, result in zip(stepping + joining, results):
                 if seq.prefill_result is None:
-                    seq.prefill_result = engine._wrap_prefill(result)
-                    seq.next_x = seq.prefill_result.outputs[-1]
+                    prefill = engine._wrap_prefill(result)
+                    seq.prefill_result = prefill
+                    seq.next_x = prefill.outputs[-1]
                     if self.speculative:
+                        draft = seq.draft
+                        assert draft is not None  # built at admission
                         # Seed the draft with the prompt trajectory, in
                         # the exact order solo speculative generate does.
                         for position, (x_row, out_row) in enumerate(
-                            zip(seq.request.x, seq.prefill_result.outputs)
+                            zip(seq.request.x, prefill.outputs)
                         ):
-                            seq.draft.observe(x_row, out_row, position)
+                            draft.observe(x_row, out_row, position)
                 elif self.speculative:
+                    staged = seq.pending_pass
+                    assert staged is not None  # planned this very step
                     new_steps, pass_result = (
-                        self._speculator.finish_verify_pass(
-                            seq.pending_pass, result, draft=seq.draft
+                        self._require_speculator().finish_verify_pass(
+                            staged, result, draft=seq.draft
                         )
                     )
                     seq.pending_pass = None
@@ -1491,9 +1579,9 @@ class ContinuousBatchScheduler:
                     survivors.append(seq)
                     continue
                 if paged:
-                    seq.state.cache.reset()  # blocks back to the pool
+                    seq.live_state.cache.reset()  # blocks back to the pool
                 else:
-                    self._release_page(seq.state.cache)
+                    self._release_page(seq.live_state.cache)
                 generated = (
                     np.stack([s.output for s in seq.steps])
                     if seq.steps
@@ -1504,39 +1592,43 @@ class ContinuousBatchScheduler:
                         SpeculativeGenerateResult,
                     )
 
-                    counters = seq.prefill_result.counters
+                    counters = seq.finished_prefill.counters
                     for pass_result in seq.passes:
                         counters = counters.merge(pass_result.counters)
                     slots[seq.index] = SpeculativeGenerateResult(
-                        prefill=seq.prefill_result,
+                        prefill=seq.finished_prefill,
                         steps=tuple(seq.steps),
                         passes=tuple(seq.passes),
                         generated=generated,
-                        vector_cycles=seq.prefill_result.vector_cycles
+                        vector_cycles=seq.finished_prefill.vector_cycles
                         + sum(p.vector_cycles for p in seq.passes),
                         sequential_vector_cycles=(
-                            seq.prefill_result.vector_cycles
+                            seq.finished_prefill.vector_cycles
                             + sum(s.vector_cycles for s in seq.steps)
                         ),
                         counters=counters,
                     )
                     continue
-                counters = seq.prefill_result.counters
+                counters = seq.finished_prefill.counters
                 for step in seq.steps:
                     counters = counters.merge(step.counters)
                 slots[seq.index] = GenerateResult(
-                    prefill=seq.prefill_result,
+                    prefill=seq.finished_prefill,
                     steps=tuple(seq.steps),
                     generated=generated,
-                    vector_cycles=seq.prefill_result.vector_cycles
+                    vector_cycles=seq.finished_prefill.vector_cycles
                     + sum(s.vector_cycles for s in seq.steps),
                     counters=counters,
                 )
             active = survivors
 
-        sequential_cycles = sum(r.vector_cycles for r in slots)
+        finished: list[GenerateResult | SpeculativeGenerateResult] = []
+        for slot in slots:
+            assert slot is not None  # the loop only exits once every slot fills
+            finished.append(slot)
+        sequential_cycles = sum(r.vector_cycles for r in finished)
         return ContinuousBatchResult(
-            results=tuple(slots),
+            results=tuple(finished),
             packed_vector_cycles=packed_cycles,
             sequential_vector_cycles=sequential_cycles,
             scheduler_steps=scheduler_steps,

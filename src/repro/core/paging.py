@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections.abc import Callable
 
 import numpy as np
 
@@ -395,7 +396,9 @@ class PagedKVCache:
 
     # -- gathered views -------------------------------------------------
 
-    def _gather(self, storage_of, kv_len: int) -> np.ndarray:
+    def _gather(
+        self, storage_of: Callable[[int], np.ndarray], kv_len: int
+    ) -> np.ndarray:
         """First ``kv_len`` live rows as one fresh contiguous array."""
         out = np.empty((self.n_heads, kv_len, self.head_dim))
         bs = self.block_size
@@ -437,8 +440,8 @@ class PagedKVCache:
         dimension: a new block is allocated lazily when the tail slot
         crosses a block boundary, and :class:`BlockPoolExhausted`
         propagates *before any cache state changes* (no partial evict,
-        no length change), so a scheduler can treat it as "defer this
-        token and retry after blocks free up".
+        no length change) — the append is atomic — so a scheduler can
+        treat it as "defer this token and retry after blocks free up".
         """
         from repro.core.decode import KVCacheOverflow
 
@@ -486,7 +489,8 @@ class PagedKVCache:
     def evict(self, n: int) -> None:
         """Drop the ``n`` oldest cached tokens, freeing whole head
         blocks back to the pool (``start_position`` advances exactly as
-        in the contiguous cache; no rows are shifted)."""
+        in the contiguous cache; no rows are shifted).  Atomic: an
+        out-of-range ``n`` raises before any state changes."""
         if not 0 <= n <= self.length:
             raise ValueError(
                 f"cannot evict {n} of {self.length} cached tokens"
@@ -519,6 +523,7 @@ class PagedKVCache:
         accounting cannot drift between the two.  ``start_position``
         (the head side) is untouched; an append after a truncate writes
         over the rolled-back slots exactly as the contiguous cache does.
+        Atomic: an out-of-range ``n`` raises before any state changes.
         """
         if not 0 <= n <= self.length:
             raise ValueError(

@@ -37,7 +37,8 @@ Typical use::
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -60,6 +61,14 @@ from repro.core.decode import (
 from repro.core.mapper import NovaMapper
 from repro.core.vector_unit import NovaVectorUnit
 
+if TYPE_CHECKING:
+    from repro.accelerators import HostAccelerator
+    from repro.core.speculative import (
+        DraftModel,
+        SpeculativeDecodeEngine,
+        SpeculativeGenerateResult,
+    )
+
 __all__ = ["NovaSession"]
 
 
@@ -78,7 +87,7 @@ class NovaSession:
         self._reference: NovaAttentionEngine | None = None
         self._server: BatchedNovaAttentionEngine | None = None
         self._decoder: NovaDecodeEngine | None = None
-        self._speculator = None
+        self._speculator: SpeculativeDecodeEngine | None = None
         self._units: dict[str, NovaVectorUnit] = {}
 
     # ------------------------------------------------------------------
@@ -95,7 +104,7 @@ class NovaSession:
         """Total approximator lanes of the session geometry."""
         return self._config.n_lanes
 
-    def build_host(self):
+    def build_host(self) -> "HostAccelerator":
         """The geometry's host accelerator (requires ``config.host``)."""
         return self._config.build_host()
 
@@ -189,7 +198,7 @@ class NovaSession:
         return self.decoder.decode(request)
 
     @property
-    def speculator(self):
+    def speculator(self) -> "SpeculativeDecodeEngine":
         """The speculative draft-and-verify engine (built lazily).
 
         A :class:`~repro.core.speculative.SpeculativeDecodeEngine`
@@ -209,8 +218,8 @@ class NovaSession:
         *,
         speculative: bool = False,
         spec_k: int | None = None,
-        draft=None,
-    ):
+        draft: "DraftModel | None" = None,
+    ) -> "GenerateResult | SpeculativeGenerateResult":
         """Prefill the prompt, then generate tokens autoregressively.
 
         ``max_new_tokens`` defaults to the request's own budget.  The
@@ -258,7 +267,7 @@ class NovaSession:
         speculative: bool = False,
         spec_k: int | None = None,
         draft_kind: str | None = None,
-        draft_factory=None,
+        draft_factory: "Callable[[], DraftModel] | None" = None,
     ) -> ContinuousBatchResult:
         """Serve decode requests with continuous batching.
 

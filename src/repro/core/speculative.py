@@ -60,8 +60,9 @@ drafted / accepted / rolled-back token counts per pass and in total.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -84,6 +85,12 @@ from repro.core.decode import (
 )
 from repro.noc.stats import EventCounters
 
+if TYPE_CHECKING:
+    from repro.approx.quantize import QuantizedPwl
+    from repro.core.decode import KVCacheLike, _JobResult
+    from repro.core.paging import BlockPool
+    from repro.core.vector_unit import NovaVectorUnit
+
 __all__ = [
     "DraftModel",
     "NGramDraft",
@@ -105,10 +112,10 @@ __all__ = [
 
 def host_step_output(
     request: DecodeRequest,
-    cache,
+    cache: KVCacheLike,
     x_t: np.ndarray,
-    exp_table,
-    recip_table,
+    exp_table: QuantizedPwl,
+    recip_table: QuantizedPwl,
     drop_to_bits: int | None = None,
 ) -> np.ndarray:
     """One decode step's attention output, computed entirely on the host.
@@ -163,7 +170,11 @@ class DraftModel(Protocol):
     """
 
     def propose(
-        self, request: DecodeRequest, cache, x_t: np.ndarray, position: int
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
     ) -> np.ndarray: ...
 
     def observe(
@@ -219,13 +230,21 @@ class TruncatedTableDraft:
         coin = np.random.default_rng((self.seed, position)).random()
         return bool(coin < self.fidelity)
 
-    def propose(self, request, cache, x_t, position):
+    def propose(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
         return host_step_output(
             request, cache, x_t, self._exp, self._recip,
             drop_to_bits=None if self._exact(position) else self.reduced_bits,
         )
 
-    def observe(self, x_t, output, position) -> None:
+    def observe(
+        self, x_t: np.ndarray, output: np.ndarray, position: int
+    ) -> None:
         pass
 
     def reset(self) -> None:
@@ -268,11 +287,19 @@ class NGramDraft:
             .tobytes()
         )
 
-    def propose(self, request, cache, x_t, position):
+    def propose(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
         hit = self._history.get(self._key(x_t))
         return np.array(x_t if hit is None else hit, dtype=np.float64)
 
-    def observe(self, x_t, output, position) -> None:
+    def observe(
+        self, x_t: np.ndarray, output: np.ndarray, position: int
+    ) -> None:
         if len(self._history) >= self.max_history:
             self._history.clear()
         self._history[self._key(x_t)] = np.array(output, dtype=np.float64)
@@ -301,7 +328,7 @@ class ScheduledDraft:
     def __init__(
         self,
         config: NovaConfig | str | None,
-        program,
+        program: Iterable[object],
         reduced_bits: int = 4,
     ) -> None:
         cfg = as_config(config)
@@ -313,7 +340,13 @@ class ScheduledDraft:
         self._recip = cfg.table("reciprocal")
         self._cursor = 0
 
-    def propose(self, request, cache, x_t, position):
+    def propose(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
         exact = self.program[self._cursor % len(self.program)]
         self._cursor += 1
         return host_step_output(
@@ -321,7 +354,9 @@ class ScheduledDraft:
             drop_to_bits=None if exact else self.reduced_bits,
         )
 
-    def observe(self, x_t, output, position) -> None:
+    def observe(
+        self, x_t: np.ndarray, output: np.ndarray, position: int
+    ) -> None:
         pass
 
     def reset(self) -> None:
@@ -335,7 +370,7 @@ class ScheduledDraft:
 def build_draft(
     kind: str,
     config: NovaConfig | str | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> DraftModel:
     """Construct one of the named :data:`~repro.core.config.DRAFT_KINDS`.
 
@@ -476,7 +511,9 @@ class _SpecPass:
 
     __slots__ = ("job", "x0", "drafts", "state")
 
-    def __init__(self, job: _Job, x0: np.ndarray, drafts: list[np.ndarray]):
+    def __init__(
+        self, job: _Job, x0: np.ndarray, drafts: list[np.ndarray]
+    ) -> None:
         self.job = job
         self.x0 = x0
         self.drafts = drafts
@@ -542,11 +579,16 @@ class SpeculativeDecodeEngine:
         return self.engine.config
 
     @property
-    def unit(self):
+    def unit(self) -> NovaVectorUnit:
         """The wrapped engine's shared vector unit."""
         return self.engine.unit
 
-    def start(self, request: DecodeRequest, cache=None, pool=None) -> DecodeState:
+    def start(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike | None = None,
+        pool: BlockPool | None = None,
+    ) -> DecodeState:
         """Open a decode state (delegates to the wrapped engine)."""
         return self.engine.start(request, cache=cache, pool=pool)
 
@@ -632,7 +674,7 @@ class SpeculativeDecodeEngine:
     def finish_verify_pass(
         self,
         spec_pass: _SpecPass,
-        result,
+        result: _JobResult,
         draft: DraftModel | None = None,
     ) -> tuple[list[SpeculativeStepResult], VerifyPassResult]:
         """Accept the longest bit-exact draft prefix, roll back the rest.

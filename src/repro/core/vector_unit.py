@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from numbers import Integral
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from repro.core.noc import NovaNoc
 from repro.noc.link import RepeatedWire
 from repro.noc.stats import EventCounters
 from repro.noc.topology import LineTopology
+
+if TYPE_CHECKING:
+    from repro.noc.faults import LinkFault
 
 __all__ = ["NovaVectorUnit", "ApproximationResult", "StreamResult"]
 
@@ -376,7 +380,7 @@ class NovaVectorUnit:
         return self.table.evaluate(x)
 
     def approximate_with_fault(
-        self, x: np.ndarray, fault
+        self, x: np.ndarray, fault: "LinkFault"
     ) -> "FaultedResult":
         """One batch with a single-bit link fault injected.
 
