@@ -9,7 +9,9 @@ remove — and breaks run-to-run reproducibility to boot.
 
 Flagged, inside simulation packages (``repro.core``, ``repro.noc``,
 ``repro.accelerators``, ``repro.hw``, ``repro.approx``,
-``repro.luts``): calls to ``time.time``/``monotonic``/
+``repro.luts``, and ``repro.serving``, whose virtual clock — engine
+cycle counters threaded through the scheduler — is the only
+sanctioned time source): calls to ``time.time``/``monotonic``/
 ``perf_counter``/``process_time``, ``datetime.now``/``utcnow``/
 ``today``, and ``os.urandom``/``uuid.uuid4`` (entropy).
 
@@ -35,6 +37,7 @@ _SIMULATION_PREFIXES = (
     "repro.hw",
     "repro.approx",
     "repro.luts",
+    "repro.serving",
 )
 
 _BANNED = {

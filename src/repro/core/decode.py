@@ -98,6 +98,7 @@ if TYPE_CHECKING:
         VerifyPassResult,
         _SpecPass,
     )
+    from repro.serving.policies import SchedulingPolicy
 
     #: The cache duck type every decode path accepts: the contiguous
     #: per-request page or the block-pool-backed paged cache.  Both
@@ -116,10 +117,45 @@ __all__ = [
     "NovaDecodeEngine",
     "ContinuousBatchScheduler",
     "ContinuousBatchResult",
+    "SequenceMeta",
     "project_token",
     "scores_for_query",
     "context_for_query",
 ]
+
+
+@dataclass(frozen=True)
+class SequenceMeta:
+    """Serving metadata for one request in a continuously batched run.
+
+    The front door (:mod:`repro.serving`) attaches one of these per
+    request; plain callers never see it (the scheduler defaults every
+    field).  All times are **virtual cycles** on the scheduler's
+    deterministic clock — the clock starts at 0, advances by the packed
+    vector cycles of each executed step, and jumps forward over idle
+    gaps to the next arrival; no wall-clock is ever read (NV008).
+
+    * ``arrival`` — the cycle the request becomes visible to admission
+      (a request cannot be admitted before it arrives),
+    * ``priority`` — larger is more urgent (policy-interpreted),
+    * ``tenant`` — fairness/rate-limit bucket,
+    * ``deadline`` — absolute virtual-cycle deadline for the *finish*
+      of the request (policy- and metrics-interpreted), or ``None``.
+    """
+
+    arrival: float = 0.0
+    priority: int = 0
+    tenant: str = "default"
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0.0:
+            raise ValueError(f"arrival must be >= 0, got {self.arrival}")
+        if self.deadline is not None and self.deadline <= self.arrival:
+            raise ValueError(
+                f"deadline ({self.deadline}) must fall after arrival "
+                f"({self.arrival})"
+            )
 
 
 class KVCacheOverflow(RuntimeError):
@@ -1032,6 +1068,19 @@ class ContinuousBatchResult:
     scheduler's out-of-memory actions (always zero in contiguous mode);
     ``paging`` the final :meth:`~repro.core.paging.BlockPool.pool_info`
     snapshot (``None`` in contiguous mode).
+
+    Per-request step timing (the serving layer's raw material):
+    ``first_token_steps[i]`` / ``finish_steps[i]`` are the 0-based
+    scheduler-step indices at which request ``i``'s prefill landed (its
+    first visible token) and at which it completed; ``step_cycles[k]``
+    is the packed vector cycles step ``k`` spent, so
+    ``sum(step_cycles) == packed_vector_cycles``.
+    ``first_token_times[i]`` / ``finish_times[i]`` are the same two
+    events on the scheduler's **virtual clock** (cycles; idle gaps
+    between arrivals included), which is what turns step indices into
+    TTFT and latency.  A preempted-then-recomputed request keeps its
+    *first* prefill landing (recomputation regenerates bit-identical
+    tokens, so the user-visible first token never moves).
     """
 
     results: tuple[GenerateResult | SpeculativeGenerateResult, ...]
@@ -1047,6 +1096,11 @@ class ContinuousBatchResult:
     deferrals: int = 0
     preemptions: int = 0
     paging: dict[str, int] | None = None
+    first_token_steps: tuple[int, ...] = ()
+    finish_steps: tuple[int, ...] = ()
+    first_token_times: tuple[float, ...] = ()
+    finish_times: tuple[float, ...] = ()
+    step_cycles: tuple[int, ...] = ()
 
     @property
     def n_requests(self) -> int:
@@ -1067,15 +1121,28 @@ class ContinuousBatchResult:
 
 
 class _Sequence:
-    """Scheduler bookkeeping for one in-flight request."""
+    """Scheduler bookkeeping for one in-flight request.
+
+    Structurally satisfies
+    :class:`repro.serving.policies.SequenceView` — the read-only
+    surface scheduling policies see.
+    """
 
     __slots__ = (
         "index", "request", "state", "remaining", "next_x",
         "prefill_result", "steps", "admitted_at",
         "draft", "passes", "pending_pass",
+        "arrival", "priority", "tenant", "deadline",
+        "first_token_step", "finish_step",
+        "first_token_time", "finish_time",
     )
 
-    def __init__(self, index: int, request: DecodeRequest) -> None:
+    def __init__(
+        self,
+        index: int,
+        request: DecodeRequest,
+        meta: SequenceMeta | None = None,
+    ) -> None:
         self.index = index
         self.request = request
         self.state: DecodeState | None = None
@@ -1089,6 +1156,17 @@ class _Sequence:
         self.draft: DraftModel | None = None
         self.passes: list[VerifyPassResult] = []
         self.pending_pass: _SpecPass | None = None
+        # Serving metadata (virtual-clock times; defaults for plain
+        # callers) and the step-timing record the metrics layer reads.
+        meta = SequenceMeta() if meta is None else meta
+        self.arrival = meta.arrival
+        self.priority = meta.priority
+        self.tenant = meta.tenant
+        self.deadline = meta.deadline
+        self.first_token_step = -1
+        self.finish_step = -1
+        self.first_token_time = -1.0
+        self.finish_time = -1.0
 
     @property
     def live_state(self) -> DecodeState:
@@ -1111,7 +1189,10 @@ class _Sequence:
     def reset_progress(self) -> None:
         """Forget all progress (preemption by recomputation): the
         sequence restarts from its prompt when readmitted, reproducing
-        bit-identical results because every step is deterministic."""
+        bit-identical results because every step is deterministic.
+        ``first_token_step``/``first_token_time`` survive on purpose:
+        recomputation regenerates the same tokens, so the user-visible
+        first token stays where it first landed."""
         self.state = None
         self.remaining = self.request.max_new_tokens
         self.next_x = None
@@ -1175,6 +1256,20 @@ class ContinuousBatchScheduler:
     degrades to draft-free before it defers, and per-request results
     (:class:`~repro.core.speculative.SpeculativeGenerateResult`) stay
     identical to solo speculative generation.
+
+    Scheduling decisions — which waiting request to admit next, which
+    active sequences run a step, and who is preempted — are delegated
+    to a pluggable ``policy``
+    (:class:`repro.serving.policies.SchedulingPolicy`).  The default,
+    :class:`repro.serving.policies.FCFS`, pins the scheduler's
+    historical behavior exactly: admission in queue order (input
+    order; a preempted request rejoins at the *front* of the queue),
+    every active sequence steps every scheduler step, and the
+    forced-preemption victim is the most recently admitted sequence.
+    Whatever the policy decides, each request's outputs, per-step
+    sequential-equivalent cycles and event counters stay bit-identical
+    to solo :meth:`NovaDecodeEngine.generate` — policies reorder *when*
+    work happens, never what it computes.
     """
 
     def __init__(
@@ -1190,6 +1285,7 @@ class ContinuousBatchScheduler:
         spec_k: int | None = None,
         draft_kind: str | None = None,
         draft_factory: Callable[[], DraftModel] | None = None,
+        policy: SchedulingPolicy | None = None,
     ) -> None:
         if max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {max_active}")
@@ -1244,6 +1340,14 @@ class ContinuousBatchScheduler:
             )
         self.pool_blocks = pool_blocks
         self.pool_bytes = pool_bytes
+        if policy is None:
+            # Imported lazily: repro.serving sits above repro.core in
+            # the layering (it imports core at module scope), so the
+            # default policy can only be pulled in at construction time.
+            from repro.serving.policies import FCFS
+
+            policy = FCFS()
+        self.policy: SchedulingPolicy = policy
         #: The paged run's block pool (the last one, when reused).
         self.block_pool: BlockPool | None = None
         self._pool: dict[tuple[int, int], list[KVCache]] = {}
@@ -1382,15 +1486,53 @@ class ContinuousBatchScheduler:
                 )
         return pool
 
+    def _preempt(self, victim: _Sequence) -> None:
+        """Evict one in-flight sequence (preemption by recomputation).
+
+        Its cache memory is returned — blocks to the shared pool in
+        paged mode, the whole page to the recycle pool in contiguous
+        mode — and all progress is forgotten; when readmitted it
+        replays from its prompt, deterministically reproducing
+        bit-identical results.
+        """
+        cache = victim.live_state.cache
+        if self.paged:
+            cache.reset()  # blocks straight back to the shared pool
+        else:
+            self._release_page(cache)
+        victim.reset_progress()
+        self.preemptions += 1
+
     def run(
-        self, requests: Iterable[DecodeRequest]
+        self,
+        requests: Iterable[DecodeRequest],
+        meta: Sequence[SequenceMeta] | None = None,
     ) -> ContinuousBatchResult:
-        """Serve every request to completion, continuously batched."""
+        """Serve every request to completion, continuously batched.
+
+        ``meta`` optionally attaches one :class:`SequenceMeta` per
+        request (arrival time on the virtual clock, priority, tenant,
+        deadline) — the front door's interface.  Without it every
+        request is present at cycle 0 with default metadata, and the
+        virtual clock is invisible: the run is step-for-step identical
+        to the pre-metadata scheduler.
+        """
         from repro.core.paging import BlockPoolExhausted
 
         request_list = tuple(requests)
         if not request_list:
             raise ValueError("need at least one decode request")
+        if meta is None:
+            metas: tuple[SequenceMeta, ...] = tuple(
+                SequenceMeta() for _ in request_list
+            )
+        else:
+            metas = tuple(meta)
+            if len(metas) != len(request_list):
+                raise ValueError(
+                    f"got {len(metas)} SequenceMeta entries for "
+                    f"{len(request_list)} requests"
+                )
         for request in request_list:
             self.engine.validate_request(request)
 
@@ -1416,21 +1558,50 @@ class ContinuousBatchScheduler:
         pages_recycled_before = self.pages_recycled
         deferrals_before = self.deferrals
         preemptions_before = self.preemptions
-        waiting = deque(
-            _Sequence(i, request) for i, request in enumerate(request_list)
+        sequences = tuple(
+            _Sequence(i, request, meta=m)
+            for i, (request, m) in enumerate(zip(request_list, metas))
         )
+        waiting = deque(sequences)
         active: list[_Sequence] = []
         slots: list[GenerateResult | SpeculativeGenerateResult | None] = (
             [None] * len(request_list)
         )
+        policy = self.policy
         packed_cycles = 0
         scheduler_steps = 0
         admission_clock = 0
         peak_active = 0
         peak_kv_slots = 0
         peak_fragmentation = 0
+        #: The run's virtual clock, in cycles: advances by each step's
+        #: packed vector cycles and jumps over idle gaps to the next
+        #: arrival.  Fully determined by the workload and the engine's
+        #: cycle accounting — never by the host (NV008).
+        now = 0.0
+        step_cycles: list[int] = []
 
         while waiting or active:
+            arrived = [s for s in waiting if s.arrival <= now]
+            # Policy-initiated (voluntary) preemption, e.g. a
+            # higher-priority arrival displacing a low-priority
+            # sequence when every slot is taken.  The victim's memory
+            # frees immediately; it rejoins the front of the queue.
+            if active and arrived:
+                free_slots = self.max_active - len(active)
+                victims = list(
+                    policy.preemptions(arrived, active, now, free_slots)
+                )
+                for victim in victims:
+                    if victim not in active:
+                        raise ValueError(
+                            f"policy {policy.name!r} named a preemption "
+                            "victim that is not an active sequence"
+                        )
+                    active.remove(victim)
+                    self._preempt(victim)
+                    waiting.appendleft(victim)
+
             jobs: list[_Job] = []
             joining: list[_Sequence] = []
             stepping: list[_Sequence] = []
@@ -1442,8 +1613,16 @@ class ContinuousBatchScheduler:
             # the next step.  In speculative mode an in-flight
             # sequence's "step" is a whole verification pass (drafts
             # appended provisionally, planned atomically); it degrades
-            # to a draft-free pass before it defers.
-            for seq in active:
+            # to a draft-free pass before it defers.  The policy picks
+            # which active sequences run this step (normally all).
+            scheduled = list(policy.step_order(active, now))
+            for seq in scheduled:
+                if seq not in active:
+                    raise ValueError(
+                        f"policy {policy.name!r} scheduled a sequence "
+                        "that is not active"
+                    )
+            for seq in scheduled:
                 if self.speculative:
                     try:
                         pending = self._require_speculator().plan_with_fallback(
@@ -1466,11 +1645,25 @@ class ContinuousBatchScheduler:
                 jobs.append(job)
                 stepping.append(seq)
             # Admission: fill the remaining slots with waiting requests'
-            # prefills.  Paged mode admits whenever the request's first
-            # block fits (free blocks >= 1) and rolls the prefill back —
-            # deferring the request — if the pool runs dry mid-prompt.
+            # prefills.  The policy picks the next candidate from the
+            # *arrived* waiting requests (queue order preserved); the
+            # first candidate that cannot get memory ends admission for
+            # this step (deferral).  Paged mode admits whenever the
+            # request's first block fits (free blocks >= 1) and rolls
+            # the prefill back — deferring the request — if the pool
+            # runs dry mid-prompt.
             while waiting and len(active) + len(joining) < self.max_active:
-                seq = waiting[0]
+                arrived = [s for s in waiting if s.arrival <= now]
+                if not arrived:
+                    break
+                seq = policy.admit_next(arrived, active + joining, now)
+                if seq is None:
+                    break
+                if seq not in arrived:
+                    raise ValueError(
+                        f"policy {policy.name!r} admitted a sequence that "
+                        "is not waiting-and-arrived"
+                    )
                 if pool is not None:
                     if pool.free_blocks < 1:
                         break
@@ -1479,7 +1672,7 @@ class ContinuousBatchScheduler:
                     state = self._open_contiguous(seq.request)
                     if state is None:
                         break
-                waiting.popleft()
+                waiting.remove(seq)
                 seq.state = state
                 if self.speculative and seq.draft is None:
                     seq.draft = self.draft_factory()
@@ -1501,15 +1694,24 @@ class ContinuousBatchScheduler:
 
             if not jobs:
                 if active:
-                    # Every in-flight sequence is starved: preempt the
-                    # most recently admitted one (recomputation — its
-                    # blocks free now, it restarts from the prompt).
-                    victim = max(active, key=lambda s: s.admitted_at)
+                    # Every in-flight sequence is starved: the policy
+                    # picks a preemption victim (FCFS: the most
+                    # recently admitted — recomputation frees its
+                    # blocks now, it restarts from the prompt).
+                    victim = policy.select_victim(active, now)
+                    if victim not in active:
+                        raise ValueError(
+                            f"policy {policy.name!r} named a preemption "
+                            "victim that is not an active sequence"
+                        )
                     active.remove(victim)
-                    victim.live_state.cache.reset()
-                    victim.reset_progress()
-                    self.preemptions += 1
+                    self._preempt(victim)
                     waiting.appendleft(victim)
+                    continue
+                if all(s.arrival > now for s in waiting):
+                    # Idle: nothing in flight and nothing has arrived
+                    # yet — jump the virtual clock to the next arrival.
+                    now = min(s.arrival for s in waiting)
                     continue
                 raise BlockPoolExhausted(
                     "scheduler wedged: no request fits the memory budget "
@@ -1539,12 +1741,22 @@ class ContinuousBatchScheduler:
 
             results, cycles = engine._execute(jobs)
             packed_cycles += cycles
+            step_cycles.append(cycles)
+            now += float(cycles)
+            step_index = scheduler_steps - 1
 
             for seq, result in zip(stepping + joining, results):
                 if seq.prefill_result is None:
                     prefill = engine._wrap_prefill(result)
                     seq.prefill_result = prefill
                     seq.next_x = prefill.outputs[-1]
+                    if seq.first_token_step < 0:
+                        # The prefill's last output is the request's
+                        # first visible token; preserved across
+                        # preemption (recomputation replays the same
+                        # token), so TTFT is the first landing.
+                        seq.first_token_step = step_index
+                        seq.first_token_time = now
                     if self.speculative:
                         draft = seq.draft
                         assert draft is not None  # built at admission
@@ -1578,6 +1790,8 @@ class ContinuousBatchScheduler:
                 if seq.remaining > 0:
                     survivors.append(seq)
                     continue
+                seq.finish_step = step_index
+                seq.finish_time = now
                 if paged:
                     seq.live_state.cache.reset()  # blocks back to the pool
                 else:
@@ -1641,4 +1855,9 @@ class ContinuousBatchScheduler:
             deferrals=self.deferrals - deferrals_before,
             preemptions=self.preemptions - preemptions_before,
             paging=pool.pool_info() if pool is not None else None,
+            first_token_steps=tuple(s.first_token_step for s in sequences),
+            finish_steps=tuple(s.finish_step for s in sequences),
+            first_token_times=tuple(s.first_token_time for s in sequences),
+            finish_times=tuple(s.finish_time for s in sequences),
+            step_cycles=tuple(step_cycles),
         )

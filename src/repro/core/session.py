@@ -14,6 +14,10 @@ exposes the four ways this reproduction executes work on it:
   :meth:`NovaSession.serve_decode` — autoregressive decode over a KV
   cache (:class:`~repro.core.decode.NovaDecodeEngine`), one-at-a-time
   or continuously batched, bit-exact against the causal prefill.
+* :meth:`NovaSession.serve_async` — the async serving front door
+  (:class:`~repro.serving.frontdoor.FrontDoor`): streaming requests
+  with arrivals/priorities/tenants/deadlines on a deterministic
+  virtual clock, scheduled by a pluggable policy, reported as SLOs.
 * :meth:`NovaSession.unit` — raw vector-unit access: a
   :class:`~repro.core.vector_unit.NovaVectorUnit` compiled for any
   registered non-linear function at the session geometry.
@@ -68,6 +72,9 @@ if TYPE_CHECKING:
         SpeculativeDecodeEngine,
         SpeculativeGenerateResult,
     )
+    from repro.serving.frontdoor import ServingRequest
+    from repro.serving.metrics import ServingReport
+    from repro.serving.policies import SchedulingPolicy
 
 __all__ = ["NovaSession"]
 
@@ -294,6 +301,56 @@ class NovaSession:
             draft_factory=draft_factory,
         )
         return scheduler.run(requests)
+
+    def serve_async(
+        self,
+        trace: "Sequence[ServingRequest]",
+        *,
+        policy: "str | SchedulingPolicy" = "fcfs",
+        max_active: int = 8,
+        paged: bool = False,
+        block_size: int | None = None,
+        pool_blocks: int | None = None,
+        pool_bytes: int | None = None,
+        speculative: bool = False,
+        spec_k: int | None = None,
+        draft_kind: str | None = None,
+        draft_factory: "Callable[[], DraftModel] | None" = None,
+    ) -> "ServingReport":
+        """Serve streaming requests through the async front door.
+
+        ``trace`` is a sequence of
+        :class:`~repro.serving.frontdoor.ServingRequest` envelopes —
+        each a decode request plus arrival time, priority, tenant and
+        optional deadline on the scheduler's deterministic **virtual
+        clock** (build one by hand or with
+        :func:`repro.serving.arrivals.build_trace`).  ``policy`` picks
+        the scheduling policy by registry name
+        (:data:`repro.serving.policies.POLICIES`: ``"fcfs"``,
+        ``"priority-preemptive"``, ``"slo-aware"``, ``"tenant-fair"``)
+        or takes a policy object; the remaining knobs mirror
+        :meth:`serve_decode`.  Returns the JSON-serializable
+        :class:`~repro.serving.metrics.ServingReport` (TTFT/latency
+        percentiles, goodput, deferral/preemption rates).  Whatever
+        the policy decides, per-request outputs stay bit-identical to
+        solo :meth:`generate`.
+        """
+        from repro.serving.frontdoor import FrontDoor
+
+        door = FrontDoor(
+            self.decoder,
+            policy=policy,
+            max_active=max_active,
+            paged=paged,
+            block_size=block_size,
+            pool_blocks=pool_blocks,
+            pool_bytes=pool_bytes,
+            speculative=speculative,
+            spec_k=spec_k,
+            draft_kind=draft_kind,
+            draft_factory=draft_factory,
+        )
+        return door.serve(trace)
 
     # ------------------------------------------------------------------
     # Mode 4: raw vector-unit access.

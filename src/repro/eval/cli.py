@@ -13,6 +13,8 @@ Installed as ``nova-repro``::
     nova-repro serve-decode      # KV-cached continuous-batching decode
     nova-repro serve-decode --paged  # paged-KV admission capacity study
     nova-repro serve-decode --speculative  # draft-and-verify speedup study
+    nova-repro serve-async       # async front door: policies vs SLOs
+    nova-repro serve-async --paged  # same trace, paged-KV memory mode
 
     nova-repro lint              # novalint static analysis (NV001-NV008)
     nova-repro lint --strict --format json  # the CI gate invocation
@@ -46,11 +48,21 @@ draft-and-verify study
 (:func:`repro.eval.experiments.speculative_decode_speedup`): plain vs
 speculative decode, solo and continuously batched, bit-identical tokens
 on every path (``--override spec_k=N`` picks the draft depth).
+
+``serve-async`` runs the scheduling-policy comparison
+(:func:`repro.eval.experiments.serving_slo_comparison`): one seeded
+bursty heavy-tailed trace served through the async front door
+(:mod:`repro.serving`) under every policy — FCFS, priority-preemptive,
+SLO-aware, tenant-fair — reporting TTFT percentiles, goodput and SLO
+attainment on the deterministic virtual clock, with per-request outputs
+checked bit-identical to solo generation.  ``--paged`` serves the same
+trace in the paged-KV memory mode.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from collections.abc import Callable
 
@@ -87,6 +99,7 @@ EXTENSION_EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
     "sweep-lanes": sweeps.lane_sizing_sweep,
     "serving-batched": experiments.batched_serving_throughput,
     "serve-decode": experiments.decode_serving_throughput,
+    "serve-async": experiments.serving_slo_comparison,
 }
 
 EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
@@ -99,6 +112,7 @@ EXPERIMENTS: dict[str, Callable[[], experiments.ExperimentResult]] = {
 CONFIGURABLE_EXPERIMENTS: dict[str, str] = {
     "serving-batched": "jetson-nx",
     "serve-decode": "jetson-nx",
+    "serve-async": "jetson-nx",
 }
 
 
@@ -216,7 +230,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with serve-decode: run the paged-KV admission-capacity "
              "study (contiguous pages vs block pool at a fixed byte "
-             "budget) instead of the throughput harness",
+             "budget) instead of the throughput harness; with "
+             "serve-async: serve the policy-comparison trace in the "
+             "paged-KV memory mode",
     )
     parser.add_argument(
         "--speculative",
@@ -228,8 +244,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.paged and args.experiment != "serve-decode":
-        parser.error("--paged only applies to serve-decode")
+    if args.paged and args.experiment not in ("serve-decode", "serve-async"):
+        parser.error("--paged only applies to serve-decode/serve-async")
     if args.speculative and args.experiment != "serve-decode":
         parser.error("--speculative only applies to serve-decode")
     if args.paged and args.speculative:
@@ -260,6 +276,10 @@ def main(argv: list[str] | None = None) -> int:
             runner = experiments.paged_decode_utilization
         elif name == "serve-decode" and args.speculative:
             runner = experiments.speculative_decode_speedup
+        elif name == "serve-async" and args.paged:
+            runner = functools.partial(
+                experiments.serving_slo_comparison, paged=True
+            )
         if config is not None and name in CONFIGURABLE_EXPERIMENTS:
             result = runner(config=config)
         else:

@@ -1,0 +1,63 @@
+"""Async serving front door over the NOVA continuous-batching stack.
+
+The package turns the synchronous in-process scheduler into a serving
+system: :mod:`~repro.serving.frontdoor` routes streaming requests
+(arrival, priority, tenant, deadline — all on a deterministic virtual
+clock), :mod:`~repro.serving.policies` supplies pluggable scheduling
+policies behind one protocol, :mod:`~repro.serving.arrivals` generates
+seeded Poisson/bursty heavy-tailed workloads, and
+:mod:`~repro.serving.metrics` folds a run into a JSON-serializable SLO
+report (TTFT/latency percentiles, goodput, deferral/preemption rates).
+
+Everything is deterministic and wall-clock free (novalint NV008 covers
+the package), and every policy preserves bit-exact per-request outputs
+relative to solo generation — scheduling moves *when* work happens,
+never what it computes.
+"""
+
+from repro.serving.arrivals import (
+    bounded_pareto,
+    bursty_arrivals,
+    build_trace,
+    estimate_cycles_per_token,
+    poisson_arrivals,
+)
+from repro.serving.frontdoor import FrontDoor, ServingRequest
+from repro.serving.metrics import (
+    RequestMetrics,
+    ServingReport,
+    build_report,
+    percentile,
+)
+from repro.serving.policies import (
+    FCFS,
+    POLICIES,
+    PriorityPreemptive,
+    SLOAware,
+    SchedulingPolicy,
+    SequenceView,
+    TenantFair,
+    build_policy,
+)
+
+__all__ = [
+    "FCFS",
+    "POLICIES",
+    "FrontDoor",
+    "PriorityPreemptive",
+    "RequestMetrics",
+    "SLOAware",
+    "SchedulingPolicy",
+    "SequenceView",
+    "ServingReport",
+    "ServingRequest",
+    "TenantFair",
+    "bounded_pareto",
+    "build_policy",
+    "build_report",
+    "build_trace",
+    "bursty_arrivals",
+    "estimate_cycles_per_token",
+    "percentile",
+    "poisson_arrivals",
+]

@@ -1,0 +1,285 @@
+"""Workload generator: seeded Poisson and bursty heavy-tailed traces.
+
+Serving behavior is decided by the *shape* of the offered load, so the
+generator models the two properties real request streams have and
+uniform benchmarks hide:
+
+* **Heavy-tailed sizes** — prompt lengths and token budgets are drawn
+  from a bounded Pareto distribution (:func:`bounded_pareto`): most
+  requests are short, a few are enormous.  The tail is what separates
+  the policies — under FCFS one giant request head-of-line-blocks
+  every short one behind it; SLO-aware admission lets them overtake.
+* **Bursty arrivals** — either a memoryless Poisson process
+  (:func:`poisson_arrivals`) or an on/off burst process
+  (:func:`bursty_arrivals`) in which Pareto-sized groups of requests
+  land simultaneously, separated by exponential quiet gaps — the
+  flash-crowd pattern that actually exercises admission queues.
+
+All randomness flows through :func:`repro.utils.rng.make_rng` with
+streams split by :func:`repro.utils.rng.derive_seed`, so a trace is a
+pure function of its parameters; all times are virtual cycles.
+:func:`build_trace` assembles complete
+:class:`~repro.serving.frontdoor.ServingRequest` envelopes — shared
+attention weights (one model serves every request), per-request
+prompts, tenants and priorities, and deadlines scaled from a
+cycles-per-token estimate (:func:`estimate_cycles_per_token`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.decode import DecodeRequest, NovaDecodeEngine
+from repro.serving.frontdoor import ServingRequest
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = [
+    "bounded_pareto",
+    "bursty_arrivals",
+    "build_trace",
+    "estimate_cycles_per_token",
+    "poisson_arrivals",
+]
+
+
+def bounded_pareto(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    alpha: float,
+    lo: int,
+    hi: int,
+) -> list[int]:
+    """``n`` integers from a bounded Pareto distribution on [lo, hi].
+
+    Inverse-CDF sampling of the Pareto(``alpha``) law truncated to the
+    bound — the standard heavy-tail model for request sizes: mass
+    concentrates at ``lo`` while rare draws reach ``hi``.  Smaller
+    ``alpha`` means a heavier tail.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if alpha <= 0.0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    if not 1 <= lo <= hi:
+        raise ValueError(f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
+    if lo == hi:
+        return [lo] * n
+    l_a = float(lo) ** alpha
+    h_a = float(hi) ** alpha
+    out: list[int] = []
+    for u in rng.random(n):
+        # Inverse CDF of the [lo, hi]-truncated Pareto(alpha) law.
+        x = (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / alpha)
+        out.append(min(hi, max(lo, int(x))))
+    return out
+
+
+def poisson_arrivals(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    mean_gap: float,
+) -> list[float]:
+    """``n`` arrival times of a Poisson process (virtual cycles).
+
+    Inter-arrival gaps are exponential with mean ``mean_gap`` cycles;
+    the first request arrives after one gap.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean_gap <= 0.0:
+        raise ValueError(f"mean_gap must be > 0, got {mean_gap}")
+    times: list[float] = []
+    now = 0.0
+    for gap in rng.exponential(mean_gap, size=n):
+        now += float(gap)
+        times.append(now)
+    return times
+
+
+def bursty_arrivals(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    mean_gap: float,
+    burst_alpha: float = 1.2,
+    max_burst: int = 8,
+) -> list[float]:
+    """``n`` arrival times of an on/off burst process (virtual cycles).
+
+    Requests land in bursts of Pareto-distributed size (``burst_alpha``
+    tail on [1, ``max_burst``]) that arrive *simultaneously*; bursts
+    are separated by exponential gaps with mean ``mean_gap`` cycles.
+    The same offered load as :func:`poisson_arrivals` at equal
+    ``mean_gap`` per request, but concentrated — the admission queue
+    actually fills.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean_gap <= 0.0:
+        raise ValueError(f"mean_gap must be > 0, got {mean_gap}")
+    if max_burst < 1:
+        raise ValueError(f"max_burst must be >= 1, got {max_burst}")
+    times: list[float] = []
+    now = 0.0
+    while len(times) < n:
+        size = bounded_pareto(
+            rng, 1, alpha=burst_alpha, lo=1, hi=max_burst
+        )[0]
+        size = min(size, n - len(times))
+        # The whole burst shares one arrival instant; the gap scales
+        # with the burst so mean load matches the Poisson process.
+        now += float(rng.exponential(mean_gap * size))
+        times.extend([now] * size)
+    return times
+
+
+def estimate_cycles_per_token(
+    engine: NovaDecodeEngine,
+    *,
+    hidden: int,
+    n_heads: int,
+    probe_prompt: int = 8,
+    probe_tokens: int = 8,
+    seed: int = 0,
+) -> float:
+    """Mean decode cycles per token at this geometry, by probe.
+
+    Runs one small solo :meth:`~repro.core.decode.NovaDecodeEngine.
+    generate` at the trace's model geometry and returns its measured
+    ``cycles_per_token`` — the scale factor :func:`build_trace` turns
+    token budgets into deadlines with.  Deterministic: the probe is
+    seeded, and cycles are architectural.
+    """
+    rng = make_rng(derive_seed(seed, "cpt-probe"))
+    scale = 1.0 / np.sqrt(hidden)
+    probe = DecodeRequest(
+        x=rng.normal(0.0, scale, size=(probe_prompt, hidden)),
+        wq=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wk=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wv=rng.normal(0.0, scale, size=(hidden, hidden)),
+        wo=rng.normal(0.0, scale, size=(hidden, hidden)),
+        n_heads=n_heads,
+        max_new_tokens=probe_tokens,
+    )
+    return engine.generate(probe).cycles_per_token
+
+
+def build_trace(
+    n_requests: int,
+    *,
+    hidden: int = 32,
+    n_heads: int = 4,
+    process: str = "bursty",
+    mean_gap: float = 500.0,
+    prompt_range: tuple[int, int] = (2, 12),
+    tokens_range: tuple[int, int] = (2, 32),
+    tail_alpha: float = 1.1,
+    burst_alpha: float = 1.2,
+    max_burst: int = 8,
+    tenants: Sequence[str] = ("acme", "globex"),
+    priorities: Sequence[int] = (0,),
+    deadline_slack: float = 0.0,
+    cycles_per_token: float | None = None,
+    seed: int = 0,
+) -> list[ServingRequest]:
+    """A complete seeded serving trace of ``n_requests`` requests.
+
+    One set of attention weights (``hidden``/``n_heads``) is shared by
+    every request — the single-model serving setup — while prompts
+    differ per request.  Prompt lengths and token budgets are bounded
+    Pareto on their ranges (``tail_alpha``); arrivals follow
+    ``process`` (``"poisson"`` or ``"bursty"``) with ``mean_gap``
+    cycles per request.  Tenants and priorities cycle uniformly at
+    random over the given alternatives.
+
+    ``deadline_slack > 0`` attaches a deadline to every request:
+    ``arrival + slack * cycles_per_token * (prompt + budget)`` —
+    i.e. "finish within ``slack``× your fair solo service time", the
+    natural per-request SLO (pass the probe-measured
+    ``cycles_per_token`` from :func:`estimate_cycles_per_token`).
+    With the default slack of 0 requests carry no deadline.
+
+    The trace is a pure function of its arguments; ``request_id`` is
+    the submission index.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if process not in ("poisson", "bursty"):
+        raise ValueError(
+            f"process must be 'poisson' or 'bursty', got {process!r}"
+        )
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if not priorities:
+        raise ValueError("need at least one priority level")
+    if deadline_slack < 0.0:
+        raise ValueError(
+            f"deadline_slack must be >= 0, got {deadline_slack}"
+        )
+    if deadline_slack > 0.0 and cycles_per_token is None:
+        raise ValueError(
+            "deadline_slack needs cycles_per_token (see "
+            "estimate_cycles_per_token)"
+        )
+
+    weight_rng = make_rng(derive_seed(seed, "weights"))
+    scale = 1.0 / np.sqrt(hidden)
+    wq = weight_rng.normal(0.0, scale, size=(hidden, hidden))
+    wk = weight_rng.normal(0.0, scale, size=(hidden, hidden))
+    wv = weight_rng.normal(0.0, scale, size=(hidden, hidden))
+    wo = weight_rng.normal(0.0, scale, size=(hidden, hidden))
+
+    shape_rng = make_rng(derive_seed(seed, "shapes"))
+    prompts = bounded_pareto(
+        shape_rng, n_requests, alpha=tail_alpha,
+        lo=prompt_range[0], hi=prompt_range[1],
+    )
+    budgets = bounded_pareto(
+        shape_rng, n_requests, alpha=tail_alpha,
+        lo=tokens_range[0], hi=tokens_range[1],
+    )
+
+    arrival_rng = make_rng(derive_seed(seed, "arrivals"))
+    if process == "poisson":
+        arrivals = poisson_arrivals(
+            arrival_rng, n_requests, mean_gap=mean_gap
+        )
+    else:
+        arrivals = bursty_arrivals(
+            arrival_rng, n_requests, mean_gap=mean_gap,
+            burst_alpha=burst_alpha, max_burst=max_burst,
+        )
+
+    mix_rng = make_rng(derive_seed(seed, "mix"))
+    tenant_picks = mix_rng.integers(0, len(tenants), size=n_requests)
+    priority_picks = mix_rng.integers(0, len(priorities), size=n_requests)
+
+    trace: list[ServingRequest] = []
+    for i in range(n_requests):
+        prompt_rng = make_rng(derive_seed(seed, "prompt", i))
+        deadline: float | None = None
+        if deadline_slack > 0.0 and cycles_per_token is not None:
+            service = cycles_per_token * (prompts[i] + budgets[i])
+            deadline = arrivals[i] + deadline_slack * service
+        trace.append(
+            ServingRequest(
+                request=DecodeRequest(
+                    x=prompt_rng.normal(
+                        0.0, scale, size=(prompts[i], hidden)
+                    ),
+                    wq=wq, wk=wk, wv=wv, wo=wo,
+                    n_heads=n_heads,
+                    max_new_tokens=budgets[i],
+                ),
+                arrival=arrivals[i],
+                priority=int(priorities[int(priority_picks[i])]),
+                tenant=str(tenants[int(tenant_picks[i])]),
+                deadline=deadline,
+                request_id=i,
+            )
+        )
+    return trace

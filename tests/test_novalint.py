@@ -174,6 +174,15 @@ def test_nv008_only_in_simulation_paths(tmp_path):
     assert not rule_hits(findings, "NV008")
 
 
+def test_nv008_covers_the_serving_package(tmp_path):
+    # The front door's virtual clock (engine cycle counters) is the
+    # only sanctioned time source in repro.serving: a wall-clock call
+    # there is a finding, not an exemption.
+    src = "import time\n\ndef stamp():\n    return time.time()\n"
+    findings = lint_source(tmp_path, src, "repro/serving/frontdoor.py")
+    assert rule_hits(findings, "NV008")
+
+
 def test_module_name_of():
     assert module_name_of(Path("src/repro/core/paging.py")) == (
         "repro.core.paging"

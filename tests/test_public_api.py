@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.ml",
     "repro.eval",
+    "repro.serving",
     "repro.utils",
 ]
 
