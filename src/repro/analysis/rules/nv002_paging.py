@@ -8,10 +8,21 @@ may call ``allocate``/``free`` — a scheduler or engine reaching into
 the pool directly can double-free or leak a block in a way no golden
 trace would localise.
 
-The check is name-based: a method call ``X.allocate(...)`` or
-``X.free(...)`` is flagged when the receiver expression mentions
-``pool`` (``pool``, ``self.block_pool``, ``seq.pool``...), in any
-module other than ``repro.core.paging``.
+Prefix caching widens the invariant surface: reference counts
+(``share``) and the prefix index (``register_prefix`` /
+``forget_prefix``) are the same conservation story — one stray
+``share`` outside the paging layer leaks a block forever, one stray
+``forget_prefix`` silently stops deduplication.  Read-only probes
+(``probe_prefix``, ``refcount``) stay legal everywhere: the scheduler's
+admission path uses them and they cannot move a counter.
+
+The check is name-based: a method call ``X.allocate(...)``,
+``X.free(...)``, ``X.share(...)``, ``X.register_prefix(...)``,
+``X.forget_prefix(...)`` or ``X.lookup_prefix(...)`` is flagged when
+the receiver expression mentions ``pool`` (``pool``,
+``self.block_pool``, ``seq.pool``...), in any module other than
+``repro.core.paging``.  ``lookup_prefix`` is mutating too — it counts
+hits and misses, and those counters are golden-pinned.
 """
 
 from __future__ import annotations
@@ -25,9 +36,25 @@ from repro.analysis.rules._common import dotted_name, receiver_of
 __all__ = ["BlockPoolAccessRule"]
 
 
+#: Pool methods that mutate block accounting state — refcounts, the
+#: free list, the prefix index, or the golden-pinned hit/miss counters.
+#: Read-only probes (``probe_prefix``, ``refcount``) are not listed.
+_MUTATORS = (
+    "allocate",
+    "free",
+    "share",
+    "register_prefix",
+    "forget_prefix",
+    "lookup_prefix",
+)
+
+
 class BlockPoolAccessRule(Rule):
     rule_id = "NV002"
-    title = "BlockPool allocate/free only inside repro.core.paging"
+    title = (
+        "BlockPool mutation (allocate/free/share/prefix-index) only "
+        "inside repro.core.paging"
+    )
     severity = "error"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
@@ -39,7 +66,7 @@ class BlockPoolAccessRule(Rule):
                 continue
             if not isinstance(node.func, ast.Attribute):
                 continue
-            if node.func.attr not in ("allocate", "free"):
+            if node.func.attr not in _MUTATORS:
                 continue
             receiver = receiver_of(node)
             if receiver is None:
@@ -50,6 +77,6 @@ class BlockPoolAccessRule(Rule):
                     self,
                     node,
                     f"direct pool call {name}.{node.func.attr}() outside "
-                    "repro.core.paging breaks block conservation; go "
-                    "through BlockTable/PagedKVCache",
+                    "repro.core.paging breaks block/refcount conservation; "
+                    "go through BlockTable/PagedKVCache",
                 )

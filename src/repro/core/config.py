@@ -82,8 +82,24 @@ _FIELD_PARSERS: dict[str, Callable[[str], object]] = {
     "kv_block_size": int,
     "spec_k": int,
     "draft_kind": str,
+    "enable_prefix_caching": lambda s: _parse_bool(
+        "enable_prefix_caching", s
+    ),
     "host": lambda s: None if s.lower() in ("", "none", "null") else s,
 }
+
+
+def _parse_bool(name: str, text: str) -> bool:
+    """An override-string boolean (``1/true/yes/on`` / ``0/false/no/off``)."""
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"{name} must be a boolean (1/true/yes/on or 0/false/no/off), "
+        f"got {text!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -113,6 +129,13 @@ class NovaConfig:
     change what tokens are generated — speculative decode is bit-exact
     against plain decode by construction — only how many overlay passes
     it takes to generate them.
+
+    ``enable_prefix_caching`` is the paged serving stack's default for
+    sharing already-cached prompt blocks between requests
+    (:mod:`repro.core.paging`; schedulers and the front door can
+    override it per run).  Off by default; like the other serving
+    knobs it is purely a memory-residency lever — outputs, cycles and
+    counters are bit-identical either way.
     """
 
     n_routers: int = 8
@@ -124,6 +147,7 @@ class NovaConfig:
     kv_block_size: int = 16
     spec_k: int = 4
     draft_kind: str = "truncated-table"
+    enable_prefix_caching: bool = False
     host: str | None = None
 
     def __post_init__(self) -> None:
@@ -162,6 +186,11 @@ class NovaConfig:
             raise ValueError(
                 f"unknown draft_kind {self.draft_kind!r}; "
                 f"known: {sorted(DRAFT_KINDS)}"
+            )
+        if not isinstance(self.enable_prefix_caching, bool):
+            raise TypeError(
+                "enable_prefix_caching must be a bool, got "
+                f"{type(self.enable_prefix_caching).__name__}"
             )
         if self.host is not None and not isinstance(self.host, str):
             raise TypeError(

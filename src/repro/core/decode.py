@@ -716,6 +716,7 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
         request: DecodeRequest,
         cache: KVCacheLike | None = None,
         pool: BlockPool | None = None,
+        prefix: bool = False,
     ) -> DecodeState:
         """Open a decode state for ``request``.
 
@@ -729,11 +730,24 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
         ``request.capacity`` entries is allocated.  Admission is
         atomic: every validation raise fires before any engine or
         cache state changes.
+
+        ``prefix=True`` (paged only) additionally adopts the longest
+        already-cached run of the prompt's block keys from the pool's
+        prefix index (:meth:`~repro.core.paging.PagedKVCache.
+        adopt_prefix`): prefill still computes every prompt row — same
+        cycles, same counters, bit-identical outputs — but adopted
+        blocks are shared rather than re-written, so the request's pool
+        residency charges only its unshared blocks.  Windowed requests
+        never adopt (their sliding window evicts the certified prefix).
         """
         self.validate_request(request)
         if cache is not None and pool is not None:
             raise ValueError(
                 "pass either a recycled cache page or a block pool, not both"
+            )
+        if prefix and pool is None:
+            raise ValueError(
+                "prefix caching needs a block pool (pass pool=...)"
             )
         if pool is not None:
             if (pool.n_heads, pool.head_dim) != (
@@ -744,11 +758,18 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
                     f"{pool.head_dim}) does not match the request "
                     f"({request.n_heads} heads x {request.head_dim})"
                 )
-            from repro.core.paging import PagedKVCache
+            from repro.core.paging import PagedKVCache, prefix_block_keys
 
             cache = PagedKVCache(
                 pool, request.capacity, window=request.window
             )
+            if prefix and request.window is None:
+                cache.adopt_prefix(
+                    prefix_block_keys(
+                        request.x, request.wk, request.wv,
+                        request.n_heads, pool.block_size,
+                    )
+                )
         elif cache is None:
             cache = KVCache(
                 request.n_heads, request.head_dim, request.capacity,
@@ -1238,7 +1259,14 @@ class ContinuousBatchScheduler:
       bit-identical; the wasted work shows up only in
       ``packed_vector_cycles``).  The pool is sized from
       ``pool_blocks``, ``pool_bytes`` or — by default — large enough
-      that no request ever defers.
+      that no request ever defers.  ``prefix_caching=True`` (or the
+      engine config's ``enable_prefix_caching``) additionally shares
+      already-cached prompt blocks between requests: admission charges
+      only *unshared* blocks (a request whose prefix is resident can
+      enter a dry pool), prefills adopt shared blocks instead of
+      re-writing them, and the first divergent append copies on write —
+      N requests sharing a prefix prefill once and pay ~1/N the pool
+      residency, with bit/cycle/counter-exact outputs.
 
     Outputs are bit-identical to running each request alone through
     :meth:`NovaDecodeEngine.generate` in **both** modes (checked by the
@@ -1281,6 +1309,7 @@ class ContinuousBatchScheduler:
         block_size: int | None = None,
         pool_blocks: int | None = None,
         pool_bytes: int | None = None,
+        prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
         draft_kind: str | None = None,
@@ -1294,6 +1323,11 @@ class ContinuousBatchScheduler:
                 raise ValueError(
                     "block_size/pool_blocks only apply to the paged "
                     "scheduler (pass paged=True)"
+                )
+            if prefix_caching:
+                raise ValueError(
+                    "prefix_caching requires the paged scheduler "
+                    "(pass paged=True)"
                 )
         if pool_blocks is not None and pool_bytes is not None:
             raise ValueError("pass pool_blocks or pool_bytes, not both")
@@ -1331,6 +1365,15 @@ class ContinuousBatchScheduler:
             )
         self.max_active = max_active
         self.paged = bool(paged)
+        #: Prefix caching (paged only): ``None`` defers to the engine
+        #: config's ``enable_prefix_caching`` knob; it only ever takes
+        #: effect in paged mode (blocks are the sharing granularity).
+        resolved_prefix = (
+            engine.config.enable_prefix_caching
+            if prefix_caching is None
+            else bool(prefix_caching)
+        )
+        self.prefix_caching = bool(resolved_prefix and self.paged)
         self.block_size = (
             engine.config.kv_block_size if block_size is None else block_size
         )
@@ -1485,6 +1528,27 @@ class ContinuousBatchScheduler:
                     "the block size"
                 )
         return pool
+
+    def _prefix_cached_blocks(
+        self, request: DecodeRequest, pool: BlockPool
+    ) -> int:
+        """Leading prompt blocks the pool already caches (read-only).
+
+        The admission estimate of what
+        :meth:`~repro.core.paging.PagedKVCache.adopt_prefix` would
+        adopt: no counters move and no references are taken.  Windowed
+        requests never adopt, so they always report 0.
+        """
+        if request.window is not None:
+            return 0
+        from repro.core.paging import prefix_block_keys
+
+        return pool.probe_prefix(
+            prefix_block_keys(
+                request.x, request.wk, request.wv,
+                request.n_heads, pool.block_size,
+            )
+        )
 
     def _preempt(self, victim: _Sequence) -> None:
         """Evict one in-flight sequence (preemption by recomputation).
@@ -1665,9 +1729,21 @@ class ContinuousBatchScheduler:
                         "is not waiting-and-arrived"
                     )
                 if pool is not None:
-                    if pool.free_blocks < 1:
+                    # Admission charges only *unshared* blocks: a
+                    # request whose leading prompt blocks are already
+                    # cached can enter a dry pool — its prefill adopts
+                    # those blocks instead of allocating, and if the
+                    # unshared remainder runs the pool dry mid-prompt
+                    # the ordinary rollback-and-defer path below
+                    # applies.
+                    if pool.free_blocks < 1 and not (
+                        self.prefix_caching
+                        and self._prefix_cached_blocks(seq.request, pool)
+                    ):
                         break
-                    state = engine.start(seq.request, pool=pool)
+                    state = engine.start(
+                        seq.request, pool=pool, prefix=self.prefix_caching
+                    )
                 else:
                     state = self._open_contiguous(seq.request)
                     if state is None:

@@ -22,6 +22,25 @@ the ROADMAP names:
   speculative-decode rollback path: rejected draft tokens free whole
   tail blocks back to the pool.
 
+Prefix caching
+--------------
+Blocks are reference counted, so block tables of different requests may
+point at the **same** physical block.  A cached K/V row is a pure
+function of the prompt rows and the key/value projections — never of
+``wq``/``wo`` — so requests sharing a prompt prefix hold bit-identical
+storage in their leading full blocks.  :func:`prefix_block_keys` turns
+that into content keys (one chained digest per full prompt block); the
+pool keeps a key → block index (:meth:`BlockPool.register_prefix` /
+:meth:`BlockPool.lookup_prefix` / :meth:`BlockPool.probe_prefix`), and
+:meth:`PagedKVCache.adopt_prefix` lets a fresh cache take shared
+references on the longest cached run before prefill.  Adopted slots
+skip the storage write on append (the rows are already there,
+bit-identical by key construction) while every cycle/counter stays
+exactly what uncached prefill produces.  The first write into a block
+someone else references copies it first (:meth:`PagedKVCache.fork`
+creates whole copy-on-write twins), so sharing is never observable in
+the numerics — only in pool residency.
+
 Numerics contract
 -----------------
 Paging changes **where** K/V rows live, never their values: ``keys`` /
@@ -38,9 +57,16 @@ Accounting
 The pool tracks cumulative ``blocks_allocated`` / ``blocks_freed``,
 current ``in_use`` / ``free``, ``peak_in_use`` and the fragmentation
 metric (allocated-but-unused token slots: block slots held by live
-caches that no cached token occupies).  :meth:`BlockPool.pool_info`
-reports them all, :func:`pool_cache_info` aggregates across every live
-pool in the process (surfaced through
+caches that no cached token occupies).  Sharing adds ``blocks_shared``
+/ ``shared_frees`` (references taken and dropped without moving a
+physical block), ``cow_copies``, and the prefix-index counters
+(``prefix_hits`` / ``prefix_misses`` / ``prefix_index_size``).
+``live_tokens`` stays *logical* — an adopted slot counts for every
+cache presenting it — so under sharing ``fragmentation_slots`` can go
+negative: that deficit **is** the deduplication win (tokens served
+minus slots resident).  :meth:`BlockPool.pool_info` reports them all,
+:func:`pool_cache_info` aggregates across every live pool in the
+process (surfaced through
 :meth:`repro.core.session.NovaSession.cache_info`), and the invariants
 ``n_blocks == in_use + free`` and
 ``blocks_allocated - blocks_freed == in_use`` are pinned by the suite.
@@ -48,9 +74,10 @@ pool in the process (surfaced through
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import weakref
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -60,6 +87,7 @@ __all__ = [
     "BlockTable",
     "PagedKVCache",
     "blocks_needed",
+    "prefix_block_keys",
     "worst_case_blocks",
     "pool_cache_info",
 ]
@@ -98,6 +126,54 @@ def worst_case_blocks(
     )
 
 
+def prefix_block_keys(
+    x: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    n_heads: int,
+    block_size: int,
+) -> tuple[bytes, ...]:
+    """Content keys of a prompt's full KV blocks, for prefix sharing.
+
+    A cached K/V row is ``x @ wk`` / ``x @ wv`` split into ``n_heads``
+    heads — ``wq`` and ``wo`` shape queries and outputs, never cached
+    rows — so two requests agreeing on the projections and their first
+    ``i * block_size`` prompt rows hold bit-identical storage in their
+    first ``i`` blocks.  Key ``i`` chains the digest of block ``i``'s
+    prompt rows onto key ``i - 1`` (seeded with the geometry and the
+    projection bytes), so equal keys certify equal *whole prefixes*,
+    not merely equal blocks.  Only full blocks get keys: a partial tail
+    block also receives divergent suffix and generated rows and is
+    never shareable.
+    """
+    if n_heads < 1:
+        raise ValueError(f"n_heads must be >= 1, got {n_heads}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    x64 = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    wk64 = np.ascontiguousarray(np.asarray(wk, dtype=np.float64))
+    wv64 = np.ascontiguousarray(np.asarray(wv, dtype=np.float64))
+    seed = hashlib.sha256()
+    # The hidden width (not the prompt length!) is part of the seed so
+    # a longer request sharing the same leading rows produces the same
+    # leading keys.
+    seed.update(
+        repr(
+            (n_heads, block_size, x64.shape[1:], wk64.shape, wv64.shape)
+        ).encode()
+    )
+    seed.update(wk64.tobytes())
+    seed.update(wv64.tobytes())
+    digest = seed.digest()
+    keys: list[bytes] = []
+    for i in range(x64.shape[0] // block_size):
+        chained = hashlib.sha256(digest)
+        chained.update(x64[i * block_size : (i + 1) * block_size].tobytes())
+        digest = chained.digest()
+        keys.append(digest)
+    return tuple(keys)
+
+
 class BlockPool:
     """All KV storage for one geometry, as fixed-size blocks.
 
@@ -108,11 +184,21 @@ class BlockPool:
     deferral/preemption policy decides what happens next), :meth:`free`
     returns it (double-free raises ``ValueError``).
 
+    Blocks carry a reference count: :meth:`allocate` hands out count 1,
+    :meth:`share` takes one more reference on a live block, and
+    :meth:`free` only returns the block physically once the last
+    reference drops (earlier frees just decrement).  The prefix index
+    (:meth:`register_prefix` / :meth:`lookup_prefix` /
+    :meth:`probe_prefix` / :meth:`forget_prefix`) maps content keys to
+    live blocks so later requests can find and share an already-filled
+    prefix block; an entry disappears with the physical free of its
+    block or on the first write that changes the block's content.
+
     ``live_tokens`` is maintained by the :class:`PagedKVCache` instances
     drawing from the pool; ``fragmentation_slots`` — the paged analogue
     of the contiguous layout's stranded worst-case pages — is the gap
     between the slots held (``in_use * block_size``) and the tokens
-    actually cached.
+    logically cached (negative under sharing: the dedup win).
     """
 
     def __init__(
@@ -134,8 +220,16 @@ class BlockPool:
         self._v = np.zeros((n_blocks, n_heads, block_size, head_dim))
         self._free: list[int] = list(range(n_blocks - 1, -1, -1))
         self._live = np.zeros(n_blocks, dtype=bool)
+        self._refcount: list[int] = [0] * n_blocks
+        self._prefix_index: dict[bytes, int] = {}
+        self._block_keys: dict[int, bytes] = {}
         self.blocks_allocated = 0
         self.blocks_freed = 0
+        self.blocks_shared = 0
+        self.shared_frees = 0
+        self.cow_copies = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
         self.peak_in_use = 0
         self.live_tokens = 0
         global _POOLS_CREATED
@@ -186,12 +280,48 @@ class BlockPool:
             )
         block = self._free.pop()
         self._live[block] = True
+        self._refcount[block] = 1
         self.blocks_allocated += 1
         self.peak_in_use = max(self.peak_in_use, self.in_use)
         return block
 
+    def share(self, block: int) -> int:
+        """Take one more reference on a live block (prefix sharing).
+
+        The physical block stays where it is; a later :meth:`free`
+        through any holder just drops the reference until the last one
+        returns the block for real.  Sharing a freed block raises
+        ``ValueError``.
+        """
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"block id {block} outside pool of {self.n_blocks} blocks"
+            )
+        if not self._live[block]:
+            raise ValueError(
+                f"cannot share freed block {block}: only live blocks can "
+                "gain references"
+            )
+        self._refcount[block] += 1
+        self.blocks_shared += 1
+        return block
+
+    def refcount(self, block: int) -> int:
+        """Current references on a block (0 for a free block)."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"block id {block} outside pool of {self.n_blocks} blocks"
+            )
+        return self._refcount[block]
+
     def free(self, block: int) -> None:
-        """Return a block to the pool; double-free raises ``ValueError``."""
+        """Drop one reference; the last one returns the block physically.
+
+        Freeing an already-free block raises ``ValueError`` (the
+        classic double free); a shared block just decrements and counts
+        a ``shared_free``.  The physical free also retires the block's
+        prefix-index entry, so the index never points at free storage.
+        """
         if not 0 <= block < self.n_blocks:
             raise ValueError(
                 f"block id {block} outside pool of {self.n_blocks} blocks"
@@ -201,9 +331,72 @@ class BlockPool:
                 f"double free of block {block}: it is already in the free "
                 "list"
             )
+        if self._refcount[block] > 1:
+            self._refcount[block] -= 1
+            self.shared_frees += 1
+            return
+        self.forget_prefix(block)
+        self._refcount[block] = 0
         self._live[block] = False
         self._free.append(block)
         self.blocks_freed += 1
+
+    # -- prefix index ---------------------------------------------------
+
+    def register_prefix(self, key: bytes, block: int) -> None:
+        """Publish a live block as the holder of a prefix content key.
+
+        First registration wins: a key already in the index (another
+        request filled the same prefix block first) and a block already
+        published under some key are both left untouched — the index is
+        an accelerator, never an obligation.
+        """
+        if not 0 <= block < self.n_blocks or not self._live[block]:
+            raise ValueError(
+                f"cannot register a prefix on non-live block {block}"
+            )
+        if key in self._prefix_index or block in self._block_keys:
+            return
+        self._prefix_index[key] = block
+        self._block_keys[block] = key
+
+    def forget_prefix(self, block: int) -> None:
+        """Retire the index entry published for a block, if any.
+
+        Called on physical free and before the first content-changing
+        write into a registered block; a no-op for unpublished blocks.
+        """
+        key = self._block_keys.pop(block, None)
+        if key is not None:
+            del self._prefix_index[key]
+
+    def lookup_prefix(self, key: bytes) -> int | None:
+        """The live block published under ``key``, counting hit/miss.
+
+        The adoption-path lookup: every call moves ``prefix_hits`` or
+        ``prefix_misses``.  Side-effect-free callers (admission
+        estimates) should use :meth:`probe_prefix` instead.
+        """
+        block = self._prefix_index.get(key)
+        if block is None:
+            self.prefix_misses += 1
+        else:
+            self.prefix_hits += 1
+        return block
+
+    def probe_prefix(self, keys: Sequence[bytes]) -> int:
+        """How many *leading* keys are cached right now (read-only).
+
+        No counters move and no references are taken — this is the
+        scheduler's admission estimate of what
+        :meth:`PagedKVCache.adopt_prefix` would adopt.
+        """
+        count = 0
+        for key in keys:
+            if key not in self._prefix_index:
+                break
+            count += 1
+        return count
 
     # -- storage views --------------------------------------------------
 
@@ -219,14 +412,34 @@ class BlockPool:
 
     @property
     def fragmentation_slots(self) -> int:
-        """Allocated-but-unused token slots across all live block tables."""
+        """Allocated-but-unused token slots across all live block tables.
+
+        Negative under prefix sharing: more tokens are logically served
+        than slots are resident, and the deficit is the dedup win.
+        """
         return self.in_use * self.block_size - self.live_tokens
+
+    @property
+    def shared_block_refs(self) -> int:
+        """Extra references held on live blocks beyond their first.
+
+        Zero without sharing; each adopted prefix block or forked block
+        contributes its reference count minus one.
+        """
+        return sum(c - 1 for c in self._refcount if c > 1)
+
+    @property
+    def prefix_index_size(self) -> int:
+        """Content keys currently published in the prefix index."""
+        return len(self._prefix_index)
 
     def pool_info(self) -> dict[str, int]:
         """Every accounting counter, as one plain dict.
 
         Invariants (pinned by the suite): ``n_blocks == in_use + free``
-        and ``blocks_allocated - blocks_freed == in_use``.
+        and ``blocks_allocated - blocks_freed == in_use`` — sharing
+        never disturbs them, because :meth:`share` / shared
+        :meth:`free` move only the reference count.
         """
         return {
             "block_size": self.block_size,
@@ -236,6 +449,13 @@ class BlockPool:
             "free": self.free_blocks,
             "blocks_allocated": self.blocks_allocated,
             "blocks_freed": self.blocks_freed,
+            "blocks_shared": self.blocks_shared,
+            "shared_frees": self.shared_frees,
+            "cow_copies": self.cow_copies,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_index_size": self.prefix_index_size,
+            "shared_block_refs": self.shared_block_refs,
             "peak_in_use": self.peak_in_use,
             "live_tokens": self.live_tokens,
             "fragmentation_slots": self.fragmentation_slots,
@@ -273,6 +493,13 @@ def pool_cache_info() -> dict[str, int]:
         # == in_use`` across all three).
         "blocks_allocated": sum(p.blocks_allocated for p in pools),
         "blocks_freed": sum(p.blocks_freed for p in pools),
+        "blocks_shared": sum(p.blocks_shared for p in pools),
+        "shared_frees": sum(p.shared_frees for p in pools),
+        "cow_copies": sum(p.cow_copies for p in pools),
+        "prefix_hits": sum(p.prefix_hits for p in pools),
+        "prefix_misses": sum(p.prefix_misses for p in pools),
+        "prefix_index_size": sum(p.prefix_index_size for p in pools),
+        "shared_block_refs": sum(p.shared_block_refs for p in pools),
         "peak_in_use": sum(p.peak_in_use for p in pools),
         "live_tokens": sum(p.live_tokens for p in pools),
         "fragmentation_slots": sum(p.fragmentation_slots for p in pools),
@@ -328,7 +555,13 @@ class PagedKVCache:
       scheduler can defer the token and retry the same step later;
     * sliding-window eviction advances ``first_offset`` and frees whole
       head blocks back to the pool instead of shifting arrays;
-    * ``reset`` frees every block (page recycling is the pool itself).
+    * ``reset`` frees every block (page recycling is the pool itself);
+    * blocks may be *shared* with other tables: :meth:`adopt_prefix`
+      takes references on already-cached prompt blocks before prefill
+      (appends below ``prefix_len`` then skip the redundant storage
+      write), :meth:`fork` twins the whole table, and the first write
+      into any block someone else still references copies it first
+      (copy-on-write), so sharing never changes a single gathered row.
     """
 
     def __init__(
@@ -353,6 +586,14 @@ class PagedKVCache:
         self.length = 0
         self.start_position = 0
         self.evictions = 0
+        #: Slots below this index are adopted shared-prefix slots: the
+        #: block already holds their exact rows, so ``append`` skips
+        #: the storage write.
+        self.prefix_len = 0
+        #: Content keys of prompt blocks this cache is still filling,
+        #: by block ordinal — published to the pool's prefix index as
+        #: each block completes.
+        self._pending_keys: dict[int, bytes] = {}
 
     # -- KVCache-compatible geometry -----------------------------------
 
@@ -431,6 +672,89 @@ class PagedKVCache:
         ``KVCache.values_snapshot``)."""
         return self._gather(self.pool.values_of, kv_len)
 
+    # -- prefix sharing -------------------------------------------------
+
+    def adopt_prefix(self, keys: Sequence[bytes]) -> int:
+        """Adopt the longest cached run of prompt blocks before prefill.
+
+        ``keys`` are the prompt's :func:`prefix_block_keys`.  Leading
+        keys found in the pool's index are taken as shared references
+        (no storage moves, no rows copied) and ``prefix_len`` rises to
+        cover their slots; the remaining keys are remembered so the
+        blocks this request's prefill fills get published for the next
+        request.  Returns the adopted token count.
+
+        Prefill then still computes and appends every prompt row — the
+        cycle and counter accounting of an uncached prefill, exactly —
+        but appends below ``prefix_len`` skip the storage write: the
+        adopted block already holds bit-identical rows, by key
+        construction.  Only a fresh, windowless cache can adopt
+        (a sliding window evicts the prefix the keys certify).
+        """
+        if self.length != 0 or self.table.n_blocks != 0:
+            raise ValueError(
+                "adopt_prefix needs a fresh cache: nothing appended, no "
+                "blocks held"
+            )
+        if self.window is not None:
+            raise ValueError(
+                "adopt_prefix does not apply to windowed caches (the "
+                "sliding window evicts the certified prefix)"
+            )
+        bs = self.block_size
+        self._pending_keys.clear()
+        adopted = 0
+        for i, key in enumerate(keys):
+            block = self.pool.lookup_prefix(key)
+            if block is None:
+                for j in range(i, len(keys)):
+                    self._pending_keys[j] = keys[j]
+                break
+            self.pool.share(block)
+            self.table.blocks.append(block)
+            adopted += bs
+        self.prefix_len = adopted
+        return adopted
+
+    def fork(self) -> "PagedKVCache":
+        """A copy-on-write twin sharing every block of this cache.
+
+        The twin presents the same live span (same ``length`` /
+        ``start_position`` / eviction history) through references to
+        the *same* physical blocks; the first append either side makes
+        into a still-shared block copies it first, so neither twin ever
+        observes the other's writes.  The twin adopts nothing
+        (``prefix_len`` 0): every one of its writes goes through the
+        copy-on-write check.
+        """
+        twin = PagedKVCache(self.pool, self.capacity, window=self.window)
+        for block in self.table.blocks:
+            self.pool.share(block)
+            twin.table.blocks.append(block)
+        twin.table.first_offset = self.table.first_offset
+        twin.length = self.length
+        twin.start_position = self.start_position
+        twin.evictions = self.evictions
+        self.pool.live_tokens += self.length
+        return twin
+
+    def _copy_on_write(self, index: int) -> int:
+        """Replace a shared block with a private copy before a write.
+
+        The allocation comes first, so a dry pool raises
+        :class:`BlockPoolExhausted` with the table untouched (the
+        enclosing append stays atomic); the shared original only loses
+        this table's reference.
+        """
+        old = self.table.blocks[index]
+        new = self.pool.allocate()
+        self.pool.keys_of(new)[...] = self.pool.keys_of(old)
+        self.pool.values_of(new)[...] = self.pool.values_of(old)
+        self.table.blocks[index] = new
+        self.pool.free(old)
+        self.pool.cow_copies += 1
+        return new
+
     # -- mutation -------------------------------------------------------
 
     def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
@@ -442,6 +766,14 @@ class PagedKVCache:
         propagates *before any cache state changes* (no partial evict,
         no length change) — the append is atomic — so a scheduler can
         treat it as "defer this token and retry after blocks free up".
+
+        Sharing adds three refinements, none visible to the engines:
+        a slot below ``prefix_len`` (an adopted prompt slot) skips the
+        storage write but still counts in ``length`` / ``live_tokens``;
+        a write targeting a block other tables still reference copies
+        it first (:meth:`_copy_on_write`); and filling the last slot of
+        a block whose content key is pending publishes the block in the
+        pool's prefix index.
         """
         from repro.core.decode import KVCacheOverflow
 
@@ -462,34 +794,81 @@ class PagedKVCache:
                     "set a window for sliding eviction or raise "
                     "max_seq_len"
                 )
-            # Atomicity: the evicting append needs a tail block exactly
-            # when the tail slot sits on the block grid; eviction frees
-            # the head block exactly when the head offset reaches the
-            # grid.  Check the pool *before* mutating so exhaustion
-            # leaves the cache untouched.
+            # Atomicity pre-check, sharing-aware: eviction only frees a
+            # *physical* block when this table holds its last reference
+            # (a shared free just decrements), and the evicting append
+            # needs an allocation when the tail sits on the block grid,
+            # when eviction empties the table, or when the target block
+            # is shared (copy-on-write).  Check the pool before
+            # mutating so exhaustion leaves the cache untouched.
             tail = self.table.first_offset + self.length
             needs_block = tail == self.table.n_blocks * bs
-            evict_frees = self.table.first_offset + 1 == bs
-            if needs_block and not evict_frees and not self.pool.free_blocks:
+            if self.length == 1:
+                freed = sum(
+                    1
+                    for b in self.table.blocks
+                    if self.pool.refcount(b) == 1
+                )
+                need_alloc = True  # the emptied table re-fills slot 0
+            elif needs_block:
+                head = self.table.blocks[0]
+                freed = (
+                    1
+                    if (
+                        self.table.first_offset + 1 == bs
+                        and self.pool.refcount(head) == 1
+                    )
+                    else 0
+                )
+                need_alloc = True
+            else:
+                head = self.table.blocks[0]
+                freed = (
+                    1
+                    if (
+                        self.table.first_offset + 1 == bs
+                        and self.pool.refcount(head) == 1
+                    )
+                    else 0
+                )
+                need_alloc = (
+                    self.pool.refcount(self.table.blocks[tail // bs]) > 1
+                )
+            if need_alloc and self.pool.free_blocks + freed < 1:
                 raise BlockPoolExhausted(
-                    f"block pool dry: windowed append needs a tail block "
-                    f"but all {self.pool.n_blocks} blocks are in use"
+                    f"block pool dry: windowed append needs a block but "
+                    f"all {self.pool.n_blocks} blocks are in use"
                 )
             self.evict(1)
-        if self.table.first_offset + self.length == self.table.n_blocks * bs:
+        slot = self.table.first_offset + self.length
+        if slot < self.prefix_len:
+            # Adopted prompt slot: the shared block already holds these
+            # exact rows (equal content keys), so only the logical
+            # accounting moves — bit-for-bit what an uncached append
+            # would have stored.
+            self.length += 1
+            self.pool.live_tokens += 1
+            return
+        if slot == self.table.n_blocks * bs:
             self.table.blocks.append(self.pool.allocate())
-        block, offset = self.table.physical(
-            self.table.first_offset + self.length, bs
-        )
+        block, offset = self.table.physical(slot, bs)
+        if self.pool.refcount(block) > 1:
+            block = self._copy_on_write(slot // bs)
+        self.pool.forget_prefix(block)
         self.pool.keys_of(block)[:, offset] = k_t
         self.pool.values_of(block)[:, offset] = v_t
         self.length += 1
         self.pool.live_tokens += 1
+        if self._pending_keys and (slot + 1) % bs == 0:
+            key = self._pending_keys.pop(slot // bs, None)
+            if key is not None:
+                self.pool.register_prefix(key, block)
 
     def evict(self, n: int) -> None:
         """Drop the ``n`` oldest cached tokens, freeing whole head
         blocks back to the pool (``start_position`` advances exactly as
-        in the contiguous cache; no rows are shifted).  Atomic: an
+        in the contiguous cache; no rows are shifted).  A shared head
+        block only loses this table's reference.  Atomic: an
         out-of-range ``n`` raises before any state changes."""
         if not 0 <= n <= self.length:
             raise ValueError(
@@ -506,12 +885,17 @@ class PagedKVCache:
         while self.table.first_offset >= bs and self.table.blocks:
             self.pool.free(self.table.blocks.pop(0))
             self.table.first_offset -= bs
+            self.prefix_len = max(0, self.prefix_len - bs)
         if self.length == 0:
             # nothing live: release the (dead-slot-only) tail block too
             for block in self.table.blocks:
                 self.pool.free(block)
             self.table.blocks.clear()
             self.table.first_offset = 0
+            self.prefix_len = 0
+        # Eviction moves the slot grid under the pending ordinals;
+        # publishing is best-effort, so drop them rather than remap.
+        self._pending_keys.clear()
 
     def truncate(self, n: int) -> None:
         """Drop the ``n`` *newest* cached tokens (speculative rollback).
@@ -520,10 +904,14 @@ class PagedKVCache:
         tokens are rolled back by truncating the live span and freeing
         whole tail blocks — through the same :meth:`BlockPool.free`
         path window eviction uses, so ``blocks_freed`` / ``live_tokens``
-        accounting cannot drift between the two.  ``start_position``
-        (the head side) is untouched; an append after a truncate writes
-        over the rolled-back slots exactly as the contiguous cache does.
-        Atomic: an out-of-range ``n`` raises before any state changes.
+        accounting cannot drift between the two.  A shared tail block
+        only loses this table's reference (the other holder keeps its
+        rows).  ``start_position`` (the head side) is untouched; an
+        append after a truncate writes over the rolled-back slots
+        exactly as the contiguous cache does — copying first if the
+        target block is still shared, and retiring the block's
+        published prefix key since its content diverges.  Atomic: an
+        out-of-range ``n`` raises before any state changes.
         """
         if not 0 <= n <= self.length:
             raise ValueError(
@@ -534,19 +922,24 @@ class PagedKVCache:
         bs = self.block_size
         self.length -= n
         self.pool.live_tokens -= n
+        self._pending_keys.clear()
         if self.length == 0:
             # nothing live: release every block (as evict-to-empty does)
             for block in self.table.blocks:
                 self.pool.free(block)
             self.table.blocks.clear()
             self.table.first_offset = 0
+            self.prefix_len = 0
             return
         keep = blocks_needed(self.table.first_offset + self.length, bs)
         while self.table.n_blocks > keep:
             self.pool.free(self.table.blocks.pop())
+        self.prefix_len = min(
+            self.prefix_len, self.table.first_offset + self.length
+        )
 
     def reset(self) -> None:
-        """Empty the cache and return every block to the pool."""
+        """Empty the cache and return every block (reference) to the pool."""
         for block in self.table.blocks:
             self.pool.free(block)
         self.table.blocks.clear()
@@ -555,6 +948,8 @@ class PagedKVCache:
         self.length = 0
         self.start_position = 0
         self.evictions = 0
+        self.prefix_len = 0
+        self._pending_keys.clear()
 
     def __repr__(self) -> str:
         return (

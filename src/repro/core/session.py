@@ -271,6 +271,7 @@ class NovaSession:
         block_size: int | None = None,
         pool_blocks: int | None = None,
         pool_bytes: int | None = None,
+        prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
         draft_kind: str | None = None,
@@ -287,6 +288,11 @@ class NovaSession:
         config's ``kv_block_size``); ``pool_blocks`` / ``pool_bytes``
         cap the pool, enabling deferral/preemption under memory
         pressure — by default it is sized so nothing ever defers.
+        ``prefix_caching`` (paged only; ``None`` defers to the config's
+        ``enable_prefix_caching``) shares already-cached prompt blocks
+        between requests under refcounts with copy-on-write, charging
+        admission only for unshared blocks — a pure residency win, the
+        hit/share counters land in the result's ``paging`` dict.
         ``speculative=True`` replaces each in-flight decode row with a
         draft-and-verify pass (``spec_k`` drafts per pass, one
         ``draft_kind`` model per sequence — or ``draft_factory()``
@@ -296,7 +302,8 @@ class NovaSession:
         scheduler = ContinuousBatchScheduler(
             self.decoder, max_active=max_active, paged=paged,
             block_size=block_size, pool_blocks=pool_blocks,
-            pool_bytes=pool_bytes, speculative=speculative,
+            pool_bytes=pool_bytes, prefix_caching=prefix_caching,
+            speculative=speculative,
             spec_k=spec_k, draft_kind=draft_kind,
             draft_factory=draft_factory,
         )
@@ -312,6 +319,7 @@ class NovaSession:
         block_size: int | None = None,
         pool_blocks: int | None = None,
         pool_bytes: int | None = None,
+        prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
         draft_kind: str | None = None,
@@ -345,6 +353,7 @@ class NovaSession:
             block_size=block_size,
             pool_blocks=pool_blocks,
             pool_bytes=pool_bytes,
+            prefix_caching=prefix_caching,
             speculative=speculative,
             spec_k=spec_k,
             draft_kind=draft_kind,
@@ -390,8 +399,10 @@ class NovaSession:
         ``paging`` aggregates every live KV
         :class:`~repro.core.paging.BlockPool`
         (:func:`repro.core.paging.pool_cache_info`): block residency,
-        live tokens and the fragmentation metric
-        (allocated-but-unused token slots).
+        live tokens, the fragmentation metric (allocated-but-unused
+        token slots; negative under prefix sharing) and the
+        prefix-caching counters (``prefix_hits`` / ``prefix_misses`` /
+        ``blocks_shared`` / ``cow_copies`` / ``shared_block_refs``).
         """
         from repro.core.paging import pool_cache_info
 

@@ -588,9 +588,17 @@ class SpeculativeDecodeEngine:
         request: DecodeRequest,
         cache: KVCacheLike | None = None,
         pool: BlockPool | None = None,
+        prefix: bool = False,
     ) -> DecodeState:
-        """Open a decode state (delegates to the wrapped engine)."""
-        return self.engine.start(request, cache=cache, pool=pool)
+        """Open a decode state (delegates to the wrapped engine).
+
+        ``prefix=True`` adopts cached prompt blocks exactly as the
+        plain engine does; speculative rollback composes with sharing
+        because :meth:`~repro.core.paging.PagedKVCache.truncate` only
+        drops this request's *references* on shared tail blocks.
+        """
+        return self.engine.start(request, cache=cache, pool=pool,
+                                 prefix=prefix)
 
     # ------------------------------------------------------------------
     # The draft-and-verify primitives.

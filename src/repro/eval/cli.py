@@ -13,6 +13,7 @@ Installed as ``nova-repro``::
     nova-repro serve-decode      # KV-cached continuous-batching decode
     nova-repro serve-decode --paged  # paged-KV admission capacity study
     nova-repro serve-decode --speculative  # draft-and-verify speedup study
+    nova-repro serve-decode --prefix-caching  # shared-prefix residency study
     nova-repro serve-async       # async front door: policies vs SLOs
     nova-repro serve-async --paged  # same trace, paged-KV memory mode
 
@@ -48,6 +49,12 @@ draft-and-verify study
 (:func:`repro.eval.experiments.speculative_decode_speedup`): plain vs
 speculative decode, solo and continuously batched, bit-identical tokens
 on every path (``--override spec_k=N`` picks the draft depth).
+``serve-decode --prefix-caching`` swaps in the shared-prefix residency
+study (:func:`repro.eval.experiments.prefix_caching_residency`): a
+batch of requests sharing one prompt prefix served with the prefix
+index off and on, bit-identical outputs both ways, the win reported as
+peak pool residency (``--override kv_block_size=N`` picks the block
+granularity).
 
 ``serve-async`` runs the scheduling-policy comparison
 (:func:`repro.eval.experiments.serving_slo_comparison`): one seeded
@@ -242,15 +249,26 @@ def main(argv: list[str] | None = None) -> int:
              "batched; --override spec_k=N picks the draft depth) "
              "instead of the throughput harness",
     )
+    parser.add_argument(
+        "--prefix-caching",
+        action="store_true",
+        help="with serve-decode: run the shared-prefix residency study "
+             "(the same batch served with the prefix index off and on, "
+             "bit-identical outputs, the win measured in peak pool "
+             "residency) instead of the throughput harness",
+    )
     args = parser.parse_args(argv)
 
     if args.paged and args.experiment not in ("serve-decode", "serve-async"):
         parser.error("--paged only applies to serve-decode/serve-async")
     if args.speculative and args.experiment != "serve-decode":
         parser.error("--speculative only applies to serve-decode")
-    if args.paged and args.speculative:
+    if args.prefix_caching and args.experiment != "serve-decode":
+        parser.error("--prefix-caching only applies to serve-decode")
+    if sum((args.paged, args.speculative, args.prefix_caching)) > 1:
         parser.error(
-            "pass --paged or --speculative, not both (one study at a time)"
+            "pass --paged, --speculative or --prefix-caching, not both "
+            "(one study at a time)"
         )
 
     if args.experiment == "geometries":
@@ -276,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
             runner = experiments.paged_decode_utilization
         elif name == "serve-decode" and args.speculative:
             runner = experiments.speculative_decode_speedup
+        elif name == "serve-decode" and args.prefix_caching:
+            runner = experiments.prefix_caching_residency
         elif name == "serve-async" and args.paged:
             runner = functools.partial(
                 experiments.serving_slo_comparison, paged=True

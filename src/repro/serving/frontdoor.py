@@ -108,6 +108,7 @@ class FrontDoor:
     block_size: int | None = None
     pool_blocks: int | None = None
     pool_bytes: int | None = None
+    prefix_caching: bool | None = None
     speculative: bool = False
     spec_k: int | None = None
     draft_kind: str | None = None
@@ -189,6 +190,7 @@ class FrontDoor:
             block_size=self.block_size,
             pool_blocks=self.pool_blocks,
             pool_bytes=self.pool_bytes,
+            prefix_caching=self.prefix_caching,
             speculative=self.speculative,
             spec_k=self.spec_k,
             draft_kind=self.draft_kind,

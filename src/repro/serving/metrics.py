@@ -102,6 +102,12 @@ class ServingReport:
     packed_vector_cycles: int
     sequential_vector_cycles: int
     makespan_cycles: float
+    #: Prefix-caching counters, copied from the paged run's pool
+    #: accounting (all zero for contiguous runs or with the knob off).
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    blocks_shared: int = 0
+    cow_copies: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -157,6 +163,18 @@ class ServingReport:
         return 1000.0 * self.total_tokens / self.makespan_cycles
 
     @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-index lookups that found a cached block.
+
+        0.0 when prefix caching never looked anything up (contiguous
+        runs, the knob off, or prompts shorter than one block).
+        """
+        lookups = self.prefix_hits + self.prefix_misses
+        if lookups == 0:
+            return 0.0
+        return self.prefix_hits / lookups
+
+    @property
     def deferral_rate(self) -> float:
         """Deferrals per scheduler step."""
         return self.deferrals / max(1, self.scheduler_steps)
@@ -196,6 +214,11 @@ class ServingReport:
             ),
             "deferral_rate": self.deferral_rate,
             "preemption_rate": self.preemption_rate,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "blocks_shared": self.blocks_shared,
+            "cow_copies": self.cow_copies,
             "tenant_tokens": self.tenant_tokens(),
             "requests": [r.as_dict() for r in self.requests],
         }
@@ -244,6 +267,7 @@ def build_report(
             )
         )
     per_request.sort(key=lambda r: r.request_id)
+    paging = result.paging or {}
     return ServingReport(
         policy=policy,
         requests=tuple(per_request),
@@ -253,4 +277,8 @@ def build_report(
         packed_vector_cycles=result.packed_vector_cycles,
         sequential_vector_cycles=result.sequential_vector_cycles,
         makespan_cycles=max(result.finish_times),
+        prefix_hits=int(paging.get("prefix_hits", 0)),
+        prefix_misses=int(paging.get("prefix_misses", 0)),
+        blocks_shared=int(paging.get("blocks_shared", 0)),
+        cow_copies=int(paging.get("cow_copies", 0)),
     )

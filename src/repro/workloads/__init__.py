@@ -26,6 +26,7 @@ from repro.workloads.bert import (
     fidelity_for_acceptance,
     mixed_decode_batch,
     serving_config,
+    shared_prefix_decode_batch,
     speculative_decode_batch,
 )
 from repro.workloads.cnn import CNN_MODELS, CnnLayerSpec
@@ -47,6 +48,7 @@ __all__ = [
     "fidelity_for_acceptance",
     "mixed_decode_batch",
     "serving_config",
+    "shared_prefix_decode_batch",
     "speculative_decode_batch",
     "CNN_MODELS",
     "CnnLayerSpec",

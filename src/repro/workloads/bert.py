@@ -31,6 +31,7 @@ __all__ = [
     "bert_attention_batch",
     "decode_batch",
     "mixed_decode_batch",
+    "shared_prefix_decode_batch",
 ]
 
 BERT_MODELS: dict[str, TransformerConfig] = {
@@ -172,6 +173,63 @@ def decode_batch(
         requests.append(
             DecodeRequest(
                 x=rng.normal(0.0, 1.0, size=(first.seq, first.hidden)),
+                wq=first.wq, wk=first.wk, wv=first.wv, wo=first.wo,
+                n_heads=first.n_heads,
+                max_new_tokens=first.max_new_tokens,
+                max_seq_len=first.max_seq_len,
+                window=first.window,
+            )
+        )
+    return requests
+
+
+def shared_prefix_decode_batch(
+    model_name: str | TransformerConfig,
+    batch_size: int,
+    prefix_len: int,
+    suffix_len: int = 2,
+    max_new_tokens: int = 8,
+    seed: int = 0,
+) -> list:
+    """A batch of decode requests sharing weights *and* a prompt prefix.
+
+    The prefix-caching workload: every request's first ``prefix_len``
+    prompt rows are identical (seeded ``seed`` — think a shared system
+    prompt or few-shot preamble) while each request appends its own
+    ``suffix_len`` rows (seeded ``seed + i``).  Under
+    ``enable_prefix_caching`` the paged scheduler stores the shared
+    rows once — ``batch_size`` requests pay roughly one prefix's pool
+    residency between them — with bit-identical outputs; without it
+    every request writes its own copy.  Weights are shared, matching
+    :func:`decode_batch`.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if prefix_len < 1:
+        raise ValueError(f"prefix_len must be >= 1, got {prefix_len}")
+    if suffix_len < 0:
+        raise ValueError(f"suffix_len must be >= 0, got {suffix_len}")
+    config = (
+        model_name
+        if isinstance(model_name, TransformerConfig)
+        else serving_config(model_name)
+    )
+    from repro.core.decode import DecodeRequest
+
+    first = decode_request(
+        config, prompt_len=prefix_len + suffix_len,
+        max_new_tokens=max_new_tokens, seed=seed,
+    )
+    requests = [first]
+    for i in range(1, batch_size):
+        rng = np.random.default_rng(seed + i)
+        x = first.x.copy()
+        x[prefix_len:] = rng.normal(
+            0.0, 1.0, size=(suffix_len, first.hidden)
+        )
+        requests.append(
+            DecodeRequest(
+                x=x,
                 wq=first.wq, wk=first.wk, wv=first.wv, wo=first.wo,
                 n_heads=first.n_heads,
                 max_new_tokens=first.max_new_tokens,

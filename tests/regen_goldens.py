@@ -54,6 +54,7 @@ SECTIONS = {
     "attention": ("attention",),
     "decode": ("decode",),
     "decode.paged": ("decode", "paged"),
+    "decode.prefix_cached": ("decode", "prefix_cached"),
     "decode.speculative": ("decode", "speculative"),
 }
 
@@ -209,6 +210,101 @@ def golden_trace(preset_name: str) -> dict:
         },
     }
 
+    # -- prefix caching: shared-prompt requests dedup pool residency ---
+    # Two requests share a two-block prompt prefix (block size is the
+    # preset's) and diverge in a short suffix.  Request B adopts the
+    # prefix blocks request A registered while A is still resident, so
+    # the pool holds the shared rows once; a forked copy-on-write twin
+    # then appends one divergent token to pin exactly one CoW copy.
+    # Sharing must be invisible everywhere else: the fixture asserts
+    # bit-identical outputs, cycles and counters against an uncached
+    # paged twin run *before* pinning the hit/share/CoW accounting.
+    from repro.core.decode import DecodeRequest
+
+    bs = cfg.kv_block_size
+    pw = dict(prefix_tokens=2 * bs, suffix_tokens=2, new_tokens=3)
+    shared_total = pw["prefix_tokens"] + pw["suffix_tokens"] + pw["new_tokens"]
+    shared_model = TransformerConfig(
+        "golden-prefix", layers=1, hidden=dw["hidden"], heads=dw["heads"],
+        intermediate=4 * dw["hidden"], seq_len=shared_total + 2, causal=True,
+    )
+    first = decode_request(
+        shared_model, prompt_len=pw["prefix_tokens"] + pw["suffix_tokens"],
+        max_new_tokens=pw["new_tokens"], seed=dw["seed"],
+    )
+    sibling_x = first.x.copy()
+    sibling_x[pw["prefix_tokens"]:] = np.random.default_rng(
+        dw["seed"] + 1
+    ).normal(0.0, 1.0, sibling_x[pw["prefix_tokens"]:].shape)
+    second = DecodeRequest(
+        x=sibling_x, wq=first.wq, wk=first.wk, wv=first.wv, wo=first.wo,
+        n_heads=first.n_heads, max_new_tokens=first.max_new_tokens,
+        max_seq_len=first.max_seq_len,
+    )
+    requests = (first, second)
+    n_blocks = 2 * worst_case_blocks(first.total_tokens, None, bs)
+
+    plain_pool = BlockPool(
+        first.n_heads, first.head_dim, bs, n_blocks=n_blocks
+    )
+    plain_states = [engine.start(r, pool=plain_pool) for r in requests]
+    plain = [
+        engine.generate(r, state=s)
+        for r, s in zip(requests, plain_states)
+    ]
+
+    shared_pool = BlockPool(
+        first.n_heads, first.head_dim, bs, n_blocks=n_blocks
+    )
+    shared_states, shared = [], []
+    for request in requests:  # B adopts while A is still resident
+        state = engine.start(request, pool=shared_pool, prefix=True)
+        shared_states.append(state)
+        shared.append(engine.generate(request, state=state))
+    for got, want in zip(shared, plain):
+        assert np.array_equal(got.generated, want.generated), (
+            f"{preset_name}: prefix-cached generate diverged from uncached"
+        )
+        assert got.vector_cycles == want.vector_cycles, (
+            f"{preset_name}: prefix caching changed charged cycles"
+        )
+        assert got.counters.as_dict() == want.counters.as_dict(), (
+            f"{preset_name}: prefix caching changed hardware counters"
+        )
+    twin = shared_states[1].cache.fork()
+    row = np.ones((first.n_heads, first.head_dim))
+    twin.append(row, row)  # divergent append into a shared tail block
+    assert shared_pool.cow_copies == 1, (
+        f"{preset_name}: fork append did not copy-on-write exactly once"
+    )
+    assert shared_pool.peak_in_use < plain_pool.peak_in_use, (
+        f"{preset_name}: sharing did not reduce peak pool residency"
+    )
+    twin.reset()
+    for state in shared_states:
+        state.cache.reset()
+    for state in plain_states:
+        state.cache.reset()
+    decode["prefix_cached"] = {
+        "kv_block_size": bs,
+        **pw,
+        "vector_cycles": [g.vector_cycles for g in shared],
+        "counters": [
+            dict(sorted(g.counters.as_dict().items())) for g in shared
+        ],
+        "prefix_hits": shared_pool.prefix_hits,
+        "prefix_misses": shared_pool.prefix_misses,
+        "blocks_shared": shared_pool.blocks_shared,
+        "shared_frees": shared_pool.shared_frees,
+        "cow_copies": shared_pool.cow_copies,
+        "blocks_allocated": shared_pool.blocks_allocated,
+        "blocks_freed": shared_pool.blocks_freed,
+        "peak_blocks_in_use": shared_pool.peak_in_use,
+        "uncached_peak_blocks_in_use": plain_pool.peak_in_use,
+        "end_in_use": shared_pool.in_use,
+        "end_live_tokens": shared_pool.live_tokens,
+    }
+
     return {
         "preset": preset_name,
         "config": cfg.to_dict(),
@@ -226,6 +322,11 @@ def regenerate(section: str | None = None) -> list[pathlib.Path]:
     speculative-only regeneration from silently rewriting the
     attention / decode / paged sections.  ``None`` rewrites whole files
     (required when the preset config itself changes).
+
+    A sectioned run validates *every* target fixture up front — the
+    file must exist and already carry the section's key path — before
+    any trace is computed, so a stale or schema-drifted fixture fails
+    in milliseconds instead of after the full recompute.
     """
     from repro.core.config import PRESETS
 
@@ -233,6 +334,22 @@ def regenerate(section: str | None = None) -> list[pathlib.Path]:
         raise ValueError(
             f"unknown section {section!r}; known: {sorted(SECTIONS)}"
         )
+    if section is not None:
+        for name in sorted(PRESETS):
+            path = GOLDEN_DIR / f"{name}.json"
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"cannot regenerate section {section!r} of a missing "
+                    f"fixture {path}; run without --section first"
+                )
+            node = json.loads(path.read_text())
+            for key in SECTIONS[section]:
+                if not isinstance(node, dict) or key not in node:
+                    raise KeyError(
+                        f"fixture {path} has no {section!r} section; "
+                        "regenerate whole files first (omit --section)"
+                    )
+                node = node[key]
     GOLDEN_DIR.mkdir(exist_ok=True)
     written = []
     for name in sorted(PRESETS):
@@ -241,11 +358,6 @@ def regenerate(section: str | None = None) -> list[pathlib.Path]:
         if section is None:
             data = trace
         else:
-            if not path.exists():
-                raise FileNotFoundError(
-                    f"cannot regenerate section {section!r} of a missing "
-                    f"fixture {path}; run without --section first"
-                )
             data = json.loads(path.read_text())
             keys = SECTIONS[section]
             target, source = data, trace
@@ -257,20 +369,45 @@ def regenerate(section: str | None = None) -> list[pathlib.Path]:
     return written
 
 
-if __name__ == "__main__":
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    A ``--section`` that is not a :data:`SECTIONS` key — or names a
+    section the on-disk fixtures do not carry yet — prints the known
+    sections to stderr and returns 2 *before* any trace is computed.
+    Silently regenerating nothing on a typo is how pinned numbers go
+    stale without anyone noticing.
+    """
     import argparse
+    import sys
 
     parser = argparse.ArgumentParser(
         description="Regenerate the per-preset golden-trace fixtures."
     )
     parser.add_argument(
         "--section",
-        choices=sorted(SECTIONS),
         default=None,
         help="replace only this fixture section (e.g. decode.speculative), "
              "leaving every other pinned number untouched; omit to rewrite "
              "whole files",
     )
-    args = parser.parse_args()
-    for path in regenerate(section=args.section):
+    args = parser.parse_args(argv)
+    if args.section is not None and args.section not in SECTIONS:
+        print(
+            f"error: unknown section {args.section!r}; known sections: "
+            + ", ".join(sorted(SECTIONS)),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        written = regenerate(section=args.section)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in written:
         print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

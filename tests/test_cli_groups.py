@@ -141,6 +141,42 @@ class TestGeometryFlags:
         assert "config" in seen
         assert "Speculative decode" in capsys.readouterr().out
 
+    def test_prefix_caching_flag_only_applies_to_serve_decode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serving-batched", "--prefix-caching"])
+        assert "serve-decode" in capsys.readouterr().err
+
+    def test_prefix_caching_excludes_the_other_studies(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-decode", "--paged", "--prefix-caching"])
+        assert "not both" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["serve-decode", "--speculative", "--prefix-caching"])
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_decode_prefix_caching_routes_to_residency_study(
+        self, capsys
+    ):
+        from repro.eval import cli
+
+        seen = {}
+
+        def fake_residency(config=None):
+            seen["config"] = config
+            return cli.experiments.ExperimentResult(
+                experiment_id="Prefix caching", title="stub",
+                headers=["Memory model"], rows=[["stub"]],
+            )
+
+        original = cli.experiments.prefix_caching_residency
+        cli.experiments.prefix_caching_residency = fake_residency
+        try:
+            assert main(["serve-decode", "--prefix-caching"]) == 0
+        finally:
+            cli.experiments.prefix_caching_residency = original
+        assert "config" in seen
+        assert "Prefix caching" in capsys.readouterr().out
+
     def test_serving_batched_accepts_geometry_and_override(self, capsys):
         # tiny workload keeps the cycle-accurate reference loop fast
         from repro.core.config import preset

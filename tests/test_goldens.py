@@ -31,7 +31,7 @@ EXACT_FIELDS = {
     "attention": ("vector_cycles", "nonlinear_queries", "counters"),
     "decode": (
         "prefill_vector_cycles", "vector_cycles", "nonlinear_queries",
-        "counters", "paged", "speculative",
+        "counters", "paged", "prefix_cached", "speculative",
     ),
 }
 
@@ -116,6 +116,32 @@ class TestGoldenTraces:
             == paged["end_in_use"]
         )
 
+    def test_prefix_cached_decode_is_a_pure_residency_win(self, preset_name):
+        """The fixture's prefix-cached run must charge exactly the
+        uncached cycles/counters per request (sharing is a memory
+        optimisation, never a compute change), hold strictly fewer
+        blocks at peak than the uncached twin run, and drain the pool
+        without leaking or double-freeing a shared block."""
+        golden = load_golden(preset_name)
+        decode = golden["decode"]
+        cached = decode["prefix_cached"]
+        assert cached["kv_block_size"] == golden["config"]["kv_block_size"]
+        # Request A misses once and registers; B adopts every prefix
+        # block A published, so hits cover the full shared prefix.
+        assert cached["prefix_hits"] >= cached["prefix_tokens"] // cached[
+            "kv_block_size"
+        ]
+        assert cached["prefix_misses"] >= 1
+        assert cached["blocks_shared"] > 0
+        assert cached["cow_copies"] == 1  # the fork micro-program's copy
+        assert (
+            cached["peak_blocks_in_use"]
+            < cached["uncached_peak_blocks_in_use"]
+        )
+        assert cached["end_in_use"] == 0
+        assert cached["end_live_tokens"] == 0
+        assert cached["blocks_allocated"] == cached["blocks_freed"]
+
     def test_fixture_workload_is_the_pinned_one(self, preset_name):
         """The fixture must have been generated from the same workload
         constants the replay uses (stale fixtures fail loudly)."""
@@ -126,3 +152,60 @@ class TestGoldenTraces:
             assert golden["attention"][key] == value
         for key, value in DECODE_WORKLOAD.items():
             assert golden["decode"][key] == value
+
+
+class TestRegenSectionValidation:
+    """``--section`` typos must exit 2 with the known-section list, and
+    a section the on-disk fixtures do not carry must fail *before* any
+    trace is computed — never silently regenerate nothing."""
+
+    def test_unknown_section_exits_2_and_lists_sections(self, capsys):
+        from tests import regen_goldens
+
+        assert regen_goldens.main(["--section", "decode.speculatve"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown section 'decode.speculatve'" in err
+        for name in regen_goldens.SECTIONS:
+            assert name in err
+
+    def test_unknown_section_never_touches_fixtures(self, capsys,
+                                                    monkeypatch, tmp_path):
+        from tests import regen_goldens
+
+        monkeypatch.setattr(regen_goldens, "GOLDEN_DIR", tmp_path)
+        assert regen_goldens.main(["--section", "nope"]) == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_fixture_exits_2_before_computing(self, capsys,
+                                                      monkeypatch, tmp_path):
+        from tests import regen_goldens
+
+        monkeypatch.setattr(regen_goldens, "GOLDEN_DIR", tmp_path)
+        assert regen_goldens.main(["--section", "decode.paged"]) == 2
+        assert "run without --section first" in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+
+    def test_schema_drifted_fixture_exits_2_before_computing(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from tests import regen_goldens
+
+        monkeypatch.setattr(regen_goldens, "GOLDEN_DIR", tmp_path)
+        for name in PRESETS:
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps({"decode": {}}) + "\n"
+            )
+        assert regen_goldens.main(["--section", "decode.paged"]) == 2
+        err = capsys.readouterr().err
+        assert "has no 'decode.paged' section" in err
+        # Validation ran before any trace compute: fixtures untouched.
+        for name in PRESETS:
+            assert json.loads(
+                (tmp_path / f"{name}.json").read_text()
+            ) == {"decode": {}}
+
+    def test_regenerate_rejects_unknown_section(self):
+        from tests.regen_goldens import regenerate
+
+        with pytest.raises(ValueError, match="unknown section"):
+            regenerate(section="decode.speculatve")

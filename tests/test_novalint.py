@@ -67,6 +67,22 @@ FIXTURES = [
         "def grab(self):\n    return self.cache.append(1)\n",
     ),
     (
+        "NV002",
+        "repro/core/engine.py",
+        "def adopt(self):\n    return self.block_pool.share(3)\n",
+        "def adopt(self):\n    return self.cache.adopt_prefix(self.keys)\n",
+    ),
+    (
+        "NV002",
+        "repro/serving/router.py",
+        "def pin(self):\n"
+        "    self.pool.register_prefix(b'k', 3)\n"
+        "    self.pool.forget_prefix(3)\n"
+        "    return self.pool.lookup_prefix(b'k')\n",
+        "def pin(self):\n"
+        "    return self.pool.probe_prefix(self.keys)\n",
+    ),
+    (
         "NV003",
         "snippet.py",
         "def is_half(x):\n    return x == 0.5\n",

@@ -1,0 +1,172 @@
+"""Edge cases of the serving workload generator (repro.serving.arrivals).
+
+The trace builder's interesting inputs are the degenerate ones: empty
+and single-request traces, collapsed Pareto bounds (``lo == hi``), and
+deadline scaling at extreme ``cycles_per_token`` values — the places
+where an off-by-one or a division would silently produce an unservable
+trace.  Everything here is seeded, so every assertion is exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NovaConfig
+from repro.core.decode import NovaDecodeEngine
+from repro.serving.arrivals import (
+    bounded_pareto,
+    bursty_arrivals,
+    build_trace,
+    estimate_cycles_per_token,
+    poisson_arrivals,
+)
+from repro.utils.rng import make_rng
+
+SMALL = NovaConfig(n_routers=2, neurons_per_router=8)
+ENGINE = NovaDecodeEngine(SMALL)
+
+
+class TestBoundedPareto:
+    def test_zero_draws_is_an_empty_list(self):
+        assert bounded_pareto(make_rng(0), 0, alpha=1.1, lo=1, hi=8) == []
+
+    def test_collapsed_bounds_are_deterministic(self):
+        """lo == hi skips sampling entirely: every draw is the bound."""
+        assert bounded_pareto(
+            make_rng(0), 5, alpha=1.1, lo=3, hi=3
+        ) == [3, 3, 3, 3, 3]
+
+    def test_draws_stay_in_bounds_and_skew_low(self):
+        draws = bounded_pareto(make_rng(7), 500, alpha=1.1, lo=2, hi=64)
+        assert all(2 <= d <= 64 for d in draws)
+        # Heavy tail: mass concentrates at the low bound.
+        assert sorted(draws)[len(draws) // 2] < 8
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(n=-1, alpha=1.1, lo=1, hi=8), "n must be >= 0"),
+            (dict(n=1, alpha=0.0, lo=1, hi=8), "alpha must be > 0"),
+            (dict(n=1, alpha=1.1, lo=0, hi=8), "1 <= lo <= hi"),
+            (dict(n=1, alpha=1.1, lo=9, hi=8), "1 <= lo <= hi"),
+        ],
+    )
+    def test_validation(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            bounded_pareto(make_rng(0), **kwargs)
+
+
+class TestArrivalProcesses:
+    def test_zero_request_traces_are_empty(self):
+        assert poisson_arrivals(make_rng(0), 0, mean_gap=10.0) == []
+        assert bursty_arrivals(make_rng(0), 0, mean_gap=10.0) == []
+
+    def test_arrivals_are_positive_and_nondecreasing(self):
+        for times in (
+            poisson_arrivals(make_rng(3), 50, mean_gap=5.0),
+            bursty_arrivals(make_rng(3), 50, mean_gap=5.0),
+        ):
+            assert len(times) == 50
+            assert times[0] > 0.0
+            assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_bursts_share_an_arrival_instant(self):
+        times = bursty_arrivals(
+            make_rng(1), 64, mean_gap=100.0, burst_alpha=0.5, max_burst=8
+        )
+        # A heavy burst tail at 64 requests must produce at least one
+        # simultaneous pair (distinct instants < requests).
+        assert len(set(times)) < len(times)
+
+    @pytest.mark.parametrize("fn", [poisson_arrivals, bursty_arrivals])
+    def test_gap_validation(self, fn):
+        with pytest.raises(ValueError, match="mean_gap must be > 0"):
+            fn(make_rng(0), 1, mean_gap=0.0)
+        with pytest.raises(ValueError, match="n must be >= 0"):
+            fn(make_rng(0), -1, mean_gap=1.0)
+
+    def test_burst_size_validation(self):
+        with pytest.raises(ValueError, match="max_burst must be >= 1"):
+            bursty_arrivals(make_rng(0), 1, mean_gap=1.0, max_burst=0)
+
+
+class TestBuildTrace:
+    def test_single_request_trace(self):
+        trace = build_trace(1, hidden=4, n_heads=2, seed=5)
+        assert len(trace) == 1
+        serving = trace[0]
+        assert serving.request_id == 0
+        assert serving.arrival > 0.0
+        assert serving.deadline is None
+        assert serving.request.x.shape[1] == 4
+        # Pure function of its arguments: same seed, same trace.
+        again = build_trace(1, hidden=4, n_heads=2, seed=5)[0]
+        assert np.array_equal(serving.request.x, again.request.x)
+        assert serving.arrival == again.arrival
+
+    def test_zero_requests_is_rejected(self):
+        with pytest.raises(ValueError, match="n_requests must be >= 1"):
+            build_trace(0)
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            (dict(process="uniform"), "poisson"),
+            (dict(tenants=()), "at least one tenant"),
+            (dict(priorities=()), "at least one priority"),
+            (dict(deadline_slack=-1.0), "deadline_slack must be >= 0"),
+            (dict(deadline_slack=2.0), "needs cycles_per_token"),
+        ],
+    )
+    def test_validation(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            build_trace(4, **kwargs)
+
+    def test_deadline_scales_linearly_with_cycles_per_token(self):
+        base = build_trace(
+            4, hidden=4, n_heads=2, deadline_slack=2.0,
+            cycles_per_token=10.0, seed=9,
+        )
+        scaled = build_trace(
+            4, hidden=4, n_heads=2, deadline_slack=2.0,
+            cycles_per_token=20.0, seed=9,
+        )
+        for a, b in zip(base, scaled):
+            assert a.deadline is not None and b.deadline is not None
+            assert a.deadline > a.arrival
+            # Doubling cycles_per_token doubles the post-arrival slack.
+            assert b.deadline - b.arrival == pytest.approx(
+                2.0 * (a.deadline - a.arrival)
+            )
+
+    def test_deadlines_survive_extreme_cycles_per_token(self):
+        """A tiny estimate must still give a strictly-after-arrival
+        deadline (SequenceMeta validation would reject deadline <=
+        arrival) and a huge one must stay finite."""
+        tiny = build_trace(
+            3, hidden=4, n_heads=2, deadline_slack=1.0,
+            cycles_per_token=1e-9, seed=2,
+        )
+        huge = build_trace(
+            3, hidden=4, n_heads=2, deadline_slack=1.0,
+            cycles_per_token=1e12, seed=2,
+        )
+        for serving in tiny + huge:
+            assert serving.deadline is not None
+            assert serving.deadline > serving.arrival
+            assert np.isfinite(serving.deadline)
+
+    def test_measured_estimate_plugs_into_deadlines(self):
+        cpt = estimate_cycles_per_token(ENGINE, hidden=4, n_heads=2)
+        assert cpt > 0.0
+        # Deterministic: the probe is seeded and cycles architectural.
+        assert cpt == estimate_cycles_per_token(ENGINE, hidden=4, n_heads=2)
+        trace = build_trace(
+            2, hidden=4, n_heads=2, deadline_slack=3.0,
+            cycles_per_token=cpt, seed=4,
+        )
+        for serving in trace:
+            budget = serving.request.max_new_tokens
+            prompt = len(serving.request.x)
+            assert serving.deadline == pytest.approx(
+                serving.arrival + 3.0 * cpt * (prompt + budget)
+            )
