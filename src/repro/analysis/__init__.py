@@ -5,7 +5,7 @@ decode) are only trustworthy because each stays bit/cycle/counter-exact
 against a reference.  Those invariants used to live in tests and
 reviewer memory; this package checks them statically, on every file,
 in CI.  See :mod:`repro.analysis.engine` for the machinery and
-:mod:`repro.analysis.rules` for the NV001–NV008 rule set.
+:mod:`repro.analysis.rules` for the NV001–NV009 rule set.
 
 Run it with ``nova-repro lint`` or ``python -m repro.analysis``.
 """

@@ -19,6 +19,7 @@ from repro.analysis.rules.nv005_legacy_kwargs import LegacyGeometryKwargsRule
 from repro.analysis.rules.nv006_counters import CounterOwnershipRule
 from repro.analysis.rules.nv007_atomicity import AtomicityRule
 from repro.analysis.rules.nv008_wallclock import WallClockRule
+from repro.analysis.rules.nv009_kernel_purity import KernelPurityRule
 
 __all__ = [
     "ALL_RULES",
@@ -30,6 +31,7 @@ __all__ = [
     "CounterOwnershipRule",
     "AtomicityRule",
     "WallClockRule",
+    "KernelPurityRule",
 ]
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -41,4 +43,5 @@ ALL_RULES: tuple[Rule, ...] = (
     CounterOwnershipRule(),
     AtomicityRule(),
     WallClockRule(),
+    KernelPurityRule(),
 )

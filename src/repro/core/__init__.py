@@ -22,8 +22,25 @@ The :class:`NovaVectorUnit` offers a functional API (bit-exact against the
 cycle-accurate streaming API used by the energy evaluation.
 """
 
-from repro.core.config import NovaConfig, PRESETS, preset, as_config
+from repro.core.config import (
+    NovaConfig,
+    PRESETS,
+    KERNEL_BACKENDS,
+    preset,
+    as_config,
+)
 from repro.core.comparator import ComparatorBank
+from repro.core.kernels import (
+    KernelBackend,
+    NumpyBackend,
+    LoopbackBackend,
+    NumbaBackend,
+    JaxBackend,
+    BACKENDS,
+    resolve_backend,
+    available_backends,
+    kernel_cache_info,
+)
 from repro.core.mac import MacLane
 from repro.core.router import NovaRouter
 from repro.core.noc import NovaNoc, BroadcastResult
@@ -86,9 +103,19 @@ from repro.core.streaming import StreamingLine, ObservationLog
 __all__ = [
     "NovaConfig",
     "PRESETS",
+    "KERNEL_BACKENDS",
     "preset",
     "as_config",
     "NovaSession",
+    "KernelBackend",
+    "NumpyBackend",
+    "LoopbackBackend",
+    "NumbaBackend",
+    "JaxBackend",
+    "BACKENDS",
+    "resolve_backend",
+    "available_backends",
+    "kernel_cache_info",
     "ComparatorBank",
     "MacLane",
     "NovaRouter",

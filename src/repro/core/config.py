@@ -54,6 +54,7 @@ __all__ = [
     "GEOMETRY_FIELDS",
     "ENGINE_FIELDS",
     "DRAFT_KINDS",
+    "KERNEL_BACKENDS",
 ]
 
 #: The draft models :func:`repro.core.speculative.build_draft` knows how
@@ -61,6 +62,15 @@ __all__ = [
 #: canonical tuple lives here rather than in :mod:`repro.core.speculative`
 #: so config validation needs no import of the engine stack.
 DRAFT_KINDS = ("truncated-table", "ngram")
+
+#: The execution backends :func:`repro.core.kernels.resolve_backend`
+#: knows how to build (``NovaConfig.kernel_backend``).  As with
+#: :data:`DRAFT_KINDS`, the canonical tuple lives here so config
+#: validation needs no import of the kernel stack; a test pins it equal
+#: to :data:`repro.core.kernels.BACKENDS`.  ``numba``/``jax`` are
+#: optional dependencies — naming one where it is not installed warns
+#: and runs on ``numpy`` instead.
+KERNEL_BACKENDS = ("numpy", "loopback", "numba", "jax")
 
 #: The overlay-geometry fields (what a :class:`NovaVectorUnit` needs).
 GEOMETRY_FIELDS = (
@@ -85,6 +95,7 @@ _FIELD_PARSERS: dict[str, Callable[[str], object]] = {
     "enable_prefix_caching": lambda s: _parse_bool(
         "enable_prefix_caching", s
     ),
+    "kernel_backend": str,
     "host": lambda s: None if s.lower() in ("", "none", "null") else s,
 }
 
@@ -136,6 +147,16 @@ class NovaConfig:
     override it per run).  Off by default; like the other serving
     knobs it is purely a memory-residency lever — outputs, cycles and
     counters are bit-identical either way.
+
+    ``kernel_backend`` selects the :data:`KERNEL_BACKENDS` entry that
+    executes the whole-batch gather/MAC primitives
+    (:mod:`repro.core.kernels`).  Every backend is bit/cycle/counter
+    exact against the beat-level simulation, so like the serving knobs
+    it is purely an execution-speed lever; ``"numpy"`` is the default
+    everywhere, ``"loopback"`` pins the pre-kernel per-token loop for
+    benchmarking, and ``"numba"``/``"jax"`` are optional accelerated
+    drop-ins that fall back to numpy (with a warning) when the package
+    is absent.
     """
 
     n_routers: int = 8
@@ -148,6 +169,7 @@ class NovaConfig:
     spec_k: int = 4
     draft_kind: str = "truncated-table"
     enable_prefix_caching: bool = False
+    kernel_backend: str = "numpy"
     host: str | None = None
 
     def __post_init__(self) -> None:
@@ -191,6 +213,16 @@ class NovaConfig:
             raise TypeError(
                 "enable_prefix_caching must be a bool, got "
                 f"{type(self.enable_prefix_caching).__name__}"
+            )
+        if not isinstance(self.kernel_backend, str):
+            raise TypeError(
+                "kernel_backend must be a backend name (str), got "
+                f"{type(self.kernel_backend).__name__}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"known: {sorted(KERNEL_BACKENDS)}"
             )
         if self.host is not None and not isinstance(self.host, str):
             raise TypeError(

@@ -851,67 +851,98 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
         the continuous batcher interleave prefill and decode rows across
         lanes.  Returns ``(results, packed_vector_cycles)``; per-job
         costs are sequential-equivalent (closed form).
+
+        The step costs two kernel launches (one
+        :meth:`~repro.core.vector_unit.NovaVectorUnit.run_stream` per
+        phase, inside ``_run_packed``) plus vectorised host reductions:
+        per-job ``tag_match`` sums come from one ``np.add.reduceat``
+        over the job boundaries (integer sums — order-insensitive, so
+        exactly the per-slice sums the per-job loop computed), and the
+        softmax reductions run batched over every group of tokens with
+        the same ``(heads, kv_len)`` score shape.  Batching the float
+        phases by shape group is what keeps them bit-exact: the
+        reductions in :func:`softmax_reduction` /
+        :func:`assemble_probabilities` are along the last axis, whose
+        pairwise summation order per row is independent of any leading
+        batch dimension.
         """
         if not jobs:
             return [], 0
         lanes = self.n_lanes
+        tokens = [t for j in jobs for t in j.tokens]
+        job_counts = np.array([len(j.tokens) for j in jobs], dtype=np.int64)
+        first_token = np.concatenate(([0], np.cumsum(job_counts)[:-1]))
+        # Group tokens by score shape before phase 1 mutates the slots;
+        # every group batches through softmax_reduction (then
+        # assemble_probabilities) as one (group, heads, kv_len) call.
+        shape_groups: dict[tuple[int, ...], list[int]] = {}
+        for i, token in enumerate(tokens):
+            shape_groups.setdefault(token.shifted.shape, []).append(i)
 
         # Phase 1: every job's exponentials in one stream.
-        exp_flat = np.concatenate(
-            [t.shifted.reshape(-1) for j in jobs for t in j.tokens]
-        )
+        exp_sizes = np.array([t.n_exp for t in tokens], dtype=np.int64)
+        exp_starts = np.concatenate(([0], np.cumsum(exp_sizes)[:-1]))
+        exp_flat = np.concatenate([t.shifted.reshape(-1) for t in tokens])
         exp_out, exp_batches, exp_addr = self._run_packed("exp", exp_flat)
         exp_n_beats = self._schedule_for("exp").n_beats
-        offset = 0
-        job_exp: list[tuple[int, int]] = []
-        for job in jobs:
-            job_start = offset
-            for token in job.tokens:
-                raw = exp_out[offset : offset + token.n_exp].reshape(
-                    token.shifted.shape
-                )
-                token.numer, mantissa, token.exponent = softmax_reduction(raw)
-                token.shifted = mantissa  # reuse the slot for the mantissas
-                offset += token.n_exp
-            tag_sum = int(
-                beat_of_address(
-                    exp_addr[job_start:offset], exp_n_beats
-                ).sum()
-            )
-            job_exp.append((offset - job_start, tag_sum))
+        job_elem_starts = exp_starts[first_token]
+        job_exp_sizes = np.add.reduceat(exp_sizes, first_token)
+        job_exp_tags = np.add.reduceat(
+            beat_of_address(exp_addr, exp_n_beats), job_elem_starts
+        )
+
+        # group id -> (token indices, batched numerators, exponents)
+        group_states: list[tuple[list[int], np.ndarray, np.ndarray]] = []
+        for shape, members in shape_groups.items():
+            size = int(np.prod(shape))
+            gathered = exp_out[
+                exp_starts[members][:, None] + np.arange(size)
+            ].reshape(len(members), *shape)
+            numer, mantissa, exponent = softmax_reduction(gathered)
+            for pos, i in enumerate(members):
+                tokens[i].shifted = mantissa[pos]  # reuse: the mantissas
+            group_states.append((members, numer, exponent))
 
         # Phase 2: every job's normaliser reciprocals in one stream.
-        recip_flat = np.concatenate(
-            [t.shifted.reshape(-1) for j in jobs for t in j.tokens]
+        recip_sizes = np.array(
+            [t.shifted.size for t in tokens], dtype=np.int64
         )
+        recip_starts = np.concatenate(([0], np.cumsum(recip_sizes)[:-1]))
+        recip_flat = np.concatenate([t.shifted.reshape(-1) for t in tokens])
         recip_out, recip_batches, recip_addr = self._run_packed(
             "reciprocal", recip_flat
         )
         recip_n_beats = self._schedule_for("reciprocal").n_beats
-        offset = 0
+        job_recip_sizes = np.add.reduceat(recip_sizes, first_token)
+        job_recip_tags = np.add.reduceat(
+            beat_of_address(recip_addr, recip_n_beats),
+            recip_starts[first_token],
+        )
+
+        token_probs: list[np.ndarray | None] = [None] * len(tokens)
+        for members, numer, exponent in group_states:
+            n_mantissa = int(recip_sizes[members[0]])
+            inv = recip_out[
+                recip_starts[members][:, None] + np.arange(n_mantissa)
+            ].reshape(len(members), *exponent.shape[1:])
+            probs = assemble_probabilities(numer, inv, exponent)
+            for pos, i in enumerate(members):
+                token_probs[i] = probs[pos]
+
+        # Host assembly: the context GEMVs stay per token (each attends
+        # to its own value snapshot), as does result wrapping.
         results: list[_JobResult] = []
-        for job, (n_exp, exp_tag_sum) in zip(jobs, job_exp):
+        for jnum, job in enumerate(jobs):
             probabilities, outputs = [], []
-            job_start = offset
-            for token in job.tokens:
-                mantissa = token.shifted
-                inv = recip_out[offset : offset + mantissa.size].reshape(
-                    mantissa.shape
-                )
-                offset += mantissa.size
-                probs = assemble_probabilities(
-                    token.numer, inv, token.exponent
-                )
+            for knum, token in enumerate(job.tokens):
+                probs = token_probs[int(first_token[jnum]) + knum]
+                assert probs is not None
                 context = context_for_query(probs, token.take_values())
                 probabilities.append(probs)
                 outputs.append(context @ job.state.request.wo)
                 token.release()
-            n_recip = offset - job_start
-            recip_tag_sum = int(
-                beat_of_address(
-                    recip_addr[job_start:offset], recip_n_beats
-                ).sum()
-            )
+            n_exp = int(job_exp_sizes[jnum])
+            n_recip = int(job_recip_sizes[jnum])
             results.append(
                 _JobResult(
                     job=job,
@@ -923,8 +954,10 @@ class NovaDecodeEngine(BatchedNovaAttentionEngine):
                     nonlinear_queries=n_exp + n_recip,
                     counters=self._sequential_request_counters(
                         {
-                            "exp": (n_exp, exp_tag_sum),
-                            "reciprocal": (n_recip, recip_tag_sum),
+                            "exp": (n_exp, int(job_exp_tags[jnum])),
+                            "reciprocal": (
+                                n_recip, int(job_recip_tags[jnum])
+                            ),
                         }
                     ),
                 )

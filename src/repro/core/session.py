@@ -403,13 +403,19 @@ class NovaSession:
         token slots; negative under prefix sharing) and the
         prefix-caching counters (``prefix_hits`` / ``prefix_misses`` /
         ``blocks_shared`` / ``cow_copies`` / ``shared_block_refs``).
+        ``kernels`` reports the execution-backend registry
+        (:func:`repro.core.kernels.kernel_cache_info`): which backends
+        are registered vs actually importable here, and per-backend
+        kernel launch / element tallies.
         """
+        from repro.core.kernels import kernel_cache_info
         from repro.core.paging import pool_cache_info
 
         return {
             "tables": table_cache_info(),
             "schedules": NovaMapper.schedule_cache_size(),
             "paging": pool_cache_info(),
+            "kernels": kernel_cache_info(),
         }
 
     def __repr__(self) -> str:

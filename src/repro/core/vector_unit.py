@@ -33,9 +33,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.approx.quantize import QuantizedPwl, beat_of_address, pack_beats
+from repro.approx.quantize import QuantizedPwl, pack_beats
 from repro.core.comparator import ComparatorBank
 from repro.core.config import NovaConfig, preset, warn_legacy_kwargs
+from repro.core.kernels import KernelBackend, resolve_backend
 from repro.core.mac import MacLane
 from repro.core.mapper import BroadcastSchedule, NovaMapper
 from repro.core.noc import NovaNoc
@@ -96,9 +97,11 @@ class StreamResult:
     batch_latency_pe_cycles: int
     counters: EventCounters
     #: Per-lane lookup addresses (segment indices), same shape as
-    #: ``outputs``.  Filled by the vectorised path, where they are a free
-    #: by-product of the whole-stream gather; ``None`` on the
-    #: cycle-simulated path (the simulator consumes them beat by beat).
+    #: ``outputs``.  Filled on both paths: the vectorised kernel returns
+    #: them as a free by-product of the whole-stream gather, and the
+    #: cycle-simulated path re-derives them through the pure golden
+    #: table (bit-identical, no extra counter charges) so consumers and
+    #: the backend-equivalence tests never have to branch on the path.
     addresses: np.ndarray | None = None
 
 
@@ -214,6 +217,7 @@ class NovaVectorUnit:
             for _ in range(config.n_routers)
         ]
         self.beats = pack_beats(table)
+        self.backend: KernelBackend = resolve_backend(config.kernel_backend)
 
     @property
     def n_routers(self) -> int:
@@ -329,11 +333,15 @@ class NovaVectorUnit:
                 f"expected batch shape {expected}, got {xs.shape[1:]}"
             )
         before = self._lifetime_counters()
-        addresses = None
         if simulate:
             outputs = np.zeros_like(xs)
             for t in range(n_batches):
                 outputs[t] = self.approximate(xs[t]).outputs
+            # Re-derive the addresses through the pure golden table:
+            # bit-identical to what the comparators computed beat by
+            # beat, with no extra counter charges (the simulation above
+            # already accounted every comparator_eval).
+            addresses = self.table.segment_index(xs)
         else:
             outputs, addresses = self._stream_vectorized(xs)
         counters = self._lifetime_counters().diff(before)
@@ -356,20 +364,22 @@ class NovaVectorUnit:
         its beat arrives, and beats arrive in tag order), so its exact
         ``tag_match`` contribution is ``(address & (n_beats - 1)) + 1``.
         Everything else is address-independent per broadcast.
+
+        The gather/MAC itself and the tag-match reduction run on the
+        configured :class:`~repro.core.kernels.KernelBackend`; counter
+        charging stays here with the unit that owns the counters
+        (NV006/NV009) — backends are pure array transformers.
         """
         n_batches, n_routers, n_neurons = xs.shape
-        xq, idx = self.table.lookup(xs)
-        quantized = self.table.quantized_pwl
-        outputs = self.table.output_format.mac(
-            quantized.slopes[idx], xq, quantized.biases[idx]
-        )
+        outputs, idx = self.backend.table_gather_mac(self.table, xs)
         per_router = n_batches * n_neurons
         for bank in self.comparators:
             bank.counters.add("comparator_eval", per_router)
         for mac in self.macs:
             mac.counters.add("mac_op", per_router)
-        beat_sel = beat_of_address(idx, self.schedule.n_beats)
-        tag_matches = beat_sel.sum(axis=(0, 2)) + per_router
+        tag_matches = np.asarray(
+            self.backend.tag_match_totals(idx, self.schedule.n_beats)
+        )
         pair_captures = np.full(n_routers, per_router, dtype=np.int64)
         self.noc.charge_broadcasts(n_batches, tag_matches, pair_captures)
         return outputs, idx

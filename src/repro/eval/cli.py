@@ -14,10 +14,11 @@ Installed as ``nova-repro``::
     nova-repro serve-decode --paged  # paged-KV admission capacity study
     nova-repro serve-decode --speculative  # draft-and-verify speedup study
     nova-repro serve-decode --prefix-caching  # shared-prefix residency study
+    nova-repro serve-decode --backend numba   # pick the kernel backend
     nova-repro serve-async       # async front door: policies vs SLOs
     nova-repro serve-async --paged  # same trace, paged-KV memory mode
 
-    nova-repro lint              # novalint static analysis (NV001-NV008)
+    nova-repro lint              # novalint static analysis (NV001-NV009)
     nova-repro lint --strict --format json  # the CI gate invocation
 
 Geometry selection
@@ -34,10 +35,17 @@ field with repeatable ``--override FIELD=VALUE`` flags::
 
 Overridable fields: ``n_routers``, ``neurons_per_router``,
 ``pe_frequency_ghz``, ``hop_mm``, ``n_segments``, ``seed``,
-``kv_block_size``, ``spec_k``, ``draft_kind``, ``host``.
-``nova-repro geometries`` prints every preset with its geometry and
-host accelerator.  Passing ``--geometry``/``--override`` to an
-experiment that has a fixed, paper-defined geometry is an error.
+``kv_block_size``, ``spec_k``, ``draft_kind``, ``kernel_backend``,
+``host``.  ``nova-repro geometries`` prints every preset with its
+geometry and host accelerator.  Passing ``--geometry``/``--override``
+to an experiment that has a fixed, paper-defined geometry is an error.
+
+``serve-decode``/``serve-async`` also take ``--backend`` — shorthand
+for ``--override kernel_backend=NAME``, validated against the
+:data:`repro.core.config.KERNEL_BACKENDS` registry (a typo exits 2
+listing the known backends).  Every backend is bit/cycle/counter
+exact; ``numba``/``jax`` fall back to numpy (with a warning) when the
+package is not installed.
 
 ``serve-decode --paged`` swaps the throughput harness for the paged-KV
 memory-utilization study
@@ -73,7 +81,7 @@ import functools
 import sys
 from collections.abc import Callable
 
-from repro.core.config import NovaConfig, PRESETS, preset
+from repro.core.config import KERNEL_BACKENDS, NovaConfig, PRESETS, preset
 from repro.eval import ablations, experiments, sweeps
 from repro.eval.report import render_experiment
 
@@ -185,7 +193,7 @@ def _lint_main(argv: list[str]) -> int:
         prog="nova-repro lint",
         description=(
             "novalint: AST invariant analyzer for the NOVA stack "
-            "(rules NV001-NV008; see README 'Static analysis')."
+            "(rules NV001-NV009; see README 'Static analysis')."
         ),
     )
     add_lint_arguments(parser)
@@ -257,10 +265,22 @@ def main(argv: list[str] | None = None) -> int:
              "bit-identical outputs, the win measured in peak pool "
              "residency) instead of the throughput harness",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(KERNEL_BACKENDS),
+        help="kernel backend for serve-decode/serve-async (shorthand for "
+             "--override kernel_backend=NAME); every backend is "
+             "bit/cycle/counter-exact — numba/jax fall back to numpy "
+             "when not installed",
+    )
     args = parser.parse_args(argv)
 
     if args.paged and args.experiment not in ("serve-decode", "serve-async"):
         parser.error("--paged only applies to serve-decode/serve-async")
+    if args.backend is not None and args.experiment not in (
+        "serve-decode", "serve-async"
+    ):
+        parser.error("--backend only applies to serve-decode/serve-async")
     if args.speculative and args.experiment != "serve-decode":
         parser.error("--speculative only applies to serve-decode")
     if args.prefix_caching and args.experiment != "serve-decode":
@@ -286,7 +306,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
-    config = _resolve_config(names, args.geometry, args.override, parser)
+    overrides = list(args.override)
+    if args.backend is not None:
+        overrides.append(f"kernel_backend={args.backend}")
+    config = _resolve_config(names, args.geometry, overrides, parser)
 
     for name in names:
         runner = EXPERIMENTS[name]
