@@ -55,6 +55,7 @@ __all__ = [
     "ENGINE_FIELDS",
     "DRAFT_KINDS",
     "KERNEL_BACKENDS",
+    "parse_tree_spec",
 ]
 
 #: The draft models :func:`repro.core.speculative.build_draft` knows how
@@ -91,6 +92,7 @@ _FIELD_PARSERS: dict[str, Callable[[str], object]] = {
     "seed": int,
     "kv_block_size": int,
     "spec_k": int,
+    "spec_tree": lambda s: None if s.lower() in ("", "none", "null") else s,
     "draft_kind": str,
     "enable_prefix_caching": lambda s: _parse_bool(
         "enable_prefix_caching", s
@@ -98,6 +100,69 @@ _FIELD_PARSERS: dict[str, Callable[[str], object]] = {
     "kernel_backend": str,
     "host": lambda s: None if s.lower() in ("", "none", "null") else s,
 }
+
+
+#: Safety cap on draft-tree size: the sum of nodes over every level of a
+#: ``spec_tree`` may not exceed this (a runaway ``"4x8"`` would plan
+#: 87k provisional tokens per pass).  Far above any tree that pays off.
+MAX_TREE_NODES = 256
+
+
+def parse_tree_spec(spec: str) -> tuple[int, ...]:
+    """Parse a draft-tree spec into per-level branching widths.
+
+    The spec is comma-separated ``WIDTHxCOUNT`` segments (a bare
+    ``WIDTH`` means ``WIDTHx1``): ``"2x2"`` branches twice at width 2,
+    ``"1x4"`` is a linear chain of four drafts (the degenerate tree —
+    exactly ``spec_k=4``), ``"3,1x3"`` tries three alternatives for the
+    first draft and extends each survivor linearly for three more.
+    Level ``i`` of the returned tuple is how many alternative drafts
+    every surviving branch proposes at depth ``i + 1``.  The full tree
+    (every level's node count is the product of the widths so far) is
+    capped at :data:`MAX_TREE_NODES` nodes.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"tree spec must be a str, got {type(spec).__name__}"
+        )
+    widths: list[int] = []
+    for segment in spec.split(","):
+        segment = segment.strip()
+        if not segment:
+            raise ValueError(
+                f"empty segment in tree spec {spec!r}; expected "
+                "comma-separated WIDTHxCOUNT segments like '2x2,1x4'"
+            )
+        width_text, sep, count_text = segment.partition("x")
+        try:
+            if sep and not count_text:
+                raise ValueError(segment)
+            width = int(width_text)
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise ValueError(
+                f"malformed tree-spec segment {segment!r} in {spec!r}; "
+                "expected WIDTHxCOUNT (e.g. '2x2') or a bare WIDTH"
+            ) from None
+        if width < 1 or count < 1:
+            raise ValueError(
+                f"tree-spec widths and counts must be >= 1, got "
+                f"{segment!r} in {spec!r}"
+            )
+        widths.extend([width] * count)
+    if not widths:
+        raise ValueError("tree spec must name at least one level")
+    nodes = 0
+    level = 1
+    for width in widths:
+        level *= width
+        nodes += level
+        if nodes > MAX_TREE_NODES:
+            raise ValueError(
+                f"tree spec {spec!r} plans more than {MAX_TREE_NODES} "
+                "nodes; use narrower widths or fewer levels"
+            )
+    return tuple(widths)
 
 
 def _parse_bool(name: str, text: str) -> bool:
@@ -132,14 +197,18 @@ class NovaConfig:
     block-table overhead with bigger blocks).  It never affects
     numerics, cycles or counters — only where K/V rows live.
 
-    ``spec_k`` / ``draft_kind`` are the speculative-decode defaults
-    (:mod:`repro.core.speculative`): how many draft tokens one
-    verification pass may carry (``spec_k >= 1``; wider overlays
-    amortise deeper speculation) and which :data:`DRAFT_KINDS` entry
-    builds the default draft model.  Like ``kv_block_size``, they never
-    change what tokens are generated — speculative decode is bit-exact
-    against plain decode by construction — only how many overlay passes
-    it takes to generate them.
+    ``spec_k`` / ``spec_tree`` / ``draft_kind`` are the
+    speculative-decode defaults (:mod:`repro.core.speculative`): how
+    many draft tokens one verification pass may carry (``spec_k >= 1``;
+    wider overlays amortise deeper speculation), an optional draft
+    *tree* spec (:func:`parse_tree_spec` syntax, e.g. ``"2x2,1x4"``)
+    that scores several alternative drafts per depth in the same packed
+    pass (``None`` keeps the linear ``spec_k`` chain), and which
+    :data:`DRAFT_KINDS` entry builds the default draft model.  Like
+    ``kv_block_size``, they never change what tokens are generated —
+    speculative decode is bit-exact against plain decode by
+    construction — only how many overlay passes it takes to generate
+    them.
 
     ``enable_prefix_caching`` is the paged serving stack's default for
     sharing already-cached prompt blocks between requests
@@ -167,6 +236,7 @@ class NovaConfig:
     seed: int = 0
     kv_block_size: int = 16
     spec_k: int = 4
+    spec_tree: str | None = None
     draft_kind: str = "truncated-table"
     enable_prefix_caching: bool = False
     kernel_backend: str = "numpy"
@@ -199,6 +269,8 @@ class NovaConfig:
             object.__setattr__(self, name, float(value))
             if getattr(self, name) <= 0.0:
                 raise ValueError(f"{name} must be > 0, got {value}")
+        if self.spec_tree is not None:
+            parse_tree_spec(self.spec_tree)  # raises on a malformed spec
         if not isinstance(self.draft_kind, str):
             raise TypeError(
                 "draft_kind must be a draft-model name (str), got "

@@ -299,6 +299,33 @@ class KVCache:
         """
         return self._v[:, :kv_len].copy()
 
+    def fork(self) -> "KVCache":
+        """An independent private copy of this cache's live state.
+
+        The contiguous counterpart of
+        :meth:`~repro.core.paging.PagedKVCache.fork`: the twin presents
+        the same live span and history but owns its own storage, so
+        appends on either side never show through.  (No blocks to
+        share here — the contiguous layout pays a real copy where the
+        paged layout pays refcounts; tree speculation forks at most a
+        handful of branch caches per pass.)
+        """
+        twin = KVCache(
+            self.n_heads, self.head_dim, self.capacity, window=self.window
+        )
+        twin._adopt_span(self)
+        return twin
+
+    def _adopt_span(self, source: "KVCache") -> None:
+        """Copy ``source``'s live rows, span and eviction history into
+        this cache — :meth:`fork`'s accounting step, on the owner so
+        the eviction counter is only ever written by its own object."""
+        self._k[:, : source.length] = source._k[:, : source.length]
+        self._v[:, : source.length] = source._v[:, : source.length]
+        self.length = source.length
+        self.start_position = source.start_position
+        self.evictions = source.evictions
+
     def reset(self) -> None:
         """Empty the cache in place (page recycling; allocation kept)."""
         self.length = 0
@@ -1310,8 +1337,9 @@ class ContinuousBatchScheduler:
     ``speculative=True`` composes with either memory model: each active
     sequence's step becomes one draft-and-verify pass
     (:class:`~repro.core.speculative.SpeculativeDecodeEngine`, at the
-    engine config's ``spec_k``/``draft_kind`` unless overridden; one
-    draft model per sequence via ``draft_factory``).  Verification
+    engine config's ``spec_k``/``spec_tree``/``draft_kind`` unless
+    overridden — a ``spec_tree`` scores a whole draft tree per pass;
+    one draft model per sequence via ``draft_factory``).  Verification
     passes of different requests fuse into the shared lane streams
     exactly like decode rows; a pass that cannot get provisional blocks
     degrades to draft-free before it defers, and per-request results
@@ -1345,6 +1373,7 @@ class ContinuousBatchScheduler:
         prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
+        spec_tree: str | None = None,
         draft_kind: str | None = None,
         draft_factory: Callable[[], DraftModel] | None = None,
         policy: SchedulingPolicy | None = None,
@@ -1366,12 +1395,13 @@ class ContinuousBatchScheduler:
             raise ValueError("pass pool_blocks or pool_bytes, not both")
         if not speculative and (
             spec_k is not None
+            or spec_tree is not None
             or draft_kind is not None
             or draft_factory is not None
         ):
             raise ValueError(
-                "spec_k/draft_kind/draft_factory only apply to the "
-                "speculative scheduler (pass speculative=True)"
+                "spec_k/spec_tree/draft_kind/draft_factory only apply to "
+                "the speculative scheduler (pass speculative=True)"
             )
         self.engine = engine
         self.speculative = bool(speculative)
@@ -1383,7 +1413,7 @@ class ContinuousBatchScheduler:
             )
 
             self._speculator = SpeculativeDecodeEngine(
-                engine, spec_k=spec_k
+                engine, spec_k=spec_k, tree=spec_tree
             )
             kind = (
                 engine.config.draft_kind if draft_kind is None else draft_kind

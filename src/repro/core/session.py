@@ -225,6 +225,7 @@ class NovaSession:
         *,
         speculative: bool = False,
         spec_k: int | None = None,
+        spec_tree: str | None = None,
         draft: "DraftModel | None" = None,
     ) -> "GenerateResult | SpeculativeGenerateResult":
         """Prefill the prompt, then generate tokens autoregressively.
@@ -241,24 +242,28 @@ class NovaSession:
         config; ``draft`` substitutes any
         :class:`~repro.core.speculative.DraftModel`), returning a
         :class:`~repro.core.speculative.SpeculativeGenerateResult` with
-        acceptance and rollback accounting.
+        acceptance and rollback accounting.  ``spec_tree`` (a
+        ``"2x2,1x4"``-style spec, defaulting from the config) scores a
+        whole :class:`~repro.core.speculative.DraftTree` of alternative
+        drafts per pass instead of one linear chain — still
+        bit-identical, for any tree.
         """
         if not speculative:
-            if spec_k is not None or draft is not None:
+            if spec_k is not None or spec_tree is not None or draft is not None:
                 raise ValueError(
-                    "spec_k/draft only apply to speculative generation "
-                    "(pass speculative=True)"
+                    "spec_k/spec_tree/draft only apply to speculative "
+                    "generation (pass speculative=True)"
                 )
             return self.decoder.generate(
                 request, max_new_tokens=max_new_tokens
             )
-        if spec_k is None and draft is None:
+        if spec_k is None and spec_tree is None and draft is None:
             engine = self.speculator
         else:
             from repro.core.speculative import SpeculativeDecodeEngine
 
             engine = SpeculativeDecodeEngine(
-                self.decoder, draft=draft, spec_k=spec_k
+                self.decoder, draft=draft, spec_k=spec_k, tree=spec_tree
             )
         return engine.generate(request, max_new_tokens=max_new_tokens)
 
@@ -274,6 +279,7 @@ class NovaSession:
         prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
+        spec_tree: str | None = None,
         draft_kind: str | None = None,
         draft_factory: "Callable[[], DraftModel] | None" = None,
     ) -> ContinuousBatchResult:
@@ -294,17 +300,18 @@ class NovaSession:
         admission only for unshared blocks — a pure residency win, the
         hit/share counters land in the result's ``paging`` dict.
         ``speculative=True`` replaces each in-flight decode row with a
-        draft-and-verify pass (``spec_k`` drafts per pass, one
-        ``draft_kind`` model per sequence — or ``draft_factory()``
-        models), composing with either memory mode and still
-        bit-identical to solo :meth:`generate` per request.
+        draft-and-verify pass (``spec_k`` drafts per pass — or a whole
+        ``spec_tree`` draft tree per pass — one ``draft_kind`` model
+        per sequence, or ``draft_factory()`` models), composing with
+        either memory mode and still bit-identical to solo
+        :meth:`generate` per request.
         """
         scheduler = ContinuousBatchScheduler(
             self.decoder, max_active=max_active, paged=paged,
             block_size=block_size, pool_blocks=pool_blocks,
             pool_bytes=pool_bytes, prefix_caching=prefix_caching,
             speculative=speculative,
-            spec_k=spec_k, draft_kind=draft_kind,
+            spec_k=spec_k, spec_tree=spec_tree, draft_kind=draft_kind,
             draft_factory=draft_factory,
         )
         return scheduler.run(requests)
@@ -322,6 +329,7 @@ class NovaSession:
         prefix_caching: bool | None = None,
         speculative: bool = False,
         spec_k: int | None = None,
+        spec_tree: str | None = None,
         draft_kind: str | None = None,
         draft_factory: "Callable[[], DraftModel] | None" = None,
     ) -> "ServingReport":
@@ -356,6 +364,7 @@ class NovaSession:
             prefix_caching=prefix_caching,
             speculative=speculative,
             spec_k=spec_k,
+            spec_tree=spec_tree,
             draft_kind=draft_kind,
             draft_factory=draft_factory,
         )

@@ -48,6 +48,29 @@ a self-fed trajectory revisits states.  :class:`ScheduledDraft` follows
 an explicit accept/reject program — the test and golden-trace
 instrument.
 
+Tree speculation
+----------------
+A linear chain stops paying at the first miss: one wrong draft wastes
+the whole suffix.  A :class:`DraftTree` (``spec_tree="2x2,1x4"`` style
+specs, :func:`repro.core.config.parse_tree_spec`) proposes several
+*alternative* drafts per depth instead and scores the whole tree in the
+same single packed pass.  Every tree node appends as a provisional
+token under its own branch cache — an only child extends its parent's
+branch in place, siblings each get a ``fork()`` of the parent cache (on
+the paged layer a copy-on-write :class:`~repro.core.paging.BlockTable`
+fork: shared prefixes stay at refcount, not copy) — so each node's
+gathered KV span is exactly its ancestor chain.  That *is* the
+tree-causal attention mask, realised structurally rather than
+arithmetically (:func:`tree_causal_mask` materialises it); one
+whole-batch ``table_gather_mac`` launch per phase scores every branch
+at once.  The commit step walks the tree accepting, per depth, the
+child drafted bit-identical to its parent's true output, keeps that
+longest-accepted branch, and rolls every other branch back through the
+existing truncate/release path — zero leaked pool blocks for any
+accept pattern (a pinned property).  A width-1 tree plans no forks at
+all and degenerates to exactly the linear ``spec_k`` chain, which pins
+backward compatibility bit-for-bit.
+
 Accounting
 ----------
 Each verification pass is charged what the overlay actually spends (the
@@ -71,7 +94,12 @@ from repro.core.attention import (
     shift_scores,
     softmax_reduction,
 )
-from repro.core.config import DRAFT_KINDS, NovaConfig, as_config
+from repro.core.config import (
+    DRAFT_KINDS,
+    NovaConfig,
+    as_config,
+    parse_tree_spec,
+)
 from repro.core.decode import (
     CausalPrefillResult,
     DecodeRequest,
@@ -87,17 +115,19 @@ from repro.noc.stats import EventCounters
 
 if TYPE_CHECKING:
     from repro.approx.quantize import QuantizedPwl
-    from repro.core.decode import KVCacheLike, _JobResult
+    from repro.core.decode import KVCacheLike, _JobResult, _TokenPlan
     from repro.core.paging import BlockPool
     from repro.core.vector_unit import NovaVectorUnit
 
 __all__ = [
     "DraftModel",
+    "DraftTree",
     "NGramDraft",
     "TruncatedTableDraft",
     "ScheduledDraft",
     "build_draft",
     "host_step_output",
+    "tree_causal_mask",
     "SpeculativeStepResult",
     "VerifyPassResult",
     "SpeculativeGenerateResult",
@@ -150,6 +180,92 @@ def host_step_output(
 
 
 # ----------------------------------------------------------------------
+# Draft trees.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DraftTree:
+    """The branching plan of one tree-speculative verification pass.
+
+    ``widths[i]`` is how many alternative drafts every surviving branch
+    proposes at depth ``i + 1`` (the root ``u_0`` is depth 0 and always
+    a single true token).  ``DraftTree.linear(k)`` — all widths 1 — is
+    the degenerate tree: it plans the exact linear ``spec_k`` chain,
+    fork-free.  Identical sibling proposals are deduplicated at plan
+    time, so a draft that cannot produce ``widths[i]`` distinct
+    alternatives simply grows a narrower level — the tree is a budget,
+    not a quota.
+    """
+
+    widths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        widths = tuple(int(w) for w in self.widths)
+        object.__setattr__(self, "widths", widths)
+        if not widths:
+            raise ValueError("a draft tree needs at least one level")
+        if any(w < 1 for w in widths):
+            raise ValueError(
+                f"draft-tree widths must be >= 1, got {widths}"
+            )
+        # Reuse the spec parser's node cap (it validates the same sum).
+        parse_tree_spec(self.spec)
+
+    @classmethod
+    def parse(cls, spec: str) -> DraftTree:
+        """Build from a ``"2x2,1x4"``-style spec string
+        (:func:`repro.core.config.parse_tree_spec`)."""
+        return cls(parse_tree_spec(spec))
+
+    @classmethod
+    def linear(cls, k: int) -> DraftTree:
+        """The degenerate width-1 tree: a linear chain of ``k`` drafts."""
+        if k < 1:
+            raise ValueError(f"a linear chain needs k >= 1, got {k}")
+        return cls((1,) * k)
+
+    @property
+    def depth(self) -> int:
+        """Draft levels planned below the root."""
+        return len(self.widths)
+
+    @property
+    def max_nodes(self) -> int:
+        """Draft nodes a full (no-dedup, no-limit) tree would plan."""
+        nodes = 0
+        level = 1
+        for width in self.widths:
+            level *= width
+            nodes += level
+        return nodes
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether this is the degenerate (fork-free) chain."""
+        return all(w == 1 for w in self.widths)
+
+    @property
+    def spec(self) -> str:
+        """The canonical ``WIDTHxCOUNT`` spec string (run-length form)."""
+        segments: list[str] = []
+        for width in self.widths:
+            prior = segments[-1] if segments else None
+            if prior is not None and prior.startswith(f"{width}x"):
+                count = int(prior.split("x")[1]) + 1
+                segments[-1] = f"{width}x{count}"
+            else:
+                segments.append(f"{width}x1")
+        return ",".join(segments)
+
+    def __str__(self) -> str:
+        return self.spec
+
+    def __repr__(self) -> str:
+        return f"DraftTree({self.spec!r})"
+
+
+# ----------------------------------------------------------------------
 # Draft models.
 # ----------------------------------------------------------------------
 
@@ -167,6 +283,13 @@ class DraftModel(Protocol):
     must be deterministic in ``(cache state, x_t, position)`` — the
     continuous batcher relies on that to stay result-identical to
     one-at-a-time speculative decode.
+
+    Drafts may additionally implement the optional tree extension
+    ``propose_candidates(request, cache, x_t, position, width)``
+    returning up to ``width`` alternative proposals for one
+    :class:`DraftTree` level (the in-tree drafts all do).  It is not
+    part of the protocol: a plain linear draft works under any tree —
+    wide levels just degrade to its single :meth:`propose` answer.
     """
 
     def propose(
@@ -222,12 +345,20 @@ class TruncatedTableDraft:
         self._exp = cfg.table("exp")
         self._recip = cfg.table("reciprocal")
 
-    def _exact(self, position: int) -> bool:
+    def _exact(self, position: int, alternative: int = 0) -> bool:
         if self.fidelity >= 1.0:
             return True
         if self.fidelity <= 0.0:
             return False
-        coin = np.random.default_rng((self.seed, position)).random()
+        # Alternative 0 keeps the historical (seed, position) key so a
+        # width-1 tree draws the exact coins the linear chain always
+        # has; siblings flip independent coins.
+        key = (
+            (self.seed, position)
+            if alternative == 0
+            else (self.seed, position, alternative)
+        )
+        coin = np.random.default_rng(key).random()
         return bool(coin < self.fidelity)
 
     def propose(
@@ -241,6 +372,35 @@ class TruncatedTableDraft:
             request, cache, x_t, self._exp, self._recip,
             drop_to_bits=None if self._exact(position) else self.reduced_bits,
         )
+
+    def propose_candidates(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+        width: int,
+    ) -> list[np.ndarray]:
+        """``width`` alternative proposals for one tree level.
+
+        Alternative ``j`` flips its own fidelity coin (independent per
+        sibling, still keyed on absolute position only, so acceptance is
+        pass-grouping invariant) and, when inexact, truncates to
+        ``reduced_bits + j`` fraction bits — distinct wrong siblings
+        rather than ``width`` copies of the same miss.  Alternative 0 is
+        bit-identical to :meth:`propose`.
+        """
+        return [
+            host_step_output(
+                request, cache, x_t, self._exp, self._recip,
+                drop_to_bits=(
+                    None
+                    if self._exact(position, j)
+                    else self.reduced_bits + j
+                ),
+            )
+            for j in range(width)
+        ]
 
     def observe(
         self, x_t: np.ndarray, output: np.ndarray, position: int
@@ -297,12 +457,38 @@ class NGramDraft:
         hit = self._history.get(self._key(x_t))
         return np.array(x_t if hit is None else hit, dtype=np.float64)
 
+    def propose_candidates(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+        width: int,
+    ) -> list[np.ndarray]:
+        """Up to two alternatives: the learned follower, then persistence.
+
+        An n-gram table has exactly one follower per key, so the only
+        extra hedge a tree buys it is proposing ``x_t`` itself alongside
+        a history hit (on a miss the two coincide).  Narrower than
+        ``width`` is fine — the tree prunes.
+        """
+        hit = self._history.get(self._key(x_t))
+        candidates = [np.array(x_t if hit is None else hit, dtype=np.float64)]
+        if hit is not None and width > 1:
+            candidates.append(np.array(x_t, dtype=np.float64))
+        return candidates
+
     def observe(
         self, x_t: np.ndarray, output: np.ndarray, position: int
     ) -> None:
-        if len(self._history) >= self.max_history:
-            self._history.clear()
-        self._history[self._key(x_t)] = np.array(output, dtype=np.float64)
+        key = self._key(x_t)
+        if key not in self._history and len(self._history) >= self.max_history:
+            # Evict the single oldest entry (dict insertion order), not
+            # the whole history: a full wipe cratered acceptance to zero
+            # every time a long generation crossed the max_history
+            # boundary.
+            del self._history[next(iter(self._history))]
+        self._history[key] = np.array(output, dtype=np.float64)
 
     def reset(self) -> None:
         self._history.clear()
@@ -353,6 +539,37 @@ class ScheduledDraft:
             request, cache, x_t, self._exp, self._recip,
             drop_to_bits=None if exact else self.reduced_bits,
         )
+
+    def propose_candidates(
+        self,
+        request: DecodeRequest,
+        cache: KVCacheLike,
+        x_t: np.ndarray,
+        position: int,
+        width: int,
+    ) -> list[np.ndarray]:
+        """``width`` alternatives, each consuming one program decision.
+
+        Trees visit nodes level by level in planning order, so the
+        program maps onto tree nodes deterministically — which is what
+        lets the golden fixtures pin an exact acceptance trace per
+        preset.  Inexact alternatives truncate to ``reduced_bits + j``
+        so two ``False`` decisions yield two *distinct* wrong siblings;
+        duplicate ``True`` decisions dedup to one accepted child.
+        """
+        candidates: list[np.ndarray] = []
+        for j in range(width):
+            exact = self.program[self._cursor % len(self.program)]
+            self._cursor += 1
+            candidates.append(
+                host_step_output(
+                    request, cache, x_t, self._exp, self._recip,
+                    drop_to_bits=(
+                        None if exact else self.reduced_bits + j
+                    ),
+                )
+            )
+        return candidates
 
     def observe(
         self, x_t: np.ndarray, output: np.ndarray, position: int
@@ -506,17 +723,130 @@ class SpeculativeGenerateResult:
         return self.sequential_vector_cycles / self.vector_cycles
 
 
-class _SpecPass:
-    """One planned verification pass awaiting execution."""
+def _draft_candidates(
+    draft: DraftModel,
+    request: DecodeRequest,
+    cache: KVCacheLike,
+    x_t: np.ndarray,
+    position: int,
+    width: int,
+) -> list[np.ndarray]:
+    """One tree level's deduplicated draft proposals for one branch.
 
-    __slots__ = ("job", "x0", "drafts", "state")
+    Width-1 levels call :meth:`DraftModel.propose` directly — the exact
+    call the linear chain has always made, which is what keeps the
+    degenerate tree bit-and-accounting-identical to ``spec_k``
+    speculation.  Wider levels use the draft's optional
+    ``propose_candidates(request, cache, x_t, position, width)``
+    extension when it has one (every in-tree draft does), falling back
+    to the single :meth:`~DraftModel.propose` answer otherwise — a
+    plain linear draft still works under any tree, it just never fills
+    the extra width.  Bit-identical siblings collapse to one child:
+    they would verify identically, so planning both buys nothing.
+    """
+    if width == 1:
+        raw = [draft.propose(request, cache, x_t, position)]
+    else:
+        proposer = getattr(draft, "propose_candidates", None)
+        if proposer is None:
+            raw = [draft.propose(request, cache, x_t, position)]
+        else:
+            raw = list(proposer(request, cache, x_t, position, width))[:width]
+    candidates: list[np.ndarray] = []
+    seen: set[bytes] = set()
+    for proposal in raw:
+        d = np.asarray(proposal, dtype=np.float64).reshape(-1)
+        key = d.tobytes()
+        if key not in seen:
+            seen.add(key)
+            candidates.append(d)
+    return candidates
+
+
+class _TreeNode:
+    """One planned pass token: the root ``u_0`` or a provisional draft.
+
+    ``state`` is the branch this node's k/v row was appended through —
+    the request's live :class:`~repro.core.decode.DecodeState` for the
+    root and every only-child below it (``in_state``), a shadow state
+    over a cache fork for every sibling branch.
+    """
+
+    __slots__ = (
+        "parent", "embedding", "token_index", "state", "in_state",
+        "children",
+    )
 
     def __init__(
-        self, job: _Job, x0: np.ndarray, drafts: list[np.ndarray]
+        self,
+        parent: _TreeNode | None,
+        embedding: np.ndarray,
+        token_index: int,
+        state: DecodeState,
+        in_state: bool,
+    ) -> None:
+        self.parent = parent
+        self.embedding = embedding
+        self.token_index = token_index
+        self.state = state
+        self.in_state = in_state
+        self.children: list[_TreeNode] = []
+
+
+def tree_causal_mask(spec_pass: _SpecPass) -> np.ndarray:
+    """The pass's tree-causal attention mask over its planned tokens.
+
+    ``mask[i, j]`` is True exactly when pass token ``i`` attends to
+    pass token ``j`` — i.e. when ``j`` is ``i`` or one of its tree
+    ancestors (every token also attends to the whole committed prefix,
+    which is shared by construction).  The packed verification launch
+    realises this mask *structurally*: each branch's forked block table
+    gathers only that branch's ancestor rows, so the single
+    whole-batch ``table_gather_mac`` call per phase scores every branch
+    with no masking arithmetic.  Exposed for tests and docs; the
+    engine never materialises it.
+    """
+    n = len(spec_pass.nodes)
+    mask = np.zeros((n, n), dtype=bool)
+    for node in spec_pass.nodes:
+        cursor: _TreeNode | None = node
+        while cursor is not None:
+            mask[node.token_index, cursor.token_index] = True
+            cursor = cursor.parent
+    return mask
+
+
+class _SpecPass:
+    """One planned verification pass (a draft tree) awaiting execution.
+
+    ``nodes`` is every planned token in job order (the root first,
+    then level by level); ``drafts`` the draft embeddings in the same
+    order (the linear chain's historical view of the pass); ``forks``
+    the branch caches to release at finish; ``in_state_tokens`` how
+    many pass tokens were appended to the live state's own cache.
+    """
+
+    __slots__ = (
+        "job", "x0", "drafts", "state", "root", "nodes", "forks",
+        "in_state_tokens",
+    )
+
+    def __init__(
+        self,
+        job: _Job,
+        x0: np.ndarray,
+        root: _TreeNode,
+        nodes: list[_TreeNode],
+        forks: list[KVCacheLike],
+        in_state_tokens: int,
     ) -> None:
         self.job = job
         self.x0 = x0
-        self.drafts = drafts
+        self.root = root
+        self.nodes = nodes
+        self.forks = forks
+        self.in_state_tokens = in_state_tokens
+        self.drafts = [node.embedding for node in nodes[1:]]
         self.state = job.state
 
 
@@ -533,7 +863,11 @@ class SpeculativeDecodeEngine:
     constructor accepts (a :class:`~repro.core.config.NovaConfig`, a
     preset name, ``None``).  ``spec_k`` / ``draft`` default from the
     engine's config (``config.spec_k`` drafts through
-    :func:`build_draft`'s ``config.draft_kind``).
+    :func:`build_draft`'s ``config.draft_kind``).  ``tree`` switches a
+    pass from the linear chain to a :class:`DraftTree` (a tree object
+    or a ``"2x2,1x4"`` spec string; defaults to ``config.spec_tree``,
+    and to the degenerate ``DraftTree.linear(spec_k)`` chain when that
+    is ``None`` too).
 
     The primitive pair :meth:`plan_verify_pass` /
     :meth:`finish_verify_pass` is what the continuous batcher fuses
@@ -545,6 +879,7 @@ class SpeculativeDecodeEngine:
         engine: NovaDecodeEngine | NovaConfig | str | None = None,
         draft: DraftModel | None = None,
         spec_k: int | None = None,
+        tree: DraftTree | str | None = None,
     ) -> None:
         if not isinstance(engine, NovaDecodeEngine):
             engine = NovaDecodeEngine(engine)
@@ -557,6 +892,14 @@ class SpeculativeDecodeEngine:
                 f"{self.spec_k}; use the plain decode engine for "
                 "non-speculative serving"
             )
+        if tree is None:
+            tree = cfg.spec_tree
+        if tree is None:
+            self.tree = DraftTree.linear(self.spec_k)
+        elif isinstance(tree, str):
+            self.tree = DraftTree.parse(tree)
+        else:
+            self.tree = tree
         self._draft = draft
 
     @property
@@ -618,24 +961,37 @@ class SpeculativeDecodeEngine:
         draft: DraftModel | None = None,
         max_drafts: int | None = None,
     ) -> _SpecPass:
-        """Stage one verification pass: ``x_t`` plus up to ``spec_k``
-        provisional draft tokens, all appended to the cache.
+        """Stage one verification pass: ``x_t`` plus the draft tree's
+        provisional tokens, all appended as cached k/v rows.
+
+        The tree grows level by level.  An only child extends its
+        parent's branch cache in place; siblings each append under a
+        ``fork()`` of the parent cache (copy-on-write block sharing on
+        the paged layer), so every node's gathered KV span is exactly
+        its ancestor chain — the tree-causal mask, structurally
+        (:func:`tree_causal_mask`).  All planned tokens form **one**
+        job: the engine's packed execute scores the whole tree in a
+        single ``table_gather_mac`` launch per phase.  A width-1 tree
+        takes the historical linear path exactly (same proposal calls,
+        no forks).
 
         ``budget`` caps the pass at the tokens still owed (a pass never
-        commits more than it plans).  Drafting stops early at the
+        commits more than ``budget``, so the tree is clipped to
+        ``budget - 1`` levels; ``max_drafts`` clips levels the same
+        way — ``0`` plans just ``u_0``).  A branch stops growing at its
         cache's window limit — provisional tokens must never evict,
-        because eviction cannot be rolled back.  The plan is **atomic**:
-        any failure (draft shape mismatch, ``BlockPoolExhausted`` on a
-        provisional block, a raising draft model) rolls the cache, the
-        pool and the position back to their pre-pass state before the
-        exception propagates.
+        because eviction cannot be rolled back.  The plan is
+        **atomic**: any failure (draft shape mismatch,
+        ``BlockPoolExhausted`` on a provisional block or fork, a
+        raising draft model) releases every fork and rolls the cache,
+        the pool and the position back to their pre-pass state before
+        the exception propagates.
         """
         draft = self.draft if draft is None else draft
         if budget < 1:
             raise ValueError(f"pass budget must be >= 1, got {budget}")
         engine = self.engine
         request = state.request
-        cache = state.cache
         x_t = np.asarray(x_t, dtype=np.float64).reshape(-1)
         # Shape-checked before any state change (the engine's own check
         # inside _plan_token would fire too, but only after reshaping).
@@ -644,40 +1000,77 @@ class SpeculativeDecodeEngine:
                 f"token embedding must have hidden width {request.hidden}, "
                 f"got {x_t.shape[0]}"
             )
-        limit = (
-            self.spec_k if max_drafts is None else min(self.spec_k, max_drafts)
-        )
-        tokens = []
-        drafts: list[np.ndarray] = []
+        widths = self.tree.widths
+        if max_drafts is not None:
+            widths = widths[: max(0, max_drafts)]
+        widths = widths[: budget - 1]
+        tokens: list[_TokenPlan] = []
+        nodes: list[_TreeNode] = []
+        forks: list[KVCacheLike] = []
+        in_state = 0
         try:
             tokens.append(engine._plan_token(state, x_t))
-            x_i = x_t
-            while (
-                len(drafts) < limit
-                and len(tokens) < budget
-                and cache.length < cache.limit
-            ):
-                d = np.asarray(
-                    draft.propose(request, cache, x_i, state.position - 1),
-                    dtype=np.float64,
-                ).reshape(-1)
-                if d.shape[0] != request.hidden:
-                    raise ValueError(
-                        f"draft proposed an embedding of width {d.shape[0]}, "
-                        f"expected {request.hidden}"
+            in_state = 1
+            root = _TreeNode(None, x_t, 0, state, True)
+            nodes.append(root)
+            frontier = [root]
+            for width in widths:
+                next_frontier: list[_TreeNode] = []
+                for node in frontier:
+                    cache = node.state.cache
+                    if cache.length >= cache.limit:
+                        # Branch at its window limit: one more
+                        # provisional append would evict.
+                        continue
+                    candidates = _draft_candidates(
+                        draft, request, cache, node.embedding,
+                        node.state.position - 1, width,
                     )
-                drafts.append(d)
-                tokens.append(engine._plan_token(state, d))
-                x_i = d
+                    for d in candidates:
+                        if d.shape[0] != request.hidden:
+                            raise ValueError(
+                                f"draft proposed an embedding of width "
+                                f"{d.shape[0]}, expected {request.hidden}"
+                            )
+                    if len(candidates) == 1:
+                        # An only child extends the branch in place.
+                        child_states = [node.state]
+                    else:
+                        child_states = []
+                        for _ in candidates:
+                            fork = cache.fork()
+                            forks.append(fork)
+                            shadow = DecodeState(request, fork)
+                            shadow.position = node.state.position
+                            child_states.append(shadow)
+                    for d, child_state in zip(candidates, child_states):
+                        tokens.append(engine._plan_token(child_state, d))
+                        child = _TreeNode(
+                            node, d, len(tokens) - 1, child_state,
+                            child_state is state,
+                        )
+                        if child.in_state:
+                            in_state += 1
+                        nodes.append(child)
+                        node.children.append(child)
+                        next_frontier.append(child)
+                frontier = next_frontier
+                if not frontier:
+                    break
         except BaseException:
-            # Atomic rollback.  Only u_0's append can have evicted (and
-            # only when the cache sat exactly at its window limit, in
-            # which case the draft loop never ran, so nothing can raise
-            # after it), so truncating the appended tokens restores
-            # cache, pool and position exactly.
-            self._rollback(state, len(tokens))
+            # Atomic rollback: forks release their block references,
+            # then the in-place appends truncate.  Only u_0's append
+            # can have evicted (and only when the cache sat exactly at
+            # its window limit, in which case no level ever grew, so
+            # nothing can raise after it), so this restores cache, pool
+            # and position exactly.
+            for fork in forks:
+                fork.reset()
+            self._rollback(state, in_state)
             raise
-        return _SpecPass(_Job(state, "verify", tokens), x_t, drafts)
+        return _SpecPass(
+            _Job(state, "verify", tokens), x_t, root, nodes, forks, in_state
+        )
 
     def finish_verify_pass(
         self,
@@ -685,46 +1078,83 @@ class SpeculativeDecodeEngine:
         result: _JobResult,
         draft: DraftModel | None = None,
     ) -> tuple[list[SpeculativeStepResult], VerifyPassResult]:
-        """Accept the longest bit-exact draft prefix, roll back the rest.
+        """Commit the longest-accepted branch, roll back every other.
 
         ``result`` is the pass's ``_JobResult`` from
-        :meth:`NovaDecodeEngine._execute`.  Returns the committed steps
-        (at least one — ``u_0``'s input is the true previous output by
-        construction) and the pass accounting; the rejected suffix is
-        truncated from the cache before returning.
+        :meth:`NovaDecodeEngine._execute`.  The walk starts at the root
+        and, at each depth, descends into the child whose drafted
+        embedding equals the parent's true output bit for bit (siblings
+        are deduplicated at plan time, so at most one can match); the
+        walked path is the longest accepted branch.  Returns its
+        committed steps (at least one — ``u_0``'s input is the true
+        previous output by construction) and the pass accounting.
+        Before returning, every branch fork releases its block
+        references, the live cache truncates the in-place tokens the
+        path does not cover, and the path's fork-resident rows are
+        re-appended to the live cache (recomputing the k/v projection
+        is deterministic, hence bit-identical to the rows the released
+        fork held) — zero pool blocks leak for any accept pattern.
         """
         draft = self.draft if draft is None else draft
         state = spec_pass.state
         tokens = spec_pass.job.tokens
         outputs = result.outputs
-        accepted = 0
-        while accepted < len(spec_pass.drafts) and np.array_equal(
-            spec_pass.drafts[accepted], outputs[accepted]
-        ):
-            accepted += 1
+        path = [spec_pass.root]
+        node = spec_pass.root
+        while True:
+            out = outputs[node.token_index]
+            match = None
+            for child in node.children:
+                if np.array_equal(child.embedding, out):
+                    match = child
+                    break
+            if match is None:
+                break
+            path.append(match)
+            node = match
+        accepted = len(path) - 1
         committed = accepted + 1
         rolled_back = len(tokens) - committed
-        self._rollback(state, rolled_back)
+        # Forks first (shared tail blocks drop to their surviving
+        # refcounts), then the in-place suffix beyond the accepted
+        # in-place prefix truncates — the accepted path can only leave
+        # the live cache for a fork, never come back, so the in-place
+        # tokens it covers are exactly a prefix.
+        for fork in spec_pass.forks:
+            fork.reset()
+        kept_in_state = sum(1 for n in path if n.in_state)
+        self._rollback(state, spec_pass.in_state_tokens - kept_in_state)
+        request = state.request
+        for n in path:
+            if not n.in_state:
+                _, k_t, v_t = project_token(
+                    n.embedding, request.wq, request.wk, request.wv,
+                    request.n_heads,
+                )
+                state.cache.append(k_t, v_t)
+                state.position += 1
         lanes = self.engine.n_lanes
-        heads = state.request.n_heads
-        inputs = [spec_pass.x0, *spec_pass.drafts]
+        heads = request.n_heads
         steps: list[SpeculativeStepResult] = []
-        for i in range(committed):
-            probs = result.probabilities[i]
+        for i, n in enumerate(path):
+            probs = result.probabilities[n.token_index]
             kv_len = probs.shape[-1]
             n_exp = heads * kv_len
             steps.append(
                 SpeculativeStepResult(
-                    output=outputs[i],
+                    output=outputs[n.token_index],
                     probabilities=probs,
-                    position=tokens[i].position,
+                    position=tokens[n.token_index].position,
                     kv_length=kv_len,
                     drafted=i > 0,
                     vector_cycles=-(-n_exp // lanes) + -(-heads // lanes),
                     nonlinear_queries=n_exp + heads,
                 )
             )
-            draft.observe(inputs[i], outputs[i], tokens[i].position)
+            draft.observe(
+                n.embedding, outputs[n.token_index],
+                tokens[n.token_index].position,
+            )
         return steps, VerifyPassResult(
             tokens=len(tokens),
             drafted=len(spec_pass.drafts),

@@ -258,6 +258,14 @@ def main(argv: list[str] | None = None) -> int:
              "instead of the throughput harness",
     )
     parser.add_argument(
+        "--speculative-tree",
+        metavar="SPEC",
+        help="with serve-decode: run the tree-speculation study (a "
+             "draft tree, e.g. 4x1,2x1,1x1, vs a linear chain staking "
+             "the same number of provisional tokens per verification "
+             "pass) instead of the throughput harness",
+    )
+    parser.add_argument(
         "--prefix-caching",
         action="store_true",
         help="with serve-decode: run the shared-prefix residency study "
@@ -283,12 +291,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--backend only applies to serve-decode/serve-async")
     if args.speculative and args.experiment != "serve-decode":
         parser.error("--speculative only applies to serve-decode")
+    if args.speculative_tree is not None and args.experiment != "serve-decode":
+        parser.error("--speculative-tree only applies to serve-decode")
     if args.prefix_caching and args.experiment != "serve-decode":
         parser.error("--prefix-caching only applies to serve-decode")
-    if sum((args.paged, args.speculative, args.prefix_caching)) > 1:
+    if sum(
+        (
+            args.paged,
+            args.speculative,
+            args.speculative_tree is not None,
+            args.prefix_caching,
+        )
+    ) > 1:
         parser.error(
-            "pass --paged, --speculative or --prefix-caching, not both "
-            "(one study at a time)"
+            "pass --paged, --speculative, --speculative-tree or "
+            "--prefix-caching, not both (one study at a time)"
         )
 
     if args.experiment == "geometries":
@@ -317,6 +334,11 @@ def main(argv: list[str] | None = None) -> int:
             runner = experiments.paged_decode_utilization
         elif name == "serve-decode" and args.speculative:
             runner = experiments.speculative_decode_speedup
+        elif name == "serve-decode" and args.speculative_tree is not None:
+            runner = functools.partial(
+                experiments.tree_speculation_speedup,
+                spec_tree=args.speculative_tree,
+            )
         elif name == "serve-decode" and args.prefix_caching:
             runner = experiments.prefix_caching_residency
         elif name == "serve-async" and args.paged:

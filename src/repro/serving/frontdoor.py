@@ -111,6 +111,7 @@ class FrontDoor:
     prefix_caching: bool | None = None
     speculative: bool = False
     spec_k: int | None = None
+    spec_tree: str | None = None
     draft_kind: str | None = None
     draft_factory: "Callable[[], DraftModel] | None" = None
     _pending: list[ServingRequest] = field(default_factory=list, repr=False)
@@ -193,6 +194,7 @@ class FrontDoor:
             prefix_caching=self.prefix_caching,
             speculative=self.speculative,
             spec_k=self.spec_k,
+            spec_tree=self.spec_tree,
             draft_kind=self.draft_kind,
             draft_factory=self.draft_factory,
             policy=build_policy(self.policy),

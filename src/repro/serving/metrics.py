@@ -120,23 +120,36 @@ class ServingReport:
         return sum(r.tokens for r in self.requests)
 
     @property
-    def p50_ttft(self) -> float:
-        """Median time-to-first-token (virtual cycles)."""
+    def p50_ttft(self) -> float | None:
+        """Median time-to-first-token (virtual cycles; ``None`` when
+        the run served no requests — a percentile of an empty sample
+        is undefined, and dashboards render null, not a crash)."""
+        if not self.requests:
+            return None
         return percentile([r.ttft for r in self.requests], 50.0)
 
     @property
-    def p99_ttft(self) -> float:
-        """Tail time-to-first-token (virtual cycles)."""
+    def p99_ttft(self) -> float | None:
+        """Tail time-to-first-token (virtual cycles; ``None`` on an
+        empty request set)."""
+        if not self.requests:
+            return None
         return percentile([r.ttft for r in self.requests], 99.0)
 
     @property
-    def p50_latency(self) -> float:
-        """Median arrival-to-completion latency (virtual cycles)."""
+    def p50_latency(self) -> float | None:
+        """Median arrival-to-completion latency (virtual cycles;
+        ``None`` on an empty request set)."""
+        if not self.requests:
+            return None
         return percentile([r.latency for r in self.requests], 50.0)
 
     @property
-    def p99_latency(self) -> float:
-        """Tail arrival-to-completion latency (virtual cycles)."""
+    def p99_latency(self) -> float | None:
+        """Tail arrival-to-completion latency (virtual cycles;
+        ``None`` on an empty request set)."""
+        if not self.requests:
+            return None
         return percentile([r.latency for r in self.requests], 99.0)
 
     @property
@@ -237,7 +250,9 @@ def build_report(
 
     ``trace`` and ``result`` must be index-aligned (request ``i`` of
     the trace is ``result.results[i]``) — the front door guarantees
-    this.  ``request_id`` is taken from each trace entry.
+    this.  ``request_id`` is taken from each trace entry.  An empty
+    trace folds into a well-formed report: zero requests, zero
+    makespan, ``None`` percentiles.
     """
     if len(trace) != len(result.results):
         raise ValueError(
@@ -276,7 +291,7 @@ def build_report(
         preemptions=result.preemptions,
         packed_vector_cycles=result.packed_vector_cycles,
         sequential_vector_cycles=result.sequential_vector_cycles,
-        makespan_cycles=max(result.finish_times),
+        makespan_cycles=max(result.finish_times, default=0.0),
         prefix_hits=int(paging.get("prefix_hits", 0)),
         prefix_misses=int(paging.get("prefix_misses", 0)),
         blocks_shared=int(paging.get("blocks_shared", 0)),

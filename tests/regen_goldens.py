@@ -46,6 +46,17 @@ DECODE_WORKLOAD = dict(prompt_len=6, max_new_tokens=4, hidden=16, heads=2,
 #: is fully pinned per preset (spec_k varies by preset).
 SPECULATIVE_PROGRAM = (True, True, False)
 
+#: Fixed draft tree for the tree-speculative section: two alternatives
+#: at each of two depths (6 provisional nodes per pass).
+SPECULATIVE_TREE = "2x2"
+
+#: Accept/reject schedule for the tree section.  ScheduledDraft consumes
+#: one decision per *candidate* in level-order planning order, so a
+#: fixed program pins which sibling branch survives every pass — and
+#: with it the committed tokens, rollbacks and fork accounting.  The
+#: odd length keeps the surviving branch varying across passes.
+TREE_PROGRAM = (True, False, True, False, False)
+
 #: The regenerable fixture sections (``--section`` targets).  Narrower
 #: paths replace only that sub-dict, so regenerating the speculative
 #: section cannot silently rewrite the pinned attention / decode /
@@ -56,6 +67,7 @@ SECTIONS = {
     "decode.paged": ("decode", "paged"),
     "decode.prefix_cached": ("decode", "prefix_cached"),
     "decode.speculative": ("decode", "speculative"),
+    "decode.speculative_tree": ("decode", "speculative_tree"),
 }
 
 
@@ -207,6 +219,77 @@ def golden_trace(preset_name: str) -> dict:
             "peak_blocks_in_use": spec_pool.peak_in_use,
             "end_in_use": spec_pool.in_use,
             "end_live_tokens": spec_pool.live_tokens,
+        },
+    }
+
+    # -- tree speculation: a draft *tree* scored in one packed pass ----
+    # The same generate once more with a fixed 2x2 draft tree, the
+    # ScheduledDraft program consumed level by level in planning order
+    # — so which sibling branch wins each pass, and with it the whole
+    # acceptance trace, is pinned per preset.  Outputs must stay
+    # bit-identical to plain and the closed-form sequential equivalent
+    # must equal the plain run's cycles (a tree repacks work, never
+    # changes it).  The paged twin pins the fork/rollback accounting:
+    # sibling branches fork the cache copy-on-write, and every losing
+    # branch's blocks come home (allocated == freed after retirement).
+    from repro.core.speculative import DraftTree
+
+    tree = DraftTree.parse(SPECULATIVE_TREE)
+    tree_speculator = SpeculativeDecodeEngine(engine, tree=tree)
+    tree_gen = tree_speculator.generate(
+        request, draft=ScheduledDraft(cfg, TREE_PROGRAM)
+    )
+    assert np.array_equal(tree_gen.generated, gen.generated), (
+        f"{preset_name}: tree-speculative generate diverged from plain"
+    )
+    assert tree_gen.sequential_vector_cycles == gen.vector_cycles, (
+        f"{preset_name}: tree sequential-equivalent cycles drifted"
+    )
+    # Pool sized with fork headroom: beyond the linear worst case, each
+    # sibling branch may copy-on-write the shared tail block, so grant
+    # one spare block per provisional node.  Too tight a pool would trip
+    # plan_with_fallback into clipping the tree — a different (legal)
+    # plan, but not the one this fixture pins.
+    tree_pool = BlockPool(
+        request.n_heads, request.head_dim, cfg.kv_block_size,
+        n_blocks=worst_case_blocks(
+            request.total_tokens + tree.max_nodes, request.window,
+            cfg.kv_block_size,
+        ) + tree.max_nodes,
+    )
+    tree_state = tree_speculator.start(request, pool=tree_pool)
+    tree_paged = tree_speculator.generate(
+        request,
+        state=tree_state,
+        draft=ScheduledDraft(cfg, TREE_PROGRAM),
+    )
+    assert np.array_equal(tree_paged.generated, gen.generated), (
+        f"{preset_name}: paged tree-speculative generate diverged"
+    )
+    assert tree_paged.vector_cycles == tree_gen.vector_cycles, (
+        f"{preset_name}: paged tree speculation charged different cycles"
+    )
+    tree_state.cache.reset()
+    assert tree_pool.in_use == 0, (
+        f"{preset_name}: tree speculation leaked pool blocks"
+    )
+    decode["speculative_tree"] = {
+        "tree": tree.spec,
+        "program": "".join("1" if p else "0" for p in TREE_PROGRAM),
+        "vector_cycles": tree_gen.vector_cycles,
+        "sequential_vector_cycles": tree_gen.sequential_vector_cycles,
+        "verify_passes": tree_gen.verify_passes,
+        "drafted": tree_gen.drafted_tokens,
+        "accepted": tree_gen.accepted_tokens,
+        "rolled_back": tree_gen.rolled_back_tokens,
+        "counters": dict(sorted(tree_gen.counters.as_dict().items())),
+        "paged": {
+            "blocks_allocated": tree_pool.blocks_allocated,
+            "blocks_freed": tree_pool.blocks_freed,
+            "cow_copies": tree_pool.cow_copies,
+            "peak_blocks_in_use": tree_pool.peak_in_use,
+            "end_in_use": tree_pool.in_use,
+            "end_live_tokens": tree_pool.live_tokens,
         },
     }
 

@@ -32,6 +32,7 @@ EXACT_FIELDS = {
     "decode": (
         "prefill_vector_cycles", "vector_cycles", "nonlinear_queries",
         "counters", "paged", "prefix_cached", "speculative",
+        "speculative_tree",
     ),
 }
 
@@ -115,6 +116,34 @@ class TestGoldenTraces:
             paged["blocks_allocated"] - paged["blocks_freed"]
             == paged["end_in_use"]
         )
+
+    def test_tree_speculative_decode_balances_and_drains(self, preset_name):
+        """The fixture's tree-speculative run must obey the same
+        contract as the linear chain — sequential equivalent identical
+        to plain decode, acceptance trace balanced — with the tree
+        twists: the pinned tree spec round-trips, sibling forks show up
+        as copy-on-write copies in the paged twin, and every losing
+        branch's blocks come home (zero blocks leaked)."""
+        golden = load_golden(preset_name)
+        decode = golden["decode"]
+        spec = decode["speculative_tree"]
+        from repro.core.speculative import DraftTree
+        from tests.regen_goldens import SPECULATIVE_TREE, TREE_PROGRAM
+
+        assert spec["tree"] == DraftTree.parse(SPECULATIVE_TREE).spec
+        assert spec["program"] == "".join(
+            "1" if p else "0" for p in TREE_PROGRAM
+        )
+        assert spec["sequential_vector_cycles"] == decode["vector_cycles"]
+        assert spec["verify_passes"] + spec["accepted"] == decode[
+            "max_new_tokens"
+        ]
+        assert spec["drafted"] == spec["accepted"] + spec["rolled_back"]
+        paged = spec["paged"]
+        assert paged["cow_copies"] > 0  # sibling branches really forked
+        assert paged["end_in_use"] == 0
+        assert paged["end_live_tokens"] == 0
+        assert paged["blocks_allocated"] == paged["blocks_freed"]
 
     def test_prefix_cached_decode_is_a_pure_residency_win(self, preset_name):
         """The fixture's prefix-cached run must charge exactly the

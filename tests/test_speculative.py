@@ -259,6 +259,65 @@ class TestDraftModels:
             draft.observe(np.array([float(i)]), np.array([float(-i)]), i)
         assert len(draft._history) <= 2
 
+    def test_ngram_eviction_is_oldest_first_not_a_wipe(self):
+        """The satellite bugfix pin: crossing ``max_history`` evicts the
+        single oldest entry (dict insertion order), not the whole
+        history — a full wipe cratered acceptance to zero every time a
+        long generation crossed the boundary."""
+        draft = NGramDraft(max_history=3)
+        keys = [np.array([float(i)]) for i in range(4)]
+        for i, x in enumerate(keys[:3]):
+            draft.observe(x, np.array([float(-i)]), i)
+        draft.observe(keys[3], np.array([-3.0]), 3)
+        assert len(draft._history) == 3
+        # oldest (keys[0]) evicted: proposal falls back to persistence
+        assert np.array_equal(draft.propose(None, None, keys[0], 4), keys[0])
+        # the two younger survivors and the newcomer still replay
+        for i in (1, 2, 3):
+            assert np.array_equal(
+                draft.propose(None, None, keys[i], 4),
+                np.array([float(-i)]),
+            )
+        # re-observing a resident key refreshes, never evicts
+        draft.observe(keys[1], np.array([9.0]), 5)
+        assert len(draft._history) == 3
+        assert np.array_equal(
+            draft.propose(None, None, keys[2], 6), np.array([-2.0])
+        )
+
+    def test_ngram_acceptance_survives_crossing_max_history(self):
+        """A trajectory that settles into a cycle keeps earning
+        verify-style hits after its history crosses ``max_history``:
+        the cycle's keys are re-observed every lap so they stay young,
+        and only the stale preamble falls out.  (The old ``clear()``
+        eviction wiped the cycle along with the preamble, so hits
+        collapsed every time the boundary was crossed.)"""
+        draft = NGramDraft(max_history=4)
+        # 4 distinct transient states, then a 3-state cycle: 7 distinct
+        # keys force evictions with max_history=4
+        preamble = [np.array([100.0 + i]) for i in range(4)]
+        cycle = [np.array([float(i)]) for i in range(3)]
+        trajectory = preamble + cycle * 5
+        hits = 0
+        for position, (x, nxt) in enumerate(
+            zip(trajectory, trajectory[1:])
+        ):
+            # a proposal equal to the true next output is what the
+            # verify pass would accept
+            if np.array_equal(draft.propose(None, None, x, position), nxt):
+                hits += 1
+            draft.observe(x, nxt, position)
+        # after one learning lap, every later lap replays perfectly
+        assert hits >= 3 * 3
+        assert len(draft._history) == 4
+        # the preamble is what got evicted, not the live cycle
+        assert np.array_equal(
+            draft.propose(None, None, preamble[0], 99), preamble[0]
+        )
+        assert np.array_equal(
+            draft.propose(None, None, cycle[0], 99), cycle[1]
+        )
+
 
 # ----------------------------------------------------------------------
 # The engine: bit-exactness, accounting, windows.

@@ -1,0 +1,500 @@
+"""Tree speculation: a draft tree scored in one packed verification pass.
+
+The contract under test (see :mod:`repro.core.speculative`): for *any*
+:class:`~repro.core.speculative.DraftTree` — any branching plan, any
+accept/reject pattern — tree-speculative generation produces
+bit-identical tokens to plain
+:meth:`~repro.core.decode.NovaDecodeEngine.generate`, the degenerate
+width-1 tree stays exactly the historical linear chain, sibling
+branches live on copy-on-write block-table forks whose blocks are all
+returned (zero leaked pool blocks for any accept pattern), and the
+commit step keeps the longest accepted branch while truncating every
+other branch through the existing rollback path.  Around that sit the
+``spec_tree`` config/session/scheduler/front-door wiring and the
+structural tree-causal mask.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import NovaConfig, parse_tree_spec, preset
+from repro.core.decode import (
+    ContinuousBatchScheduler,
+    NovaDecodeEngine,
+)
+from repro.core.paging import BlockPool, BlockPoolExhausted
+from repro.core.session import NovaSession
+from repro.core.speculative import (
+    DraftTree,
+    NGramDraft,
+    ScheduledDraft,
+    SpeculativeDecodeEngine,
+    TruncatedTableDraft,
+    tree_causal_mask,
+)
+from repro.serving.frontdoor import FrontDoor
+from repro.workloads.transformer import TransformerConfig, decode_request
+
+#: Small shared geometry: tables/schedules compile once per module.
+SMALL = NovaConfig(n_routers=2, neurons_per_router=8)
+ENGINE = NovaDecodeEngine(SMALL)
+
+
+def toy_model(hidden=16, heads=2, seq_len=64):
+    return TransformerConfig(
+        "tree-toy", layers=1, hidden=hidden, heads=heads,
+        intermediate=4 * hidden, seq_len=seq_len, causal=True,
+    )
+
+
+def toy_request(prompt_len=4, max_new_tokens=6, seed=0, window=None,
+                **model_kwargs):
+    return decode_request(
+        toy_model(**model_kwargs), prompt_len=prompt_len,
+        max_new_tokens=max_new_tokens, seed=seed, window=window,
+    )
+
+
+# ----------------------------------------------------------------------
+# The spec syntax and the DraftTree value object.
+# ----------------------------------------------------------------------
+
+
+class TestDraftTreeSpec:
+    def test_parse_tree_spec_segments(self):
+        assert parse_tree_spec("2x2") == (2, 2)
+        assert parse_tree_spec("1x4") == (1, 1, 1, 1)
+        assert parse_tree_spec("3,2x2,1") == (3, 2, 2, 1)
+        assert parse_tree_spec(" 2 , 1x2 ") == (2, 1, 1)
+
+    def test_parse_tree_spec_rejects_malformed(self):
+        for bad in ("", ",", "2x", "x2", "0x3", "2x0", "-1", "a", "2x2x2"):
+            with pytest.raises(ValueError):
+                parse_tree_spec(bad)
+        with pytest.raises(TypeError):
+            parse_tree_spec(4)
+
+    def test_parse_tree_spec_caps_total_nodes(self):
+        # 16 + 16*16 = 272 cumulative nodes > the 256 cap
+        with pytest.raises(ValueError, match="node"):
+            parse_tree_spec("16x2")
+        assert parse_tree_spec("256x1") == (256,)
+
+    def test_spec_round_trips_canonically(self):
+        for spec, widths in (
+            ("2x2", (2, 2)),
+            ("4x1,2x1,1x1", (4, 2, 1)),
+            ("1x4", (1, 1, 1, 1)),
+        ):
+            tree = DraftTree.parse(spec)
+            assert tree.widths == widths
+            assert DraftTree.parse(tree.spec).widths == widths
+        assert DraftTree((2, 2, 1, 1)).spec == "2x2,1x2"
+        assert str(DraftTree((3, 1))) == "3x1,1x1"
+
+    def test_linear_is_the_degenerate_tree(self):
+        tree = DraftTree.linear(4)
+        assert tree.widths == (1, 1, 1, 1)
+        assert tree.is_linear
+        assert tree.depth == 4
+        assert tree.max_nodes == 4
+        assert not DraftTree((1, 2)).is_linear
+        with pytest.raises(ValueError, match="k >= 1"):
+            DraftTree.linear(0)
+
+    def test_max_nodes_is_the_cumulative_branch_count(self):
+        assert DraftTree((4, 2, 1)).max_nodes == 4 + 8 + 8
+        assert DraftTree((2, 2)).max_nodes == 6
+
+    def test_widths_validation(self):
+        with pytest.raises(ValueError, match="at least one level"):
+            DraftTree(())
+        with pytest.raises(ValueError, match=">= 1"):
+            DraftTree((2, 0))
+
+    def test_config_field_validates_and_overrides(self):
+        assert NovaConfig(spec_tree="2x2").spec_tree == "2x2"
+        assert NovaConfig().spec_tree is None
+        with pytest.raises(ValueError):
+            NovaConfig(spec_tree="0x2")
+        cfg = preset("jetson-nx").with_overrides(["spec_tree=2x2,1x2"])
+        assert cfg.spec_tree == "2x2,1x2"
+        assert preset("jetson-nx").with_overrides(
+            ["spec_tree=none"]
+        ).spec_tree is None
+
+    def test_engine_tree_resolution_order(self):
+        # explicit argument > config.spec_tree > linear(spec_k)
+        cfg = SMALL.replace(spec_tree="2x2")
+        assert SpeculativeDecodeEngine(
+            NovaDecodeEngine(cfg), tree="3x1,1x1"
+        ).tree.widths == (3, 1)
+        assert SpeculativeDecodeEngine(
+            NovaDecodeEngine(cfg)
+        ).tree.widths == (2, 2)
+        assert SpeculativeDecodeEngine(ENGINE).tree == DraftTree.linear(
+            SMALL.spec_k
+        )
+        assert SpeculativeDecodeEngine(
+            ENGINE, tree=DraftTree((2, 1))
+        ).tree.widths == (2, 1)
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness: any tree, any draft, both cache layouts.
+# ----------------------------------------------------------------------
+
+
+TREES = ["1x3", "2x2", "3x1,1x2", "2x1,1x3", "2x3"]
+
+
+class TestTreeBitExactness:
+    @pytest.mark.parametrize("spec", TREES)
+    @pytest.mark.parametrize("fidelity", [1.0, 0.55, 0.0])
+    def test_contiguous_matches_plain_generate(self, spec, fidelity):
+        request = toy_request(prompt_len=4, max_new_tokens=7)
+        plain = ENGINE.generate(request)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree=spec)
+        result = spec_engine.generate(
+            request, draft=TruncatedTableDraft(SMALL, fidelity=fidelity)
+        )
+        assert np.array_equal(result.generated, plain.generated)
+        assert result.sequential_vector_cycles == plain.vector_cycles
+        assert result.n_generated == request.max_new_tokens
+        assert (
+            result.rolled_back_tokens
+            == result.drafted_tokens - result.accepted_tokens
+        )
+
+    @pytest.mark.parametrize("spec", TREES)
+    def test_paged_matches_plain_and_leaks_no_blocks(self, spec):
+        request = toy_request(prompt_len=4, max_new_tokens=7)
+        plain = ENGINE.generate(request)
+        pool = BlockPool(request.n_heads, request.head_dim, 2, n_blocks=64)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree=spec)
+        state = spec_engine.start(request, pool=pool)
+        result = spec_engine.generate(
+            request, state=state,
+            draft=TruncatedTableDraft(SMALL, fidelity=0.55),
+        )
+        assert np.array_equal(result.generated, plain.generated)
+        # every fork's blocks came back: only the live cache holds refs
+        assert pool.in_use == state.cache.blocks_in_use
+        assert pool.live_tokens == state.cache.length
+        state.cache.reset()
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
+
+    def test_final_kv_state_matches_plain(self):
+        request = toy_request(prompt_len=3, max_new_tokens=6)
+        plain_state = ENGINE.start(request)
+        ENGINE.generate(request, state=plain_state)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        spec_state = spec_engine.start(request)
+        spec_engine.generate(
+            request, state=spec_state,
+            draft=TruncatedTableDraft(SMALL, fidelity=0.6),
+        )
+        assert spec_state.position == plain_state.position
+        assert np.array_equal(spec_state.cache.keys, plain_state.cache.keys)
+        assert np.array_equal(
+            spec_state.cache.values, plain_state.cache.values
+        )
+
+    def test_windowed_request_stays_exact(self):
+        request = toy_request(prompt_len=5, max_new_tokens=6, window=4)
+        plain = ENGINE.generate(request)
+        result = SpeculativeDecodeEngine(ENGINE, tree="2x2").generate(
+            request, draft=TruncatedTableDraft(SMALL, fidelity=1.0)
+        )
+        assert np.array_equal(result.generated, plain.generated)
+        assert result.sequential_vector_cycles == plain.vector_cycles
+
+    def test_ngram_draft_proposes_tree_candidates(self):
+        request = toy_request(prompt_len=4, max_new_tokens=8)
+        plain = ENGINE.generate(request)
+        result = SpeculativeDecodeEngine(ENGINE, tree="2x2").generate(
+            request, draft=NGramDraft()
+        )
+        assert np.array_equal(result.generated, plain.generated)
+
+    def test_linear_tree_is_bit_and_accounting_identical_to_spec_k(self):
+        """The degenerate tree pins backward compatibility: same passes,
+        same drafts, same cycles, same counters as the spec_k chain."""
+        request = toy_request(prompt_len=4, max_new_tokens=7)
+        chain = SpeculativeDecodeEngine(ENGINE, spec_k=3).generate(
+            request, draft=TruncatedTableDraft(SMALL, fidelity=0.7, seed=2)
+        )
+        tree = SpeculativeDecodeEngine(ENGINE, tree="1x3").generate(
+            request, draft=TruncatedTableDraft(SMALL, fidelity=0.7, seed=2)
+        )
+        assert np.array_equal(tree.generated, chain.generated)
+        assert tree.vector_cycles == chain.vector_cycles
+        assert tree.verify_passes == chain.verify_passes
+        assert tree.drafted_tokens == chain.drafted_tokens
+        assert tree.accepted_tokens == chain.accepted_tokens
+        assert tree.rolled_back_tokens == chain.rolled_back_tokens
+        assert tree.counters.as_dict() == chain.counters.as_dict()
+
+
+# ----------------------------------------------------------------------
+# The structural tree-causal mask and fork accounting of one pass.
+# ----------------------------------------------------------------------
+
+
+class TestTreeCausalMask:
+    def _plan_pass(self, spec, program, pool_blocks=None):
+        request = toy_request(prompt_len=4, max_new_tokens=8)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree=spec)
+        pool = (
+            BlockPool(request.n_heads, request.head_dim, 2, pool_blocks)
+            if pool_blocks
+            else None
+        )
+        state = spec_engine.start(request, pool=pool)
+        pre = ENGINE.prefill(state)
+        draft = ScheduledDraft(SMALL, program)
+        spec_pass = spec_engine.plan_verify_pass(
+            state, pre.outputs[-1], budget=8, draft=draft
+        )
+        return spec_engine, state, spec_pass, draft, pool
+
+    def test_mask_is_the_ancestor_matrix(self):
+        # alternating program -> distinct siblings survive dedup
+        _, _, spec_pass, _, _ = self._plan_pass("2x2", (True, False))
+        mask = tree_causal_mask(spec_pass)
+        n = len(spec_pass.nodes)
+        assert mask.shape == (n, n)
+        assert n == 7  # root + 2 + 4
+        # diagonal: every token attends to itself; column 0: the root
+        # is an ancestor of every pass token
+        assert mask.diagonal().all()
+        assert mask[:, 0].all()
+        # planning is level-ordered, so the mask is lower-triangular
+        assert not np.triu(mask, k=1).any()
+        # each row's ancestor chain matches the node's parent links
+        for node in spec_pass.nodes:
+            expected = np.zeros(n, dtype=bool)
+            cursor = node
+            while cursor is not None:
+                expected[cursor.token_index] = True
+                cursor = cursor.parent
+            assert np.array_equal(mask[node.token_index], expected)
+        # siblings never attend to each other
+        first_level = spec_pass.root.children
+        assert len(first_level) == 2
+        a, b = (n.token_index for n in first_level)
+        assert not mask[a, b] and not mask[b, a]
+
+    def test_one_packed_job_covers_every_branch(self):
+        _, state, spec_pass, _, _ = self._plan_pass("2x2", (True, False))
+        assert spec_pass.job.state is state
+        assert len(spec_pass.job.tokens) == len(spec_pass.nodes)
+        assert len(spec_pass.drafts) == len(spec_pass.nodes) - 1
+
+    def test_forks_are_released_and_longest_branch_committed(self):
+        spec_engine, state, spec_pass, draft, pool = self._plan_pass(
+            "2x2", (True, True, False, False), pool_blocks=32
+        )
+        assert len(spec_pass.forks) > 0
+        in_use_during = pool.in_use
+        (result,), _ = ENGINE._execute([spec_pass.job])
+        steps, pass_result = spec_engine.finish_verify_pass(
+            spec_pass, result, draft=draft
+        )
+        assert pass_result.committed == pass_result.accepted + 1
+        assert len(steps) == pass_result.committed
+        # every fork block returned; only the live branch remains
+        assert pool.in_use <= in_use_during
+        assert pool.in_use == state.cache.blocks_in_use
+        assert pool.live_tokens == state.cache.length
+        assert state.cache.length == 4 + pass_result.committed
+
+
+# ----------------------------------------------------------------------
+# Error paths: atomicity with forks in flight.
+# ----------------------------------------------------------------------
+
+
+class TestTreeErrorPaths:
+    def _paged_state(self, spec_engine, request, n_blocks):
+        pool = BlockPool(
+            request.n_heads, request.head_dim, 2, n_blocks=n_blocks
+        )
+        state = spec_engine.start(request, pool=pool)
+        spec_engine.engine.prefill(state)
+        return state, pool
+
+    def test_pool_exhaustion_mid_tree_is_atomic(self):
+        request = toy_request(prompt_len=2, max_new_tokens=6)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        state, pool = self._paged_state(spec_engine, request, n_blocks=2)
+        baseline = (state.cache.length, state.position, pool.in_use,
+                    pool.live_tokens)
+        with pytest.raises(BlockPoolExhausted):
+            spec_engine.plan_verify_pass(
+                state, np.zeros(request.hidden), budget=6,
+                draft=TruncatedTableDraft(SMALL, fidelity=0.5),
+            )
+        assert (state.cache.length, state.position, pool.in_use,
+                pool.live_tokens) == baseline
+
+    def test_fallback_degrades_to_a_draft_free_pass(self):
+        request = toy_request(prompt_len=2, max_new_tokens=6)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        state, pool = self._paged_state(spec_engine, request, n_blocks=2)
+        spec_pass = spec_engine.plan_with_fallback(
+            state, np.zeros(request.hidden), budget=6,
+            draft=TruncatedTableDraft(SMALL, fidelity=0.5),
+        )
+        assert len(spec_pass.job.tokens) >= 1
+        assert len(spec_pass.forks) == 0
+
+    def test_tight_pool_generation_still_exact_and_leak_free(self):
+        request = toy_request(prompt_len=2, max_new_tokens=6)
+        plain = ENGINE.generate(request)
+        spec_engine = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        pool = BlockPool(request.n_heads, request.head_dim, 2, n_blocks=6)
+        state = spec_engine.start(request, pool=pool)
+        result = spec_engine.generate(
+            request, state=state,
+            draft=TruncatedTableDraft(SMALL, fidelity=0.6),
+        )
+        assert np.array_equal(result.generated, plain.generated)
+        state.cache.reset()
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler, session and front-door wiring.
+# ----------------------------------------------------------------------
+
+
+class TestTreeWiring:
+    def _requests(self, budgets=(5, 2, 7), prompts=(3, 5, 4), seed=0):
+        return [
+            toy_request(prompt_len=p, max_new_tokens=b, seed=seed + i)
+            for i, (p, b) in enumerate(zip(prompts, budgets))
+        ]
+
+    def _factory(self, fidelity=0.6, seed=9):
+        def factory():
+            return TruncatedTableDraft(SMALL, fidelity=fidelity, seed=seed)
+
+        return factory
+
+    def test_scheduler_tree_matches_solo_tree(self):
+        requests = self._requests()
+        factory = self._factory()
+        speculator = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        solo = [speculator.generate(r, draft=factory()) for r in requests]
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=2, speculative=True, spec_tree="2x2",
+            draft_factory=factory,
+        )
+        batch = scheduler.run(requests)
+        for ref, got in zip(solo, batch.results):
+            assert np.array_equal(got.generated, ref.generated)
+            assert got.vector_cycles == ref.vector_cycles
+            assert got.verify_passes == ref.verify_passes
+            assert got.drafted_tokens == ref.drafted_tokens
+            assert got.accepted_tokens == ref.accepted_tokens
+            assert got.counters.as_dict() == ref.counters.as_dict()
+
+    def test_paged_scheduler_tree_frees_every_block(self):
+        requests = self._requests()
+        scheduler = ContinuousBatchScheduler(
+            ENGINE, max_active=3, speculative=True, spec_tree="2x1,1x2",
+            paged=True, block_size=4, draft_factory=self._factory(),
+        )
+        batch = scheduler.run(requests)
+        assert batch.paging is not None
+        assert batch.paging["in_use"] == 0
+        assert batch.paging["blocks_allocated"] == batch.paging["blocks_freed"]
+        plain = [ENGINE.generate(r) for r in requests]
+        for ref, got in zip(plain, batch.results):
+            assert np.array_equal(got.generated, ref.generated)
+
+    def test_spec_tree_kwarg_needs_speculative_mode(self):
+        with pytest.raises(ValueError, match="speculative scheduler"):
+            ContinuousBatchScheduler(ENGINE, spec_tree="2x2")
+
+    def test_session_generate_spec_tree(self):
+        session = NovaSession(SMALL)
+        request = toy_request(prompt_len=4, max_new_tokens=5)
+        plain = session.generate(request)
+        spec = session.generate(
+            request, speculative=True, spec_tree="2x2",
+            draft=ScheduledDraft(SMALL, (True, False, True)),
+        )
+        assert np.array_equal(spec.generated, plain.generated)
+        with pytest.raises(ValueError, match="speculative"):
+            session.generate(request, spec_tree="2x2")
+
+    def test_frontdoor_spec_tree_matches_solo(self):
+        requests = self._requests()
+        factory = self._factory()
+        speculator = SpeculativeDecodeEngine(ENGINE, tree="2x2")
+        solo = [speculator.generate(r, draft=factory()) for r in requests]
+        door = FrontDoor(
+            ENGINE, speculative=True, spec_tree="2x2",
+            draft_factory=factory,
+        )
+        for i, r in enumerate(requests):
+            door.submit(r, arrival=float(i))
+        report = door.serve()
+        assert report.n_requests == len(requests)
+        for rid, got in door.last_results().items():
+            assert np.array_equal(got.generated, solo[rid].generated)
+
+
+# ----------------------------------------------------------------------
+# The property: any tree x any accept/reject program, still exact.
+# ----------------------------------------------------------------------
+
+
+class TestTreeProperties:
+    @given(
+        widths=st.lists(st.integers(1, 3), min_size=1, max_size=3),
+        program=st.lists(st.booleans(), min_size=1, max_size=10),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_tree_any_program_matches_plain(self, widths, program, seed):
+        request = toy_request(prompt_len=3, max_new_tokens=5, seed=seed)
+        plain = ENGINE.generate(request)
+        result = SpeculativeDecodeEngine(
+            ENGINE, tree=DraftTree(tuple(widths))
+        ).generate(request, draft=ScheduledDraft(SMALL, program))
+        assert np.array_equal(result.generated, plain.generated)
+        assert result.sequential_vector_cycles == plain.vector_cycles
+        assert result.n_generated == request.max_new_tokens
+        assert (
+            result.rolled_back_tokens
+            == result.drafted_tokens - result.accepted_tokens
+        )
+
+    @given(
+        widths=st.lists(st.integers(1, 3), min_size=1, max_size=2),
+        program=st.lists(st.booleans(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_tree_any_program_leaks_no_pool_blocks(self, widths, program):
+        request = toy_request(prompt_len=3, max_new_tokens=5)
+        plain = ENGINE.generate(request)
+        pool = BlockPool(request.n_heads, request.head_dim, 2, n_blocks=48)
+        spec_engine = SpeculativeDecodeEngine(
+            ENGINE, tree=DraftTree(tuple(widths))
+        )
+        state = spec_engine.start(request, pool=pool)
+        result = spec_engine.generate(
+            request, state=state, draft=ScheduledDraft(SMALL, program)
+        )
+        assert np.array_equal(result.generated, plain.generated)
+        assert pool.in_use == state.cache.blocks_in_use
+        assert pool.live_tokens == state.cache.length
+        state.cache.reset()
+        assert pool.in_use == 0
+        assert pool.live_tokens == 0
